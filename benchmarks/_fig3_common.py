@@ -1,0 +1,45 @@
+"""Shared assertions for the three Fig. 3 panels (E2/E3/E4)."""
+
+from __future__ import annotations
+
+from repro.analysis import fig3_series, format_fig3
+from repro.power import FIG3_ANCHORS
+
+
+def check_fig3_panel(benchmark_fixture, models, write_report,
+                     bench_name: str) -> None:
+    """Regenerate one power-vs-workload panel and check its shape."""
+    series = benchmark_fixture.pedantic(
+        lambda: fig3_series(models, bench_name), rounds=1, iterations=1)
+    write_report(f"fig3_{bench_name.lower()}", format_fig3(models, bench_name))
+
+    anchor = FIG3_ANCHORS[bench_name]
+
+    # the improved design always wins where both are feasible
+    for wo, w in zip(series.power_without, series.power_with):
+        if wo is not None and w is not None:
+            assert w < wo
+
+    # the improved design sustains a higher peak workload (paper: the
+    # with-synchronizer curve extends ~2x further right)
+    ratio = series.max_with[0] / series.max_without[0]
+    assert 1.5 < ratio < 4.5, f"peak-workload ratio {ratio:.2f}"
+
+    # headline: savings at the baseline's peak workload within +-12 pp of
+    # the paper's reported number
+    assert abs(series.savings_at_baseline_peak
+               - anchor["savings"]) < 0.12, (
+        f"{bench_name}: savings {series.savings_at_baseline_peak:.1%} "
+        f"vs paper {anchor['savings']:.0%}")
+
+    # both curves are monotonically increasing in workload
+    for curve in (series.power_without, series.power_with):
+        feasible = [p for p in curve if p is not None]
+        assert feasible == sorted(feasible)
+
+    # the voltage-scaling knee: power at 10% of peak is far more than 10%
+    # cheaper than peak power (square-law savings on top of frequency)
+    model = models[bench_name, "with-sync"]
+    knee = model.at_workload(model.max_mops / 10)
+    peak = model.at_workload(model.max_mops)
+    assert knee.power_mw < 0.06 * peak.power_mw

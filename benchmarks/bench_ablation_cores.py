@@ -1,0 +1,45 @@
+"""A3 — ablation: core-count scaling.
+
+The paper's platform has 8 cores/channels; this ablation checks that the
+synchronization benefit is not an 8-core artifact: throughput scales with
+the core count on the improved design, while the baseline saturates on
+IM-bank serialization.
+"""
+
+from repro.analysis import evaluation_channels
+from repro.kernels import WITH_SYNC, WITHOUT_SYNC, run_benchmark
+
+from conftest import BENCH_SAMPLES
+
+
+def test_core_scaling(benchmark, write_report):
+    channels = evaluation_channels(BENCH_SAMPLES)
+
+    def run_all():
+        results = {}
+        for cores in (2, 4, 8):
+            for design in (WITH_SYNC, WITHOUT_SYNC):
+                run = run_benchmark("SQRT32", design, channels[:cores])
+                results[cores, design.name] = run.trace.ops_per_cycle
+        return results
+
+    ipc = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["A3 — core-count scaling on SQRT32 (ops/cycle)", "",
+             f"  {'cores':>5s}  {'with-sync':>9s}  {'without':>9s}  "
+             f"{'ratio':>6s}"]
+    for cores in (2, 4, 8):
+        w = ipc[cores, "with-sync"]
+        wo = ipc[cores, "without-sync"]
+        lines.append(f"  {cores:5d}  {w:9.2f}  {wo:9.2f}  {w / wo:6.2f}")
+    write_report("ablation_cores", "\n".join(lines))
+
+    # improved design scales with core count
+    assert ipc[8, "with-sync"] > 1.6 * ipc[4, "with-sync"] * 0.8
+    assert ipc[4, "with-sync"] > 1.3 * ipc[2, "with-sync"] * 0.8
+    # baseline saturates: far sublinear from 2 to 8 cores
+    assert ipc[8, "without-sync"] < 2.5 * ipc[2, "without-sync"]
+    # the benefit *grows* with core count (more fetches to broadcast)
+    ratios = [ipc[c, "with-sync"] / ipc[c, "without-sync"]
+              for c in (2, 4, 8)]
+    assert ratios[2] > ratios[0]

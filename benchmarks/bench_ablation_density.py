@@ -1,0 +1,74 @@
+"""A4 — ablation: synchronization-point density sweep.
+
+The paper inserts a checkpoint at *every* data-dependent conditional; the
+``sync_min_statements`` knob skips regions smaller than a threshold,
+trading resynchronization quality against checkpoint overhead.  This
+sweep maps that trade-off on MRPDLN, whose divergent regions range
+from single-statement min/max ``if``s through the multi-line peak-record
+block, so the threshold removes checkpoints gradually.
+"""
+
+from repro.analysis import evaluation_channels
+from repro.compiler import compile_source
+from repro.kernels import WITH_SYNC, golden_outputs
+from repro.kernels.mrpdln import OUT_WORDS, SOURCE as MRPDLN_SOURCE
+from repro.platform import Machine
+
+from conftest import BENCH_SAMPLES
+
+THRESHOLDS = (0, 2, 5, 1000)
+
+
+def _run(threshold, channels):
+    compiled = compile_source(MRPDLN_SOURCE, sync_mode="auto",
+                              sync_min_statements=threshold)
+    machine = Machine(compiled.program,
+                      WITH_SYNC.platform_config(len(channels)))
+    for core, channel in enumerate(channels):
+        machine.dm.load(core * 2048, [v & 0xFFFF for v in channel])
+    machine.dm.write(compiled.symbols["g_n_samples"], len(channels[0]))
+    machine.run()
+    return compiled, machine
+
+
+def test_density_sweep(benchmark, write_report):
+    channels = evaluation_channels(BENCH_SAMPLES)
+    expected = golden_outputs("MRPDLN", channels)
+
+    def sweep():
+        results = {}
+        for threshold in THRESHOLDS:
+            compiled, machine = _run(threshold, channels)
+            got = [
+                [v - 0x10000 if v & 0x8000 else v
+                 for v in machine.dm.dump(c * 2048 + 512, OUT_WORDS)]
+                for c in range(8)
+            ]
+            assert got == expected, f"threshold {threshold}"
+            results[threshold] = (compiled.sync_points,
+                                  machine.trace.cycles,
+                                  machine.trace.sync_rmw_ops,
+                                  machine.trace.ops_per_cycle)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["A4 — sync-point density sweep on MRPDLN", "",
+             f"  {'min stmts':>9s}  {'points':>6s}  {'cycles':>8s}  "
+             f"{'RMWs':>7s}  {'ops/cyc':>7s}"]
+    for threshold in THRESHOLDS:
+        points, cycles, rmws, opc = results[threshold]
+        label = "inf" if threshold >= 1000 else str(threshold)
+        lines.append(f"  {label:>9s}  {points:6d}  {cycles:8d}  "
+                     f"{rmws:7d}  {opc:7.2f}")
+    write_report("ablation_density", "\n".join(lines))
+
+    # skipping every checkpoint (threshold=inf) degrades to ~baseline
+    full = results[0]
+    none = results[1000]
+    assert none[1] > 1.5 * full[1], "checkpoints must matter"
+    assert none[2] == 0
+    # the paper's choice (wrap everything divergent) is at or near the
+    # best cycle count in this sweep
+    best_cycles = min(r[1] for r in results.values())
+    assert full[1] <= 1.1 * best_cycles

@@ -1,0 +1,48 @@
+"""A1 — ablation: which mechanism contributes what?
+
+The paper's technique has two parts: the hardware barrier
+(SINC/SDEC/synchronizer) and the enhanced D-Xbar serving policy.  This
+ablation runs the in-between designs to split their contributions —
+analysis the paper motivates but does not report.
+"""
+
+from repro.analysis import evaluation_channels
+from repro.kernels import (
+    BARRIER_ONLY,
+    DXBAR_ONLY,
+    WITH_SYNC,
+    WITHOUT_SYNC,
+    golden_outputs,
+    run_benchmark,
+)
+
+from conftest import BENCH_SAMPLES
+
+
+def test_policy_ablation(benchmark, write_report):
+    channels = evaluation_channels(BENCH_SAMPLES)
+    golden = golden_outputs("SQRT32", channels)
+
+    def run_all():
+        results = {}
+        for design in (WITH_SYNC, BARRIER_ONLY, DXBAR_ONLY, WITHOUT_SYNC):
+            run = run_benchmark("SQRT32", design, channels)
+            assert run.outputs == golden, design.name
+            results[design.name] = run
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    ipc = {name: run.trace.ops_per_cycle for name, run in results.items()}
+    lines = ["A1 — mechanism split on SQRT32 (ops/cycle)", ""]
+    for name in ("with-sync", "barrier-only", "dxbar-only", "without-sync"):
+        lines.append(f"  {name:13s} {ipc[name]:6.2f}")
+    write_report("ablation_policy", "\n".join(lines))
+
+    # the barrier does the heavy lifting; the D-Xbar policy alone cannot
+    # recover lockstep once data-dependent control flow breaks it
+    assert ipc["with-sync"] >= ipc["barrier-only"] * 0.95
+    assert ipc["barrier-only"] > 1.5 * ipc["without-sync"]
+    assert ipc["dxbar-only"] < 1.5 * ipc["without-sync"]
+    # full design is the best configuration overall
+    assert ipc["with-sync"] >= max(ipc.values()) * 0.999

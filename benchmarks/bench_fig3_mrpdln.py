@@ -1,0 +1,11 @@
+"""E4 — Fig. 3(c): MRPDLN power vs workload under voltage scaling.
+
+Paper anchors: baseline peaks at 167 MOps/s @ 13.93 mW, the improved
+design at 336 MOps/s @ 20.09 mW; 55% power savings at 167 MOps/s.
+"""
+
+from _fig3_common import check_fig3_panel
+
+
+def test_fig3_mrpdln(benchmark, models, write_report):
+    check_fig3_panel(benchmark, models, write_report, "MRPDLN")

@@ -1,0 +1,11 @@
+"""E2 — Fig. 3(a): MRPFLTR power vs workload under voltage scaling.
+
+Paper anchors: baseline peaks at 89 MOps/s @ 10.46 mW, the improved design
+at 211 MOps/s @ 15.38 mW; 64% power savings at 89 MOps/s.
+"""
+
+from _fig3_common import check_fig3_panel
+
+
+def test_fig3_mrpfltr(benchmark, models, write_report):
+    check_fig3_panel(benchmark, models, write_report, "MRPFLTR")

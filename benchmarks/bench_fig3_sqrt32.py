@@ -1,0 +1,11 @@
+"""E3 — Fig. 3(b): SQRT32 power vs workload under voltage scaling.
+
+Paper anchors: baseline peaks at 156 MOps/s @ 12.61 mW, the improved
+design at 290 MOps/s @ 18.27 mW; 56% power savings at 156 MOps/s.
+"""
+
+from _fig3_common import check_fig3_panel
+
+
+def test_fig3_sqrt32(benchmark, models, write_report):
+    check_fig3_panel(benchmark, models, write_report, "SQRT32")

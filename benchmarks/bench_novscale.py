@@ -1,0 +1,19 @@
+"""E7 — sec. V-B: dynamic power savings *without* voltage scaling.
+
+Paper: "without exploiting voltage scaling, synchronization provides up
+to 38% dynamic power savings" — both designs at nominal voltage, each
+clocked just fast enough for the same workload.
+"""
+
+from repro.analysis import format_novscale, novscale_savings
+
+
+def test_novscale_savings(benchmark, models, write_report):
+    savings = benchmark.pedantic(lambda: novscale_savings(models),
+                                 rounds=1, iterations=1)
+    write_report("novscale", format_novscale(models))
+
+    for bench, value in savings.items():
+        assert 0.15 < value < 0.60, f"{bench}: {value:.1%}"
+    # headline magnitude
+    assert max(savings.values()) > 0.33

@@ -1,0 +1,36 @@
+"""E5 — sec. V-B speedup and throughput claims.
+
+Paper: the synchronization technique yields up to 2.4x speedup; the
+improved design sustains 2.5-4.0 ops/cycle vs 1.1-2.0 without it.  Our
+cycle model runs slightly hotter on both designs (see EXPERIMENTS.md),
+so the bands below are widened while the *ratios* are checked tightly.
+"""
+
+from repro.analysis import format_speedup, speedup_rows
+from repro.dsp import generate_ecg
+from repro.kernels import WITH_SYNC, run_benchmark
+
+from conftest import BENCH_SAMPLES
+
+
+def test_speedup_and_throughput(benchmark, runs, write_report):
+    # time one representative fresh simulation (not the cached ones)
+    rec = generate_ecg(n_channels=8, n_samples=BENCH_SAMPLES)
+    channels = [rec.channel(c) for c in range(8)]
+    benchmark.pedantic(
+        lambda: run_benchmark("SQRT32", WITH_SYNC, channels),
+        rounds=1, iterations=1)
+
+    rows = speedup_rows(runs)
+    write_report("speedup", format_speedup(rows))
+
+    for row in rows:
+        # the baseline drifts out of lockstep: low throughput
+        assert row.ops_per_cycle_without < 3.0, row
+        # the improved design at least doubles throughput
+        assert row.ops_per_cycle_with > 2.0 * row.ops_per_cycle_without
+        # speedup comparable to the paper's "up to 2.4x" (ours runs hotter)
+        assert 1.5 < row.speedup < 4.5, row
+
+    # at least one benchmark reaches the paper's headline magnitude
+    assert max(row.speedup for row in rows) > 2.2

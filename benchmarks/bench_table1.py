@@ -1,0 +1,50 @@
+"""E1 — Table I: dynamic power distribution at 8 MOps/s and 1.2 V.
+
+Regenerates the per-component power table for both designs and checks the
+paper's claims: IM power drops strongly, DM power stays ~flat, the
+synchronizer stays under ~2% of the total, the clock tree power roughly
+halves, and the totals land in the published bands (loose factor — our
+substrate is a functional simulator, not the authors' routed netlist).
+"""
+
+import pytest
+
+from repro.analysis import format_table1, table1_values
+from repro.power import Component, TABLE1_TOTAL_MW, TABLE1_WORKLOAD_MOPS
+
+
+def test_table1(benchmark, models, write_report):
+    values = benchmark.pedantic(
+        lambda: table1_values(models), rounds=1, iterations=1)
+    write_report("table1", format_table1(models))
+
+    wo, ws = values["without-sync"], values["with-sync"]
+
+    # totals in (loosened) published bands
+    for design, vals in (("without-sync", wo), ("with-sync", ws)):
+        lo, hi = TABLE1_TOTAL_MW[design]
+        t_lo, t_hi = vals["total"]
+        assert 0.5 * lo < t_lo and t_hi < 1.5 * hi, \
+            f"{design} total {t_lo:.2f}..{t_hi:.2f} vs paper {lo}..{hi}"
+
+    # improved design is cheaper overall
+    assert ws["total"][1] < wo["total"][0]
+
+    # IM power drops by at least ~2x (paper: 0.20-0.36 -> 0.09-0.15)
+    assert ws[Component.IM][1] < 0.6 * wo[Component.IM][0]
+
+    # DM power roughly flat (sync adds <10% accesses)
+    assert ws[Component.DM][1] < 1.4 * wo[Component.DM][1]
+
+    # synchronizer is a small fraction of the total (paper: <2%)
+    assert ws[Component.SYNCHRONIZER][1] < 0.05 * ws["total"][1]
+
+    # clock tree power roughly halves at equal workload (paper: 2x)
+    assert ws[Component.CLOCK_TREE][1] < 0.7 * wo[Component.CLOCK_TREE][0]
+
+
+def test_table1_workload_is_papers(models):
+    # the operating point itself: 8 MOps/s at nominal voltage
+    point = models["MRPFLTR", "with-sync"].at_nominal(TABLE1_WORKLOAD_MOPS)
+    assert point.v == pytest.approx(1.2)
+    assert point.mops == TABLE1_WORKLOAD_MOPS

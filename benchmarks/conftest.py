@@ -1,0 +1,41 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of Dogan et al. (DATE 2013),
+asserts the paper's qualitative claims, times the underlying simulation or
+analysis, and writes the rendered report to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import power_models, reference_runs
+
+#: evaluation window used by all benches (samples per channel)
+BENCH_SAMPLES = 48
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runs():
+    """The six reference simulations (cached across the whole session)."""
+    return reference_runs(n_samples=BENCH_SAMPLES)
+
+
+@pytest.fixture(scope="session")
+def models(runs):
+    return power_models(runs)
+
+
+@pytest.fixture(scope="session")
+def write_report():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write

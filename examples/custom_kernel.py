@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: divergence analysis and sync insertion, visibly.
+
+Write a minic kernel, then watch the compiler decide *where* check-in/
+check-out points belong: the uniformity analysis proves the sample loop
+uniform (no point needed) and flags the data-dependent conditionals.
+The generated assembly and the runtime behaviour are shown for all three
+insertion modes (none / all / auto).
+"""
+
+from repro.compiler import compile_source
+from repro.platform import Machine, PlatformConfig, SyncPolicy
+
+KERNEL = """
+int histogram[16];
+
+/* per-core peak counter with a data-dependent threshold branch and a
+   uniform outer loop over a compile-time window */
+void main() {
+    int id = __coreid();
+    int *x = id * 2048;               /* private channel buffer */
+
+    /* synthesize a ramp + per-core wiggle in place */
+    for (int i = 0; i < 64; i = i + 1) {        /* uniform: no sync */
+        x[i] = (i * (id + 3)) % 37;
+    }
+
+    int peaks = 0;
+    int previous = 0;
+    for (int i = 0; i < 64; i = i + 1) {        /* uniform: no sync */
+        int v = x[i];
+        if (v > 30) {                           /* divergent: sync */
+            if (v > previous) {                 /* divergent: sync */
+                peaks = peaks + 1;
+            }
+        }
+        previous = v;
+    }
+    histogram[id] = peaks;
+}
+"""
+
+
+def banner(text: str) -> None:
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+def main() -> None:
+    banner("divergence analysis (auto mode)")
+    auto = compile_source(KERNEL, sync_mode="auto")
+    print(f"sync points inserted: {auto.sync_points}")
+    print(auto.allocator.describe())
+
+    everything = compile_source(KERNEL, sync_mode="all")
+    print(f"\nfor comparison, 'all' mode (the paper's manual discipline) "
+          f"inserts {everything.sync_points} points")
+
+    banner("generated assembly around the divergent branch")
+    lines = auto.assembly.splitlines()
+    first_sinc = next(i for i, l in enumerate(lines) if "SINC" in l)
+    print("\n".join(lines[first_sinc - 6:first_sinc + 14]))
+
+    banner("running all three builds")
+    results = {}
+    for mode in ("none", "all", "auto"):
+        compiled = compile_source(KERNEL, sync_mode=mode)
+        policy = SyncPolicy.FULL if mode != "none" else SyncPolicy.NONE
+        machine = Machine(compiled.program, PlatformConfig(policy=policy))
+        machine.run()
+        histogram = machine.dm.dump(compiled.symbol("histogram"), 8)
+        results[mode] = (histogram, machine.trace)
+        print(f"mode={mode:5s}  peaks/core={histogram}  "
+              f"cycles={machine.trace.cycles:6d}  "
+              f"ops/cycle={machine.trace.ops_per_cycle:5.2f}  "
+              f"sync RMWs={machine.trace.sync_rmw_ops}")
+
+    assert results["none"][0] == results["all"][0] == results["auto"][0]
+    print("\nall modes agree on results; 'auto' syncs only where the "
+          "analysis\nproves it necessary, spending fewer checkpoint "
+          "operations than 'all'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Design-space exploration: cores x policy x banking in one table.
+
+Sweeps the architectural knobs the repository exposes and prints the
+throughput matrix — the kind of early exploration that motivated the
+paper's final configuration (8 cores, block banking, hardware barrier +
+D-Xbar policy).
+"""
+
+from repro.analysis import evaluation_channels
+from repro.kernels import build_program, golden_outputs
+from repro.platform import Machine, PlatformConfig, SyncPolicy
+
+N_SAMPLES = 48
+
+POLICIES = [
+    ("full", SyncPolicy.FULL, True),
+    ("barrier", SyncPolicy.HW_BARRIER, True),
+    ("dxbar", SyncPolicy.DXBAR_SYNC_STALL, False),
+    ("none", SyncPolicy.NONE, False),
+]
+
+
+def run_point(cores, policy, sync_enabled, interleaved, channels):
+    program = build_program("SQRT32", sync_enabled)
+    config = PlatformConfig(num_cores=cores, policy=policy,
+                            dm_interleaved=interleaved)
+    machine = Machine(program, config)
+    subset = channels[:cores]
+    for core, channel in enumerate(subset):
+        machine.dm.load(core * 2048, [v & 0xFFFF for v in channel])
+    machine.dm.write(16384, N_SAMPLES)
+    machine.run()
+    outputs = [machine.dm.dump(c * 2048 + 512, N_SAMPLES // 8)
+               for c in range(cores)]
+    assert outputs == golden_outputs("SQRT32", subset)
+    return machine.trace
+
+
+def main() -> None:
+    channels = evaluation_channels(N_SAMPLES)
+
+    print("SQRT32 design-space sweep — ops/cycle "
+          "(block banking / interleaved banking)\n")
+    header = f"{'policy':>9s} |" + "".join(
+        f"  {c} cores " for c in (2, 4, 8))
+    print(header)
+    print("-" * len(header))
+    for name, policy, sync_enabled in POLICIES:
+        cells = []
+        for cores in (2, 4, 8):
+            block = run_point(cores, policy, sync_enabled, False, channels)
+            inter = run_point(cores, policy, sync_enabled, True, channels)
+            cells.append(f"{block.ops_per_cycle:4.2f}/{inter.ops_per_cycle:4.2f}")
+        print(f"{name:>9s} |  " + "   ".join(cells))
+
+    print("""
+Reading the table:
+ - down a column: the hardware barrier ('full'/'barrier') is what
+   delivers throughput; the D-Xbar policy alone ('dxbar') cannot re-merge
+   diverged cores;
+ - across a row: the benefit grows with core count (more fetches to
+   broadcast);
+ - the second number in each cell: interleaved DM banking serializes
+   private-buffer accesses and hurts every configuration — why the
+   platform dedicates one bank per channel.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Interrupt-driven streaming: a duty-cycled sensor node.
+
+The paper's platform targets wearable nodes that spend most of their time
+asleep: an ADC timer raises an interrupt per sample, every core wakes,
+filters its channel's new sample (an exponential moving average here),
+and goes back to sleep.  This example exercises the ISA's interrupt and
+sleep support end to end and shows the resulting duty cycle — the other
+half of the ULP story next to the paper's lockstep technique.
+"""
+
+import numpy as np
+
+from repro.analysis.power_trace import (
+    PowerTraceProbe,
+    power_profile,
+    profile_stats,
+    sparkline,
+)
+from repro.analysis.timeline import TimelineProbe
+from repro.dsp import generate_ecg
+from repro.platform import Machine, WITH_SYNCHRONIZER
+from repro.power import default_energy_model
+
+N_SAMPLES = 48
+SAMPLE_PERIOD = 400          # cycles between ADC interrupts
+
+PROGRAM = f"""
+.equ NSAMPLES {N_SAMPLES}
+.entry main
+
+isr:
+    LD R5, [R1]             ; x = next input sample
+    SUB R5, R5, R4
+    SRAI R5, #2
+    ADD R4, R4, R5          ; ema += (x - ema) >> 2
+    ST R4, [R2]
+    INC R1
+    INC R2
+    INC R3                  ; samples processed
+    RETI
+
+main:
+    MFSR R0, COREID
+    LI R1, #2048
+    MUL R1, R0, R1          ; R1 = in_ptr  (private bank base)
+    LI R2, #512
+    ADD R2, R1, R2          ; R2 = out_ptr (base + 512)
+    CLR R3                  ; count
+    CLR R4                  ; ema
+    LI R5, #isr
+    MTSR IVEC, R5
+    EI
+loop:
+    SLEEP                   ; wait for the ADC timer
+    LI R5, #NSAMPLES
+    CMP R3, R5
+    LBLT loop
+    HALT
+"""
+
+
+def golden_ema(channel):
+    ema = 0
+    out = []
+    for x in channel:
+        ema += (x - ema) >> 2
+        out.append(ema)
+    return out
+
+
+def main() -> None:
+    rec = generate_ecg(n_channels=8, n_samples=N_SAMPLES)
+    machine = Machine.from_assembly(PROGRAM, WITH_SYNCHRONIZER)
+    for core in range(8):
+        machine.dm.load(core * 2048,
+                        [v & 0xFFFF for v in rec.channel(core)])
+    machine.add_timer(SAMPLE_PERIOD, offset=SAMPLE_PERIOD)
+    timeline = TimelineProbe(max_cycles=100_000)
+    power_probe = PowerTraceProbe(interval=SAMPLE_PERIOD // 4)
+    machine.attach_probe(timeline)
+    machine.attach_probe(power_probe)
+    machine.run(max_cycles=1_000_000)
+
+    # verify against the golden filter
+    for core in range(8):
+        got = machine.dm.dump(core * 2048 + 512, N_SAMPLES)
+        expected = [v & 0xFFFF for v in golden_ema(rec.channel(core))]
+        assert got == expected, f"core {core} diverged"
+    print(f"8 channels x {N_SAMPLES} samples filtered in "
+          f"{machine.trace.cycles} cycles — all match the golden EMA")
+
+    t = machine.trace
+    core_cycles = t.cycles * 8
+    duty = t.core_active_cycles / core_cycles
+    print(f"\nduty cycle: {duty:.1%} active, "
+          f"{t.core_sleep_cycles / core_cycles:.1%} asleep "
+          f"(sample period {SAMPLE_PERIOD} cycles)")
+
+    print("\nwake/sleep timeline around two samples "
+          "(compressed, '#'=active 'z'=asleep):")
+    print(timeline.render(start=SAMPLE_PERIOD - 8, width=100, compress=9))
+
+    # power over time: bursts at each sample interrupt, valleys asleep
+    profile = power_profile(power_probe, default_energy_model())
+    stats = profile_stats(profile)
+    print("\npower profile at nominal f/V (one burst per ADC sample):")
+    print(f"  {sparkline(profile, width=96)}")
+    print(f"  peak {stats['peak_mw']:.2f} mW, average "
+          f"{stats['average_mw']:.2f} mW, trough "
+          f"{stats['trough_mw']:.2f} mW "
+          f"(peak/avg {stats['peak_to_average']:.1f}x)")
+
+    ops_per_sample = t.retired_ops / (N_SAMPLES * 8)
+    print(f"\n{ops_per_sample:.1f} ops per sample per channel; at a "
+          "real-time ECG rate the node sleeps >99% of the time.")
+
+
+if __name__ == "__main__":
+    main()

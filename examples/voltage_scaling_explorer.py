@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Voltage-scaling explorer: reproduce Fig. 3 as ASCII log-log charts.
+
+For each benchmark, plots total power vs workload for both designs (the
+paper's Fig. 3) and prints the savings table, including each design's
+peak operating point and the supply voltage chosen at every decade.
+"""
+
+import math
+
+from repro.analysis import fig3_series, power_models, reference_runs
+from repro.power import FIG3_ANCHORS
+
+WIDTH, HEIGHT = 68, 20
+
+
+def ascii_loglog(series) -> str:
+    """Render both curves in one log-log ASCII panel."""
+    points = []
+    for mops, wo, w in zip(series.workloads, series.power_without,
+                           series.power_with):
+        if wo is not None:
+            points.append((mops, wo, "o"))   # o = without synchronizer
+        if w is not None:
+            points.append((mops, w, "+"))    # + = with synchronizer
+    xs = [math.log10(p[0]) for p in points]
+    ys = [math.log10(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * WIDTH for _ in range(HEIGHT)]
+    for (mops, power, mark), x, y in zip(points, xs, ys):
+        col = round((x - x_lo) / (x_hi - x_lo) * (WIDTH - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (HEIGHT - 1))
+        row = HEIGHT - 1 - row
+        cell = grid[row][col]
+        grid[row][col] = "*" if cell not in (" ", mark) else mark
+    lines = [f"{10 ** y_hi:8.2f} mW ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + " ┤" + "".join(row))
+    lines.append(f"{10 ** y_lo:8.2f} mW ┤" + "".join(grid[-1]))
+    lines.append(" " * 13 + "└" + "─" * WIDTH)
+    lines.append(f"{'':13s}{10 ** x_lo:<10.1f}"
+                 f"{'MOps/s (log)':^{WIDTH - 20}}{10 ** x_hi:>10.0f}")
+    lines.append(f"{'':13s}o = without synchronizer   "
+                 "+ = with synchronizer")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    models = power_models(reference_runs())
+    for bench in ("MRPFLTR", "SQRT32", "MRPDLN"):
+        series = fig3_series(models, bench, points=97)
+        anchor = FIG3_ANCHORS[bench]
+        print(f"\n=== Fig. 3 — {bench} ===\n")
+        print(ascii_loglog(series))
+        print(f"\nbaseline peak: {series.max_without[0]:6.0f} MOps/s @ "
+              f"{series.max_without[1]:6.2f} mW   "
+              f"(paper: {anchor['wo_max'][0]:.0f} @ "
+              f"{anchor['wo_max'][1]:.2f})")
+        print(f"improved peak: {series.max_with[0]:6.0f} MOps/s @ "
+              f"{series.max_with[1]:6.2f} mW   "
+              f"(paper: {anchor['with_max'][0]:.0f} @ "
+              f"{anchor['with_max'][1]:.2f})")
+        print(f"savings at baseline peak: "
+              f"{series.savings_at_baseline_peak:.1%}  "
+              f"(paper: {anchor['savings']:.0%})")
+
+        # supply voltage chosen per decade (improved design)
+        model = models[bench, "with-sync"]
+        print("\nchosen supply voltage (with synchronizer):")
+        for mops in (1, 10, 100):
+            point = model.at_workload(float(mops))
+            if point:
+                print(f"  {mops:5d} MOps/s -> {point.v:.2f} V "
+                      f"@ {point.f_mhz:6.2f} MHz "
+                      f"-> {point.power_mw:7.3f} mW")
+
+
+if __name__ == "__main__":
+    main()

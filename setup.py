@@ -1,0 +1,8 @@
+"""Setup shim so `pip install -e . --no-use-pep517` works offline
+(the sandbox lacks the `wheel` package needed for PEP-517 editable builds).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — reproduction of Dogan et al., "Synchronizing Code Execution on
+Ultra-Low-Power Embedded Multi-Channel Signal Analysis Platforms" (DATE 2013).
+
+The package provides, from the bottom up:
+
+- :mod:`repro.isa` — the ``ulp16`` 16-bit RISC ISA with the paper's
+  ``SINC``/``SDEC`` synchronization instruction-set extension, plus an
+  assembler/disassembler.
+- :mod:`repro.cpu` — the single-core execution model (ALU, flags, sleep,
+  interrupts).
+- :mod:`repro.platform` — the cycle-level 8-core platform: banked IM/DM,
+  broadcast-capable instruction/data crossbars, clock gating and the
+  hardware synchronizer that is the paper's central contribution.
+- :mod:`repro.sync` — the software side of the synchronization technique
+  (checkpoint array layout, instrumentation, policy ablations).
+- :mod:`repro.compiler` — ``minic``, a small C-like compiler targeting
+  ``ulp16`` with automatic synchronization-point insertion.
+- :mod:`repro.dsp` — golden biosignal models (morphological filtering and
+  delineation, integer square root) and a synthetic multi-channel ECG
+  generator.
+- :mod:`repro.kernels` — the paper's three benchmarks (MRPFLTR, MRPDLN,
+  SQRT32) as platform programs.
+- :mod:`repro.power` — activity-based power model with voltage/frequency
+  scaling, calibrated against the paper's Table I and Fig. 3.
+- :mod:`repro.analysis` — experiment runners and report formatters for every
+  table and figure in the paper.
+"""
+
+__version__ = "1.0.0"
+
+from . import isa  # noqa: F401  (re-exported subpackage)
+
+# The package's working surface, re-exported for `import repro` users.
+from .compiler import CompileResult, compile_source
+from .dsp import EcgConfig, generate_ecg
+from .kernels import (
+    BENCHMARKS,
+    DESIGNS,
+    WITH_SYNC,
+    WITHOUT_SYNC,
+    golden_outputs,
+    run_benchmark,
+)
+from .platform import (
+    FunctionalSimulator,
+    Machine,
+    PlatformConfig,
+    SyncPolicy,
+    WITH_SYNCHRONIZER,
+    WITHOUT_SYNCHRONIZER,
+)
+from .power import default_energy_model, default_voltage_model
+
+__all__ = [
+    "BENCHMARKS",
+    "CompileResult",
+    "DESIGNS",
+    "EcgConfig",
+    "FunctionalSimulator",
+    "Machine",
+    "PlatformConfig",
+    "SyncPolicy",
+    "WITH_SYNC",
+    "WITHOUT_SYNC",
+    "WITH_SYNCHRONIZER",
+    "WITHOUT_SYNCHRONIZER",
+    "__version__",
+    "compile_source",
+    "default_energy_model",
+    "default_voltage_model",
+    "generate_ecg",
+    "golden_outputs",
+    "isa",
+    "run_benchmark",
+]

@@ -1,0 +1,65 @@
+"""Experiment runners and report formatters for the paper's evaluation."""
+
+from .experiments import (
+    AccessRow,
+    DEFAULT_SAMPLES,
+    DEFAULT_SEED,
+    SpeedupRow,
+    access_rows,
+    clear_cache,
+    evaluation_channels,
+    power_models,
+    reference_runs,
+    run_activities,
+    speedup_rows,
+)
+from .energy import compare_energy, energy_per_op_pj, format_energy
+from .power_trace import PowerTraceProbe, power_profile, profile_stats
+from .profiler import ProfileProbe, format_profile, profile_regions
+from .report import full_report
+from .timeline import TimelineProbe
+from .tables import (
+    Fig3Series,
+    fig3_series,
+    format_accesses,
+    format_fig3,
+    format_novscale,
+    format_speedup,
+    format_table1,
+    novscale_savings,
+    table1_values,
+)
+
+__all__ = [
+    "AccessRow",
+    "DEFAULT_SAMPLES",
+    "DEFAULT_SEED",
+    "Fig3Series",
+    "PowerTraceProbe",
+    "ProfileProbe",
+    "SpeedupRow",
+    "TimelineProbe",
+    "compare_energy",
+    "energy_per_op_pj",
+    "format_energy",
+    "format_profile",
+    "full_report",
+    "power_profile",
+    "profile_regions",
+    "profile_stats",
+    "access_rows",
+    "clear_cache",
+    "evaluation_channels",
+    "fig3_series",
+    "format_accesses",
+    "format_fig3",
+    "format_novscale",
+    "format_speedup",
+    "format_table1",
+    "novscale_savings",
+    "power_models",
+    "reference_runs",
+    "run_activities",
+    "speedup_rows",
+    "table1_values",
+]

@@ -1,0 +1,99 @@
+"""Energy-oriented derived metrics: energy/op, EDP, battery life.
+
+The paper argues in power at fixed throughput; for a battery-operated
+node the natural figures of merit are energy per operation and
+energy-delay product, plus the battery-life implication of a duty-cycled
+workload.  These are straightforward consequences of the calibrated
+power model, packaged for reports and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..power import DesignPowerModel
+
+Models = dict[tuple[str, str], DesignPowerModel]
+
+
+def energy_per_op_pj(model: DesignPowerModel, mops: float) -> float | None:
+    """Energy per retired operation at ``mops`` MOps/s, in pJ.
+
+    ``P[mW] / W[MOps/s] = nJ/op``; scaled to pJ.
+    """
+    point = model.at_workload(mops)
+    if point is None:
+        return None
+    return point.power_mw / mops * 1000.0
+
+
+def energy_delay_product(model: DesignPowerModel,
+                         mops: float) -> float | None:
+    """EDP per operation (pJ * ns): energy/op times time/op."""
+    energy = energy_per_op_pj(model, mops)
+    if energy is None:
+        return None
+    time_per_op_ns = 1000.0 / mops          # at W MOps/s: 1/W µs = 1000/W ns
+    return energy * time_per_op_ns
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Energy metrics of both designs at one workload."""
+
+    benchmark: str
+    mops: float
+    epo_with_pj: float
+    epo_without_pj: float
+
+    @property
+    def saving(self) -> float:
+        return 1.0 - self.epo_with_pj / self.epo_without_pj
+
+
+def compare_energy(models: Models, benchmark: str,
+                   mops: float) -> EnergyComparison | None:
+    """Energy-per-op comparison of the two designs at one workload."""
+    with_model = models[benchmark, "with-sync"]
+    without_model = models[benchmark, "without-sync"]
+    a = energy_per_op_pj(with_model, mops)
+    b = energy_per_op_pj(without_model, mops)
+    if a is None or b is None:
+        return None
+    return EnergyComparison(benchmark, mops, a, b)
+
+
+def format_energy(models: Models,
+                  workloads=(2.0, 8.0, 32.0, 128.0)) -> str:
+    """Energy-per-op table across workloads (both designs)."""
+    lines = [
+        "Energy per operation (pJ/op) with voltage scaling",
+        "",
+        f"{'benchmark':10s}  {'MOps/s':>8s}  {'with sync':>10s}  "
+        f"{'w/o sync':>10s}  {'saving':>7s}",
+    ]
+    for bench in sorted({b for b, _ in models}):
+        for mops in workloads:
+            cmp = compare_energy(models, bench, mops)
+            if cmp is None:
+                lines.append(f"{bench:10s}  {mops:8.1f}  "
+                             f"{'(infeasible)':>10s}")
+                continue
+            lines.append(
+                f"{bench:10s}  {mops:8.1f}  {cmp.epo_with_pj:10.1f}  "
+                f"{cmp.epo_without_pj:10.1f}  {cmp.saving:7.1%}")
+    return "\n".join(lines)
+
+
+def battery_life_hours(model: DesignPowerModel, mops: float,
+                       battery_mwh: float,
+                       sleep_power_mw: float = 0.005) -> float | None:
+    """Battery-life estimate for a continuously-processing node.
+
+    The workload runs continuously at the minimum feasible (f, V); the
+    rest of the platform (sleep/leakage floor) is ``sleep_power_mw``.
+    """
+    point = model.at_workload(mops)
+    if point is None:
+        return None
+    return battery_mwh / (point.power_mw + sleep_power_mw)

@@ -1,0 +1,102 @@
+"""Per-core execution timeline (an ASCII "waveform" of lockstep).
+
+Attach a :class:`TimelineProbe` to a machine to record, for every cycle,
+what each core was doing; render it to see lockstep sections, barrier
+sleeps and serialization stalls at a glance::
+
+    core0 ████████░░██z z z ████████
+    core1 ████████████████z ████████
+           ^ lockstep  ^ divergent ^ resynchronized
+
+Legend: ``#`` active, ``.`` stalled (clock gated), ``z`` asleep at a
+barrier or SLEEP, `` `` halted.
+"""
+
+from __future__ import annotations
+
+from ..cpu.state import CoreMode
+
+CHAR_ACTIVE = "#"
+CHAR_STALLED = "."
+CHAR_SLEEPING = "z"
+CHAR_HALTED = " "
+
+
+class TimelineProbe:
+    """Records one character per core per cycle.
+
+    :param max_cycles: stop recording after this many cycles (memory
+        guard; the timeline of a long run is unreadable anyway).
+    """
+
+    def __init__(self, max_cycles: int = 20_000):
+        self.max_cycles = max_cycles
+        self.lanes: list[list[str]] = []
+
+    def sample(self, machine, active: set[int]) -> None:
+        if not self.lanes:
+            self.lanes = [[] for _ in machine.cores]
+        if len(self.lanes[0]) >= self.max_cycles:
+            return
+        for core_id, core in enumerate(machine.cores):
+            if core_id in active:
+                char = CHAR_ACTIVE
+            elif core.mode is CoreMode.HALTED:
+                char = CHAR_HALTED
+            elif core.mode is CoreMode.SLEEPING:
+                char = CHAR_SLEEPING
+            else:
+                char = CHAR_STALLED
+            self.lanes[core_id].append(char)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cycles_recorded(self) -> int:
+        return len(self.lanes[0]) if self.lanes else 0
+
+    def render(self, start: int = 0, width: int = 120,
+               compress: int = 1) -> str:
+        """Render a window of the timeline.
+
+        :param start: first cycle to show.
+        :param width: characters per lane.
+        :param compress: cycles per character (majority vote per bucket).
+        """
+        if not self.lanes:
+            return "(no cycles recorded)"
+        end = min(start + width * compress, self.cycles_recorded)
+        lines = []
+        for core_id, lane in enumerate(self.lanes):
+            cells = []
+            for bucket in range(start, end, compress):
+                chunk = lane[bucket:bucket + compress]
+                # majority vote, ties broken toward "most interesting"
+                order = (CHAR_ACTIVE, CHAR_STALLED, CHAR_SLEEPING,
+                         CHAR_HALTED)
+                best = max(order, key=chunk.count)
+                cells.append(best)
+            lines.append(f"core{core_id} |{''.join(cells)}|")
+        scale = f"cycles {start}..{end}" + (
+            f"  ({compress} cycles/char)" if compress > 1 else "")
+        legend = ("legend: '#' active  '.' stalled  'z' asleep  "
+                  "' ' halted")
+        return "\n".join(lines + [scale, legend])
+
+    def lockstep_ratio(self) -> float:
+        """Fraction of recorded cycles where every non-halted core was
+        simultaneously active (a stricter measure than the fetch-group
+        histogram in the trace)."""
+        if not self.lanes:
+            return 0.0
+        total = 0
+        lockstep = 0
+        for cycle in range(self.cycles_recorded):
+            states = [lane[cycle] for lane in self.lanes]
+            live = [s for s in states if s != CHAR_HALTED]
+            if not live:
+                continue
+            total += 1
+            if all(s == CHAR_ACTIVE for s in live):
+                lockstep += 1
+        return lockstep / total if total else 0.0

@@ -1,0 +1,279 @@
+"""Command-line interface: regenerate every table/figure of the paper.
+
+Usage::
+
+    python -m repro table1              # Table I
+    python -m repro fig3 MRPFLTR        # one Fig. 3 panel
+    python -m repro speedup             # sec. V-B speedup/IPC claims
+    python -m repro accesses            # IM/DM access claims
+    python -m repro novscale            # 38%-without-voltage-scaling claim
+    python -m repro run SQRT32 --design with-sync --samples 64
+    python -m repro calibrate           # re-fit the power model
+    python -m repro listing MRPDLN      # program disassembly
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    access_rows,
+    format_accesses,
+    format_fig3,
+    format_novscale,
+    format_speedup,
+    format_table1,
+    power_models,
+    reference_runs,
+    run_activities,
+    speedup_rows,
+)
+from .kernels import (
+    BENCHMARKS,
+    DESIGNS,
+    build_program,
+    golden_outputs,
+    run_benchmark,
+)
+
+
+def _add_samples(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--samples", type=int, default=64,
+                        help="ECG samples per channel (default 64)")
+
+
+def _runs(args):
+    return reference_runs(n_samples=args.samples)
+
+
+def cmd_table1(args) -> int:
+    print(format_table1(power_models(_runs(args))))
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    models = power_models(_runs(args))
+    benchmarks = [args.benchmark] if args.benchmark else list(BENCHMARKS)
+    for bench in benchmarks:
+        print(format_fig3(models, bench))
+        print()
+    return 0
+
+
+def cmd_speedup(args) -> int:
+    print(format_speedup(speedup_rows(_runs(args))))
+    return 0
+
+
+def cmd_accesses(args) -> int:
+    print(format_accesses(access_rows(_runs(args))))
+    return 0
+
+
+def cmd_novscale(args) -> int:
+    print(format_novscale(power_models(_runs(args))))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .analysis import evaluation_channels
+
+    design = DESIGNS[args.design]
+    channels = evaluation_channels(args.samples)
+    run = run_benchmark(args.benchmark, design, channels)
+    ok = run.outputs == golden_outputs(args.benchmark, channels)
+    print(f"{args.benchmark} on {design.name}: "
+          f"{'matches' if ok else 'DIVERGES FROM'} the golden model")
+    print(run.trace.summary())
+    return 0 if ok else 1
+
+
+def cmd_calibrate(args) -> int:
+    from .power import calibrate
+
+    result = calibrate(run_activities(_runs(args)))
+    print(result.report())
+    print("\nPaste into src/repro/power/defaults.py to refresh defaults.")
+    return 0
+
+
+def cmd_listing(args) -> int:
+    program = build_program(args.benchmark, not args.baseline)
+    print(program.listing())
+    return 0
+
+
+def _instrumented_run(args, probe):
+    """Run one benchmark with a probe attached; returns (machine, program)."""
+    from .analysis import evaluation_channels
+    from .platform import Machine
+
+    design = DESIGNS[args.design]
+    channels = evaluation_channels(args.samples)
+    program = build_program(args.benchmark, design.sync_enabled)
+    machine = Machine(program, design.platform_config(len(channels)))
+    for core, channel in enumerate(channels):
+        machine.dm.load(core * 2048, [v & 0xFFFF for v in channel])
+    from .kernels.sqrt32 import N_SAMPLES_ADDRESS
+
+    address = program.symbols.get("g_n_samples", N_SAMPLES_ADDRESS)
+    machine.dm.write(address, len(channels[0]))
+    if probe is not None:
+        machine.attach_probe(probe)
+    machine.run()
+    return machine, program
+
+
+def cmd_profile(args) -> int:
+    from .analysis.profiler import ProfileProbe, format_profile, hottest_pcs
+
+    probe = ProfileProbe()
+    machine, program = _instrumented_run(args, probe)
+    print(format_profile(probe, program))
+    print("\nhottest instructions:")
+    for pc, text, cycles in hottest_pcs(probe, program, top=8):
+        print(f"  {pc:5d}  {cycles:8d}  {text}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from .analysis.timeline import TimelineProbe
+
+    probe = TimelineProbe(max_cycles=args.cycles)
+    machine, _ = _instrumented_run(args, probe)
+    compress = max(1, probe.cycles_recorded // args.width)
+    print(probe.render(width=args.width, compress=compress))
+    print(f"strict lockstep ratio: {probe.lockstep_ratio():.2f}")
+    return 0
+
+
+def cmd_vcd(args) -> int:
+    from .platform.vcd import VcdProbe
+
+    probe = VcdProbe(args.output)
+    machine, _ = _instrumented_run(args, probe)   # run() finishes the probe
+    print(f"wrote {args.output} ({machine.trace.cycles} cycles)")
+    return 0
+
+
+def cmd_syncstats(args) -> int:
+    machine, _ = _instrumented_run(args, None)
+    if machine.synchronizer is None:
+        print("design has no synchronizer")
+        return 1
+    from .sync.points import DEFAULT_SYNC_BASE
+
+    print(machine.synchronizer.stats_report(base=DEFAULT_SYNC_BASE))
+    return 0
+
+
+def cmd_energy(args) -> int:
+    from .analysis.energy import format_energy
+
+    print(format_energy(power_models(_runs(args))))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis.report import full_report
+
+    text = full_report(n_samples=args.samples)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as sink:
+            sink.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Dogan et al., DATE 2013: "
+                    "synchronizing code execution on ULP multi-core "
+                    "biosignal platforms.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="regenerate Table I")
+    _add_samples(p)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("fig3", help="regenerate Fig. 3 panels")
+    p.add_argument("benchmark", nargs="?", choices=list(BENCHMARKS))
+    _add_samples(p)
+    p.set_defaults(func=cmd_fig3)
+
+    p = sub.add_parser("speedup", help="speedup / ops-per-cycle table")
+    _add_samples(p)
+    p.set_defaults(func=cmd_speedup)
+
+    p = sub.add_parser("accesses", help="IM/DM bank access table")
+    _add_samples(p)
+    p.set_defaults(func=cmd_accesses)
+
+    p = sub.add_parser("novscale",
+                       help="savings without voltage scaling")
+    _add_samples(p)
+    p.set_defaults(func=cmd_novscale)
+
+    p = sub.add_parser("run", help="run one benchmark and verify it")
+    p.add_argument("benchmark", choices=list(BENCHMARKS))
+    p.add_argument("--design", choices=list(DESIGNS), default="with-sync")
+    _add_samples(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("calibrate", help="re-fit the power model")
+    _add_samples(p)
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("listing", help="disassemble a benchmark image")
+    p.add_argument("benchmark", choices=list(BENCHMARKS))
+    p.add_argument("--baseline", action="store_true",
+                   help="show the build without sync points")
+    p.set_defaults(func=cmd_listing)
+
+    def instrumented(name, help_text):
+        q = sub.add_parser(name, help=help_text)
+        q.add_argument("benchmark", choices=list(BENCHMARKS))
+        q.add_argument("--design", choices=list(DESIGNS),
+                       default="with-sync")
+        _add_samples(q)
+        return q
+
+    p = instrumented("profile", "cycle-attribution hot-spot profile")
+    p.set_defaults(func=cmd_profile)
+
+    p = instrumented("timeline", "per-core activity timeline")
+    p.add_argument("--width", type=int, default=110)
+    p.add_argument("--cycles", type=int, default=50_000)
+    p.set_defaults(func=cmd_timeline)
+
+    p = instrumented("vcd", "dump a VCD waveform of the run")
+    p.add_argument("-o", "--output", default="platform.vcd")
+    p.set_defaults(func=cmd_vcd)
+
+    p = instrumented("syncstats", "per-checkpoint contention statistics")
+    p.set_defaults(func=cmd_syncstats)
+
+    p = sub.add_parser("energy", help="energy-per-op table")
+    _add_samples(p)
+    p.set_defaults(func=cmd_energy)
+
+    p = sub.add_parser("report",
+                       help="full reproduction report (all artifacts)")
+    p.add_argument("-o", "--output", default=None)
+    _add_samples(p)
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""``minic`` — a small C-like compiler targeting the ``ulp16`` platform.
+
+The compiler exists for two reasons: the paper's benchmarks are C kernels
+for a custom 16-bit core, and the paper proposes automating its manual
+synchronization-pragma discipline "during the compilation process" — the
+:mod:`~repro.compiler.syncinsert` pass together with the
+:mod:`~repro.compiler.uniformity` analysis implements exactly that.
+
+Entry point: :func:`~repro.compiler.driver.compile_source`.
+"""
+
+from .driver import CompileResult, compile_source
+from .lexer import CompileError
+from .parser import parse
+from .semantics import analyze
+from .syncinsert import SYNC_MODES, insert_sync_points
+from .uniformity import analyze_uniformity
+
+__all__ = [
+    "CompileError",
+    "CompileResult",
+    "SYNC_MODES",
+    "analyze",
+    "analyze_uniformity",
+    "compile_source",
+    "insert_sync_points",
+    "parse",
+]

@@ -1,0 +1,236 @@
+"""Abstract syntax tree for ``minic``.
+
+Nodes are plain mutable dataclasses; later passes (semantic analysis,
+uniformity analysis, sync insertion) annotate them in place via the
+``symbol`` / ``divergent`` / ``sync_index`` fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Type:
+    """minic types: 16-bit ``int`` and ``int*`` (word pointers)."""
+
+    is_pointer: bool = False
+
+    def __str__(self) -> str:
+        return "int*" if self.is_pointer else "int"
+
+
+INT = Type(False)
+PTR = Type(True)
+
+
+# ---------------------------------------------------------------------------
+# Symbols (attached by semantic analysis)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Symbol:
+    """A resolved variable: global, parameter or local.
+
+    :ivar kind: 'global' | 'param' | 'local'
+    :ivar type: declared type.
+    :ivar uniform: declared with the ``uniform`` qualifier (a programmer
+        promise that every core sees the same value — used by the
+        uniformity analysis).
+    :ivar label: assembler label (globals).
+    :ivar slot: frame slot index (params: positive arg index; locals:
+        zero-based slot, including array extents).
+    :ivar size: words occupied (arrays > 1).
+    :ivar is_array: declared as an array (decays to a pointer when read).
+    """
+
+    name: str
+    kind: str
+    type: Type
+    uniform: bool = False
+    label: str = ""
+    slot: int = 0
+    size: int = 1
+    is_array: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+    type: Type = INT
+    divergent: bool = True  # refined by uniformity analysis
+
+
+@dataclass
+class NumberExpr(Expr):
+    value: int = 0
+
+
+@dataclass
+class VarExpr(Expr):
+    name: str = ""
+    symbol: Optional[Symbol] = None
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class AssignExpr(Expr):
+    target: Expr = None          # VarExpr or IndexExpr
+    value: Expr = None
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class AddrOfExpr(Expr):
+    operand: Expr = None         # VarExpr or IndexExpr
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+    intrinsic: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """Local declaration: ``int x = e;`` or ``int a[N];``"""
+
+    name: str = ""
+    size: int = 1                 # >1 for local arrays
+    init: Optional[Expr] = None
+    is_pointer: bool = False
+    symbol: Optional[Symbol] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr = None
+    then_body: Stmt = None
+    else_body: Optional[Stmt] = None
+    divergent: bool = True
+    sync_index: Optional[int] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+    divergent: bool = True
+    sync_index: Optional[int] = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None    # DeclStmt or ExprStmt
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+    divergent: bool = True
+    sync_index: Optional[int] = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param:
+    name: str
+    type: Type
+    uniform: bool = False
+    symbol: Optional[Symbol] = None
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: list[Param]
+    returns_value: bool
+    body: Block
+    line: int = 0
+    frame_size: int = 0          # filled by semantic analysis
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    size: int = 1
+    init: list[int] = field(default_factory=list)
+    uniform: bool = False
+    is_array: bool = False       # declared with [] (even size 1)
+    line: int = 0
+    symbol: Optional[Symbol] = None
+
+
+@dataclass
+class ProgramAst:
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDecl:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)

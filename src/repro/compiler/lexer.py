@@ -1,0 +1,160 @@
+"""Lexer for ``minic``, the small C-like kernel language.
+
+``minic`` exists because the paper's benchmarks are C kernels compiled for
+a custom 16-bit RISC; reproducing them needs a compiler that (a) targets
+``ulp16`` and (b) can insert synchronization points automatically — the
+automation the paper proposes as an extension of its manual pragmas.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CompileError(ValueError):
+    """Any error raised while compiling minic source."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)
+
+
+class Tok(enum.Enum):
+    """Token kinds."""
+
+    INT = "int"
+    VOID = "void"
+    UNIFORM = "uniform"
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    FOR = "for"
+    RETURN = "return"
+    BREAK = "break"
+    CONTINUE = "continue"
+
+    IDENT = "ident"
+    NUMBER = "number"
+
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+
+    ASSIGN = "="
+    ASSIGN_OP = "op="  # compound assignment (+=, -=, ...)
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    BANG = "!"
+    LSHIFT = "<<"
+    RSHIFT = ">>"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    ANDAND = "&&"
+    OROR = "||"
+
+    EOF = "eof"
+
+
+_KEYWORDS = {
+    "int": Tok.INT, "void": Tok.VOID, "uniform": Tok.UNIFORM,
+    "if": Tok.IF, "else": Tok.ELSE, "while": Tok.WHILE, "for": Tok.FOR,
+    "return": Tok.RETURN, "break": Tok.BREAK, "continue": Tok.CONTINUE,
+}
+
+# Longest-match-first operator table.
+_OPERATORS = [
+    ("<<=", Tok.ASSIGN_OP), (">>=", Tok.ASSIGN_OP),
+    ("+=", Tok.ASSIGN_OP), ("-=", Tok.ASSIGN_OP), ("*=", Tok.ASSIGN_OP),
+    ("/=", Tok.ASSIGN_OP), ("%=", Tok.ASSIGN_OP), ("&=", Tok.ASSIGN_OP),
+    ("|=", Tok.ASSIGN_OP), ("^=", Tok.ASSIGN_OP),
+    ("<<", Tok.LSHIFT), (">>", Tok.RSHIFT), ("==", Tok.EQ), ("!=", Tok.NE),
+    ("<=", Tok.LE), (">=", Tok.GE), ("&&", Tok.ANDAND), ("||", Tok.OROR),
+    ("(", Tok.LPAREN), (")", Tok.RPAREN), ("{", Tok.LBRACE),
+    ("}", Tok.RBRACE), ("[", Tok.LBRACKET), ("]", Tok.RBRACKET),
+    (",", Tok.COMMA), (";", Tok.SEMI), ("=", Tok.ASSIGN), ("+", Tok.PLUS),
+    ("-", Tok.MINUS), ("*", Tok.STAR), ("/", Tok.SLASH), ("%", Tok.PERCENT),
+    ("&", Tok.AMP), ("|", Tok.PIPE), ("^", Tok.CARET), ("~", Tok.TILDE),
+    ("!", Tok.BANG), ("<", Tok.LT), (">", Tok.GT),
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: Tok
+    text: str
+    line: int
+    value: int = 0
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize minic source; raises :class:`CompileError` on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch.isspace():
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = n if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            start = pos
+            if source.startswith(("0x", "0X"), pos):
+                pos += 2
+                while pos < n and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                value = int(source[start:pos], 16)
+            else:
+                while pos < n and source[pos].isdigit():
+                    pos += 1
+                value = int(source[start:pos])
+            tokens.append(Token(Tok.NUMBER, source[start:pos], line, value))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            tokens.append(Token(_KEYWORDS.get(text, Tok.IDENT), text, line))
+            continue
+        for text, kind in _OPERATORS:
+            if source.startswith(text, pos):
+                tokens.append(Token(kind, text, line))
+                pos += len(text)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line)
+    tokens.append(Token(Tok.EOF, "", line))
+    return tokens

@@ -1,0 +1,370 @@
+"""Recursive-descent parser for ``minic``.
+
+Grammar (C subset)::
+
+    program    := (global | func)*
+    global     := ['uniform'] 'int' ident ['[' num ']'] ['=' init] ';'
+    func       := ('int'|'void') ident '(' params? ')' block
+    param      := ['uniform'] 'int' ['*'] ident ['[' ']']
+    block      := '{' stmt* '}'
+    stmt       := block | if | while | for | return | break | continue
+                | localdecl | expr ';'
+    localdecl  := 'int' ['*'] ident ('[' num ']' | ['=' expr]) ';'
+
+Expressions use C precedence: ``|| && | ^ & ==/!= relational <<>> +- */%``
+with unary ``- ! ~ * &`` and postfix call/index.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AddrOfExpr,
+    AssignExpr,
+    BinaryExpr,
+    Block,
+    BreakStmt,
+    CallExpr,
+    ContinueStmt,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FuncDecl,
+    GlobalDecl,
+    IfStmt,
+    IndexExpr,
+    INT,
+    NumberExpr,
+    Param,
+    ProgramAst,
+    PTR,
+    ReturnStmt,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+from .lexer import CompileError, Tok, Token, tokenize
+
+#: Intrinsic functions understood by the code generator.
+INTRINSICS = {
+    "__coreid": 0,
+    "__ncores": 0,
+    "__halt": 0,
+    "__sleep": 0,
+    "__sync_enter": 1,
+    "__sync_exit": 1,
+}
+
+_BINARY_LEVELS = [
+    [Tok.OROR],
+    [Tok.ANDAND],
+    [Tok.PIPE],
+    [Tok.CARET],
+    [Tok.AMP],
+    [Tok.EQ, Tok.NE],
+    [Tok.LT, Tok.LE, Tok.GT, Tok.GE],
+    [Tok.LSHIFT, Tok.RSHIFT],
+    [Tok.PLUS, Tok.MINUS],
+    [Tok.STAR, Tok.SLASH, Tok.PERCENT],
+]
+
+
+class Parser:
+    """Token stream cursor with the grammar's productions as methods."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- cursor helpers -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not Tok.EOF:
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: Tok) -> Token | None:
+        if self.peek().kind is kind:
+            return self.next()
+        return None
+
+    def expect(self, kind: Tok, what: str = "") -> Token:
+        tok = self.next()
+        if tok.kind is not kind:
+            raise CompileError(
+                f"expected {what or kind.value!r}, got {tok.text!r}", tok.line)
+        return tok
+
+    # -- top level --------------------------------------------------------
+
+    def parse_program(self) -> ProgramAst:
+        program = ProgramAst()
+        while self.peek().kind is not Tok.EOF:
+            uniform = self.accept(Tok.UNIFORM) is not None
+            tok = self.peek()
+            if tok.kind is Tok.VOID or (
+                    tok.kind is Tok.INT and not uniform
+                    and self._looks_like_function()):
+                program.functions.append(self._function())
+            elif tok.kind is Tok.INT:
+                program.globals.append(self._global(uniform))
+            else:
+                raise CompileError(
+                    f"expected declaration, got {tok.text!r}", tok.line)
+        return program
+
+    def _looks_like_function(self) -> bool:
+        # 'int' ident '('  (a '*' or '[' means it is a variable)
+        return (self.peek(1).kind is Tok.IDENT
+                and self.peek(2).kind is Tok.LPAREN)
+
+    def _global(self, uniform: bool) -> GlobalDecl:
+        self.expect(Tok.INT)
+        name = self.expect(Tok.IDENT, "global name")
+        decl = GlobalDecl(name.text, uniform=uniform, line=name.line)
+        if self.accept(Tok.LBRACKET):
+            decl.size = self._const_int("array size")
+            decl.is_array = True
+            self.expect(Tok.RBRACKET)
+        if self.accept(Tok.ASSIGN):
+            if self.accept(Tok.LBRACE):
+                values = [self._const_int("initializer")]
+                while self.accept(Tok.COMMA):
+                    values.append(self._const_int("initializer"))
+                self.expect(Tok.RBRACE)
+                decl.init = values
+            else:
+                decl.init = [self._const_int("initializer")]
+        self.expect(Tok.SEMI)
+        if decl.init and len(decl.init) > decl.size:
+            raise CompileError(
+                f"too many initializers for {decl.name!r}", decl.line)
+        return decl
+
+    def _const_int(self, what: str) -> int:
+        negative = self.accept(Tok.MINUS) is not None
+        tok = self.expect(Tok.NUMBER, what)
+        return -tok.value if negative else tok.value
+
+    def _function(self) -> FuncDecl:
+        returns_value = self.next().kind is Tok.INT
+        name = self.expect(Tok.IDENT, "function name")
+        self.expect(Tok.LPAREN)
+        params: list[Param] = []
+        if not self.accept(Tok.RPAREN):
+            params.append(self._param())
+            while self.accept(Tok.COMMA):
+                params.append(self._param())
+            self.expect(Tok.RPAREN)
+        body = self._block()
+        return FuncDecl(name.text, params, returns_value, body,
+                        line=name.line)
+
+    def _param(self) -> Param:
+        uniform = self.accept(Tok.UNIFORM) is not None
+        self.expect(Tok.INT, "parameter type")
+        is_ptr = self.accept(Tok.STAR) is not None
+        name = self.expect(Tok.IDENT, "parameter name")
+        if self.accept(Tok.LBRACKET):        # 'int a[]' == 'int *a'
+            self.expect(Tok.RBRACKET)
+            is_ptr = True
+        return Param(name.text, PTR if is_ptr else INT, uniform)
+
+    # -- statements ------------------------------------------------------
+
+    def _block(self) -> Block:
+        brace = self.expect(Tok.LBRACE)
+        block = Block(line=brace.line)
+        while not self.accept(Tok.RBRACE):
+            if self.peek().kind is Tok.EOF:
+                raise CompileError("unterminated block", brace.line)
+            block.statements.append(self._statement())
+        return block
+
+    def _statement(self):
+        tok = self.peek()
+        kind = tok.kind
+        if kind is Tok.LBRACE:
+            return self._block()
+        if kind is Tok.INT:
+            return self._local_decl()
+        if kind is Tok.IF:
+            return self._if()
+        if kind is Tok.WHILE:
+            return self._while()
+        if kind is Tok.FOR:
+            return self._for()
+        if kind is Tok.RETURN:
+            self.next()
+            value = None
+            if self.peek().kind is not Tok.SEMI:
+                value = self._expression()
+            self.expect(Tok.SEMI)
+            return ReturnStmt(line=tok.line, value=value)
+        if kind is Tok.BREAK:
+            self.next()
+            self.expect(Tok.SEMI)
+            return BreakStmt(line=tok.line)
+        if kind is Tok.CONTINUE:
+            self.next()
+            self.expect(Tok.SEMI)
+            return ContinueStmt(line=tok.line)
+        expr = self._expression()
+        self.expect(Tok.SEMI)
+        return ExprStmt(line=tok.line, expr=expr)
+
+    def _local_decl(self) -> DeclStmt:
+        self.expect(Tok.INT)
+        is_ptr = self.accept(Tok.STAR) is not None
+        name = self.expect(Tok.IDENT, "variable name")
+        decl = DeclStmt(line=name.line, name=name.text)
+        if self.accept(Tok.LBRACKET):
+            if is_ptr:
+                raise CompileError("pointer arrays not supported", name.line)
+            decl.size = self._const_int("array size")
+            self.expect(Tok.RBRACKET)
+            if decl.size < 1:
+                raise CompileError("array size must be positive", name.line)
+        elif self.accept(Tok.ASSIGN):
+            decl.init = self._expression()
+        decl.is_pointer = is_ptr
+        self.expect(Tok.SEMI)
+        return decl
+
+    def _if(self) -> IfStmt:
+        tok = self.expect(Tok.IF)
+        self.expect(Tok.LPAREN)
+        cond = self._expression()
+        self.expect(Tok.RPAREN)
+        then_body = self._statement()
+        else_body = self._statement() if self.accept(Tok.ELSE) else None
+        return IfStmt(line=tok.line, cond=cond, then_body=then_body,
+                      else_body=else_body)
+
+    def _while(self) -> WhileStmt:
+        tok = self.expect(Tok.WHILE)
+        self.expect(Tok.LPAREN)
+        cond = self._expression()
+        self.expect(Tok.RPAREN)
+        return WhileStmt(line=tok.line, cond=cond, body=self._statement())
+
+    def _for(self) -> ForStmt:
+        tok = self.expect(Tok.FOR)
+        self.expect(Tok.LPAREN)
+        init = None
+        if not self.accept(Tok.SEMI):
+            if self.peek().kind is Tok.INT:
+                init = self._local_decl()       # consumes the ';'
+            else:
+                init = ExprStmt(line=tok.line, expr=self._expression())
+                self.expect(Tok.SEMI)
+        cond = None
+        if not self.accept(Tok.SEMI):
+            cond = self._expression()
+            self.expect(Tok.SEMI)
+        step = None
+        if self.peek().kind is not Tok.RPAREN:
+            step = self._expression()
+        self.expect(Tok.RPAREN)
+        return ForStmt(line=tok.line, init=init, cond=cond, step=step,
+                       body=self._statement())
+
+    # -- expressions ------------------------------------------------------
+
+    def _expression(self) -> Expr:
+        return self._assignment()
+
+    def _assignment(self) -> Expr:
+        left = self._binary(0)
+        if self.peek().kind in (Tok.ASSIGN, Tok.ASSIGN_OP):
+            op_token = self.next()
+            if not isinstance(left, (VarExpr, IndexExpr, UnaryExpr)):
+                raise CompileError("invalid assignment target", left.line)
+            if isinstance(left, UnaryExpr) and left.op != "*":
+                raise CompileError("invalid assignment target", left.line)
+            value = self._assignment()
+            if op_token.kind is Tok.ASSIGN_OP:
+                # desugar: x op= e  ->  x = x op e.  The target is
+                # re-parsed into the value side, so side effects inside
+                # an index expression would run twice; minic index
+                # expressions are side-effect-free in practice.
+                if not isinstance(left, VarExpr):
+                    raise CompileError(
+                        "compound assignment requires a simple variable",
+                        left.line)
+                binop = op_token.text[:-1]
+                value = BinaryExpr(line=left.line, op=binop,
+                                   left=VarExpr(line=left.line,
+                                                name=left.name),
+                                   right=value)
+            return AssignExpr(line=left.line, target=left, value=value)
+        return left
+
+    def _binary(self, level: int) -> Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        expr = self._binary(level + 1)
+        while self.peek().kind in _BINARY_LEVELS[level]:
+            op = self.next()
+            right = self._binary(level + 1)
+            expr = BinaryExpr(line=op.line, op=op.text, left=expr,
+                              right=right)
+        return expr
+
+    def _unary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind in (Tok.MINUS, Tok.BANG, Tok.TILDE, Tok.STAR):
+            self.next()
+            operand = self._unary()
+            return UnaryExpr(line=tok.line, op=tok.text, operand=operand)
+        if tok.kind is Tok.AMP:
+            self.next()
+            operand = self._unary()
+            if not isinstance(operand, (VarExpr, IndexExpr)):
+                raise CompileError("'&' needs a variable or element",
+                                   tok.line)
+            return AddrOfExpr(line=tok.line, operand=operand)
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while True:
+            if self.accept(Tok.LBRACKET):
+                index = self._expression()
+                self.expect(Tok.RBRACKET)
+                expr = IndexExpr(line=expr.line, base=expr, index=index)
+            elif (isinstance(expr, VarExpr)
+                  and self.peek().kind is Tok.LPAREN):
+                self.next()
+                args: list[Expr] = []
+                if not self.accept(Tok.RPAREN):
+                    args.append(self._expression())
+                    while self.accept(Tok.COMMA):
+                        args.append(self._expression())
+                    self.expect(Tok.RPAREN)
+                expr = CallExpr(line=expr.line, name=expr.name, args=args,
+                                intrinsic=expr.name in INTRINSICS)
+            else:
+                return expr
+
+    def _primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind is Tok.NUMBER:
+            return NumberExpr(line=tok.line, value=tok.value,
+                              divergent=False)
+        if tok.kind is Tok.IDENT:
+            return VarExpr(line=tok.line, name=tok.text)
+        if tok.kind is Tok.LPAREN:
+            expr = self._expression()
+            self.expect(Tok.RPAREN)
+            return expr
+        raise CompileError(f"unexpected token {tok.text!r}", tok.line)
+
+
+def parse(source: str) -> ProgramAst:
+    """Parse minic source into an (unanalyzed) AST."""
+    return Parser(tokenize(source)).parse_program()

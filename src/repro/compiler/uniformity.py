@@ -1,0 +1,274 @@
+"""Uniformity (divergence) analysis for ``minic``.
+
+A value is *uniform* when every core is guaranteed to compute the same
+value at the same program point; otherwise it is *divergent*.  A
+conditional construct whose condition is divergent makes the cores take
+different paths — precisely the "data-dependent program flow" that breaks
+lockstep in the paper (sec. IV) — so those are the constructs the
+automatic pass wraps with check-in/check-out points.
+
+Rules (conservative):
+
+- literals and ``__ncores()`` are uniform; ``__coreid()`` is divergent;
+- memory loads are divergent, **except** reads of ``uniform``-qualified
+  globals (a programmer contract: all cores observe equal contents);
+- non-``uniform`` globals are divergent; a parameter's divergence is the
+  join of the argument divergence over every observed call site (functions
+  that are never called assume the worst); locals start uniform and become
+  divergent when assigned a divergent value — or when assigned at all under
+  divergent control flow (different cores may or may not execute the
+  assignment);
+- loop-carried state is resolved by iterating to a fixed point;
+- a call is divergent if any argument is divergent or the callee's result
+  is divergent with uniform inputs (callee summaries are computed to a
+  fixed point across the call graph, so recursion degrades safely to
+  divergent).
+
+The paper inserts points around *every* data-dependent conditional by hand;
+this analysis automates that choice and additionally skips provably-uniform
+conditionals (the ``auto`` mode), which the paper suggests as compiler
+work.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AddrOfExpr,
+    AssignExpr,
+    BinaryExpr,
+    Block,
+    BreakStmt,
+    CallExpr,
+    ContinueStmt,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FuncDecl,
+    IfStmt,
+    IndexExpr,
+    NumberExpr,
+    ProgramAst,
+    ReturnStmt,
+    Symbol,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+
+#: Intrinsics whose results are uniform across cores.
+_UNIFORM_INTRINSICS = {"__ncores", "__halt", "__sleep",
+                       "__sync_enter", "__sync_exit"}
+
+
+class UniformityAnalysis:
+    """Annotates every expression and conditional with divergence flags."""
+
+    def __init__(self, program: ProgramAst):
+        self.program = program
+        #: callee name -> "result is divergent given its parameter context"
+        self.summaries: dict[str, bool] = {
+            f.name: False for f in program.functions}
+        #: callee name -> per-parameter divergence joined over call sites
+        self.param_context: dict[str, list[bool]] = {
+            f.name: [False] * len(f.params) for f in program.functions}
+        self.called: set[str] = set()
+        self._context_changed = False
+
+    def observe_call(self, name: str, arg_divergence: list[bool]) -> None:
+        """Join one call site's argument divergence into the callee context."""
+        if name not in self.param_context:
+            return
+        self.called.add(name)
+        context = self.param_context[name]
+        for index, divergent in enumerate(arg_divergence[:len(context)]):
+            if divergent and not context[index]:
+                context[index] = True
+                self._context_changed = True
+
+    def param_divergent(self, func: FuncDecl, index: int,
+                        *, pessimistic_uncalled: bool = False) -> bool:
+        """Divergence of a parameter under the current calling context.
+
+        During the fixed point, parameters of not-yet-observed callees are
+        treated optimistically (uniform) — the lattice only moves upward as
+        call sites are discovered, so the iteration converges.  The final
+        annotation pass treats *never*-called functions pessimistically:
+        they are dead code from ``main``'s perspective, but a library user
+        may still want sound sync points inside them.
+        """
+        param = func.params[index]
+        if param.uniform:
+            return False
+        if func.name in self.called:
+            return self.param_context[func.name][index]
+        return pessimistic_uncalled
+
+    def run(self) -> ProgramAst:
+        # Fixed point over function summaries and parameter contexts
+        # (handles recursion and any call-graph order).  Everything moves
+        # monotonically upward: the called set and contexts only grow, and
+        # summaries only flip uniform -> divergent.
+        changed = True
+        while changed:
+            self._context_changed = False
+            changed = False
+            for func in self.program.functions:
+                result = _FunctionUniformity(self, func).run()
+                if result and not self.summaries[func.name]:
+                    self.summaries[func.name] = True
+                    changed = True
+            changed = changed or self._context_changed
+        # Final annotation pass reflecting the converged state; dead
+        # functions get worst-case parameter assumptions.
+        for func in self.program.functions:
+            _FunctionUniformity(self, func, pessimistic_uncalled=True).run()
+        return self.program
+
+
+class _FunctionUniformity:
+    def __init__(self, top: UniformityAnalysis, func: FuncDecl,
+                 *, pessimistic_uncalled: bool = False):
+        self.top = top
+        self.func = func
+        self.state: dict[int, bool] = {}     # id(symbol) -> divergent
+        for index, param in enumerate(func.params):
+            self.state[id(param.symbol)] = top.param_divergent(
+                func, index, pessimistic_uncalled=pessimistic_uncalled)
+        self.returns_divergent = False
+
+    def run(self) -> bool:
+        """Returns whether the function's result is divergent."""
+        # Iterate the body until local states stop changing (loop-carried
+        # divergence).
+        while True:
+            before = dict(self.state)
+            self.returns_divergent = False
+            self.stmt(self.func.body, control_divergent=False)
+            if self.state == before:
+                break
+        return self.returns_divergent
+
+    # -- symbols -----------------------------------------------------------
+
+    def _sym_divergent(self, symbol: Symbol) -> bool:
+        if symbol.kind == "global":
+            return not symbol.uniform
+        if id(symbol) not in self.state:
+            self.state[id(symbol)] = not symbol.uniform and \
+                symbol.kind == "param"
+        return self.state[id(symbol)]
+
+    def _taint(self, symbol: Symbol, divergent: bool) -> None:
+        if symbol.kind == "global":
+            return  # globals have static uniformity (qualifier-driven)
+        self.state[id(symbol)] = self.state.get(id(symbol), False) or divergent
+
+    # -- statements ----------------------------------------------------------
+
+    def stmt(self, node, control_divergent: bool) -> None:
+        if isinstance(node, Block):
+            for child in node.statements:
+                self.stmt(child, control_divergent)
+        elif isinstance(node, DeclStmt):
+            divergent = control_divergent
+            if node.init is not None:
+                divergent = divergent or self.expr(node.init)
+            if node.size > 1:
+                divergent = True  # local array base address is FP-relative
+            self._taint(node.symbol, divergent)
+        elif isinstance(node, ExprStmt):
+            self.expr(node.expr, control_divergent)
+        elif isinstance(node, IfStmt):
+            node.divergent = self.expr(node.cond)
+            inner = control_divergent or node.divergent
+            self.stmt(node.then_body, inner)
+            if node.else_body is not None:
+                self.stmt(node.else_body, inner)
+        elif isinstance(node, WhileStmt):
+            node.divergent = self.expr(node.cond)
+            inner = control_divergent or node.divergent
+            self.stmt(node.body, inner)
+            # re-evaluate the condition after the body taints state
+            node.divergent = self.expr(node.cond)
+        elif isinstance(node, ForStmt):
+            if node.init is not None:
+                self.stmt(node.init, control_divergent)
+            node.divergent = (self.expr(node.cond)
+                              if node.cond is not None else False)
+            inner = control_divergent or node.divergent
+            self.stmt(node.body, inner)
+            if node.step is not None:
+                self.expr(node.step, inner)
+            if node.cond is not None:
+                node.divergent = self.expr(node.cond)
+        elif isinstance(node, ReturnStmt):
+            divergent = control_divergent
+            if node.value is not None:
+                divergent = divergent or self.expr(node.value)
+            self.returns_divergent = self.returns_divergent or divergent
+        elif isinstance(node, (BreakStmt, ContinueStmt)):
+            pass
+        else:  # pragma: no cover
+            raise TypeError(f"unknown statement {node!r}")
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, node: Expr, control_divergent: bool = False) -> bool:
+        divergent = self._expr(node, control_divergent)
+        node.divergent = divergent
+        return divergent
+
+    def _expr(self, node: Expr, control_divergent: bool) -> bool:
+        if isinstance(node, NumberExpr):
+            return False
+        if isinstance(node, VarExpr):
+            return self._sym_divergent(node.symbol)
+        if isinstance(node, UnaryExpr):
+            operand = self.expr(node.operand)
+            if node.op == "*":
+                return True  # memory load
+            return operand
+        if isinstance(node, BinaryExpr):
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            return left or right
+        if isinstance(node, AssignExpr):
+            value = self.expr(node.value)
+            self.expr(node.target)
+            if isinstance(node.target, VarExpr):
+                self._taint(node.target.symbol,
+                            value or control_divergent)
+            return value
+        if isinstance(node, IndexExpr):
+            base_div = self.expr(node.base)
+            index_div = self.expr(node.index)
+            if (isinstance(node.base, VarExpr)
+                    and node.base.symbol.kind == "global"
+                    and node.base.symbol.uniform):
+                return index_div  # uniform table read at uniform index
+            del base_div
+            return True  # memory load
+        if isinstance(node, AddrOfExpr):
+            self.expr(node.operand)
+            if (isinstance(node.operand, VarExpr)
+                    and node.operand.symbol.kind == "global"):
+                return False
+            if (isinstance(node.operand, IndexExpr)
+                    and isinstance(node.operand.base, VarExpr)
+                    and node.operand.base.symbol.kind == "global"):
+                return self.expr(node.operand.index)
+            return True  # frame addresses differ per core
+        if isinstance(node, CallExpr):
+            arg_divergence = [self.expr(arg) for arg in node.args]
+            if node.intrinsic:
+                return node.name not in _UNIFORM_INTRINSICS
+            self.top.observe_call(node.name, arg_divergence)
+            summary = self.top.summaries.get(node.name, True)
+            return summary or any(arg_divergence)
+        raise TypeError(f"unknown expression {node!r}")  # pragma: no cover
+
+
+def analyze_uniformity(program: ProgramAst) -> ProgramAst:
+    """Annotate divergence over an already semantically-analyzed program."""
+    return UniformityAnalysis(program).run()

@@ -1,0 +1,38 @@
+"""Single-core execution model for ``ulp16``.
+
+:class:`~repro.cpu.state.CoreState` holds architectural state;
+:mod:`~repro.cpu.alu` implements flag-exact arithmetic;
+:mod:`~repro.cpu.executor` implements instruction semantics, split so the
+multi-core machine can arbitrate memory and synchronization operations.
+"""
+
+from .state import CoreMode, CoreState
+from .executor import (
+    ExecutionError,
+    checkpoint_address,
+    complete_load,
+    complete_store,
+    condition_met,
+    effective_address,
+    execute_plain,
+    is_memory_op,
+    is_sync_op,
+    store_operands,
+    take_interrupt,
+)
+
+__all__ = [
+    "CoreMode",
+    "CoreState",
+    "ExecutionError",
+    "checkpoint_address",
+    "complete_load",
+    "complete_store",
+    "condition_met",
+    "effective_address",
+    "execute_plain",
+    "is_memory_op",
+    "is_sync_op",
+    "store_operands",
+    "take_interrupt",
+]

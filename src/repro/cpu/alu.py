@@ -1,0 +1,118 @@
+"""Flag-exact 16-bit ALU for the ``ulp16`` core.
+
+All operands and results are unsigned 16-bit representations (0..0xFFFF).
+The carry convention for subtraction is ARM-style: ``C = 1`` means *no
+borrow* (``a >= b`` unsigned for ``SUB a, b``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MASK = 0xFFFF
+SIGN = 0x8000
+
+
+@dataclass(frozen=True, slots=True)
+class AluResult:
+    """Result word plus the four condition flags (None = unchanged)."""
+
+    value: int
+    z: int
+    n: int
+    c: int | None = None
+    v: int | None = None
+
+
+def _zn(value: int) -> tuple[int, int]:
+    return int(value == 0), int(bool(value & SIGN))
+
+
+def add(a: int, b: int, carry_in: int = 0) -> AluResult:
+    """Addition with carry-in; sets all four flags."""
+    total = a + b + carry_in
+    value = total & MASK
+    z, n = _zn(value)
+    c = int(total > MASK)
+    v = int(bool(not ((a ^ b) & SIGN) and ((a ^ value) & SIGN)))
+    return AluResult(value, z, n, c, v)
+
+
+def sub(a: int, b: int, carry_in: int = 1) -> AluResult:
+    """Subtraction with borrow; ``carry_in = 1`` means no incoming borrow.
+
+    ``a - b - (1 - carry_in)`` — the natural chaining form for ``SBC``.
+    """
+    total = a - b - (1 - carry_in)
+    value = total & MASK
+    z, n = _zn(value)
+    c = int(total >= 0)
+    v = int(bool(((a ^ b) & SIGN) and ((a ^ value) & SIGN)))
+    return AluResult(value, z, n, c, v)
+
+
+def logical(op: str, a: int, b: int) -> AluResult:
+    """AND/OR/XOR; sets Z and N, preserves C and V."""
+    if op == "and":
+        value = a & b
+    elif op == "or":
+        value = a | b
+    elif op == "xor":
+        value = a ^ b
+    else:
+        raise ValueError(f"unknown logical op {op!r}")
+    z, n = _zn(value)
+    return AluResult(value, z, n)
+
+
+def shift_left(a: int, amount: int) -> AluResult:
+    """Logical shift left; C is the last bit shifted out."""
+    amount &= 0xF
+    if amount == 0:
+        z, n = _zn(a)
+        return AluResult(a, z, n)
+    value = (a << amount) & MASK
+    c = int(bool((a << amount) & (MASK + 1)))
+    z, n = _zn(value)
+    return AluResult(value, z, n, c)
+
+
+def shift_right(a: int, amount: int) -> AluResult:
+    """Logical shift right; C is the last bit shifted out."""
+    amount &= 0xF
+    if amount == 0:
+        z, n = _zn(a)
+        return AluResult(a, z, n)
+    value = a >> amount
+    c = (a >> (amount - 1)) & 1
+    z, n = _zn(value)
+    return AluResult(value, z, n, c)
+
+
+def shift_right_arith(a: int, amount: int) -> AluResult:
+    """Arithmetic shift right; C is the last bit shifted out."""
+    amount &= 0xF
+    if amount == 0:
+        z, n = _zn(a)
+        return AluResult(a, z, n)
+    signed = a - 0x10000 if a & SIGN else a
+    value = (signed >> amount) & MASK
+    c = (signed >> (amount - 1)) & 1
+    z, n = _zn(value)
+    return AluResult(value, z, n, c)
+
+
+def multiply_low(a: int, b: int) -> AluResult:
+    """Low 16 bits of the product (identical for signed/unsigned)."""
+    value = (a * b) & MASK
+    z, n = _zn(value)
+    return AluResult(value, z, n)
+
+
+def multiply_high_signed(a: int, b: int) -> AluResult:
+    """High 16 bits of the signed 32-bit product."""
+    sa = a - 0x10000 if a & SIGN else a
+    sb = b - 0x10000 if b & SIGN else b
+    value = ((sa * sb) >> 16) & MASK
+    z, n = _zn(value)
+    return AluResult(value, z, n)

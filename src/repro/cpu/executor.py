@@ -1,0 +1,223 @@
+"""Instruction semantics for the ``ulp16`` core.
+
+The executor is split along the boundary the platform needs:
+
+- :func:`is_memory_op` / :func:`is_sync_op` classify instructions whose
+  completion depends on crossbar arbitration.
+- :func:`execute_plain` fully executes every other instruction.
+- :func:`effective_address`, :func:`store_operands`,
+  :func:`complete_load`, :func:`complete_store` and
+  :func:`checkpoint_address` expose the pieces the cycle engine composes
+  for arbitrated instructions.
+
+This keeps a single source of truth for semantics while letting the
+multi-core machine interleave memory grants cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Instruction
+from ..isa.spec import Cond, Opcode, ShiftOp, SysOp
+from . import alu
+from .state import CoreMode, CoreState
+
+MASK = 0xFFFF
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a program performs an architecturally invalid action."""
+
+
+def is_memory_op(ins: Instruction) -> bool:
+    return ins.op is Opcode.LD or ins.op is Opcode.ST
+
+
+def is_sync_op(ins: Instruction) -> bool:
+    return ins.op is Opcode.SINC or ins.op is Opcode.SDEC
+
+
+def effective_address(state: CoreState, ins: Instruction) -> int:
+    """DM word address accessed by a LD/ST instruction."""
+    return (state.regs[ins.rs] + ins.imm) & MASK
+
+
+def store_operands(state: CoreState, ins: Instruction) -> tuple[int, int]:
+    """(address, value) pair written by a ST instruction."""
+    return effective_address(state, ins), state.regs[ins.rd]
+
+
+def complete_load(state: CoreState, ins: Instruction, value: int) -> None:
+    """Finish a granted LD: write back and advance the PC."""
+    state.regs[ins.rd] = value & MASK
+    state.pc += 1
+
+
+def complete_store(state: CoreState, ins: Instruction) -> None:
+    """Finish a granted ST: advance the PC."""
+    state.pc += 1
+
+
+def checkpoint_address(state: CoreState, ins: Instruction) -> int:
+    """DM address of the checkpoint word touched by SINC/SDEC.
+
+    The paper's ISE computes it as ``Rsync + literal`` (sec. IV-B).
+    """
+    return (state.rsync + ins.imm) & MASK
+
+
+def condition_met(state: CoreState, cond: Cond) -> bool:
+    """Evaluate a branch condition against the current flags."""
+    z, n, c, v = state.flag_z, state.flag_n, state.flag_c, state.flag_v
+    if cond is Cond.EQ:
+        return bool(z)
+    if cond is Cond.NE:
+        return not z
+    if cond is Cond.LT:
+        return n != v
+    if cond is Cond.GE:
+        return n == v
+    if cond is Cond.LE:
+        return bool(z) or n != v
+    if cond is Cond.GT:
+        return not z and n == v
+    if cond is Cond.LTU:
+        return not c
+    return bool(c)  # GEU
+
+
+def _apply(state: CoreState, rd: int, res: alu.AluResult) -> None:
+    state.regs[rd] = res.value
+    _apply_flags(state, res)
+
+
+def _apply_flags(state: CoreState, res: alu.AluResult) -> None:
+    state.flag_z = res.z
+    state.flag_n = res.n
+    if res.c is not None:
+        state.flag_c = res.c
+    if res.v is not None:
+        state.flag_v = res.v
+
+
+def execute_plain(state: CoreState, ins: Instruction) -> None:
+    """Execute any instruction that needs no crossbar arbitration.
+
+    Updates registers, flags, PC and mode.  LD/ST/SINC/SDEC must not be
+    passed here; the machine arbitrates those.
+    """
+    op = ins.op
+    regs = state.regs
+
+    if op is Opcode.SYS:
+        sub = ins.sub
+        if sub == SysOp.NOP:
+            state.pc += 1
+        elif sub == SysOp.HALT:
+            state.mode = CoreMode.HALTED
+            state.pc += 1
+        elif sub == SysOp.SLEEP:
+            state.mode = CoreMode.SLEEPING
+            state.pc += 1
+        elif sub == SysOp.RETI:
+            state.pc = state.epc
+            state.status |= 0x0001
+        elif sub == SysOp.EI:
+            state.status |= 0x0001
+            state.pc += 1
+        elif sub == SysOp.DI:
+            state.status &= ~0x0001 & MASK
+            state.pc += 1
+        else:  # pragma: no cover - decode prevents this
+            raise ExecutionError(f"bad SYS sub-op {sub}")
+        return
+
+    if op is Opcode.ADD:
+        _apply(state, ins.rd, alu.add(regs[ins.rs], regs[ins.rt]))
+    elif op is Opcode.SUB:
+        _apply(state, ins.rd, alu.sub(regs[ins.rs], regs[ins.rt]))
+    elif op is Opcode.ADC:
+        _apply(state, ins.rd,
+               alu.add(regs[ins.rs], regs[ins.rt], state.flag_c))
+    elif op is Opcode.SBC:
+        _apply(state, ins.rd,
+               alu.sub(regs[ins.rs], regs[ins.rt], state.flag_c))
+    elif op is Opcode.AND:
+        _apply(state, ins.rd, alu.logical("and", regs[ins.rs], regs[ins.rt]))
+    elif op is Opcode.OR:
+        _apply(state, ins.rd, alu.logical("or", regs[ins.rs], regs[ins.rt]))
+    elif op is Opcode.XOR:
+        _apply(state, ins.rd, alu.logical("xor", regs[ins.rs], regs[ins.rt]))
+    elif op is Opcode.MUL:
+        _apply(state, ins.rd, alu.multiply_low(regs[ins.rs], regs[ins.rt]))
+    elif op is Opcode.MULH:
+        _apply(state, ins.rd,
+               alu.multiply_high_signed(regs[ins.rs], regs[ins.rt]))
+    elif op is Opcode.SLL:
+        _apply(state, ins.rd, alu.shift_left(regs[ins.rs], regs[ins.rt]))
+    elif op is Opcode.SRL:
+        _apply(state, ins.rd, alu.shift_right(regs[ins.rs], regs[ins.rt]))
+    elif op is Opcode.SRA:
+        _apply(state, ins.rd,
+               alu.shift_right_arith(regs[ins.rs], regs[ins.rt]))
+    elif op is Opcode.CMP:
+        _apply_flags(state, alu.sub(regs[ins.rd], regs[ins.rs]))
+    elif op is Opcode.CMPI:
+        _apply_flags(state, alu.sub(regs[ins.rd], ins.imm & MASK))
+    elif op is Opcode.MOV:
+        regs[ins.rd] = regs[ins.rs]
+    elif op is Opcode.MFSR:
+        regs[ins.rd] = state.read_special(ins.imm)
+    elif op is Opcode.MTSR:
+        state.write_special(ins.imm, regs[ins.rs])
+    elif op is Opcode.ADDI:
+        _apply(state, ins.rd, alu.add(regs[ins.rs], ins.imm & MASK))
+    elif op is Opcode.LDI:
+        regs[ins.rd] = ins.imm & MASK
+    elif op is Opcode.LUI:
+        regs[ins.rd] = (ins.imm << 8) & MASK
+    elif op is Opcode.ORI:
+        regs[ins.rd] = regs[ins.rd] | (ins.imm & 0xFF)
+    elif op is Opcode.SHI:
+        amount = ins.imm
+        if ins.sub == ShiftOp.SLLI:
+            res = alu.shift_left(regs[ins.rd], amount)
+        elif ins.sub == ShiftOp.SRLI:
+            res = alu.shift_right(regs[ins.rd], amount)
+        else:
+            res = alu.shift_right_arith(regs[ins.rd], amount)
+        _apply(state, ins.rd, res)
+    elif op is Opcode.BCC:
+        if condition_met(state, ins.cond):
+            state.pc = state.pc + 1 + ins.imm
+        else:
+            state.pc += 1
+        return
+    elif op is Opcode.JMP:
+        state.pc = ins.imm
+        return
+    elif op is Opcode.CALL:
+        regs[7] = (state.pc + 1) & MASK
+        state.pc = ins.imm
+        return
+    elif op is Opcode.JR:
+        state.pc = regs[ins.rs]
+        return
+    elif op is Opcode.CALLR:
+        regs[7] = (state.pc + 1) & MASK
+        state.pc = regs[ins.rs]
+        return
+    else:
+        raise ExecutionError(
+            f"{op.name} requires platform arbitration; "
+            "use the machine, not execute_plain")
+
+    state.pc += 1
+
+
+def take_interrupt(state: CoreState) -> None:
+    """Vector the core to its interrupt handler (wakes a sleeping core)."""
+    state.epc = state.pc & MASK
+    state.status &= ~0x0001 & MASK
+    state.pc = state.ivec
+    if state.mode is CoreMode.SLEEPING:
+        state.mode = CoreMode.RUNNING

@@ -1,0 +1,114 @@
+"""Architectural state of one ``ulp16`` core.
+
+The state object is deliberately a mutable, slotted record: the cycle engine
+touches it every simulated cycle, so attribute access cost matters.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..isa.spec import NUM_GPRS, STATUS_IE, SpecialReg
+
+
+class CoreMode(enum.Enum):
+    """Execution mode of a core.
+
+    ``RUNNING``  — fetching and executing.
+    ``SLEEPING`` — clock-gated, waiting for a synchronizer wakeup or an
+                   interrupt (entered by ``SLEEP`` or by ``SDEC``).
+    ``HALTED``   — stopped permanently (``HALT``).
+    """
+
+    RUNNING = 0
+    SLEEPING = 1
+    HALTED = 2
+
+
+class CoreState:
+    """Registers, flags and mode of a single core.
+
+    :param coreid: SPMD identity exposed through the ``COREID`` special
+        register (hard-wired per core on the silicon).
+    :param ncores: platform core count exposed through ``NCORES``.
+    """
+
+    __slots__ = (
+        "coreid", "ncores", "regs", "pc",
+        "flag_z", "flag_n", "flag_c", "flag_v",
+        "rsync", "ivec", "epc", "status",
+        "mode",
+    )
+
+    def __init__(self, coreid: int = 0, ncores: int = 1):
+        self.coreid = coreid
+        self.ncores = ncores
+        self.regs = [0] * NUM_GPRS
+        self.pc = 0
+        self.flag_z = 0
+        self.flag_n = 0
+        self.flag_c = 0
+        self.flag_v = 0
+        self.rsync = 0
+        self.ivec = 0
+        self.epc = 0
+        self.status = 0
+        self.mode = CoreMode.RUNNING
+
+    # ------------------------------------------------------------------
+
+    def reset(self, entry: int = 0) -> None:
+        """Return the core to its power-on state, starting at ``entry``."""
+        self.regs = [0] * NUM_GPRS
+        self.pc = entry
+        self.flag_z = self.flag_n = self.flag_c = self.flag_v = 0
+        self.rsync = 0
+        self.ivec = 0
+        self.epc = 0
+        self.status = 0
+        self.mode = CoreMode.RUNNING
+
+    @property
+    def interrupts_enabled(self) -> bool:
+        return bool(self.status & STATUS_IE)
+
+    def read_special(self, index: int) -> int:
+        """Read a special register (``MFSR`` semantics)."""
+        sr = SpecialReg(index)
+        if sr is SpecialReg.RSYNC:
+            return self.rsync
+        if sr is SpecialReg.IVEC:
+            return self.ivec
+        if sr is SpecialReg.EPC:
+            return self.epc
+        if sr is SpecialReg.STATUS:
+            return self.status
+        if sr is SpecialReg.COREID:
+            return self.coreid
+        return self.ncores
+
+    def write_special(self, index: int, value: int) -> None:
+        """Write a special register (``MTSR`` semantics).
+
+        Writes to the read-only identity registers are ignored, matching
+        hard-wired silicon behaviour.
+        """
+        sr = SpecialReg(index)
+        value &= 0xFFFF
+        if sr is SpecialReg.RSYNC:
+            self.rsync = value
+        elif sr is SpecialReg.IVEC:
+            self.ivec = value
+        elif sr is SpecialReg.EPC:
+            self.epc = value
+        elif sr is SpecialReg.STATUS:
+            self.status = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        regs = " ".join(f"R{i}={v:04x}" for i, v in enumerate(self.regs))
+        flags = "".join(
+            name for name, bit in
+            (("Z", self.flag_z), ("N", self.flag_n),
+             ("C", self.flag_c), ("V", self.flag_v)) if bit)
+        return (f"<core{self.coreid} pc={self.pc} {regs} "
+                f"[{flags or '-'}] {self.mode.name}>")

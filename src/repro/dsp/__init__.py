@@ -1,0 +1,48 @@
+"""Golden biosignal models and the synthetic ECG generator.
+
+These are the reference implementations of the paper's three benchmarks
+(MRPFLTR, MRPDLN, SQRT32) against which the platform kernels are verified
+bit-for-bit, plus the data source standing in for the paper's multi-lead
+ECG recordings.
+"""
+
+from .ecg import EcgConfig, EcgRecording, generate_ecg
+from .morphology import (
+    closing,
+    closing_int,
+    dilation,
+    dilation_int,
+    erosion,
+    erosion_int,
+    opening,
+    opening_int,
+)
+from .mrpdln import Delineation, delineate, mmd, mmd_int, mrpdln_int
+from .mrpfltr import estimate_baseline, mrpfltr, mrpfltr_int, suppress_noise
+from .sqrt32 import combine_leads, isqrt32, rms_envelope
+
+__all__ = [
+    "Delineation",
+    "EcgConfig",
+    "EcgRecording",
+    "closing",
+    "closing_int",
+    "combine_leads",
+    "delineate",
+    "dilation",
+    "dilation_int",
+    "erosion",
+    "erosion_int",
+    "estimate_baseline",
+    "generate_ecg",
+    "isqrt32",
+    "mmd",
+    "mmd_int",
+    "mrpdln_int",
+    "mrpfltr",
+    "mrpfltr_int",
+    "opening",
+    "opening_int",
+    "rms_envelope",
+    "suppress_noise",
+]

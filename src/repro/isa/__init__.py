@@ -1,0 +1,34 @@
+"""The ``ulp16`` instruction-set architecture.
+
+Public surface: the ISA constants (:mod:`~repro.isa.spec`), the
+:class:`~repro.isa.instruction.Instruction` record, binary
+:func:`~repro.isa.encoding.encode` / :func:`~repro.isa.encoding.decode`,
+the :func:`~repro.isa.assembler.assemble` entry point and
+:class:`~repro.isa.program.Program` images.
+"""
+
+from .assembler import Assembler, AssemblyError, assemble
+from .disassembler import disassemble, disassemble_word
+from .encoding import EncodingError, decode, encode
+from .instruction import Instruction
+from .program import DataBlock, Program
+from .spec import Cond, Opcode, ShiftOp, SpecialReg, SysOp
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "Cond",
+    "DataBlock",
+    "EncodingError",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "ShiftOp",
+    "SpecialReg",
+    "SysOp",
+    "assemble",
+    "decode",
+    "disassemble",
+    "disassemble_word",
+    "encode",
+]

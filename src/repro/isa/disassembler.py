@@ -1,0 +1,30 @@
+"""Disassembler for ``ulp16`` binary images and instruction streams."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .encoding import decode
+from .instruction import Instruction, format_instruction
+
+
+def disassemble_word(word: int) -> str:
+    """Disassemble a single 16-bit instruction word."""
+    return format_instruction(decode(word))
+
+
+def disassemble(words: Iterable[int], *, base: int = 0) -> str:
+    """Disassemble a sequence of instruction words into a listing."""
+    lines = []
+    for offset, word in enumerate(words):
+        lines.append(f"{base + offset:5d}:  {word:04x}  {disassemble_word(word)}")
+    return "\n".join(lines)
+
+
+def disassemble_instructions(instructions: Iterable[Instruction],
+                             *, base: int = 0) -> str:
+    """Render already-decoded instructions as a listing."""
+    return "\n".join(
+        f"{base + offset:5d}:  {format_instruction(ins)}"
+        for offset, ins in enumerate(instructions)
+    )

@@ -1,0 +1,169 @@
+"""Binary encoding and decoding of ``ulp16`` instructions.
+
+Layout (16-bit words)::
+
+    R3 :  [15:11 op][10:8 rd][7:5 rs][4:2 rt][1:0 0]
+    R2 :  [15:11 op][10:8 rd][7:5 rs][4:0 0]
+    I5 :  [15:11 op][10:8 rd][7:5 rs][4:0 simm5]      ADDI / LD / ST
+    SR :  [15:11 op][10:8 rd][7:5 rs][4:0 imm5]       MFSR / MTSR
+    I8 :  [15:11 op][10:8 rd][7:0 imm8]               LDI / LUI / ORI / CMPI*
+    SHI:  [15:11 op][10:8 rd][7:6 0][5:4 sub][3:0 imm4]
+    B  :  [15:11 op][10:8 cond][7:0 simm8]
+    J  :  [15:11 op][10:0 uimm11]                     absolute target
+    SYS:  [15:11 op][10:8 sub][7:0 0]
+    SYN:  [15:11 op][10:8 0][7:0 imm8]                SINC / SDEC
+
+``CMPI`` carries its 5-bit signed immediate in the low field like I5 (rs
+unused).  Branch displacements are relative to ``pc + 1``; jump targets are
+absolute instruction addresses.
+"""
+
+from __future__ import annotations
+
+from .instruction import Instruction
+from .spec import (
+    Cond,
+    Opcode,
+    ShiftOp,
+    SysOp,
+    sign_extend,
+    R3_OPCODES,
+    I8_OPCODES,
+    J_OPCODES,
+    SYNC_OPCODES,
+    IMM5_MIN,
+    IMM5_MAX,
+    IMM8_MIN,
+    IMM8_MAX,
+    UIMM8_MAX,
+    JUMP_TARGET_MAX,
+    SHIFT_IMM_MAX,
+    SYNC_INDEX_MAX,
+    NUM_GPRS,
+)
+
+
+class EncodingError(ValueError):
+    """An operand does not fit its encoding field."""
+
+
+def _check_reg(value: int, what: str) -> int:
+    if not 0 <= value < NUM_GPRS:
+        raise EncodingError(f"{what} out of range: {value}")
+    return value
+
+
+def _check_range(value: int, lo: int, hi: int, what: str) -> int:
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what} {value} outside [{lo}, {hi}]")
+    return value
+
+
+def encode(ins: Instruction) -> int:
+    """Encode a decoded instruction into its 16-bit binary word."""
+    op = ins.op
+    word = (int(op) & 0x1F) << 11
+
+    if op is Opcode.SYS:
+        SysOp(ins.sub)
+        return word | (ins.sub & 0x7) << 8
+
+    if op in R3_OPCODES:
+        _check_reg(ins.rd, "rd")
+        _check_reg(ins.rs, "rs")
+        _check_reg(ins.rt, "rt")
+        return word | ins.rd << 8 | ins.rs << 5 | ins.rt << 2
+
+    if op in (Opcode.MOV, Opcode.CMP):
+        _check_reg(ins.rd, "rd")
+        _check_reg(ins.rs, "rs")
+        return word | ins.rd << 8 | ins.rs << 5
+
+    if op in (Opcode.MFSR, Opcode.MTSR):
+        _check_reg(ins.rd, "rd")
+        _check_reg(ins.rs, "rs")
+        _check_range(ins.imm, 0, 31, "special register index")
+        return word | ins.rd << 8 | ins.rs << 5 | (ins.imm & 0x1F)
+
+    if op in (Opcode.ADDI, Opcode.LD, Opcode.ST):
+        _check_reg(ins.rd, "rd")
+        _check_reg(ins.rs, "rs")
+        _check_range(ins.imm, IMM5_MIN, IMM5_MAX, "simm5")
+        return word | ins.rd << 8 | ins.rs << 5 | (ins.imm & 0x1F)
+
+    if op is Opcode.CMPI:
+        _check_reg(ins.rd, "rd")
+        _check_range(ins.imm, IMM5_MIN, IMM5_MAX, "simm5")
+        return word | ins.rd << 8 | (ins.imm & 0x1F)
+
+    if op in I8_OPCODES:
+        _check_reg(ins.rd, "rd")
+        if op is Opcode.LDI:
+            _check_range(ins.imm, IMM8_MIN, IMM8_MAX, "simm8")
+        else:
+            _check_range(ins.imm, 0, UIMM8_MAX, "uimm8")
+        return word | ins.rd << 8 | (ins.imm & 0xFF)
+
+    if op is Opcode.SHI:
+        _check_reg(ins.rd, "rd")
+        ShiftOp(ins.sub)
+        _check_range(ins.imm, 0, SHIFT_IMM_MAX, "shift amount")
+        return word | ins.rd << 8 | (ins.sub & 0x3) << 4 | (ins.imm & 0xF)
+
+    if op is Opcode.BCC:
+        Cond(ins.cond)
+        _check_range(ins.imm, IMM8_MIN, IMM8_MAX, "branch displacement")
+        return word | int(ins.cond) << 8 | (ins.imm & 0xFF)
+
+    if op in J_OPCODES:
+        _check_range(ins.imm, 0, JUMP_TARGET_MAX, "jump target")
+        return word | (ins.imm & 0x7FF)
+
+    if op in (Opcode.JR, Opcode.CALLR):
+        _check_reg(ins.rs, "rs")
+        return word | ins.rs << 5
+
+    if op in SYNC_OPCODES:
+        _check_range(ins.imm, 0, SYNC_INDEX_MAX, "sync index")
+        return word | (ins.imm & 0xFF)
+
+    raise EncodingError(f"unencodable opcode {op!r}")
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 16-bit binary word into an :class:`Instruction`."""
+    if not 0 <= word <= 0xFFFF:
+        raise EncodingError(f"instruction word out of range: {word:#x}")
+    op = Opcode((word >> 11) & 0x1F)
+    rd = (word >> 8) & 0x7
+    rs = (word >> 5) & 0x7
+    rt = (word >> 2) & 0x7
+
+    if op is Opcode.SYS:
+        return Instruction(op, sub=SysOp(rd))
+    if op in R3_OPCODES:
+        return Instruction(op, rd=rd, rs=rs, rt=rt)
+    if op in (Opcode.MOV, Opcode.CMP):
+        return Instruction(op, rd=rd, rs=rs)
+    if op in (Opcode.MFSR, Opcode.MTSR):
+        return Instruction(op, rd=rd, rs=rs, imm=word & 0x1F)
+    if op in (Opcode.ADDI, Opcode.LD, Opcode.ST):
+        return Instruction(op, rd=rd, rs=rs, imm=sign_extend(word, 5))
+    if op is Opcode.CMPI:
+        return Instruction(op, rd=rd, imm=sign_extend(word, 5))
+    if op is Opcode.LDI:
+        return Instruction(op, rd=rd, imm=sign_extend(word, 8))
+    if op in (Opcode.LUI, Opcode.ORI):
+        return Instruction(op, rd=rd, imm=word & 0xFF)
+    if op is Opcode.SHI:
+        return Instruction(op, rd=rd, sub=ShiftOp((word >> 4) & 0x3),
+                           imm=word & 0xF)
+    if op is Opcode.BCC:
+        return Instruction(op, cond=Cond(rd), imm=sign_extend(word, 8))
+    if op in J_OPCODES:
+        return Instruction(op, imm=word & 0x7FF)
+    if op in (Opcode.JR, Opcode.CALLR):
+        return Instruction(op, rs=rs)
+    if op in SYNC_OPCODES:
+        return Instruction(op, imm=word & 0xFF)
+    raise EncodingError(f"undecodable opcode {op!r}")  # pragma: no cover

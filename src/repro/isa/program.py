@@ -1,0 +1,82 @@
+"""Program images: the unit the loader places into platform memories.
+
+A :class:`Program` couples the instruction stream (one entry per IM word)
+with an initialized data segment, a symbol table and optional source-line
+mapping.  Both the assembler and the minic compiler produce programs; the
+platform loader consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .encoding import decode, encode
+from .instruction import Instruction
+
+
+@dataclass(frozen=True, slots=True)
+class DataBlock:
+    """An initialized region of data memory.
+
+    :param address: absolute DM word address of the first word.
+    :param values: the 16-bit word values (unsigned representation).
+    """
+
+    address: int
+    values: tuple[int, ...]
+
+    @property
+    def end(self) -> int:
+        return self.address + len(self.values)
+
+
+@dataclass(slots=True)
+class Program:
+    """An executable image for the multi-core platform.
+
+    :param instructions: decoded instruction stream, index == IM address.
+    :param data: initialized DM regions.
+    :param symbols: label -> address (IM for code labels, DM for data labels).
+    :param entry: IM address execution starts at.
+    :param source_map: IM address -> human-readable origin (for diagnostics).
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+    data: list[DataBlock] = field(default_factory=list)
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+    source_map: dict[int, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def to_binary(self) -> bytes:
+        """Encode the instruction stream as little-endian 16-bit words."""
+        out = bytearray()
+        for ins in self.instructions:
+            word = encode(ins)
+            out += word.to_bytes(2, "little")
+        return bytes(out)
+
+    @classmethod
+    def from_binary(cls, blob: bytes, *, entry: int = 0) -> "Program":
+        """Decode a binary image produced by :meth:`to_binary`."""
+        if len(blob) % 2:
+            raise ValueError("binary image must be an even number of bytes")
+        instructions = [
+            decode(int.from_bytes(blob[i:i + 2], "little"))
+            for i in range(0, len(blob), 2)
+        ]
+        return cls(instructions=instructions, entry=entry)
+
+    def listing(self) -> str:
+        """Render a disassembly listing with addresses and symbols."""
+        addr_labels: dict[int, list[str]] = {}
+        for name, addr in self.symbols.items():
+            addr_labels.setdefault(addr, []).append(name)
+        lines = []
+        for addr, ins in enumerate(self.instructions):
+            for label in sorted(addr_labels.get(addr, ())):
+                lines.append(f"{label}:")
+            lines.append(f"  {addr:5d}  {ins}")
+        return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Architectural constants of the ``ulp16`` instruction set.
+
+``ulp16`` models the custom 16-bit RISC core used by the target platform of
+Dogan et al. (DATE 2013): a small load/store machine with eight general
+purpose registers, condition flags, sleep/interrupt support and the paper's
+synchronization instruction-set extension (``SINC``/``SDEC`` plus the
+``RSYNC`` base register and the atomic *lock* output).
+
+Everything here is a plain constant or enum so that the encoder, assembler,
+disassembler and simulator all agree on a single source of truth.
+"""
+
+from __future__ import annotations
+
+import enum
+
+# ---------------------------------------------------------------------------
+# Data widths and register file
+# ---------------------------------------------------------------------------
+
+WORD_BITS = 16
+WORD_MASK = 0xFFFF
+WORD_MIN = -0x8000
+WORD_MAX = 0x7FFF
+
+NUM_GPRS = 8
+
+#: ABI register conventions (hardware only fixes LR, which ``CALL`` writes).
+REG_RV = 0     # return value / first argument
+REG_A0 = 0
+REG_A1 = 1
+REG_A2 = 2
+REG_S0 = 3     # callee saved
+REG_S1 = 4     # callee saved
+REG_FP = 5     # frame pointer (callee saved)
+REG_SP = 6     # stack pointer
+REG_LR = 7     # link register, written by CALL/CALLR
+
+REG_NAMES = {i: f"R{i}" for i in range(NUM_GPRS)}
+REG_ALIASES = {
+    "SP": REG_SP,
+    "LR": REG_LR,
+    "FP": REG_FP,
+}
+
+
+class SpecialReg(enum.IntEnum):
+    """Special (system) registers accessed via ``MFSR``/``MTSR``.
+
+    ``RSYNC`` is the paper's dedicated base-address register for the
+    checkpoint array in data memory.  ``COREID``/``NCORES`` expose the SPMD
+    identity (the silicon wires these as constants per core).
+    """
+
+    RSYNC = 0
+    IVEC = 1      # interrupt vector (instruction address)
+    EPC = 2       # saved PC on interrupt entry
+    STATUS = 3    # bit0 = interrupt enable
+    COREID = 4    # read-only
+    NCORES = 5    # read-only
+
+STATUS_IE = 0x0001
+
+READONLY_SREGS = frozenset({SpecialReg.COREID, SpecialReg.NCORES})
+
+# ---------------------------------------------------------------------------
+# Opcodes
+# ---------------------------------------------------------------------------
+
+
+class Opcode(enum.IntEnum):
+    """Primary opcodes (5 bits, fully allocated)."""
+
+    SYS = 0       # sub-operation in the rd field (NOP/HALT/SLEEP/RETI/EI/DI)
+    ADD = 1
+    SUB = 2
+    AND = 3
+    OR = 4
+    XOR = 5
+    ADC = 6
+    SBC = 7
+    MUL = 8       # low 16 bits of the product
+    MULH = 9      # high 16 bits of the signed product
+    SLL = 10
+    SRL = 11
+    SRA = 12
+    CMP = 13      # flags only
+    MOV = 14
+    MFSR = 15     # rd <- special[imm5]
+    MTSR = 16     # special[imm5] <- rs
+    ADDI = 17     # rd <- rs + simm5
+    LDI = 18      # rd <- sext(imm8)
+    LUI = 19      # rd <- imm8 << 8
+    ORI = 20      # rd <- rd | imm8
+    CMPI = 21     # flags(rd - simm5)
+    SHI = 22      # shift-immediate, sub-op in bits [5:4]
+    LD = 23       # rd <- DM[rs + simm5]
+    ST = 24       # DM[rs + simm5] <- rd
+    BCC = 25      # conditional branch, condition in rd field
+    JMP = 26      # pc-relative, simm11
+    CALL = 27     # LR <- pc+1 ; pc-relative simm11
+    JR = 28       # pc <- rs
+    CALLR = 29    # LR <- pc+1 ; pc <- rs
+    SINC = 30     # check-in  (ISE, Dogan et al. sec. IV-B)
+    SDEC = 31     # check-out (ISE, Dogan et al. sec. IV-B)
+
+
+class SysOp(enum.IntEnum):
+    """Sub-operations of :data:`Opcode.SYS`, carried in the rd field."""
+
+    NOP = 0
+    HALT = 1
+    SLEEP = 2
+    RETI = 3
+    EI = 4
+    DI = 5
+
+
+class ShiftOp(enum.IntEnum):
+    """Sub-operations of :data:`Opcode.SHI`, carried in bits [5:4]."""
+
+    SLLI = 0
+    SRLI = 1
+    SRAI = 2
+
+
+class Cond(enum.IntEnum):
+    """Branch conditions, carried in the rd field of :data:`Opcode.BCC`.
+
+    Carry uses the ARM-style "no borrow" convention for subtraction:
+    ``CMP a, b`` sets C when ``a >= b`` unsigned.
+    """
+
+    EQ = 0   # Z
+    NE = 1   # !Z
+    LT = 2   # N != V        (signed <)
+    GE = 3   # N == V        (signed >=)
+    LE = 4   # Z or N != V   (signed <=)
+    GT = 5   # !Z and N == V (signed >)
+    LTU = 6  # !C            (unsigned <)
+    GEU = 7  # C             (unsigned >=)
+
+
+COND_NAMES = {c: c.name for c in Cond}
+
+# ---------------------------------------------------------------------------
+# Immediate field geometry
+# ---------------------------------------------------------------------------
+
+IMM5_MIN, IMM5_MAX = -16, 15
+IMM8_MIN, IMM8_MAX = -128, 127
+UIMM8_MAX = 255
+#: JMP/CALL carry an absolute 11-bit instruction address (PIC-style GOTO);
+#: SPMD kernels therefore live in the low 2 Ki instructions of IM bank 0,
+#: which is exactly the single-image layout the paper's platform uses.
+JUMP_TARGET_MAX = 2047
+SHIFT_IMM_MAX = 15
+SYNC_INDEX_MAX = 255
+
+# ---------------------------------------------------------------------------
+# Instruction taxonomy used by the assembler/encoder
+# ---------------------------------------------------------------------------
+
+#: opcodes encoded as rd, rs, rt (register triples)
+R3_OPCODES = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.ADC, Opcode.SBC, Opcode.MUL, Opcode.MULH,
+    Opcode.SLL, Opcode.SRL, Opcode.SRA,
+})
+
+#: opcodes encoded as rd, rs
+R2_OPCODES = frozenset({Opcode.MOV, Opcode.CMP})
+
+#: opcodes encoded as rd, rs, simm5
+I5_OPCODES = frozenset({Opcode.ADDI, Opcode.LD, Opcode.ST})
+
+#: opcodes encoded as rd, imm8
+I8_OPCODES = frozenset({Opcode.LDI, Opcode.LUI, Opcode.ORI})
+
+#: opcodes encoded as simm11
+J_OPCODES = frozenset({Opcode.JMP, Opcode.CALL})
+
+#: opcodes that read or write data memory
+MEM_OPCODES = frozenset({Opcode.LD, Opcode.ST})
+
+#: the synchronization ISE
+SYNC_OPCODES = frozenset({Opcode.SINC, Opcode.SDEC})
+
+#: opcodes that may change the PC to something other than pc+1
+CTRL_OPCODES = frozenset({
+    Opcode.BCC, Opcode.JMP, Opcode.CALL, Opcode.JR, Opcode.CALLR,
+})
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as a two's-complement int."""
+    mask = (1 << bits) - 1
+    value &= mask
+    sign = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign else value
+
+
+def to_signed16(value: int) -> int:
+    """Wrap an integer to the signed 16-bit range."""
+    return sign_extend(value, WORD_BITS)
+
+
+def to_unsigned16(value: int) -> int:
+    """Wrap an integer to the unsigned 16-bit range."""
+    return value & WORD_MASK

@@ -1,0 +1,53 @@
+"""The paper's three reference benchmarks as platform programs.
+
+MRPFLTR and MRPDLN are compiled from minic with automatic sync-point
+insertion; SQRT32 is hand assembly with pragma instrumentation.  Use
+:func:`~repro.kernels.suite.run_benchmark` with a design from
+:data:`~repro.kernels.suite.DESIGNS`.
+"""
+
+from .layout import (
+    BANK_WORDS,
+    IN_OFFSET,
+    MAX_SAMPLES,
+    OUT_OFFSET,
+    check_samples,
+    in_address,
+    out_address,
+)
+from .suite import (
+    BARRIER_ONLY,
+    BENCHMARKS,
+    Benchmark,
+    BenchmarkRun,
+    DESIGNS,
+    DXBAR_ONLY,
+    Design,
+    WITH_SYNC,
+    WITHOUT_SYNC,
+    build_program,
+    golden_outputs,
+    run_benchmark,
+)
+
+__all__ = [
+    "BANK_WORDS",
+    "BARRIER_ONLY",
+    "BENCHMARKS",
+    "Benchmark",
+    "BenchmarkRun",
+    "DESIGNS",
+    "DXBAR_ONLY",
+    "Design",
+    "IN_OFFSET",
+    "MAX_SAMPLES",
+    "OUT_OFFSET",
+    "WITH_SYNC",
+    "WITHOUT_SYNC",
+    "build_program",
+    "check_samples",
+    "golden_outputs",
+    "in_address",
+    "out_address",
+    "run_benchmark",
+]

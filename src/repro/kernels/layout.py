@@ -1,0 +1,48 @@
+"""Data-memory layout shared by all platform kernels.
+
+Each core owns one private DM bank (contiguous banking, paper sec. III):
+
+====================  ==========================================
+bank offset            contents
+====================  ==========================================
+0      .. 511          input channel samples
+512    .. 1023         kernel output
+1024   .. 1535         scratch buffer 1
+1536   .. 1919         scratch buffer 2
+1920   .. 2047         stack (grows down from the bank top)
+====================  ==========================================
+
+Shared parameters (sample count etc.) live in bank 8 alongside minic
+globals; the checkpoint array lives in bank 15 (see
+:mod:`repro.sync.points`).
+"""
+
+from __future__ import annotations
+
+BANK_WORDS = 2048
+IN_OFFSET = 0
+OUT_OFFSET = 512
+SCRATCH1_OFFSET = 1024
+SCRATCH2_OFFSET = 1536
+
+#: largest per-channel window the layout supports (scratch2 + stack share
+#: the bank tail)
+MAX_SAMPLES = 384
+
+SHARED_BASE = 8 * BANK_WORDS
+
+
+def in_address(core: int) -> int:
+    return core * BANK_WORDS + IN_OFFSET
+
+
+def out_address(core: int) -> int:
+    return core * BANK_WORDS + OUT_OFFSET
+
+
+def check_samples(n: int) -> int:
+    if not 1 <= n <= MAX_SAMPLES:
+        raise ValueError(
+            f"sample count {n} outside [1, {MAX_SAMPLES}] "
+            "(per-bank buffer layout)")
+    return n

@@ -1,0 +1,41 @@
+"""Shared minic morphology routines used by the MRPFLTR/MRPDLN kernels.
+
+The running min/max comparisons are the paper's canonical data-dependent
+conditionals: each ``if (v < m)`` takes a different direction on each core
+(the cores process different ECG leads), which is exactly what pulls the
+cores out of lockstep on the baseline design.
+"""
+
+MORPH_FUNCTIONS = """
+void erode(int *src, int *dst, uniform int n, uniform int k) {
+    int half = k >> 1;
+    for (int i = 0; i < n; i = i + 1) {
+        int lo = i - half;
+        if (lo < 0) { lo = 0; }
+        int hi = i + half;
+        if (hi > n - 1) { hi = n - 1; }
+        int m = src[lo];
+        for (int j = lo + 1; j <= hi; j = j + 1) {
+            int v = src[j];
+            if (v < m) { m = v; }
+        }
+        dst[i] = m;
+    }
+}
+
+void dilate(int *src, int *dst, uniform int n, uniform int k) {
+    int half = k >> 1;
+    for (int i = 0; i < n; i = i + 1) {
+        int lo = i - half;
+        if (lo < 0) { lo = 0; }
+        int hi = i + half;
+        if (hi > n - 1) { hi = n - 1; }
+        int m = src[lo];
+        for (int j = lo + 1; j <= hi; j = j + 1) {
+            int v = src[j];
+            if (v > m) { m = v; }
+        }
+        dst[i] = m;
+    }
+}
+"""

@@ -1,0 +1,94 @@
+"""MRPDLN platform kernel (paper benchmark 2).
+
+Per core/channel: multiscale-morphological-derivative QRS delineation,
+matching :func:`repro.dsp.mrpdln.mrpdln_int` word for word.  The output
+record is ``[count, peak, onset, offset, ...]`` at the channel's output
+buffer.
+"""
+
+from __future__ import annotations
+
+from ..dsp.mrpdln import (
+    DEFAULT_REFRACTORY,
+    DEFAULT_SCALE,
+    DEFAULT_SEARCH,
+    mrpdln_int,
+)
+from .morph_lib import MORPH_FUNCTIONS
+
+NAME = "MRPDLN"
+
+MAX_PEAKS = 16
+OUT_WORDS = 1 + 3 * MAX_PEAKS
+
+SOURCE = f"""
+uniform int n_samples;
+uniform int scale = {DEFAULT_SCALE};
+uniform int refractory = {DEFAULT_REFRACTORY};
+uniform int search = {DEFAULT_SEARCH};
+uniform int max_peaks = {MAX_PEAKS};
+
+{MORPH_FUNCTIONS}
+
+void main() {{
+    int id = __coreid();
+    int *x   = id * 2048;
+    int *out = id * 2048 + 512;
+    int *d   = id * 2048 + 1024;
+    int *s2  = id * 2048 + 1536;
+    int n = n_samples;
+    int k = scale * 2 + 1;
+
+    /* multiscale morphological derivative: d = dil + ero - 2x */
+    dilate(x, d, n, k);
+    erode(x, s2, n, k);
+    for (int i = 0; i < n; i = i + 1) {{
+        d[i] = d[i] + s2[i] - 2 * x[i];
+    }}
+
+    /* adaptive threshold from the global extreme */
+    int dmin = d[0];
+    for (int i = 1; i < n; i = i + 1) {{
+        if (d[i] < dmin) {{ dmin = d[i]; }}
+    }}
+    int threshold = dmin >> 2;
+
+    /* peak scan with refractory skip */
+    int count = 0;
+    int i = 1;
+    while (i < n - 1 && count < max_peaks) {{
+        int v = d[i];
+        if (v <= threshold && v <= d[i - 1] && v <= d[i + 1]) {{
+            int left = i - search;
+            if (left < 0) {{ left = 0; }}
+            int right = i + search;
+            if (right > n - 1) {{ right = n - 1; }}
+            int onset = left;
+            for (int j = left; j <= i; j = j + 1) {{
+                if (d[j] > d[onset]) {{ onset = j; }}
+            }}
+            int offset = i;
+            for (int j = i; j <= right; j = j + 1) {{
+                if (d[j] > d[offset]) {{ offset = j; }}
+            }}
+            out[1 + count * 3] = i;
+            out[2 + count * 3] = onset;
+            out[3 + count * 3] = offset;
+            count = count + 1;
+            i = i + refractory;
+        }} else {{
+            i = i + 1;
+        }}
+    }}
+    out[0] = count;
+    for (int j = 1 + count * 3; j < 1 + max_peaks * 3; j = j + 1) {{
+        out[j] = 0;
+    }}
+}}
+"""
+
+
+def golden(channel: list[int]) -> list[int]:
+    """Reference output record for one channel (bit-exact)."""
+    return mrpdln_int(channel, DEFAULT_SCALE, DEFAULT_REFRACTORY,
+                      DEFAULT_SEARCH, MAX_PEAKS)

@@ -1,0 +1,69 @@
+"""MRPFLTR platform kernel (paper benchmark 1).
+
+Per core/channel: morphological noise suppression followed by baseline
+wander removal, matching :func:`repro.dsp.mrpfltr.mrpfltr_int` word for
+word.  Buffers follow :mod:`repro.kernels.layout`.
+"""
+
+from __future__ import annotations
+
+from ..dsp.mrpfltr import (
+    DEFAULT_BASELINE_SE1,
+    DEFAULT_BASELINE_SE2,
+    DEFAULT_NOISE_SE,
+    mrpfltr_int,
+)
+from .morph_lib import MORPH_FUNCTIONS
+
+NAME = "MRPFLTR"
+
+SOURCE = f"""
+uniform int n_samples;
+uniform int k_noise = {DEFAULT_NOISE_SE};
+uniform int k_base1 = {DEFAULT_BASELINE_SE1};
+uniform int k_base2 = {DEFAULT_BASELINE_SE2};
+
+{MORPH_FUNCTIONS}
+
+void main() {{
+    int id = __coreid();
+    int *x   = id * 2048;
+    int *out = id * 2048 + 512;
+    int *s1  = id * 2048 + 1024;
+    int *s2  = id * 2048 + 1536;
+    int n = n_samples;
+
+    /* oc = closing(opening(x, b), b) -> out */
+    erode(x, s1, n, k_noise);
+    dilate(s1, s2, n, k_noise);
+    dilate(s2, s1, n, k_noise);
+    erode(s1, out, n, k_noise);
+
+    /* co = opening(closing(x, b), b) -> s2 */
+    dilate(x, s1, n, k_noise);
+    erode(s1, s2, n, k_noise);
+    erode(s2, s1, n, k_noise);
+    dilate(s1, s2, n, k_noise);
+
+    /* denoised = (oc + co) >> 1 -> out */
+    for (int i = 0; i < n; i = i + 1) {{
+        out[i] = (out[i] + s2[i]) >> 1;
+    }}
+
+    /* baseline = closing(opening(denoised, l1), l2) -> s2 */
+    erode(out, s1, n, k_base1);
+    dilate(s1, s2, n, k_base1);
+    dilate(s2, s1, n, k_base2);
+    erode(s1, s2, n, k_base2);
+
+    /* corrected = denoised - baseline -> out */
+    for (int i = 0; i < n; i = i + 1) {{
+        out[i] = out[i] - s2[i];
+    }}
+}}
+"""
+
+
+def golden(channel: list[int]) -> list[int]:
+    """Reference output for one channel (bit-exact)."""
+    return mrpfltr_int(channel)

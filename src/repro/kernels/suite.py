@@ -1,0 +1,168 @@
+"""Benchmark suite: builds, loads, runs and checks the paper's kernels.
+
+A :class:`Benchmark` couples a kernel's source (minic or assembly) with
+its data layout and golden model.  A :class:`Design` names a hardware/
+software configuration pair — the paper's two designs plus the ablation
+points in between:
+
+================  ===========================  =========================
+design             platform policy              program build
+================  ===========================  =========================
+``with-sync``      synchronizer + D-Xbar stall  sync points inserted
+``without-sync``   neither (DATE-2012 base)     no sync points
+``barrier-only``   synchronizer only            sync points inserted
+``dxbar-only``     D-Xbar stall policy only     no sync points
+================  ===========================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..compiler import compile_source
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from ..isa.spec import to_signed16
+from ..platform import ActivityTrace, Machine, PlatformConfig, SyncPolicy
+from ..sync.instrument import instrument_assembly
+from . import mrpdln, mrpfltr, sqrt32
+from .layout import BANK_WORDS, OUT_OFFSET, check_samples
+
+
+@dataclass(frozen=True)
+class Design:
+    """One platform/program configuration pair."""
+
+    name: str
+    policy: SyncPolicy
+    sync_enabled: bool
+
+    def platform_config(self, num_cores: int = 8) -> PlatformConfig:
+        return PlatformConfig(num_cores=num_cores, policy=self.policy)
+
+
+WITH_SYNC = Design("with-sync", SyncPolicy.FULL, True)
+WITHOUT_SYNC = Design("without-sync", SyncPolicy.NONE, False)
+BARRIER_ONLY = Design("barrier-only", SyncPolicy.HW_BARRIER, True)
+DXBAR_ONLY = Design("dxbar-only", SyncPolicy.DXBAR_SYNC_STALL, False)
+
+DESIGNS = {d.name: d for d in
+           (WITH_SYNC, WITHOUT_SYNC, BARRIER_ONLY, DXBAR_ONLY)}
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One of the paper's reference benchmarks.
+
+    :ivar name: paper name (MRPFLTR / MRPDLN / SQRT32).
+    :ivar kind: 'minic' or 'asm'.
+    :ivar source: kernel source text.
+    :ivar golden: per-channel bit-exact reference function.
+    :ivar out_words: output record length for ``n`` input samples.
+    """
+
+    name: str
+    kind: str
+    source: str
+    golden: object
+    out_words: object          # callable: n_samples -> words
+    signed_output: bool = True
+
+
+def _mrpfltr_out(n: int) -> int:
+    return n
+
+
+def _mrpdln_out(n: int) -> int:
+    return mrpdln.OUT_WORDS
+
+
+def _sqrt32_out(n: int) -> int:
+    return n // sqrt32.WINDOW
+
+
+BENCHMARKS = {
+    "MRPFLTR": Benchmark("MRPFLTR", "minic", mrpfltr.SOURCE,
+                         mrpfltr.golden, _mrpfltr_out),
+    "MRPDLN": Benchmark("MRPDLN", "minic", mrpdln.SOURCE,
+                        mrpdln.golden, _mrpdln_out),
+    "SQRT32": Benchmark("SQRT32", "asm", sqrt32.SOURCE,
+                        sqrt32.golden, _sqrt32_out, signed_output=False),
+}
+
+
+@lru_cache(maxsize=None)
+def build_program(bench_name: str, sync_enabled: bool) -> Program:
+    """Build (and cache) a benchmark image for one design flavour."""
+    bench = BENCHMARKS[bench_name]
+    if bench.kind == "minic":
+        result = compile_source(
+            bench.source, sync_mode="auto" if sync_enabled else "none")
+        return result.program
+    instrumented = instrument_assembly(bench.source, enabled=sync_enabled)
+    return assemble(instrumented.source)
+
+
+@dataclass
+class BenchmarkRun:
+    """Results of one simulation of a benchmark on one design."""
+
+    benchmark: str
+    design: Design
+    n_samples: int
+    outputs: list[list[int]] = field(default_factory=list)
+    trace: ActivityTrace | None = None
+    machine: Machine | None = None
+
+    @property
+    def ops_per_cycle(self) -> float:
+        return self.trace.ops_per_cycle
+
+    @property
+    def cycles(self) -> int:
+        return self.trace.cycles
+
+
+def run_benchmark(bench_name: str, design: Design,
+                  channels: list[list[int]],
+                  *, max_cycles: int = 50_000_000) -> BenchmarkRun:
+    """Run one benchmark over per-core channels; returns outputs + trace.
+
+    :param channels: one sample list per core (all equal length).
+    """
+    bench = BENCHMARKS[bench_name]
+    num_cores = len(channels)
+    n_samples = check_samples(len(channels[0]))
+    if any(len(c) != n_samples for c in channels):
+        raise ValueError("all channels must have the same length")
+
+    program = build_program(bench_name, design.sync_enabled)
+    machine = Machine(program, design.platform_config(num_cores))
+
+    # load inputs into each core's private bank and set the shared count
+    for core, channel in enumerate(channels):
+        machine.dm.load(core * BANK_WORDS,
+                        [v & 0xFFFF for v in channel])
+    n_address = program.symbols.get("g_n_samples", sqrt32.N_SAMPLES_ADDRESS)
+    machine.dm.write(n_address, n_samples)
+
+    machine.run(max_cycles=max_cycles)
+
+    run = BenchmarkRun(bench_name, design, n_samples, machine=machine,
+                       trace=machine.trace)
+    words = bench.out_words(n_samples)
+    for core in range(num_cores):
+        raw = machine.dm.dump(core * BANK_WORDS + OUT_OFFSET, words)
+        if bench.signed_output:
+            run.outputs.append([to_signed16(v) for v in raw])
+        else:
+            run.outputs.append(list(raw))
+    return run
+
+
+def golden_outputs(bench_name: str,
+                   channels: list[list[int]]) -> list[list[int]]:
+    """Reference outputs for every channel."""
+    bench = BENCHMARKS[bench_name]
+    return [bench.golden(channel) for channel in channels]

@@ -1,0 +1,50 @@
+"""Cycle-level model of the ULP multi-core platform (paper sec. III/IV).
+
+Compose a :class:`~repro.platform.machine.Machine` from a
+:class:`~repro.isa.program.Program` and a
+:class:`~repro.platform.config.PlatformConfig`; run it; read the
+:class:`~repro.platform.trace.ActivityTrace`.
+"""
+
+from .config import (
+    PlatformConfig,
+    SyncPolicy,
+    WITH_SYNCHRONIZER,
+    WITHOUT_SYNCHRONIZER,
+)
+from .dxbar import DataCrossbar, DmRequest, DmResult
+from .functional import FunctionalDeadlock, FunctionalSimulator
+from .ixbar import InstructionCrossbar
+from .machine import DeadlockError, Machine, SimulationLimitError
+from .memory import BankedMemory
+from .synchronizer import (
+    SynchronizationError,
+    Synchronizer,
+    SyncRequest,
+    pack_checkpoint,
+    unpack_checkpoint,
+)
+from .trace import ActivityTrace
+
+__all__ = [
+    "ActivityTrace",
+    "BankedMemory",
+    "DataCrossbar",
+    "DeadlockError",
+    "DmRequest",
+    "DmResult",
+    "FunctionalDeadlock",
+    "FunctionalSimulator",
+    "InstructionCrossbar",
+    "Machine",
+    "PlatformConfig",
+    "SimulationLimitError",
+    "SynchronizationError",
+    "Synchronizer",
+    "SyncPolicy",
+    "SyncRequest",
+    "WITH_SYNCHRONIZER",
+    "WITHOUT_SYNCHRONIZER",
+    "pack_checkpoint",
+    "unpack_checkpoint",
+]

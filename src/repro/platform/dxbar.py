@@ -1,0 +1,198 @@
+"""Data crossbar with broadcast, locks and the synchronous-stall policy.
+
+Per cycle, each DM bank serves one *address*.  Multiple cores reading the
+same address are all served by one bank read (data broadcast); a write is
+exclusive.  Conflicting requests (same bank, different address, or competing
+writes) are serialized one per cycle while losing cores are clock gated.
+
+Two mechanisms from the paper are layered on top:
+
+- **Locks** (sec. IV-B): the synchronizer locks a checkpoint word during its
+  read-modify-write; ordinary accesses to a locked address are refused.
+
+- **Synchronous-stall policy** (sec. IV, first enhancement): when a bank
+  conflict occurs among cores whose program counters are equal — i.e. the
+  cores are executing the same instruction in lockstep — the cores that have
+  already been served are stalled until *all* of them have been served, so
+  the conflict does not break lockstep.  Without the policy (baseline
+  design), served cores continue immediately and the cores drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import PlatformConfig
+from .trace import ActivityTrace
+
+
+@dataclass(frozen=True, slots=True)
+class DmRequest:
+    """One core-side data-memory request for the current cycle."""
+
+    core: int
+    address: int
+    is_write: bool
+    value: int = 0
+    pc: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class DmResult:
+    """Outcome of one cycle of D-Xbar arbitration.
+
+    :ivar completions: ``core -> read value`` (``None`` for completed
+        writes); register writeback may happen now, PC advance may not.
+    :ivar released: cores whose instruction is architecturally complete this
+        cycle (advance PC).  Always a subset of current or previous
+        completions.
+    :ivar denied: cores that must retry next cycle.
+    """
+
+    completions: dict[int, int | None]
+    released: set[int]
+    denied: set[int]
+
+
+class _ConflictGroup:
+    """Book-keeping for one synchronous bank conflict (one per bank)."""
+
+    __slots__ = ("members", "done")
+
+    def __init__(self, members: set[int]):
+        self.members = set(members)
+        self.done: set[int] = set()
+
+    @property
+    def complete(self) -> bool:
+        return self.done == self.members
+
+
+class DataCrossbar:
+    """Per-cycle data-memory arbitration."""
+
+    def __init__(self, config: PlatformConfig, trace: ActivityTrace,
+                 memory):
+        self._config = config
+        self._trace = trace
+        self._memory = memory
+        self._priority = [0] * config.dm_banks
+        self._groups: dict[int, _ConflictGroup] = {}
+        self.locked_addresses: set[int] = set()
+
+    @property
+    def held_cores(self) -> set[int]:
+        """Cores served but still stalled inside a conflict group."""
+        held = set()
+        for group in self._groups.values():
+            held |= group.done
+        return held
+
+    def arbitrate(self, requests: list[DmRequest],
+                  busy_banks: set[int]) -> DmResult:
+        """Arbitrate one cycle of data requests.
+
+        :param requests: outstanding requests, one per core at most.
+        :param busy_banks: banks whose port is used by the synchronizer
+            this cycle (its accesses have priority).
+        """
+        config, trace = self._config, self._trace
+        completions: dict[int, int | None] = {}
+        released: set[int] = set()
+        denied: set[int] = set()
+
+        by_bank: dict[int, list[DmRequest]] = {}
+        for req in requests:
+            by_bank.setdefault(config.dm_bank_of(req.address), []).append(req)
+
+        for bank, reqs in by_bank.items():
+            if bank in busy_banks:
+                denied.update(r.core for r in reqs)
+                continue
+
+            usable = []
+            for req in reqs:
+                if req.address in self.locked_addresses:
+                    denied.add(req.core)
+                else:
+                    usable.append(req)
+            if not usable:
+                continue
+
+            group = self._groups.get(bank)
+            if group is not None:
+                # Only group members may use the bank until the group drains.
+                member_reqs = [r for r in usable if r.core in group.members]
+                denied.update(r.core for r in usable
+                              if r.core not in group.members)
+                usable = member_reqs
+                if not usable:
+                    continue
+
+            served = self._serve_bank(bank, usable)
+            losers = [r for r in usable if r.core not in served]
+            denied.update(r.core for r in losers)
+
+            if group is None and losers and config.has_dxbar_sync_stall:
+                pcs = {r.pc for r in usable}
+                if len(pcs) == 1:
+                    # Synchronous conflict: hold served cores until the
+                    # whole group has been served (paper sec. IV).
+                    group = _ConflictGroup({r.core for r in usable})
+                    self._groups[bank] = group
+
+            for req in usable:
+                if req.core not in served:
+                    continue
+                completions[req.core] = served[req.core]
+                if group is not None:
+                    group.done.add(req.core)
+                else:
+                    released.add(req.core)
+
+            if group is not None and group.complete:
+                released.update(group.members)
+                del self._groups[bank]
+
+        if denied:
+            trace.dm_conflict_cycles += 1
+        return DmResult(completions, released, denied)
+
+    def _serve_bank(self, bank: int, reqs: list[DmRequest]) -> dict[int, int | None]:
+        """Serve one bank for one cycle; returns core -> read value/None."""
+        config, trace, memory = self._config, self._trace, self._memory
+        winner_core = min(
+            (r.core for r in reqs),
+            key=lambda c: (c - self._priority[bank]) % config.num_cores)
+        self._priority[bank] = (winner_core + 1) % config.num_cores
+        winner = next(r for r in reqs if r.core == winner_core)
+
+        served: dict[int, int | None] = {}
+        if winner.is_write:
+            memory.write(winner.address, winner.value)
+            trace.dm_bank_writes += 1
+            trace.dm_served += 1
+            served[winner.core] = None
+        else:
+            value = memory.read(winner.address)
+            trace.dm_bank_reads += 1
+            if config.dm_broadcast:
+                # Broadcast: every read of one address is served at once.
+                for req in reqs:
+                    if not req.is_write and req.address == winner.address:
+                        served[req.core] = value
+                        trace.dm_served += 1
+            else:
+                served[winner.core] = value
+                trace.dm_served += 1
+        return served
+
+    # ------------------------------------------------------------------
+    # Lock management (driven by the synchronizer)
+    # ------------------------------------------------------------------
+
+    def lock(self, address: int) -> None:
+        self.locked_addresses.add(address)
+
+    def unlock(self, address: int) -> None:
+        self.locked_addresses.discard(address)

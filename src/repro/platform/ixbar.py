@@ -1,0 +1,85 @@
+"""Instruction crossbar with broadcast support.
+
+Per cycle, each IM bank can serve exactly one *address*; every core fetching
+that address is served by the same bank read (instruction broadcast, the key
+power mechanism of the paper's platform).  Cores requesting a different
+address in the same bank lose arbitration and are clock gated for the cycle.
+
+Arbitration is rotating-priority per bank so that divergent cores make
+round-robin progress instead of starving.
+"""
+
+from __future__ import annotations
+
+from .config import PlatformConfig
+from .trace import ActivityTrace
+
+
+class InstructionCrossbar:
+    """Per-cycle fetch arbitration over the banked instruction memory."""
+
+    def __init__(self, config: PlatformConfig, trace: ActivityTrace):
+        self._config = config
+        self._trace = trace
+        self._priority = [0] * config.im_banks
+
+    def arbitrate(self, requests: dict[int, int]) -> set[int]:
+        """Arbitrate one cycle of fetch requests.
+
+        :param requests: ``core id -> instruction address`` for every core
+            that wants to fetch this cycle.
+        :returns: the set of core ids whose fetch was served.  Exactly one
+            IM bank access is counted per served address.
+        """
+        if not requests:
+            return set()
+
+        config, trace = self._config, self._trace
+
+        # Fast path: full lockstep — every requester fetches one address
+        # (the overwhelmingly common case on the improved design).
+        addresses = requests.values()
+        first = next(iter(addresses))
+        if config.im_broadcast and all(a == first for a in addresses):
+            served = set(requests)
+            trace.im_bank_accesses += 1
+            trace.im_fetches_served += len(served)
+            trace.note_lockstep(len(served))
+            return served
+
+        by_bank: dict[int, list[int]] = {}
+        for core, address in requests.items():
+            by_bank.setdefault(config.im_bank_of(address), []).append(core)
+
+        granted: set[int] = set()
+        largest_group = 0
+        for bank, cores in by_bank.items():
+            winner_core = _rotating_pick(cores, self._priority[bank],
+                                         config.num_cores)
+            winner_addr = requests[winner_core]
+            if config.im_broadcast:
+                served = [c for c in cores if requests[c] == winner_addr]
+            else:
+                served = [winner_core]   # one fetch per bank per cycle
+            granted.update(served)
+            trace.im_bank_accesses += 1
+            trace.im_fetches_served += len(served)
+            if len(served) < len(cores):
+                trace.im_conflict_cycles += 1
+            self._priority[bank] = (winner_core + 1) % config.num_cores
+            if len(served) > largest_group:
+                largest_group = len(served)
+
+        trace.note_lockstep(largest_group)
+        return granted
+
+
+def _rotating_pick(cores: list[int], start: int, num_cores: int) -> int:
+    """Pick the requesting core closest after ``start`` in rotation order."""
+    best = cores[0]
+    best_key = (best - start) % num_cores
+    for core in cores:
+        key = (core - start) % num_cores
+        if key < best_key:
+            best, best_key = core, key
+    return best

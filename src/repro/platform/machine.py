@@ -1,0 +1,356 @@
+"""Cycle-level model of the 8-core ULP platform.
+
+One :meth:`Machine.step` call simulates one clock cycle of the whole
+platform, in the order the hardware resolves it:
+
+1. apply wakeups latched last cycle; deliver interrupts;
+2. synchronizer write phase — pending checkpoint read-modify-writes
+   complete, checked-out cores go to sleep or the barrier releases;
+3. instruction fetch arbitration through the I-Xbar (with broadcast);
+4. execution of fetched instructions — plain instructions retire
+   immediately, loads/stores and ``SINC``/``SDEC`` become requests;
+5. synchronizer read phase — new merged check-in/check-out RMWs start and
+   lock their checkpoint words;
+6. D-Xbar arbitration — broadcast reads, serialized conflicts, and (with
+   the enhanced policy) synchronous-stall conflict groups;
+7. per-core activity accounting for the power model.
+
+Cores are clock gated while they wait for arbitration (counted as stalled)
+and consume only sleep power while checked out at a barrier.
+"""
+
+from __future__ import annotations
+
+from ..cpu.executor import (
+    ExecutionError,
+    checkpoint_address,
+    effective_address,
+    execute_plain,
+    store_operands,
+    take_interrupt,
+)
+from ..cpu.state import CoreMode, CoreState
+from ..isa.program import Program
+from ..isa.spec import Opcode
+from .config import PlatformConfig, WITH_SYNCHRONIZER
+from .dxbar import DataCrossbar, DmRequest
+from .ixbar import InstructionCrossbar
+from .memory import BankedMemory
+from .synchronizer import Synchronizer, SyncRequest
+from .trace import ActivityTrace
+
+
+class DeadlockError(RuntimeError):
+    """All awake work is exhausted but some cores still sleep."""
+
+
+class SimulationLimitError(RuntimeError):
+    """The configured cycle budget was exceeded."""
+
+
+class Machine:
+    """The multi-core platform simulator.
+
+    :param program: the SPMD image every core executes.
+    :param config: structural/policy parameters
+        (default: the paper's improved 8-core design).
+    """
+
+    def __init__(self, program: Program,
+                 config: PlatformConfig = WITH_SYNCHRONIZER):
+        self.config = config
+        self.trace = ActivityTrace()
+        self.trace.retired_per_core = [0] * config.num_cores
+
+        if len(program.instructions) > config.im_words:
+            raise ValueError("program does not fit in instruction memory")
+        self.im = list(program.instructions)
+        self.dm = BankedMemory(config.dm_banks, config.dm_bank_words)
+        for block in program.data:
+            self.dm.load(block.address, block.values)
+        self.program = program
+
+        self.cores = [CoreState(cid, config.num_cores)
+                      for cid in range(config.num_cores)]
+        for core in self.cores:
+            core.pc = program.entry
+
+        self.ixbar = InstructionCrossbar(config, self.trace)
+        self.dxbar = DataCrossbar(config, self.trace, self.dm)
+        self.synchronizer = (
+            Synchronizer(config, self.trace, self.dm, self.dxbar)
+            if config.has_synchronizer else None)
+
+        self._quiet = False
+        self._probes: list = []
+        self._outstanding: list[tuple | None] = [None] * config.num_cores
+        self._barrier_sleeper = [False] * config.num_cores
+        self._wake_next: set[int] = set()
+        self._pending_irq = [False] * config.num_cores
+        self._irq_schedule: dict[int, list[int]] = {}
+        self._timers: list[tuple[int, int, tuple[int, ...]]] = []
+
+    @classmethod
+    def from_assembly(cls, source: str,
+                      config: PlatformConfig = WITH_SYNCHRONIZER) -> "Machine":
+        """Assemble ``source`` and construct a machine running it."""
+        from ..isa.assembler import assemble
+
+        return cls(assemble(source), config)
+
+    # ------------------------------------------------------------------
+    # External stimulus
+    # ------------------------------------------------------------------
+
+    def schedule_interrupt(self, cycle: int, core: int) -> None:
+        """Latch an interrupt request for ``core`` at absolute ``cycle``."""
+        self._irq_schedule.setdefault(cycle, []).append(core)
+
+    def add_timer(self, period: int, cores=None, *, offset: int = 0) -> None:
+        """Add a periodic interrupt source (e.g. an ADC sample timer).
+
+        Raises an IRQ on every listed core each ``period`` cycles,
+        starting at ``offset`` — the stimulus for streaming, duty-cycled
+        biosignal processing.
+        """
+        if period < 1:
+            raise ValueError("timer period must be positive")
+        targets = tuple(range(self.config.num_cores)) if cores is None \
+            else tuple(cores)
+        self._timers.append((period, offset, targets))
+
+    def attach_probe(self, probe) -> None:
+        """Attach a cycle probe: ``probe.sample(machine, active_cores)`` is
+        called at the end of every simulated cycle (costs nothing when no
+        probe is attached).  Probes may implement ``finish(machine)``,
+        invoked by :meth:`run` on completion."""
+        self._probes.append(probe)
+
+    # ------------------------------------------------------------------
+    # Cycle engine
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Simulate one clock cycle."""
+        trace = self.trace
+        cores = self.cores
+        trace.cycles += 1
+        cycle = trace.cycles
+        active: set[int] = set()
+
+        # -- 1. latched wakeups and interrupts ---------------------------
+        if self._wake_next:
+            for cid in self._wake_next:
+                core = cores[cid]
+                if core.mode is CoreMode.SLEEPING:
+                    core.mode = CoreMode.RUNNING
+                self._barrier_sleeper[cid] = False
+            self._wake_next.clear()
+
+        due = self._irq_schedule.pop(cycle, None)
+        if due:
+            for cid in due:
+                self._pending_irq[cid] = True
+        if self._timers:
+            for period, offset, targets in self._timers:
+                if cycle >= offset and (cycle - offset) % period == 0:
+                    for cid in targets:
+                        self._pending_irq[cid] = True
+        if any(self._pending_irq):
+            for cid, core in enumerate(cores):
+                # A core checked out at a barrier is clock gated by the
+                # synchronizer, one level below interrupt-wakeable sleep:
+                # waking it early would let it run past an unreleased
+                # checkpoint.  Its IRQ stays pending until the wakeup.
+                if (self._pending_irq[cid] and core.interrupts_enabled
+                        and core.mode is not CoreMode.HALTED
+                        and not self._barrier_sleeper[cid]
+                        and self._outstanding[cid] is None):
+                    take_interrupt(core)
+                    self._pending_irq[cid] = False
+
+        # -- 2. synchronizer write phase ---------------------------------
+        busy_banks: set[int] = set()
+        if self.synchronizer is not None:
+            completions, busy_banks = self.synchronizer.write_phase()
+            for comp in completions:
+                for cid in comp.checkin_cores:
+                    self._retire_sync(cid, active)
+                for cid in comp.checkout_cores:
+                    self._retire_sync(cid, active)
+                    if not comp.barrier_released:
+                        cores[cid].mode = CoreMode.SLEEPING
+                        self._barrier_sleeper[cid] = True
+                for cid in comp.woken_cores:
+                    if cores[cid].mode is CoreMode.SLEEPING:
+                        self._wake_next.add(cid)
+
+        # -- 3. fetch arbitration ----------------------------------------
+        fetchers = {
+            cid: cores[cid].pc
+            for cid in range(self.config.num_cores)
+            if (cores[cid].mode is CoreMode.RUNNING
+                and self._outstanding[cid] is None
+                and cid not in active)
+        }
+        granted = self.ixbar.arbitrate(fetchers) if fetchers else set()
+
+        # -- 4. execute / classify fetched instructions -------------------
+        for cid in granted:
+            core = cores[cid]
+            pc = core.pc
+            if pc >= len(self.im):
+                raise ExecutionError(
+                    f"core {cid} fetched past the program end (pc={pc})")
+            ins = self.im[pc]
+            active.add(cid)
+            op = ins.op
+            if op is Opcode.LD or op is Opcode.ST:
+                self._outstanding[cid] = ("mem", ins)
+            elif op is Opcode.SINC or op is Opcode.SDEC:
+                if self.synchronizer is None:
+                    raise ExecutionError(
+                        f"core {cid} executed {op.name} but the platform "
+                        "has no hardware synchronizer")
+                self._outstanding[cid] = ("sync", ins)
+            else:
+                execute_plain(core, ins)
+                self._retire(cid)
+
+        # -- collect outstanding memory / sync requests -------------------
+        dm_requests: list[DmRequest] = []
+        sync_requests: list[SyncRequest] = []
+        for cid, out in enumerate(self._outstanding):
+            if out is None:
+                continue
+            kind, ins = out
+            core = cores[cid]
+            if kind == "mem":
+                if ins.op is Opcode.ST:
+                    addr, value = store_operands(core, ins)
+                    dm_requests.append(
+                        DmRequest(cid, addr, True, value, core.pc))
+                else:
+                    dm_requests.append(
+                        DmRequest(cid, effective_address(core, ins),
+                                  False, 0, core.pc))
+            elif kind == "sync":
+                sync_requests.append(
+                    SyncRequest(cid, checkpoint_address(core, ins),
+                                ins.op is Opcode.SDEC))
+
+        # -- 5. synchronizer read phase ------------------------------------
+        if sync_requests:
+            accepted, busy_banks = self.synchronizer.read_phase(
+                sync_requests, busy_banks)
+            for cid in accepted:
+                _, ins = self._outstanding[cid]
+                self._outstanding[cid] = ("sync_wait", ins)
+                active.add(cid)
+
+        # -- 6. data crossbar ------------------------------------------------
+        if dm_requests:
+            result = self.dxbar.arbitrate(dm_requests, busy_banks)
+            for cid, value in result.completions.items():
+                kind, ins = self._outstanding[cid]
+                if value is not None:
+                    cores[cid].regs[ins.rd] = value
+                self._outstanding[cid] = ("mem_held", ins)
+                active.add(cid)
+            for cid in result.released:
+                kind, ins = self._outstanding[cid]
+                cores[cid].pc += 1
+                self._outstanding[cid] = None
+                self._retire(cid)
+                active.add(cid)
+
+        # -- 7. accounting ------------------------------------------------
+        for cid, core in enumerate(cores):
+            if cid in active:
+                trace.core_active_cycles += 1
+            elif core.mode is CoreMode.HALTED:
+                trace.core_halted_cycles += 1
+            elif core.mode is CoreMode.SLEEPING or cid in self._wake_next:
+                trace.core_sleep_cycles += 1
+                if self._barrier_sleeper[cid]:
+                    trace.sync_wait_cycles += 1
+            else:
+                trace.core_stall_cycles += 1
+        self._quiet = not active
+        if self._probes:
+            for probe in self._probes:
+                probe.sample(self, active)
+
+    # ------------------------------------------------------------------
+
+    def _retire(self, cid: int) -> None:
+        self.trace.retired_ops += 1
+        self.trace.retired_per_core[cid] += 1
+
+    def _retire_sync(self, cid: int, active: set[int]) -> None:
+        """Finish a SINC/SDEC: advance the PC and count the op."""
+        self.cores[cid].pc += 1
+        self._outstanding[cid] = None
+        self._retire(cid)
+        active.add(cid)
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+
+    @property
+    def all_halted(self) -> bool:
+        return all(core.mode is CoreMode.HALTED for core in self.cores)
+
+    def _check_deadlock(self) -> None:
+        if self.all_halted:
+            return
+        if any(core.mode is CoreMode.RUNNING for core in self.cores):
+            return
+        if self._wake_next or (self.synchronizer and self.synchronizer.busy):
+            return
+        if self._irq_schedule or self._timers:
+            return
+        if any(pending and not self._barrier_sleeper[cid]
+               and self.cores[cid].mode is not CoreMode.HALTED
+               for cid, pending in enumerate(self._pending_irq)):
+            return
+        sleepers = [
+            (cid, core.pc) for cid, core in enumerate(self.cores)
+            if core.mode is CoreMode.SLEEPING
+        ]
+        raise DeadlockError(
+            "no runnable core and no pending wakeup; sleeping cores "
+            f"(id, pc): {sleepers}")
+
+    def run(self, max_cycles: int | None = None) -> ActivityTrace:
+        """Run until every core halts; returns the activity trace."""
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        if self.all_halted:
+            return self.trace
+        step = self.step
+        trace = self.trace
+        while True:
+            if trace.cycles >= limit:
+                raise SimulationLimitError(
+                    f"exceeded {limit} cycles "
+                    f"(pcs={[c.pc for c in self.cores]})")
+            step()
+            # Only a cycle with no activity at all can be the end of the
+            # program or a deadlock; skip the scans otherwise.
+            if self._quiet:
+                if self.all_halted:
+                    for probe in self._probes:
+                        finish = getattr(probe, "finish", None)
+                        if finish is not None:
+                            finish(self)
+                    return self.trace
+                self._check_deadlock()
+
+    def run_cycles(self, count: int) -> ActivityTrace:
+        """Run for at most ``count`` cycles (stops early if all halt)."""
+        for _ in range(count):
+            if self.all_halted:
+                break
+            self.step()
+        return self.trace

@@ -1,0 +1,59 @@
+"""Banked memory models for the shared instruction and data memories."""
+
+from __future__ import annotations
+
+
+class MemoryError_(RuntimeError):
+    """An access outside the memory's address range."""
+
+
+class BankedMemory:
+    """A word-addressed memory divided into equally-sized contiguous banks.
+
+    The memory itself is purely functional storage; per-cycle port
+    arbitration is performed by the crossbars and the counts are recorded in
+    the activity trace.  Addresses are word indices.
+    """
+
+    __slots__ = ("words", "bank_words", "num_banks")
+
+    def __init__(self, num_banks: int, bank_words: int):
+        self.num_banks = num_banks
+        self.bank_words = bank_words
+        self.words = [0] * (num_banks * bank_words)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def bank_of(self, address: int) -> int:
+        """Bank index covering ``address`` (raises on out-of-range)."""
+        if not 0 <= address < len(self.words):
+            raise MemoryError_(f"address {address} out of range")
+        return address // self.bank_words
+
+    def read(self, address: int) -> int:
+        try:
+            return self.words[address]
+        except IndexError:
+            raise MemoryError_(f"read from {address} out of range") from None
+
+    def write(self, address: int, value: int) -> None:
+        if not 0 <= address < len(self.words):
+            raise MemoryError_(f"write to {address} out of range")
+        self.words[address] = value & 0xFFFF
+
+    def load(self, address: int, values) -> None:
+        """Bulk-initialize a region (used by the program loader)."""
+        end = address + len(values)
+        if not 0 <= address <= end <= len(self.words):
+            raise MemoryError_(
+                f"load of {len(values)} words at {address} out of range")
+        for offset, value in enumerate(values):
+            self.words[address + offset] = value & 0xFFFF
+
+    def dump(self, address: int, count: int) -> list[int]:
+        """Read a region (used by tests and result extraction)."""
+        if not 0 <= address <= address + count <= len(self.words):
+            raise MemoryError_(
+                f"dump of {count} words at {address} out of range")
+        return self.words[address:address + count]

@@ -1,0 +1,244 @@
+"""The hardware synchronizer — the paper's central contribution (sec. IV-A).
+
+The synchronizer coordinates the ``SINC`` (check-in) and ``SDEC``
+(check-out) instructions:
+
+- Checkpoint state lives in ordinary data memory: one 16-bit word per
+  synchronization point, holding the 1-bit core identity flags (bits 7..0)
+  and the count of cores currently inside the section (bits 11..8).
+- Concurrent requests for the same checkpoint are **merged**: however many
+  cores check in or out together, the synchronizer performs a single
+  two-cycle read-modify-write (read in the request cycle, write in the
+  next).
+- The checkpoint address is **locked** during the read-modify-write; late
+  requests and ordinary accesses wait (the ISE's lock output signal).
+- A core that checks out goes to sleep.  When the counter reaches zero the
+  synchronizer **wakes every flagged core** in the same cycle and clears
+  the word, so all participants resume in lockstep at the instruction after
+  their ``SDEC``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import PlatformConfig
+from .trace import ActivityTrace
+
+FLAGS_MASK = 0x00FF
+COUNT_SHIFT = 8
+COUNT_MASK = 0x0F
+
+
+def pack_checkpoint(flags: int, count: int) -> int:
+    """Pack identity flags and core counter into a checkpoint word."""
+    return (flags & FLAGS_MASK) | ((count & COUNT_MASK) << COUNT_SHIFT)
+
+
+def unpack_checkpoint(word: int) -> tuple[int, int]:
+    """Split a checkpoint word into (identity flags, core counter)."""
+    return word & FLAGS_MASK, (word >> COUNT_SHIFT) & COUNT_MASK
+
+
+class SynchronizationError(RuntimeError):
+    """A program violated the check-in/check-out protocol."""
+
+
+@dataclass(slots=True)
+class CheckpointStats:
+    """Per-checkpoint usage statistics (for contention analysis)."""
+
+    rmws: int = 0
+    checkins: int = 0
+    checkouts: int = 0
+    wakeups: int = 0
+    max_counter: int = 0
+    blocked_requests: int = 0     # requests refused by lock/port conflicts
+
+
+@dataclass(frozen=True, slots=True)
+class SyncRequest:
+    """One core-side SINC/SDEC request."""
+
+    core: int
+    address: int
+    is_checkout: bool
+
+
+@dataclass(slots=True)
+class _Rmw:
+    """A merged read-modify-write in flight (read done, write pending)."""
+
+    address: int
+    checkin_mask: int
+    checkout_cores: list[int]
+    checkin_cores: list[int]
+    value_read: int
+
+
+@dataclass(frozen=True, slots=True)
+class SyncCompletion:
+    """Effects of the write phase of one merged RMW."""
+
+    address: int
+    checkin_cores: tuple[int, ...]
+    checkout_cores: tuple[int, ...]
+    woken_cores: tuple[int, ...]     # flagged sleepers to wake (incl. none)
+    barrier_released: bool           # counter reached zero
+
+
+class Synchronizer:
+    """Cycle-level model of the hardware synchronizer block."""
+
+    def __init__(self, config: PlatformConfig, trace: ActivityTrace,
+                 memory, dxbar):
+        self._config = config
+        self._trace = trace
+        self._memory = memory
+        self._dxbar = dxbar
+        self._pending_writes: list[_Rmw] = []
+        #: checkpoint DM address -> usage statistics
+        self.stats: dict[int, CheckpointStats] = {}
+
+    @property
+    def busy(self) -> bool:
+        """True while any read-modify-write is in flight."""
+        return bool(self._pending_writes)
+
+    # ------------------------------------------------------------------
+    # Cycle phases (driven by the machine)
+    # ------------------------------------------------------------------
+
+    def write_phase(self) -> tuple[list[SyncCompletion], set[int]]:
+        """Complete the write cycle of RMWs started last cycle.
+
+        :returns: the completions and the set of DM banks whose port the
+            synchronizer occupies this cycle.
+        """
+        completions: list[SyncCompletion] = []
+        busy_banks: set[int] = set()
+        for rmw in self._pending_writes:
+            completions.append(self._complete(rmw))
+            busy_banks.add(self._config.dm_bank_of(rmw.address))
+        self._pending_writes = []
+        return completions, busy_banks
+
+    def read_phase(self, requests: list[SyncRequest],
+                   busy_banks: set[int]) -> tuple[set[int], set[int]]:
+        """Start RMWs for this cycle's merged requests.
+
+        Requests to a locked checkpoint or to a bank whose port is already
+        in use this cycle are refused (the core retries next cycle).
+
+        :returns: ``(accepted core ids, banks now busy)``.
+        """
+        by_addr: dict[int, list[SyncRequest]] = {}
+        for req in requests:
+            by_addr.setdefault(req.address, []).append(req)
+
+        accepted: set[int] = set()
+        used_banks = set(busy_banks)
+        for address, group in by_addr.items():
+            bank = self._config.dm_bank_of(address)
+            stats = self.stats.get(address)
+            if stats is None:
+                stats = self.stats[address] = CheckpointStats()
+            if address in self._dxbar.locked_addresses or bank in used_banks:
+                stats.blocked_requests += len(group)
+                continue
+            value = self._memory.read(address)
+            self._trace.dm_bank_reads += 1
+            self._trace.sync_rmw_ops += 1
+            stats.rmws += 1
+            self._dxbar.lock(address)
+            used_banks.add(bank)
+            mask = 0
+            checkouts: list[int] = []
+            checkins: list[int] = []
+            for req in group:
+                if req.is_checkout:
+                    checkouts.append(req.core)
+                else:
+                    checkins.append(req.core)
+                    mask |= 1 << req.core
+                accepted.add(req.core)
+            self._pending_writes.append(
+                _Rmw(address, mask, checkouts, checkins, value))
+        return accepted, used_banks
+
+    # ------------------------------------------------------------------
+
+    def _complete(self, rmw: _Rmw) -> SyncCompletion:
+        """Apply one merged RMW's write and compute its wake effects."""
+        flags, count = unpack_checkpoint(rmw.value_read)
+        flags |= rmw.checkin_mask
+        count += len(rmw.checkin_cores) - len(rmw.checkout_cores)
+        if count < 0:
+            raise SynchronizationError(
+                f"checkpoint @{rmw.address}: more check-outs than check-ins "
+                f"(cores {rmw.checkout_cores})")
+        if count > self._config.num_cores:
+            raise SynchronizationError(
+                f"checkpoint @{rmw.address}: counter {count} exceeds the "
+                "core count; a core checked in twice")
+
+        trace = self._trace
+        trace.dm_bank_writes += 1
+        trace.sync_checkins += len(rmw.checkin_cores)
+        trace.sync_checkouts += len(rmw.checkout_cores)
+        stats = self.stats[rmw.address]
+        stats.checkins += len(rmw.checkin_cores)
+        stats.checkouts += len(rmw.checkout_cores)
+        if count > stats.max_counter:
+            stats.max_counter = count
+
+        woken: tuple[int, ...] = ()
+        released = False
+        if count == 0 and rmw.checkout_cores:
+            # All expected cores reached the check-out point: wake every
+            # flagged core and reinitialize the word (paper sec. IV-A).
+            woken = tuple(core for core in range(self._config.num_cores)
+                          if flags & (1 << core))
+            self._memory.write(rmw.address, 0)
+            trace.sync_wakeups += 1
+            stats.wakeups += 1
+            released = True
+        else:
+            self._memory.write(rmw.address, pack_checkpoint(flags, count))
+
+        self._dxbar.unlock(rmw.address)
+        return SyncCompletion(
+            rmw.address,
+            tuple(rmw.checkin_cores),
+            tuple(rmw.checkout_cores),
+            woken,
+            released,
+        )
+
+    # ------------------------------------------------------------------
+
+    def stats_report(self, base: int | None = None,
+                     names: dict[int, str] | None = None) -> str:
+        """Per-checkpoint contention table.
+
+        :param base: when given, addresses print as indices off ``base``.
+        :param names: optional ``index -> label`` map (e.g. from the
+            compiler's :class:`~repro.sync.points.SyncPointAllocator`).
+        """
+        lines = [f"{'checkpoint':>12s}  {'rmws':>6s}  {'in':>6s}  "
+                 f"{'out':>6s}  {'wakes':>6s}  {'maxcnt':>6s}  "
+                 f"{'blocked':>7s}  name"]
+        for address in sorted(self.stats):
+            s = self.stats[address]
+            if base is not None:
+                index = address - base
+                label = f"#{index}"
+                name = (names or {}).get(index, "")
+            else:
+                label = f"@{address}"
+                name = ""
+            lines.append(
+                f"{label:>12s}  {s.rmws:6d}  {s.checkins:6d}  "
+                f"{s.checkouts:6d}  {s.wakeups:6d}  {s.max_counter:6d}  "
+                f"{s.blocked_requests:7d}  {name}")
+        return "\n".join(lines)

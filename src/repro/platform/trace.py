@@ -1,0 +1,146 @@
+"""Activity counters collected during cycle-level simulation.
+
+These counters are the interface between the architectural simulation and
+the power model: every energy-bearing event in the platform (bank accesses,
+crossbar transactions, synchronizer operations, clock ticks, core activity)
+increments exactly one counter here, and the paper's performance metrics
+(ops/cycle, IM access reduction, lockstep rate) are all derived from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ActivityTrace:
+    """Aggregate event counts for one simulation run.
+
+    Core-state accounting (per cycle, per core; the four categories
+    partition ``num_cores * cycles``):
+
+    :ivar core_active_cycles: cycles in which a core executed (or progressed
+        a multi-cycle operation).
+    :ivar core_stall_cycles: cycles lost to crossbar arbitration (the core
+        is clock gated while waiting, per sec. III of the paper).
+    :ivar core_sleep_cycles: cycles spent in sleep mode (checked-out at a
+        barrier, or an explicit ``SLEEP``).
+    :ivar core_halted_cycles: cycles after ``HALT``.
+
+    Memory-system events:
+
+    :ivar im_bank_accesses: IM bank reads; a broadcast fetch serving several
+        cores counts once (this is the quantity the paper reports a ~60%
+        reduction of).
+    :ivar im_fetches_served: core-side instruction deliveries (I-Xbar
+        transaction count; >= im_bank_accesses).
+    :ivar dm_bank_reads / dm_bank_writes: DM bank-port operations, including
+        the synchronizer's checkpoint read-modify-writes.
+    :ivar dm_served: core-side data deliveries (D-Xbar transactions).
+
+    Synchronizer events:
+
+    :ivar sync_checkins / sync_checkouts: core-side SINC/SDEC executions.
+    :ivar sync_rmw_ops: merged read-modify-write operations performed by the
+        synchronizer (one per checkpoint per cycle-pair, regardless of how
+        many requests were merged into it).
+    :ivar sync_wakeups: wake-all events (counter reached zero).
+    :ivar sync_wait_cycles: core-cycles spent asleep waiting at a check-out.
+    """
+
+    cycles: int = 0
+    retired_ops: int = 0
+    retired_per_core: list[int] = field(default_factory=list)
+
+    core_active_cycles: int = 0
+    core_stall_cycles: int = 0
+    core_sleep_cycles: int = 0
+    core_halted_cycles: int = 0
+
+    im_bank_accesses: int = 0
+    im_fetches_served: int = 0
+    im_conflict_cycles: int = 0
+
+    dm_bank_reads: int = 0
+    dm_bank_writes: int = 0
+    dm_served: int = 0
+    dm_conflict_cycles: int = 0
+
+    sync_checkins: int = 0
+    sync_checkouts: int = 0
+    sync_rmw_ops: int = 0
+    sync_wakeups: int = 0
+    sync_wait_cycles: int = 0
+
+    lockstep_histogram: dict[int, int] = field(default_factory=dict)
+
+    def note_lockstep(self, group_size: int) -> None:
+        """Record the largest same-PC fetch group observed this cycle."""
+        self.lockstep_histogram[group_size] = (
+            self.lockstep_histogram.get(group_size, 0) + 1)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def dm_accesses(self) -> int:
+        """Total DM bank accesses (reads + writes)."""
+        return self.dm_bank_reads + self.dm_bank_writes
+
+    @property
+    def ops_per_cycle(self) -> float:
+        """Platform throughput in retired instructions per clock cycle."""
+        return self.retired_ops / self.cycles if self.cycles else 0.0
+
+    @property
+    def im_accesses_per_op(self) -> float:
+        return self.im_bank_accesses / self.retired_ops if self.retired_ops else 0.0
+
+    @property
+    def lockstep_fraction(self) -> float:
+        """Fraction of recorded cycles with at least half the cores fetching
+        the same PC."""
+        if not self.lockstep_histogram:
+            return 0.0
+        total = sum(self.lockstep_histogram.values())
+        cores = max(self.lockstep_histogram)
+        big = sum(count for size, count in self.lockstep_histogram.items()
+                  if 2 * size >= cores)
+        return big / total
+
+    def rates_per_cycle(self) -> dict[str, float]:
+        """Event rates per clock cycle — the power model's input vector."""
+        c = self.cycles or 1
+        return {
+            "core_active": self.core_active_cycles / c,
+            "core_stalled": self.core_stall_cycles / c,
+            "core_sleeping": self.core_sleep_cycles / c,
+            "im_access": self.im_bank_accesses / c,
+            "im_served": self.im_fetches_served / c,
+            "dm_access": self.dm_accesses / c,
+            "dm_served": self.dm_served / c,
+            "sync_rmw": self.sync_rmw_ops / c,
+            "ops": self.retired_ops / c,
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-run summary."""
+        lines = [
+            f"cycles               {self.cycles}",
+            f"retired ops          {self.retired_ops}"
+            f"  ({self.ops_per_cycle:.2f} ops/cycle)",
+            f"core cycles          active={self.core_active_cycles}"
+            f" stalled={self.core_stall_cycles}"
+            f" sleeping={self.core_sleep_cycles}"
+            f" halted={self.core_halted_cycles}",
+            f"IM bank accesses     {self.im_bank_accesses}"
+            f"  (served {self.im_fetches_served} fetches)",
+            f"DM accesses          {self.dm_bank_reads}r"
+            f" + {self.dm_bank_writes}w (served {self.dm_served})",
+            f"sync                 in={self.sync_checkins}"
+            f" out={self.sync_checkouts} rmw={self.sync_rmw_ops}"
+            f" wake={self.sync_wakeups} wait={self.sync_wait_cycles}",
+            f"lockstep fraction    {self.lockstep_fraction:.2f}",
+        ]
+        return "\n".join(lines)

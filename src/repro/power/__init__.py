@@ -1,0 +1,65 @@
+"""Activity-based power model with voltage/frequency scaling.
+
+Calibrated against the paper's Table I (component powers at 8 MOps/s,
+1.2 V) and Fig. 3 (power vs workload under voltage scaling); see
+:mod:`repro.power.calibration` for the fitting procedure and
+:mod:`repro.power.defaults` for the shipped constants.
+"""
+
+from .calibration import (
+    CalibrationResult,
+    FIG3_ANCHORS,
+    NOVSCALE_SAVINGS,
+    RunActivity,
+    TABLE1_TARGETS_MW,
+    TABLE1_TOTAL_MW,
+    TABLE1_WORKLOAD_MOPS,
+    calibrate,
+    fit_energy_coefficients,
+    fit_voltage_model,
+)
+from .components import COMPONENT_ORDER, Component
+from .defaults import (
+    DEFAULT_COEFFICIENTS,
+    DEFAULT_VOLTAGE,
+    default_energy_model,
+    default_voltage_model,
+)
+from .energy import (
+    CLOCK_PERIOD_NS,
+    EnergyCoefficients,
+    EnergyModel,
+    F_NOMINAL_MHZ,
+    V_NOMINAL,
+)
+from .scaling import DesignPowerModel, OperatingPoint, log_sweep, savings_at
+from .voltage import VoltageModel
+
+__all__ = [
+    "CLOCK_PERIOD_NS",
+    "COMPONENT_ORDER",
+    "CalibrationResult",
+    "Component",
+    "DEFAULT_COEFFICIENTS",
+    "DEFAULT_VOLTAGE",
+    "DesignPowerModel",
+    "EnergyCoefficients",
+    "EnergyModel",
+    "F_NOMINAL_MHZ",
+    "FIG3_ANCHORS",
+    "NOVSCALE_SAVINGS",
+    "OperatingPoint",
+    "RunActivity",
+    "TABLE1_TARGETS_MW",
+    "TABLE1_TOTAL_MW",
+    "TABLE1_WORKLOAD_MOPS",
+    "VoltageModel",
+    "V_NOMINAL",
+    "calibrate",
+    "default_energy_model",
+    "default_voltage_model",
+    "fit_energy_coefficients",
+    "fit_voltage_model",
+    "log_sweep",
+    "savings_at",
+]

@@ -1,0 +1,32 @@
+"""Platform components whose power Table I of the paper itemizes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Component(enum.Enum):
+    """One row of the paper's dynamic-power distribution (Table I)."""
+
+    CORES = "Cores"
+    IM = "IM"
+    DM = "DM"
+    DXBAR = "D-Xbar"
+    IXBAR = "I-Xbar"
+    SYNCHRONIZER = "Synchronizer"
+    CLOCK_TREE = "Clock Tree"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Table I row order.
+COMPONENT_ORDER = (
+    Component.CORES,
+    Component.IM,
+    Component.DM,
+    Component.DXBAR,
+    Component.IXBAR,
+    Component.SYNCHRONIZER,
+    Component.CLOCK_TREE,
+)

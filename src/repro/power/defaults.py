@@ -1,0 +1,48 @@
+"""Shipped power-model constants.
+
+These values were produced by :mod:`repro.power.calibration` from six
+reference simulations (MRPFLTR / SQRT32 / MRPDLN x with/without
+synchronizer, 8 cores, 64-sample synthetic-ECG windows, seed 2013),
+fitted against the paper's Table I component powers and Fig. 3 savings
+anchors.  Re-run ``python -m repro calibrate`` to regenerate them after
+changing the kernels or the platform model.
+
+Fit quality at freeze time: energy residual 3.7 % RMS (normalized),
+voltage-savings residual 4.5 % RMS.
+"""
+
+from __future__ import annotations
+
+from .energy import EnergyCoefficients, EnergyModel
+from .voltage import VoltageModel
+
+#: Per-event dynamic energies in pJ (bounded least squares vs Table I).
+DEFAULT_COEFFICIENTS = EnergyCoefficients(
+    core_active=18.682,
+    core_gated=0.0,
+    im_access=87.361,
+    ixbar_transfer=2.638,
+    dm_access=17.825,
+    dxbar_transfer=13.572,
+    sync_rmw=40.763,
+    sync_idle=5.067,
+    clock_tree=42.565,
+)
+
+#: Alpha-power delay parameters (fit vs the Fig. 3 savings anchors).
+DEFAULT_VOLTAGE = VoltageModel(
+    v_threshold=0.470,
+    alpha=3.668,
+    v_floor=0.50,
+)
+
+
+def default_energy_model(has_synchronizer: bool = True) -> EnergyModel:
+    """The calibrated energy model for one of the two designs."""
+    return EnergyModel(DEFAULT_COEFFICIENTS,
+                       has_synchronizer=has_synchronizer)
+
+
+def default_voltage_model() -> VoltageModel:
+    """The calibrated voltage/frequency model (shared by both designs)."""
+    return DEFAULT_VOLTAGE

@@ -1,0 +1,101 @@
+"""Activity-based dynamic energy model.
+
+The cycle simulation produces per-cycle event *rates* (see
+:meth:`repro.platform.trace.ActivityTrace.rates_per_cycle`); this module
+maps them to per-component dynamic power through per-event energy
+coefficients:
+
+    P[component] (mW) = E_cycle[component] (pJ) * f (MHz) / 1000
+                        * (V / Vnom)^2
+
+The square-law voltage dependence is the paper's own analytical scaling
+("the power values at scaled voltages are calculated considering that the
+power decreases with the square of the supply voltage", sec. V-A).
+
+Coefficients are fitted against the paper's Table I by
+:mod:`repro.power.calibration`; fitted values ship as defaults in
+:mod:`repro.power.defaults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .components import Component
+
+V_NOMINAL = 1.2
+#: relaxed clock period used for both designs (sec. V-A), ns
+CLOCK_PERIOD_NS = 12.0
+#: nominal operating frequency, MHz
+F_NOMINAL_MHZ = 1e3 / CLOCK_PERIOD_NS
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """Per-event dynamic energies in pJ.
+
+    :ivar core_active: per core-active cycle (instruction progress).
+    :ivar core_gated: per clock-gated (stalled) core cycle — residual
+        clocking inside the core.
+    :ivar im_access: per IM bank read (a broadcast fetch counts once).
+    :ivar ixbar_transfer: per core-side instruction delivery.
+    :ivar dm_access: per DM bank read/write (checkpoint RMWs included).
+    :ivar dxbar_transfer: per core-side data delivery.
+    :ivar sync_rmw: per merged checkpoint read-modify-write.
+    :ivar sync_idle: per cycle, when the synchronizer block is present.
+    :ivar clock_tree: per cycle (root clock distribution).
+    """
+
+    core_active: float
+    core_gated: float
+    im_access: float
+    ixbar_transfer: float
+    dm_access: float
+    dxbar_transfer: float
+    sync_rmw: float
+    sync_idle: float
+    clock_tree: float
+
+    def scaled(self, **changes) -> "EnergyCoefficients":
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Maps activity rates to per-component power."""
+
+    coefficients: EnergyCoefficients
+    has_synchronizer: bool = True
+    v_nominal: float = V_NOMINAL
+
+    def energy_per_cycle(self, rates: dict[str, float]
+                         ) -> dict[Component, float]:
+        """Average dynamic energy per clock cycle, in pJ, per component."""
+        c = self.coefficients
+        energies = {
+            Component.CORES: (c.core_active * rates["core_active"]
+                              + c.core_gated * rates["core_stalled"]),
+            Component.IM: c.im_access * rates["im_access"],
+            Component.DM: c.dm_access * rates["dm_access"],
+            Component.DXBAR: c.dxbar_transfer * rates["dm_served"],
+            Component.IXBAR: c.ixbar_transfer * rates["im_served"],
+            Component.SYNCHRONIZER: (
+                c.sync_rmw * rates["sync_rmw"] + c.sync_idle
+                if self.has_synchronizer else 0.0),
+            Component.CLOCK_TREE: c.clock_tree,
+        }
+        return energies
+
+    def power_mw(self, rates: dict[str, float], f_mhz: float,
+                 v: float | None = None) -> dict[Component, float]:
+        """Per-component dynamic power at frequency ``f_mhz`` and supply
+        ``v`` (defaults to nominal)."""
+        v = self.v_nominal if v is None else v
+        scale = f_mhz / 1000.0 * (v / self.v_nominal) ** 2
+        return {component: energy * scale
+                for component, energy in
+                self.energy_per_cycle(rates).items()}
+
+    def total_power_mw(self, rates: dict[str, float], f_mhz: float,
+                       v: float | None = None) -> float:
+        return sum(self.power_mw(rates, f_mhz, v).values())

@@ -1,0 +1,80 @@
+"""Supply-voltage / frequency model (alpha-power delay law).
+
+The paper scales supply voltage down toward the transistor threshold for
+workloads below each design's peak (sec. V-A).  Gate delay follows the
+alpha-power law::
+
+    delay(V) = d_nom * (V / Vnom) * ((Vnom - Vth) / (V - Vth))^alpha
+
+anchored so that ``delay(Vnom)`` equals the relaxed 12 ns clock period.
+``v_floor`` models the paper's stated limit ("scaling ... is limited to
+the transistor threshold voltage level, to avoid performance variability
+and functional failures"): below the floor the design keeps its voltage
+and simply runs at a lower frequency.
+
+The parameters (Vth, alpha, floor) are fitted to the paper's Fig. 3
+savings anchors by :mod:`repro.power.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .energy import CLOCK_PERIOD_NS, V_NOMINAL
+
+
+@dataclass(frozen=True)
+class VoltageModel:
+    """Alpha-power delay model with a near-threshold floor."""
+
+    v_nominal: float = V_NOMINAL
+    v_threshold: float = 0.40
+    alpha: float = 2.6
+    v_floor: float = 0.50
+    d_nominal_ns: float = CLOCK_PERIOD_NS
+
+    def __post_init__(self):
+        if not self.v_threshold < self.v_floor <= self.v_nominal:
+            raise ValueError(
+                "require v_threshold < v_floor <= v_nominal, got "
+                f"Vth={self.v_threshold}, floor={self.v_floor}, "
+                f"Vnom={self.v_nominal}")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+
+    def delay_ns(self, v: float) -> float:
+        """Critical-path-limited clock period at supply ``v``."""
+        if v <= self.v_threshold:
+            raise ValueError(f"supply {v} V at or below threshold")
+        vn, vt = self.v_nominal, self.v_threshold
+        return (self.d_nominal_ns * (v / vn)
+                * ((vn - vt) / (v - vt)) ** self.alpha)
+
+    def f_max_mhz(self, v: float) -> float:
+        """Maximum clock frequency at supply ``v``."""
+        return 1e3 / self.delay_ns(v)
+
+    @property
+    def f_nominal_mhz(self) -> float:
+        return 1e3 / self.d_nominal_ns
+
+    def v_for_frequency(self, f_mhz: float) -> float | None:
+        """Lowest feasible supply for clock ``f_mhz``.
+
+        Returns ``None`` when the frequency exceeds the nominal-voltage
+        capability; returns the floor voltage for very low frequencies.
+        """
+        if f_mhz <= 0:
+            raise ValueError("frequency must be positive")
+        if f_mhz > self.f_nominal_mhz * (1 + 1e-12):
+            return None
+        if f_mhz <= self.f_max_mhz(self.v_floor):
+            return self.v_floor
+        lo, hi = self.v_floor, self.v_nominal
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if self.f_max_mhz(mid) >= f_mhz:
+                hi = mid
+            else:
+                lo = mid
+        return hi

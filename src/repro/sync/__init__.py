@@ -1,0 +1,32 @@
+"""Software side of the paper's synchronization technique.
+
+- :mod:`~repro.sync.points` — checkpoint array layout and index allocation.
+- :mod:`~repro.sync.instrument` — pragma-driven instrumentation of assembly
+  sources (the paper's Listing 1 workflow).
+- :class:`~repro.platform.config.SyncPolicy` (re-exported) — hardware-side
+  policy knob used for ablations.
+"""
+
+from ..platform.config import SyncPolicy
+from .instrument import (
+    InstrumentationError,
+    InstrumentationResult,
+    instrument_assembly,
+)
+from .points import (
+    DEFAULT_SYNC_BASE,
+    SYNC_BANK,
+    SyncPointAllocator,
+    startup_assembly,
+)
+
+__all__ = [
+    "DEFAULT_SYNC_BASE",
+    "SYNC_BANK",
+    "InstrumentationError",
+    "InstrumentationResult",
+    "SyncPointAllocator",
+    "SyncPolicy",
+    "instrument_assembly",
+    "startup_assembly",
+]

@@ -1,0 +1,81 @@
+"""Pragma-driven instrumentation of assembly sources (Listing 1).
+
+The paper inserts check-in/check-out instructions around each
+data-dependent code section, marked manually with pragmas.  This pass
+implements exactly that workflow for hand-written assembly: the programmer
+marks regions with ``;@sync`` pragmas, and the pass replaces them with
+``SINC``/``SDEC`` instructions using freshly allocated checkpoint indices
+(or with nothing at all, when building the baseline design).
+
+Pragmas::
+
+    ;@sync begin [name]    ->  SINC #<index>
+    ;@sync end             ->  SDEC #<index of innermost open region>
+
+Regions nest; each syntactic region gets its own checkpoint word.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .points import SyncPointAllocator
+
+_PRAGMA_RE = re.compile(r"^\s*;@sync\s+(begin|end)\s*(\S*)\s*$")
+
+
+class InstrumentationError(ValueError):
+    """Unbalanced or malformed sync pragmas."""
+
+
+@dataclass(frozen=True)
+class InstrumentationResult:
+    """Instrumented source plus the allocation that was used."""
+
+    source: str
+    allocator: SyncPointAllocator
+    regions: int
+
+
+def instrument_assembly(source: str, *, enabled: bool = True,
+                        allocator: SyncPointAllocator | None = None,
+                        ) -> InstrumentationResult:
+    """Expand ``;@sync`` pragmas into SINC/SDEC (or strip them).
+
+    :param source: assembly text containing pragmas.
+    :param enabled: when False, pragmas are removed without emitting any
+        instruction — this builds the *without synchronizer* baseline from
+        the same source.
+    :param allocator: optionally share an allocator across several files.
+    """
+    allocator = allocator or SyncPointAllocator()
+    stack: list[int] = []
+    regions = 0
+    out_lines: list[str] = []
+
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.match(line)
+        if not match:
+            out_lines.append(line)
+            continue
+        kind, name = match.groups()
+        if kind == "begin":
+            index = allocator.allocate(name or f"line{lineno}")
+            stack.append(index)
+            regions += 1
+            if enabled:
+                out_lines.append(f"    SINC #{index}")
+        else:
+            if not stack:
+                raise InstrumentationError(
+                    f"line {lineno}: ';@sync end' without a matching begin")
+            index = stack.pop()
+            if enabled:
+                out_lines.append(f"    SDEC #{index}")
+
+    if stack:
+        raise InstrumentationError(
+            f"unclosed sync regions: "
+            f"{[allocator.name_of(i) for i in stack]}")
+    return InstrumentationResult("\n".join(out_lines), allocator, regions)

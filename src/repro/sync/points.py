@@ -1,0 +1,77 @@
+"""Checkpoint-array layout and allocation (software side of the technique).
+
+The paper assigns one data-memory word per data-dependent code section
+(sec. IV, step 2).  By convention we place the checkpoint array at the
+bottom of the last DM bank, away from channel buffers, and programs load
+its base address into the ``Rsync`` special register at startup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.spec import SYNC_INDEX_MAX
+
+#: Default DM bank reserved for the checkpoint array.
+SYNC_BANK = 15
+
+#: Checkpoint indices reserved for the compiler runtime (allocated from
+#: the top of the index space; compiler-inserted points grow from 0).
+#: The software division routines have data-dependent branches the
+#: uniformity analysis cannot see (they are assembly), so sync-enabled
+#: builds wrap each routine in its own checkpoint to restore lockstep at
+#: the call boundary.
+RUNTIME_SYNC_INDICES = {"__div16": 255, "__mod16": 254}
+
+#: Default base address of the checkpoint array (bank 15 of the paper's
+#: 16 x 2048-word data memory).
+DEFAULT_SYNC_BASE = SYNC_BANK * 2048
+
+
+@dataclass
+class SyncPointAllocator:
+    """Allocates checkpoint indices for data-dependent code sections.
+
+    Each syntactic region receives a distinct index, so nested regions use
+    distinct checkpoint words (Fig. 2 of the paper).  Indices address words
+    relative to the ``Rsync`` base register.
+    """
+
+    base: int = DEFAULT_SYNC_BASE
+    _next: int = 0
+    _names: dict[int, str] = field(default_factory=dict)
+
+    def allocate(self, name: str = "") -> int:
+        """Reserve the next checkpoint index (optionally labelled)."""
+        if self._next > SYNC_INDEX_MAX:
+            raise ValueError(
+                f"too many synchronization points (> {SYNC_INDEX_MAX + 1})")
+        index = self._next
+        self._next += 1
+        self._names[index] = name or f"region{index}"
+        return index
+
+    @property
+    def count(self) -> int:
+        return self._next
+
+    def address_of(self, index: int) -> int:
+        """Absolute DM address of checkpoint ``index``."""
+        return self.base + index
+
+    def name_of(self, index: int) -> str:
+        return self._names.get(index, f"region{index}")
+
+    def describe(self) -> str:
+        """Human-readable map of allocated checkpoints."""
+        return "\n".join(
+            f"  #{idx:3d} @ {self.address_of(idx):5d}  {name}"
+            for idx, name in sorted(self._names.items()))
+
+
+def startup_assembly(base: int = DEFAULT_SYNC_BASE) -> str:
+    """Assembly prologue that points ``Rsync`` at the checkpoint array."""
+    return (
+        f"    LI R1, #{base}\n"
+        "    MTSR RSYNC, R1\n"
+    )

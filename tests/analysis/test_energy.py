@@ -1,0 +1,74 @@
+"""Tests for the energy-analysis module."""
+
+import pytest
+
+from repro.analysis import power_models, reference_runs
+from repro.analysis.energy import (
+    battery_life_hours,
+    compare_energy,
+    energy_delay_product,
+    energy_per_op_pj,
+    format_energy,
+)
+
+N = 32
+
+
+@pytest.fixture(scope="module")
+def models():
+    return power_models(reference_runs(n_samples=N))
+
+
+class TestEnergyPerOp:
+    def test_units_consistent(self, models):
+        model = models["SQRT32", "with-sync"]
+        mops = 10.0
+        point = model.at_workload(mops)
+        epo = energy_per_op_pj(model, mops)
+        # pJ/op * MOps/s = µW; convert back to mW
+        assert epo * mops / 1e6 == pytest.approx(point.power_mw / 1e3)
+
+    def test_voltage_scaling_lowers_energy_per_op(self, models):
+        model = models["MRPDLN", "with-sync"]
+        low = energy_per_op_pj(model, model.max_mops / 8)
+        high = energy_per_op_pj(model, model.max_mops)
+        assert low < high     # lower V -> cheaper ops
+
+    def test_infeasible_returns_none(self, models):
+        model = models["MRPDLN", "with-sync"]
+        assert energy_per_op_pj(model, model.max_mops * 2) is None
+
+    def test_sync_design_cheaper_per_op(self, models):
+        for bench in ("MRPFLTR", "SQRT32", "MRPDLN"):
+            cmp = compare_energy(models, bench, 8.0)
+            assert cmp is not None
+            assert 0.1 < cmp.saving < 0.8
+
+
+class TestEdp:
+    def test_edp_positive_and_units(self, models):
+        model = models["SQRT32", "with-sync"]
+        edp = energy_delay_product(model, 10.0)
+        epo = energy_per_op_pj(model, 10.0)
+        assert edp == pytest.approx(epo * 100.0)   # 1000/10 ns per op
+
+    def test_edp_improves_with_throughput_at_first(self, models):
+        # near the floor voltage, running faster is free energy-wise, so
+        # EDP strictly improves until voltage starts rising
+        model = models["SQRT32", "with-sync"]
+        assert (energy_delay_product(model, 2.0)
+                > energy_delay_product(model, 8.0))
+
+
+class TestBatteryAndFormat:
+    def test_battery_life_scales_with_capacity(self, models):
+        model = models["MRPFLTR", "with-sync"]
+        life1 = battery_life_hours(model, 2.0, battery_mwh=100)
+        life2 = battery_life_hours(model, 2.0, battery_mwh=200)
+        assert life2 == pytest.approx(2 * life1)
+        assert life1 > 24     # a coin cell lasts days at 2 MOps/s
+
+    def test_format_energy_table(self, models):
+        text = format_energy(models)
+        assert "pJ/op" in text
+        assert "MRPFLTR" in text and "saving" in text

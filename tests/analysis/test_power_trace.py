@@ -1,0 +1,84 @@
+"""Tests for the power-over-time probe and profile analytics."""
+
+import pytest
+
+from repro.analysis.power_trace import (
+    PowerTraceProbe,
+    power_profile,
+    profile_stats,
+    sparkline,
+)
+from repro.compiler import compile_source
+from repro.platform import Machine, PlatformConfig, WITH_SYNCHRONIZER
+from repro.power import default_energy_model
+
+KERNEL = """
+int out[8];
+void main() {
+    int id = __coreid();
+    int acc = 0;
+    for (int i = 0; i < 40; i = i + 1) {
+        if ((i ^ id) & 1) { acc += i; } else { acc -= id; }
+    }
+    out[id] = acc;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def probe_and_machine():
+    compiled = compile_source(KERNEL, sync_mode="auto")
+    machine = Machine(compiled.program, WITH_SYNCHRONIZER)
+    probe = PowerTraceProbe(interval=64)
+    machine.attach_probe(probe)
+    machine.run()
+    return probe, machine
+
+
+class TestProbe:
+    def test_intervals_cover_the_run(self, probe_and_machine):
+        probe, machine = probe_and_machine
+        assert probe.intervals
+        covered = sum(i.cycles for i in probe.intervals)
+        assert covered == machine.trace.cycles
+
+    def test_interval_rates_bounded(self, probe_and_machine):
+        probe, machine = probe_and_machine
+        cores = machine.config.num_cores
+        for interval in probe.intervals:
+            assert 0 <= interval.rates["core_active"] <= cores
+            assert 0 <= interval.rates["ops"] <= cores
+
+    def test_totals_match_trace(self, probe_and_machine):
+        probe, machine = probe_and_machine
+        total_ops = sum(i.rates["ops"] * i.cycles for i in probe.intervals)
+        assert total_ops == pytest.approx(machine.trace.retired_ops)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTraceProbe(interval=0)
+
+
+class TestProfile:
+    def test_power_profile_positive(self, probe_and_machine):
+        probe, _ = probe_and_machine
+        profile = power_profile(probe, default_energy_model())
+        assert all(power > 0 for _, power in profile)
+        starts = [start for start, _ in profile]
+        assert starts == sorted(starts)
+
+    def test_stats(self, probe_and_machine):
+        probe, _ = probe_and_machine
+        stats = profile_stats(power_profile(probe, default_energy_model()))
+        assert stats["trough_mw"] <= stats["average_mw"] <= stats["peak_mw"]
+        assert stats["peak_to_average"] >= 1.0
+
+    def test_sparkline_renders(self, probe_and_machine):
+        probe, _ = probe_and_machine
+        line = sparkline(power_profile(probe, default_energy_model()),
+                         width=20)
+        assert 1 <= len(line) <= 20
+
+    def test_sparkline_resamples_long_profiles(self):
+        profile = [(i, float(i % 7)) for i in range(500)]
+        assert len(sparkline(profile, width=32)) == 32

@@ -1,0 +1,123 @@
+"""Tests for the timeline recorder and the cycle-attribution profiler."""
+
+from repro.analysis.profiler import (
+    ProfileProbe,
+    format_profile,
+    hottest_pcs,
+    profile_regions,
+)
+from repro.analysis.timeline import TimelineProbe
+from repro.compiler import compile_source
+from repro.platform import Machine, PlatformConfig, WITH_SYNCHRONIZER
+
+KERNEL = """
+int out[8];
+
+int work(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) { acc = acc + i; }
+    return acc;
+}
+
+void main() {
+    int id = __coreid();
+    out[id] = work(id * 8 + 4);
+}
+"""
+
+
+def run_with(probe, sync=True):
+    compiled = compile_source(KERNEL, sync_mode="auto" if sync else "none")
+    machine = Machine(compiled.program, WITH_SYNCHRONIZER
+                      if sync else PlatformConfig(num_cores=8))
+    machine.attach_probe(probe)
+    machine.run()
+    return machine, compiled
+
+
+class TestTimeline:
+    def test_records_every_cycle(self):
+        probe = TimelineProbe()
+        machine, _ = run_with(probe)
+        assert probe.cycles_recorded == machine.trace.cycles
+        assert len(probe.lanes) == 8
+
+    def test_characters_partition_core_cycles(self):
+        probe = TimelineProbe()
+        machine, _ = run_with(probe)
+        counts = {"#": 0, ".": 0, "z": 0, " ": 0}
+        for lane in probe.lanes:
+            for ch in lane:
+                counts[ch] += 1
+        t = machine.trace
+        assert counts["#"] == t.core_active_cycles
+        assert counts["."] == t.core_stall_cycles
+        assert counts["z"] == t.core_sleep_cycles
+        assert counts[" "] == t.core_halted_cycles
+
+    def test_render_window(self):
+        probe = TimelineProbe()
+        run_with(probe)
+        text = probe.render(start=0, width=40)
+        assert "core0 |" in text and "core7 |" in text
+        assert "legend" in text
+
+    def test_compress(self):
+        probe = TimelineProbe()
+        run_with(probe)
+        text = probe.render(width=20, compress=8)
+        assert "(8 cycles/char)" in text
+
+    def test_memory_guard(self):
+        probe = TimelineProbe(max_cycles=10)
+        run_with(probe)
+        assert probe.cycles_recorded == 10
+
+    def test_lockstep_ratio_bounds(self):
+        probe = TimelineProbe()
+        run_with(probe)
+        assert 0.0 <= probe.lockstep_ratio() <= 1.0
+
+    def test_empty_render(self):
+        assert "no cycles" in TimelineProbe().render()
+
+
+class TestProfiler:
+    def test_attribution_sums_match_trace(self):
+        probe = ProfileProbe()
+        machine, _ = run_with(probe)
+        t = machine.trace
+        assert sum(probe.active_cycles.values()) == t.core_active_cycles
+        assert sum(probe.stall_cycles.values()) == t.core_stall_cycles
+        assert probe.sleep_cycles == t.core_sleep_cycles
+
+    def test_regions_cover_hot_function(self):
+        probe = ProfileProbe()
+        _, compiled = run_with(probe)
+        regions = profile_regions(probe, compiled.program)
+        names = [r.symbol for r in regions]
+        assert "f_work" in names
+        # the worker loop dominates
+        assert regions[0].symbol in ("f_work", "f_main")
+
+    def test_region_boundaries_sane(self):
+        probe = ProfileProbe()
+        _, compiled = run_with(probe)
+        for region in profile_regions(probe, compiled.program):
+            assert 0 <= region.start < region.end
+            assert region.total == region.active + region.stalled
+
+    def test_format_profile(self):
+        probe = ProfileProbe()
+        _, compiled = run_with(probe)
+        text = format_profile(probe, compiled.program)
+        assert "symbol" in text and "f_work" in text
+        assert "asleep" in text
+
+    def test_hottest_pcs_disassemble(self):
+        probe = ProfileProbe()
+        _, compiled = run_with(probe)
+        hot = hottest_pcs(probe, compiled.program, top=5)
+        assert len(hot) == 5
+        for pc, text, cycles in hot:
+            assert cycles > 0 and isinstance(text, str) and text

@@ -1,0 +1,48 @@
+"""Tests for compound assignment operators (+=, -=, ...)."""
+
+import pytest
+
+from repro.compiler import compile_source, parse
+from repro.compiler.lexer import CompileError
+from repro.platform import Machine, PlatformConfig
+
+ONE_CORE = PlatformConfig(num_cores=1)
+
+
+def run1(body):
+    src = f"int out[1];\nvoid main() {{ {body} }}"
+    compiled = compile_source(src, sync_mode="none")
+    machine = Machine(compiled.program, ONE_CORE)
+    machine.run(max_cycles=500_000)
+    return machine.dm.read(compiled.symbol("out"))
+
+
+@pytest.mark.parametrize("op,expected", [
+    ("+=", 13), ("-=", 7), ("*=", 30), ("/=", 3), ("%=", 1),
+    ("&=", 2), ("|=", 11), ("^=", 9), ("<<=", 80), (">>=", 1),
+])
+def test_compound_operators(op, expected):
+    assert run1(f"int x = 10; x {op} 3; out[0] = x;") == expected
+
+
+def test_compound_in_loop():
+    assert run1("""
+        int sum = 0;
+        for (int i = 1; i <= 10; i += 1) { sum += i; }
+        out[0] = sum;
+    """) == 55
+
+
+def test_compound_is_expression():
+    assert run1("int a = 5; int b = (a += 2); out[0] = a * 100 + b;") == 707
+
+
+def test_compound_on_element_rejected():
+    with pytest.raises(CompileError):
+        compile_source("int a[4]; void main() { a[0] += 1; }")
+
+
+def test_desugaring_shape():
+    ast = parse("void main() { int x; x += 2; }")
+    stmt = ast.function("main").body.statements[1]
+    assert stmt.expr.value.op == "+"

@@ -1,0 +1,245 @@
+"""Differential and metamorphic fuzzing of the minic compiler.
+
+Two independent oracles:
+
+1. **Expression differential** — random expression trees are rendered to
+   minic, compiled, executed on the single-core platform and compared
+   against a Python reference evaluator implementing the machine's exact
+   16-bit semantics (wrapping arithmetic, arithmetic right shift, signed
+   comparisons, the runtime's division convention).
+
+2. **SPMD metamorphic** — random multi-core programs with data-dependent
+   control flow must produce identical results on the baseline design and
+   on the synchronized design under both insertion modes; synchronization
+   may change timing, never values.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compiler import compile_source
+from repro.platform import Machine, PlatformConfig, SyncPolicy
+
+ONE_CORE = PlatformConfig(num_cores=1)
+
+
+# ---------------------------------------------------------------------------
+# Reference semantics (must match the ALU + runtime exactly)
+# ---------------------------------------------------------------------------
+
+def wrap16(v: int) -> int:
+    v &= 0xFFFF
+    return v - 0x10000 if v & 0x8000 else v
+
+
+def u16(v: int) -> int:
+    return v & 0xFFFF
+
+
+def machine_div(a: int, b: int) -> int:
+    if b == 0:
+        return wrap16(-1)
+    ua = -a if a < 0 else a          # -32768 stays 32768 unsigned
+    ub = -b if b < 0 else b
+    q = ua // ub
+    if (a < 0) != (b < 0):
+        q = -q
+    return wrap16(q)
+
+
+def machine_mod(a: int, b: int) -> int:
+    if b == 0:
+        return wrap16(a)
+    ua = -a if a < 0 else a
+    ub = -b if b < 0 else b
+    r = ua % ub
+    if a < 0:
+        r = -r
+    return wrap16(r)
+
+
+def evaluate(node, env) -> int:
+    kind = node[0]
+    if kind == "num":
+        return node[1]
+    if kind == "var":
+        return env[node[1]]
+    if kind == "un":
+        op, operand = node[1], evaluate(node[2], env)
+        if op == "-":
+            return wrap16(-operand)
+        if op == "~":
+            return wrap16(~operand)
+        return int(operand == 0)     # '!'
+    op, left, right = node[1], node[2], node[3]
+    a = evaluate(left, env)
+    if op == "&&":
+        return int(bool(a) and bool(evaluate(right, env)))
+    if op == "||":
+        return int(bool(a) or bool(evaluate(right, env)))
+    b = evaluate(right, env)
+    if op == "+":
+        return wrap16(a + b)
+    if op == "-":
+        return wrap16(a - b)
+    if op == "*":
+        return wrap16(a * b)
+    if op == "/":
+        return machine_div(a, b)
+    if op == "%":
+        return machine_mod(a, b)
+    if op == "&":
+        return wrap16(u16(a) & u16(b))
+    if op == "|":
+        return wrap16(u16(a) | u16(b))
+    if op == "^":
+        return wrap16(u16(a) ^ u16(b))
+    if op == "<<":
+        return wrap16(u16(a) << b)
+    if op == ">>":
+        return wrap16(a >> b)
+    table = {"==": a == b, "!=": a != b, "<": a < b,
+             "<=": a <= b, ">": a > b, ">=": a >= b}
+    return int(table[op])
+
+
+def render(node) -> str:
+    kind = node[0]
+    if kind == "num":
+        return str(node[1])
+    if kind == "var":
+        return node[1]
+    if kind == "un":
+        return f"({node[1]}{render(node[2])})"
+    return f"({render(node[2])} {node[1]} {render(node[3])})"
+
+
+# ---------------------------------------------------------------------------
+# Expression generator
+# ---------------------------------------------------------------------------
+
+VARS = ["v0", "v1", "v2", "v3"]
+_BIN_OPS = ["+", "-", "*", "&", "|", "^", "==", "!=", "<", "<=", ">",
+            ">=", "&&", "||", "/", "%"]
+_UN_OPS = ["-", "~", "!"]
+
+
+@st.composite
+def expr_trees(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return ("var", draw(st.sampled_from(VARS)))
+        return ("num", draw(st.integers(-128, 127)))
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return ("un", draw(st.sampled_from(_UN_OPS)),
+                draw(expr_trees(depth=depth - 1)))
+    op = draw(st.sampled_from(_BIN_OPS))
+    if op in ("<<", ">>"):
+        return ("bin", op, draw(expr_trees(depth=depth - 1)),
+                ("num", draw(st.integers(0, 15))))
+    return ("bin", op, draw(expr_trees(depth=depth - 1)),
+            draw(expr_trees(depth=depth - 1)))
+
+
+@st.composite
+def shift_trees(draw):
+    op = draw(st.sampled_from(["<<", ">>"]))
+    return ("bin", op, draw(expr_trees(depth=2)),
+            ("num", draw(st.integers(0, 15))))
+
+
+def compile_and_run(expr_src: str, values: dict[str, int]) -> int:
+    decls = "\n".join(f"    int {name} = {value};"
+                      for name, value in values.items())
+    source = f"""
+        int out[1];
+        void main() {{
+{decls}
+            out[0] = {expr_src};
+        }}
+    """
+    compiled = compile_source(source, sync_mode="none")
+    machine = Machine(compiled.program, ONE_CORE)
+    machine.run(max_cycles=2_000_000)
+    raw = machine.dm.read(compiled.symbol("out"))
+    return wrap16(raw)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(expr_trees(), st.lists(st.integers(-32768, 32767),
+                              min_size=4, max_size=4))
+def test_expression_differential(tree, values):
+    env = dict(zip(VARS, values))
+    expected = evaluate(tree, env)
+    got = compile_and_run(render(tree), env)
+    assert got == expected, f"{render(tree)} with {env}"
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(shift_trees(), st.lists(st.integers(-32768, 32767),
+                               min_size=4, max_size=4))
+def test_shift_differential(tree, values):
+    env = dict(zip(VARS, values))
+    assert compile_and_run(render(tree), env) == evaluate(tree, env)
+
+
+# ---------------------------------------------------------------------------
+# SPMD metamorphic fuzzing
+# ---------------------------------------------------------------------------
+
+@st.composite
+def spmd_programs(draw):
+    """A random terminating SPMD kernel with data-dependent control."""
+    lines = [
+        "int out[8];",
+        "void main() {",
+        "    int id = __coreid();",
+        "    int a = id * 3 + 1;",
+        "    int b = 7 - id;",
+        "    int c = 0;",
+    ]
+    n_stmts = draw(st.integers(2, 4))
+    for index in range(n_stmts):
+        kind = draw(st.integers(0, 2))
+        expr = render(draw(expr_trees(depth=2))).replace("v0", "a") \
+            .replace("v1", "b").replace("v2", "c").replace("v3", "id")
+        if kind == 0:
+            target = draw(st.sampled_from(["a", "b", "c"]))
+            lines.append(f"    {target} = {expr};")
+        elif kind == 1:
+            target = draw(st.sampled_from(["a", "b", "c"]))
+            lines.append(f"    if ({expr}) {{ {target} = {target} + id; }}"
+                         f" else {{ {target} = {target} - 1; }}")
+        else:
+            bound = draw(st.integers(1, 6))
+            body_target = draw(st.sampled_from(["a", "b", "c"]))
+            guard = draw(st.sampled_from(["continue", "plain"]))
+            body = (f"if ((i ^ id) & 1) {{ continue; }} "
+                    f"{body_target} = {body_target} + i;"
+                    if guard == "continue"
+                    else f"{body_target} = {body_target} ^ (i + id);")
+            lines.append(
+                f"    for (int i{index} = 0; i{index} < {bound}; "
+                f"i{index} = i{index} + 1) {{ int i = i{index}; {body} }}")
+    lines.append("    out[id] = (a ^ b) + c;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def run_spmd(source: str, sync_mode: str) -> list[int]:
+    compiled = compile_source(source, sync_mode=sync_mode)
+    policy = SyncPolicy.NONE if sync_mode == "none" else SyncPolicy.FULL
+    machine = Machine(compiled.program, PlatformConfig(policy=policy))
+    machine.run(max_cycles=2_000_000)
+    return machine.dm.dump(compiled.symbol("out"), 8)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spmd_programs())
+def test_sync_modes_never_change_results(source):
+    baseline = run_spmd(source, "none")
+    assert run_spmd(source, "auto") == baseline, source
+    assert run_spmd(source, "all") == baseline, source

@@ -1,0 +1,122 @@
+"""Lexer and parser tests for minic."""
+
+import pytest
+
+from repro.compiler.lexer import CompileError, Tok, tokenize
+from repro.compiler.parser import parse
+from repro.compiler.ast_nodes import (
+    AssignExpr,
+    BinaryExpr,
+    ForStmt,
+    IfStmt,
+    NumberExpr,
+    UnaryExpr,
+    WhileStmt,
+)
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        kinds = [t.kind for t in tokenize("int intx if iffy")]
+        assert kinds == [Tok.INT, Tok.IDENT, Tok.IF, Tok.IDENT, Tok.EOF]
+
+    def test_numbers(self):
+        tokens = tokenize("42 0x1F 0")
+        assert [t.value for t in tokens[:-1]] == [42, 31, 0]
+
+    def test_two_char_operators(self):
+        kinds = [t.kind for t in tokenize("<< >> == != <= >= && ||")][:-1]
+        assert kinds == [Tok.LSHIFT, Tok.RSHIFT, Tok.EQ, Tok.NE,
+                         Tok.LE, Tok.GE, Tok.ANDAND, Tok.OROR]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a // line\n /* block\nblock */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(CompileError):
+            tokenize("/* never closed")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_function_and_globals(self):
+        ast = parse("int g; int table[4] = {1, 2, 3, 4};"
+                    "void main() { g = table[2]; }")
+        assert len(ast.globals) == 2
+        assert ast.globals[1].size == 4
+        assert ast.globals[1].init == [1, 2, 3, 4]
+        assert ast.function("main") is not None
+
+    def test_uniform_qualifier(self):
+        ast = parse("uniform int n = 5; void main() {}")
+        assert ast.globals[0].uniform
+
+    def test_precedence(self):
+        ast = parse("void main() { int x = 1 + 2 * 3; }")
+        # constant folding happens later; structurally: 1 + (2*3)
+        decl = ast.function("main").body.statements[0]
+        assert isinstance(decl.init, BinaryExpr)
+        assert decl.init.op == "+"
+        assert decl.init.right.op == "*"
+
+    def test_if_else_chain(self):
+        ast = parse("void main() { if (1) {} else if (2) {} else {} }")
+        stmt = ast.function("main").body.statements[0]
+        assert isinstance(stmt, IfStmt)
+        assert isinstance(stmt.else_body, IfStmt)
+
+    def test_for_components_optional(self):
+        ast = parse("void main() { for (;;) { break; } }")
+        stmt = ast.function("main").body.statements[0]
+        assert isinstance(stmt, ForStmt)
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_while_with_complex_condition(self):
+        ast = parse("void main() { int i; while (i < 10 && !(i == 5)) {} }")
+        stmt = ast.function("main").body.statements[1]
+        assert isinstance(stmt, WhileStmt)
+        assert stmt.cond.op == "&&"
+        assert isinstance(stmt.cond.right, UnaryExpr)
+
+    def test_pointer_declarations_and_deref(self):
+        ast = parse("void main() { int *p; *p = 1; int x = p[3]; }")
+        body = ast.function("main").body.statements
+        assert body[0].is_pointer
+        assert isinstance(body[1].expr, AssignExpr)
+
+    def test_assignment_chains_right(self):
+        ast = parse("void main() { int a; int b; a = b = 3; }")
+        expr = ast.function("main").body.statements[2].expr
+        assert isinstance(expr.value, AssignExpr)
+
+    def test_negative_initializer(self):
+        ast = parse("int g = -7; void main() {}")
+        assert ast.globals[0].init == [-7]
+
+    def test_array_param_decays(self):
+        ast = parse("void f(int a[]) {} void main() {}")
+        assert ast.function("f").params[0].type.is_pointer
+
+    @pytest.mark.parametrize("bad", [
+        "void main() { if 1 {} }",
+        "void main( { }",
+        "int main() { return }",
+        "void main() { int x = ; }",
+        "void main() { 1 = x; }",
+        "void main() { &5; }",
+    ])
+    def test_syntax_errors_rejected(self, bad):
+        with pytest.raises(CompileError):
+            parse(bad)
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(CompileError):
+            parse("void main() { int x = 1;")

@@ -1,0 +1,74 @@
+"""Tests for the peephole optimizer."""
+
+from repro.compiler.optimizer import peephole
+from repro.compiler import compile_source
+from repro.platform import Machine, PlatformConfig
+
+ONE_CORE = PlatformConfig(num_cores=1)
+
+
+class TestJumpToNext:
+    def test_removes_fallthrough_jump(self):
+        lines = ["    BR .L1", ".L1:", "    NOP"]
+        assert peephole(lines) == [".L1:", "    NOP"]
+
+    def test_keeps_real_jump(self):
+        lines = ["    BR .L2", ".L1:", "    NOP", ".L2:"]
+        assert "    BR .L2" in peephole(lines)
+
+    def test_skips_through_multiple_labels(self):
+        lines = ["    BR .L2", ".L1:", ".L2:", "    NOP"]
+        assert "    BR .L2" not in peephole(lines)
+
+
+class TestStoreLoadForwarding:
+    def test_same_register_load_dropped(self):
+        lines = ["    ST R0, [R5 + #-1]", "    LD R0, [R5 + #-1]"]
+        assert peephole(lines) == ["    ST R0, [R5 + #-1]"]
+
+    def test_different_register_becomes_mov(self):
+        lines = ["    ST R0, [R5 + #-1]", "    LD R2, [R5 + #-1]"]
+        assert peephole(lines) == ["    ST R0, [R5 + #-1]",
+                                   "    MOV R2, R0"]
+
+    def test_different_address_untouched(self):
+        lines = ["    ST R0, [R5 + #-1]", "    LD R2, [R5 + #-2]"]
+        assert peephole(lines) == lines
+
+    def test_label_between_blocks_forwarding(self):
+        lines = ["    ST R0, [R5 + #-1]", ".L1:", "    LD R0, [R5 + #-1]"]
+        assert peephole(lines) == lines
+
+    def test_non_adjacent_untouched(self):
+        lines = ["    ST R0, [R5 + #-1]", "    NOP",
+                 "    LD R0, [R5 + #-1]"]
+        assert peephole(lines) == lines
+
+
+class TestEndToEnd:
+    SRC = """
+        int out[1];
+        void main() {
+            int a = 21;        /* ST then immediate LD of 'a' */
+            out[0] = a + a;
+        }
+    """
+
+    def run(self, optimize):
+        compiled = compile_source(self.SRC, sync_mode="none",
+                                  optimize=optimize)
+        machine = Machine(compiled.program, ONE_CORE)
+        machine.run()
+        return machine, compiled
+
+    def test_optimization_preserves_results(self):
+        m_opt, c_opt = self.run(True)
+        m_raw, c_raw = self.run(False)
+        assert m_opt.dm.read(c_opt.symbol("out")) == 42
+        assert m_raw.dm.read(c_raw.symbol("out")) == 42
+
+    def test_optimization_reduces_dm_traffic(self):
+        m_opt, _ = self.run(True)
+        m_raw, _ = self.run(False)
+        assert m_opt.trace.dm_accesses < m_raw.trace.dm_accesses
+        assert m_opt.trace.cycles <= m_raw.trace.cycles

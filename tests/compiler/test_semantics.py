@@ -1,0 +1,128 @@
+"""Semantic analysis tests: symbols, frames, checks and folding."""
+
+import pytest
+
+from repro.compiler import analyze, parse
+from repro.compiler.lexer import CompileError
+from repro.compiler.ast_nodes import NumberExpr
+
+
+def analyzed(src):
+    return analyze(parse(src))
+
+
+class TestSymbols:
+    def test_locals_get_sequential_slots(self):
+        ast = analyzed("void main() { int a; int b; int c; }")
+        func = ast.function("main")
+        slots = [s.symbol.slot for s in func.body.statements]
+        assert slots == [0, 1, 2]
+        assert func.frame_size == 3
+
+    def test_local_array_occupies_extent(self):
+        ast = analyzed("void main() { int a[4]; int b; }")
+        func = ast.function("main")
+        assert func.body.statements[1].symbol.slot == 4
+        assert func.frame_size == 5
+
+    def test_params_resolve(self):
+        ast = analyzed("int f(int x, int y) { return x + y; } void main() {}")
+        func = ast.function("f")
+        assert func.params[0].symbol.slot == 0
+        assert func.params[1].symbol.slot == 1
+
+    def test_block_scoping_and_shadowing(self):
+        ast = analyzed("""
+            int g;
+            void main() { int g; { int g; g = 1; } g = 2; }
+        """)
+        assert ast.function("main").frame_size == 2
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(CompileError):
+            analyzed("void main() { x = 1; }")
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(CompileError):
+            analyzed("void main() { int a; int a; }")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(CompileError):
+            analyzed("void f() {} void f() {} void main() {}")
+
+    def test_intrinsic_name_reserved(self):
+        with pytest.raises(CompileError):
+            analyzed("int __coreid() { return 0; } void main() {}")
+
+
+class TestChecks:
+    def test_call_arity_checked(self):
+        with pytest.raises(CompileError):
+            analyzed("int f(int a) { return a; } void main() { f(1, 2); }")
+
+    def test_undefined_function_rejected(self):
+        with pytest.raises(CompileError):
+            analyzed("void main() { nope(); }")
+
+    def test_void_return_with_value_rejected(self):
+        with pytest.raises(CompileError):
+            analyzed("void main() { return 1; }")
+
+    def test_int_return_without_value_rejected(self):
+        with pytest.raises(CompileError):
+            analyzed("int f() { return; } void main() {}")
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(CompileError):
+            analyzed("void main() { break; }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(CompileError):
+            analyzed("int a[3]; void main() { a = 1; }")
+
+    def test_sync_intrinsic_needs_constant(self):
+        with pytest.raises(CompileError):
+            analyzed("void main() { int k; __sync_enter(k); }")
+
+    def test_local_array_initializer_rejected(self):
+        with pytest.raises(CompileError):
+            analyzed("void main() { int a[2] = 3; }")
+
+
+class TestConstantFolding:
+    def fold(self, expr):
+        ast = analyzed(f"void main() {{ int x = {expr}; }}")
+        node = ast.function("main").body.statements[0].init
+        assert isinstance(node, NumberExpr), f"{expr} did not fold"
+        return node.value
+
+    def test_arithmetic(self):
+        assert self.fold("2 + 3 * 4") == 14
+        assert self.fold("(10 - 4) / 3") == 2
+        assert self.fold("7 % 3") == 1
+
+    def test_c_division_truncates_toward_zero(self):
+        assert self.fold("-7 / 2") == -3
+        assert self.fold("-7 % 2") == -1
+
+    def test_bitwise(self):
+        assert self.fold("0x0F & 0x3C") == 0x0C
+        assert self.fold("1 << 10") == 1024
+        assert self.fold("~0") == -1
+
+    def test_comparisons(self):
+        assert self.fold("3 < 4") == 1
+        assert self.fold("3 == 4") == 0
+
+    def test_logical(self):
+        assert self.fold("1 && 0") == 0
+        assert self.fold("2 || 0") == 1
+        assert self.fold("!5") == 0
+
+    def test_wraps_to_16_bits(self):
+        assert self.fold("30000 + 30000") == -5536  # two's complement wrap
+
+    def test_constant_div_by_zero_folds_to_runtime_convention(self):
+        # matches __div16/__mod16: quotient -1, remainder = dividend
+        assert self.fold("1 / 0") == -1
+        assert self.fold("7 % 0") == 7

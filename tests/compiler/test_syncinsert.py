@@ -1,0 +1,103 @@
+"""Tests for the sync-point insertion pass (modes and density knob)."""
+
+import pytest
+
+from repro.compiler import analyze, analyze_uniformity, compile_source, parse
+from repro.compiler.syncinsert import insert_sync_points
+from repro.compiler.ast_nodes import ForStmt, IfStmt, WhileStmt
+from repro.platform import Machine, PlatformConfig, SyncPolicy
+
+SOURCE = """
+int out[8];
+void main() {
+    int id = __coreid();
+    int x = 0;
+    for (int i = 0; i < 8; i = i + 1) {      /* uniform */
+        if (id > i) { x = x + 1; }           /* divergent, tiny body */
+    }
+    if (x > 2) {                             /* divergent, larger body */
+        x = x * 2;
+        x = x + 1;
+        x = x - id;
+    }
+    out[id] = x;
+}
+"""
+
+
+def annotated(mode, min_statements=0):
+    ast = analyze_uniformity(analyze(parse(SOURCE)))
+    insert_sync_points(ast, mode, min_statements=min_statements)
+    nodes = []
+
+    def walk(stmt):
+        if hasattr(stmt, "statements"):
+            for child in stmt.statements:
+                walk(child)
+        elif isinstance(stmt, (IfStmt, WhileStmt, ForStmt)):
+            nodes.append(stmt)
+            for attr in ("then_body", "else_body", "body"):
+                child = getattr(stmt, attr, None)
+                if child is not None:
+                    walk(child)
+
+    walk(ast.function("main").body)
+    return nodes
+
+
+class TestModes:
+    def test_none_inserts_nothing(self):
+        assert all(n.sync_index is None for n in annotated("none"))
+
+    def test_all_wraps_everything(self):
+        assert all(n.sync_index is not None for n in annotated("all"))
+
+    def test_auto_skips_uniform_loop(self):
+        nodes = annotated("auto")
+        for_node = next(n for n in nodes if isinstance(n, ForStmt))
+        ifs = [n for n in nodes if isinstance(n, IfStmt)]
+        assert for_node.sync_index is None
+        assert all(n.sync_index is not None for n in ifs)
+
+    def test_indices_unique(self):
+        indices = [n.sync_index for n in annotated("all")]
+        assert len(indices) == len(set(indices))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            annotated("sometimes")
+
+
+class TestDensityKnob:
+    def test_min_statements_skips_small_regions(self):
+        nodes = annotated("auto", min_statements=3)
+        small_if = next(n for n in nodes if isinstance(n, IfStmt)
+                        and n.line == 7)
+        big_if = next(n for n in nodes if isinstance(n, IfStmt)
+                      and n.line != 7)
+        assert small_if.sync_index is None
+        assert big_if.sync_index is not None
+
+    def test_huge_threshold_disables_all(self):
+        assert all(n.sync_index is None
+                   for n in annotated("auto", min_statements=100))
+
+    @pytest.mark.parametrize("threshold", [0, 2, 4, 100])
+    def test_results_unchanged_by_density(self, threshold):
+        compiled = compile_source(SOURCE, sync_mode="auto",
+                                  sync_min_statements=threshold)
+        machine = Machine(compiled.program,
+                          PlatformConfig(policy=SyncPolicy.FULL))
+        machine.run()
+        values = machine.dm.dump(compiled.symbol("out"), 8)
+        baseline = compile_source(SOURCE, sync_mode="none")
+        m2 = Machine(baseline.program,
+                     PlatformConfig(policy=SyncPolicy.NONE))
+        m2.run()
+        assert values == m2.dm.dump(baseline.symbol("out"), 8)
+
+    def test_fewer_points_with_threshold(self):
+        dense = compile_source(SOURCE, sync_mode="auto")
+        sparse = compile_source(SOURCE, sync_mode="auto",
+                                sync_min_statements=3)
+        assert sparse.sync_points < dense.sync_points

@@ -1,0 +1,151 @@
+"""Uniformity (divergence) analysis tests."""
+
+from repro.compiler import analyze, analyze_uniformity, parse
+from repro.compiler.ast_nodes import ForStmt, IfStmt, WhileStmt
+
+
+def conditionals(src):
+    ast = analyze_uniformity(analyze(parse(src)))
+    found = []
+
+    def walk(stmt):
+        if hasattr(stmt, "statements"):
+            for child in stmt.statements:
+                walk(child)
+        elif isinstance(stmt, IfStmt):
+            found.append(stmt)
+            walk(stmt.then_body)
+            if stmt.else_body:
+                walk(stmt.else_body)
+        elif isinstance(stmt, (WhileStmt, ForStmt)):
+            found.append(stmt)
+            walk(stmt.body)
+
+    for func in ast.functions:
+        walk(func.body)
+    return found
+
+
+class TestBasicRules:
+    def test_constant_condition_uniform(self):
+        (node,) = conditionals("void main() { if (1 < 2) {} }")
+        assert not node.divergent
+
+    def test_coreid_divergent(self):
+        (node,) = conditionals("void main() { if (__coreid() > 3) {} }")
+        assert node.divergent
+
+    def test_ncores_uniform(self):
+        (node,) = conditionals("void main() { if (__ncores() > 4) {} }")
+        assert not node.divergent
+
+    def test_counter_loop_uniform(self):
+        (node,) = conditionals(
+            "void main() { for (int i = 0; i < 8; i = i + 1) {} }")
+        assert not node.divergent
+
+    def test_loop_over_param_divergent(self):
+        (node,) = conditionals(
+            "void f(int n) { for (int i = 0; i < n; i = i + 1) {} }"
+            "void main() {}")
+        assert node.divergent
+
+    def test_uniform_param_stays_uniform(self):
+        (node,) = conditionals(
+            "void f(uniform int n) { for (int i = 0; i < n; i = i + 1) {} }"
+            "void main() {}")
+        assert not node.divergent
+
+    def test_memory_load_divergent(self):
+        (node,) = conditionals(
+            "int buf[4]; void main() { if (buf[0] > 2) {} }")
+        assert node.divergent
+
+    def test_uniform_global_table_uniform(self):
+        (node,) = conditionals(
+            "uniform int lut[4] = {1,2,3,4};"
+            "void main() { if (lut[2] > 2) {} }")
+        assert not node.divergent
+
+    def test_pointer_deref_divergent(self):
+        (node,) = conditionals(
+            "void main() { int *p; p = 100; if (*p) {} }")
+        assert node.divergent
+
+
+class TestPropagation:
+    def test_divergent_value_taints_local(self):
+        (node,) = conditionals(
+            "void main() { int x = __coreid(); if (x == 0) {} }")
+        assert node.divergent
+
+    def test_assignment_under_divergent_control_taints(self):
+        nodes = conditionals("""
+            void main() {
+                int x = 0;
+                if (__coreid() > 0) { x = 1; }
+                if (x == 1) {}     /* different cores see different x */
+            }
+        """)
+        assert nodes[0].divergent
+        assert nodes[1].divergent
+
+    def test_loop_carried_divergence_found(self):
+        nodes = conditionals("""
+            void main() {
+                int x = 0;
+                for (int i = 0; i < 4; i = i + 1) {
+                    if (x > 0) {}       /* divergent from iteration 2 on */
+                    x = x + __coreid();
+                }
+            }
+        """)
+        inner_if = nodes[1]
+        assert inner_if.divergent
+
+    def test_reassigned_uniform_recovers_nothing(self):
+        # conservative: once tainted, stays tainted within the function
+        nodes = conditionals("""
+            void main() {
+                int x = __coreid();
+                x = 0;
+                if (x == 0) {}
+            }
+        """)
+        assert nodes[0].divergent
+
+    def test_call_with_uniform_args_uniform(self):
+        (node,) = conditionals("""
+            int square(int a) { return a * a; }
+            void main() { if (square(3) > 4) {} }
+        """)
+        assert not node.divergent
+
+    def test_call_with_divergent_arg_divergent(self):
+        (node,) = conditionals("""
+            int square(int a) { return a * a; }
+            void main() { if (square(__coreid()) > 4) {} }
+        """)
+        assert node.divergent
+
+    def test_inherently_divergent_callee(self):
+        (node,) = conditionals("""
+            int whoami() { return __coreid(); }
+            void main() { if (whoami() == 0) {} }
+        """)
+        assert node.divergent
+
+    def test_uniform_recursion_stays_uniform(self):
+        # a pure function of uniform inputs is uniform even when recursive
+        (node,) = conditionals("""
+            int f(int n) { return f(n); }
+            void main() { if (f(1)) {} }
+        """)
+        assert not node.divergent
+
+    def test_divergent_recursion_detected(self):
+        (node,) = conditionals("""
+            int f(int n) { return f(n) + __coreid(); }
+            void main() { if (f(1)) {} }
+        """)
+        assert node.divergent

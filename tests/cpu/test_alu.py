@@ -1,0 +1,135 @@
+"""Unit and property tests for the flag-exact ALU."""
+
+from hypothesis import given, strategies as st
+
+from repro.cpu import alu
+
+u16 = st.integers(0, 0xFFFF)
+
+
+def signed(x):
+    return x - 0x10000 if x & 0x8000 else x
+
+
+class TestAdd:
+    def test_simple(self):
+        r = alu.add(2, 3)
+        assert (r.value, r.z, r.n, r.c, r.v) == (5, 0, 0, 0, 0)
+
+    def test_carry_out(self):
+        r = alu.add(0xFFFF, 1)
+        assert (r.value, r.z, r.c) == (0, 1, 1)
+
+    def test_signed_overflow(self):
+        r = alu.add(0x7FFF, 1)
+        assert (r.value, r.n, r.v) == (0x8000, 1, 1)
+
+    def test_carry_in_chains(self):
+        r = alu.add(0xFFFF, 0, carry_in=1)
+        assert (r.value, r.c) == (0, 1)
+
+
+class TestSub:
+    def test_no_borrow_sets_carry(self):
+        r = alu.sub(5, 3)
+        assert (r.value, r.c) == (2, 1)
+
+    def test_borrow_clears_carry(self):
+        r = alu.sub(3, 5)
+        assert (r.value, r.c) == (0xFFFE, 0)
+
+    def test_equal_sets_zero(self):
+        r = alu.sub(7, 7)
+        assert (r.value, r.z, r.c) == (0, 1, 1)
+
+    def test_signed_overflow(self):
+        r = alu.sub(0x8000, 1)  # -32768 - 1 overflows
+        assert (r.value, r.v) == (0x7FFF, 1)
+
+    def test_borrow_in_chains(self):
+        r = alu.sub(5, 3, carry_in=0)  # 5 - 3 - 1
+        assert r.value == 1
+
+
+class TestShifts:
+    def test_sll_carry_is_last_bit_out(self):
+        r = alu.shift_left(0x8000, 1)
+        assert (r.value, r.c, r.z) == (0, 1, 1)
+
+    def test_srl_fills_zero(self):
+        r = alu.shift_right(0x8000, 15)
+        assert r.value == 1
+
+    def test_sra_replicates_sign(self):
+        r = alu.shift_right_arith(0x8000, 3)
+        assert r.value == 0xF000
+
+    def test_zero_amount_preserves_carry(self):
+        r = alu.shift_left(5, 0)
+        assert r.c is None and r.value == 5
+
+
+class TestMultiply:
+    def test_low(self):
+        assert alu.multiply_low(300, 300).value == (300 * 300) & 0xFFFF
+
+    def test_high_signed_positive(self):
+        assert alu.multiply_high_signed(0x4000, 4).value == 1
+
+    def test_high_signed_negative(self):
+        # -1 * 1 = -1 -> high word all ones
+        assert alu.multiply_high_signed(0xFFFF, 1).value == 0xFFFF
+
+
+@given(u16, u16)
+def test_add_matches_reference(a, b):
+    r = alu.add(a, b)
+    assert r.value == (a + b) & 0xFFFF
+    assert r.c == int(a + b > 0xFFFF)
+    assert r.z == int(r.value == 0)
+    assert r.n == int(bool(r.value & 0x8000))
+    expected_v = int(signed(a) + signed(b) != signed(r.value))
+    assert r.v == expected_v
+
+
+@given(u16, u16)
+def test_sub_matches_reference(a, b):
+    r = alu.sub(a, b)
+    assert r.value == (a - b) & 0xFFFF
+    assert r.c == int(a >= b)
+    expected_v = int(signed(a) - signed(b) != signed(r.value))
+    assert r.v == expected_v
+
+
+@given(u16, u16, st.integers(0, 1))
+def test_adc_sbc_build_32bit_arithmetic(a, b, dummy):
+    """Chaining two 16-bit ADC/SBC pairs must equal 32-bit arithmetic."""
+    ah, al = a, b
+    bh, bl = b, a
+    lo = alu.add(al, bl)
+    hi = alu.add(ah, bh, lo.c)
+    full = ((ah << 16) | al) + ((bh << 16) | bl)
+    assert ((hi.value << 16) | lo.value) == full & 0xFFFFFFFF
+
+    lo = alu.sub(al, bl)
+    hi = alu.sub(ah, bh, lo.c)
+    full = ((ah << 16) | al) - ((bh << 16) | bl)
+    assert ((hi.value << 16) | lo.value) == full & 0xFFFFFFFF
+
+
+@given(u16, st.integers(0, 15))
+def test_shift_left_matches_reference(a, k):
+    r = alu.shift_left(a, k)
+    assert r.value == (a << k) & 0xFFFF
+
+
+@given(u16, st.integers(0, 15))
+def test_shift_right_arith_matches_reference(a, k):
+    r = alu.shift_right_arith(a, k)
+    assert r.value == (signed(a) >> k) & 0xFFFF
+
+
+@given(u16, u16)
+def test_multiply_high_signed_matches_reference(a, b):
+    r = alu.multiply_high_signed(a, b)
+    assert r.value == ((signed(a) * signed(b)) >> 16) & 0xFFFF

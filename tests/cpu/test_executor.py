@@ -1,0 +1,192 @@
+"""Per-instruction semantics tests for the executor."""
+
+import pytest
+
+from repro.cpu import (
+    CoreMode,
+    CoreState,
+    checkpoint_address,
+    complete_load,
+    condition_met,
+    effective_address,
+    execute_plain,
+    is_memory_op,
+    is_sync_op,
+    store_operands,
+    take_interrupt,
+)
+from repro.cpu.executor import ExecutionError
+from repro.isa import Instruction, Opcode
+from repro.isa.spec import Cond, ShiftOp, SpecialReg, SysOp
+
+
+def core(**regs) -> CoreState:
+    state = CoreState(coreid=3, ncores=8)
+    for name, value in regs.items():
+        state.regs[int(name[1])] = value & 0xFFFF
+    return state
+
+
+def run(state, ins):
+    execute_plain(state, ins)
+    return state
+
+
+class TestArithmetic:
+    def test_add_writes_and_advances(self):
+        s = run(core(r1=2, r2=3), Instruction(Opcode.ADD, rd=0, rs=1, rt=2))
+        assert s.regs[0] == 5 and s.pc == 1
+
+    def test_sub_flags_feed_branch(self):
+        s = core(r1=1, r2=2)
+        run(s, Instruction(Opcode.CMP, rd=1, rs=2))  # 1 - 2
+        assert condition_met(s, Cond.LT)
+        assert not condition_met(s, Cond.GE)
+        assert condition_met(s, Cond.LTU)
+
+    def test_adc_uses_carry(self):
+        s = core(r1=0xFFFF, r2=1)
+        run(s, Instruction(Opcode.ADD, rd=0, rs=1, rt=2))   # sets C
+        run(s, Instruction(Opcode.ADC, rd=3, rs=0, rt=0))   # 0 + 0 + C
+        assert s.regs[3] == 1
+
+    def test_addi_negative(self):
+        s = run(core(r1=10), Instruction(Opcode.ADDI, rd=0, rs=1, imm=-3))
+        assert s.regs[0] == 7
+
+    def test_mul_and_mulh(self):
+        s = core(r1=0xFFFF, r2=2)  # -1 * 2
+        run(s, Instruction(Opcode.MUL, rd=0, rs=1, rt=2))
+        run(s, Instruction(Opcode.MULH, rd=3, rs=1, rt=2))
+        assert s.regs[0] == 0xFFFE
+        assert s.regs[3] == 0xFFFF
+
+    def test_shift_immediate_variants(self):
+        s = core(r0=0x8001)
+        run(s, Instruction(Opcode.SHI, rd=0, sub=ShiftOp.SRAI, imm=1))
+        assert s.regs[0] == 0xC000
+
+
+class TestDataMovement:
+    def test_mov_does_not_touch_flags(self):
+        s = core(r1=5)
+        run(s, Instruction(Opcode.CMPI, rd=1, imm=5))  # Z set
+        run(s, Instruction(Opcode.MOV, rd=0, rs=1))
+        assert s.flag_z == 1
+
+    def test_ldi_lui_ori_build_constant(self):
+        s = core()
+        run(s, Instruction(Opcode.LUI, rd=0, imm=0x12))
+        run(s, Instruction(Opcode.ORI, rd=0, imm=0x34))
+        assert s.regs[0] == 0x1234
+
+    def test_special_register_access(self):
+        s = core(r1=0x700)
+        run(s, Instruction(Opcode.MTSR, rs=1, imm=int(SpecialReg.RSYNC)))
+        assert s.rsync == 0x700
+        run(s, Instruction(Opcode.MFSR, rd=2, imm=int(SpecialReg.COREID)))
+        assert s.regs[2] == 3
+        run(s, Instruction(Opcode.MFSR, rd=2, imm=int(SpecialReg.NCORES)))
+        assert s.regs[2] == 8
+
+    def test_readonly_sregs_ignore_writes(self):
+        s = core(r1=99)
+        run(s, Instruction(Opcode.MTSR, rs=1, imm=int(SpecialReg.COREID)))
+        assert s.coreid == 3
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not_taken(self):
+        s = core(r1=1)
+        run(s, Instruction(Opcode.CMPI, rd=1, imm=1))
+        run(s, Instruction(Opcode.BCC, cond=Cond.EQ, imm=5))
+        assert s.pc == 1 + 1 + 5
+        run(s, Instruction(Opcode.BCC, cond=Cond.NE, imm=5))
+        assert s.pc == 8  # fall through
+
+    def test_jmp_absolute(self):
+        s = run(core(), Instruction(Opcode.JMP, imm=100))
+        assert s.pc == 100
+
+    def test_call_links(self):
+        s = core()
+        s.pc = 10
+        run(s, Instruction(Opcode.CALL, imm=50))
+        assert s.pc == 50 and s.regs[7] == 11
+
+    def test_jr_and_callr(self):
+        s = core(r2=77)
+        run(s, Instruction(Opcode.JR, rs=2))
+        assert s.pc == 77
+        run(s, Instruction(Opcode.CALLR, rs=2))
+        assert s.pc == 77 and s.regs[7] == 78
+
+    def test_all_conditions_consistent(self):
+        s = core(r1=3, r2=5)
+        run(s, Instruction(Opcode.CMP, rd=1, rs=2))  # 3 - 5
+        truth = {
+            Cond.EQ: False, Cond.NE: True, Cond.LT: True, Cond.GE: False,
+            Cond.LE: True, Cond.GT: False, Cond.LTU: True, Cond.GEU: False,
+        }
+        for cond, expected in truth.items():
+            assert condition_met(s, cond) == expected, cond
+
+
+class TestSystem:
+    def test_halt(self):
+        s = run(core(), Instruction(Opcode.SYS, sub=SysOp.HALT))
+        assert s.mode is CoreMode.HALTED
+
+    def test_sleep(self):
+        s = run(core(), Instruction(Opcode.SYS, sub=SysOp.SLEEP))
+        assert s.mode is CoreMode.SLEEPING
+
+    def test_interrupt_round_trip(self):
+        s = core()
+        s.ivec = 40
+        run(s, Instruction(Opcode.SYS, sub=SysOp.EI))
+        assert s.interrupts_enabled
+        s.pc = 7
+        take_interrupt(s)
+        assert s.pc == 40 and s.epc == 7 and not s.interrupts_enabled
+        run(s, Instruction(Opcode.SYS, sub=SysOp.RETI))
+        assert s.pc == 7 and s.interrupts_enabled
+
+    def test_interrupt_wakes_sleeping_core(self):
+        s = run(core(), Instruction(Opcode.SYS, sub=SysOp.SLEEP))
+        take_interrupt(s)
+        assert s.mode is CoreMode.RUNNING
+
+
+class TestArbitratedClassification:
+    def test_memory_ops_classified(self):
+        assert is_memory_op(Instruction(Opcode.LD, rd=0, rs=1, imm=0))
+        assert is_memory_op(Instruction(Opcode.ST, rd=0, rs=1, imm=0))
+        assert not is_memory_op(Instruction(Opcode.ADD, rd=0, rs=0, rt=0))
+
+    def test_sync_ops_classified(self):
+        assert is_sync_op(Instruction(Opcode.SINC, imm=1))
+        assert is_sync_op(Instruction(Opcode.SDEC, imm=1))
+
+    def test_effective_address_wraps(self):
+        s = core(r1=0xFFFF)
+        assert effective_address(s, Instruction(Opcode.LD, rd=0, rs=1, imm=1)) == 0
+
+    def test_store_operands(self):
+        s = core(r1=100, r2=42)
+        addr, value = store_operands(s, Instruction(Opcode.ST, rd=2, rs=1, imm=4))
+        assert (addr, value) == (104, 42)
+
+    def test_complete_load(self):
+        s = core()
+        complete_load(s, Instruction(Opcode.LD, rd=4, rs=0, imm=0), 0xBEEF)
+        assert s.regs[4] == 0xBEEF and s.pc == 1
+
+    def test_checkpoint_address_uses_rsync(self):
+        s = core()
+        s.rsync = 0x7800
+        assert checkpoint_address(s, Instruction(Opcode.SINC, imm=3)) == 0x7803
+
+    def test_execute_plain_rejects_memory_ops(self):
+        with pytest.raises(ExecutionError):
+            execute_plain(core(), Instruction(Opcode.LD, rd=0, rs=0, imm=0))

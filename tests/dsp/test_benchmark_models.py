@@ -1,0 +1,181 @@
+"""Tests for the MRPFLTR/MRPDLN/SQRT32 golden models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsp import (
+    EcgConfig,
+    combine_leads,
+    delineate,
+    estimate_baseline,
+    generate_ecg,
+    isqrt32,
+    mmd,
+    mmd_int,
+    mrpdln_int,
+    mrpfltr,
+    mrpfltr_int,
+    rms_envelope,
+    suppress_noise,
+)
+
+
+class TestMrpfltr:
+    def test_removes_baseline_drift(self):
+        rec = generate_ecg(n_channels=1, n_samples=360,
+                           config=EcgConfig(noise_rms=0.0,
+                                            powerline_amp=0.0))
+        x = rec.channel(0)
+        filtered = mrpfltr(x)
+        # raw drifts by the wander amplitude; the filtered median sits at 0
+        assert abs(float(np.median(filtered))) < 30
+        assert float(np.median(np.abs(x - np.median(x)))) > 0
+
+    def test_noise_suppression_reduces_impulses(self):
+        x = np.zeros(64, dtype=np.int64)
+        x[20] = 500    # lone impulse
+        y = suppress_noise(x)
+        assert y.max() < 500 // 2
+
+    def test_preserves_flat_signal(self):
+        x = [100] * 50
+        assert list(mrpfltr(x)) == [0] * 50  # baseline == signal
+
+    def test_int_and_numpy_agree(self):
+        rec = generate_ecg(n_channels=1, n_samples=200)
+        x = rec.channel(0)
+        assert mrpfltr_int(x) == list(mrpfltr(x))
+
+    def test_baseline_follows_slow_component(self):
+        times = np.arange(256)
+        slow = (200 * np.sin(2 * np.pi * times / 256)).astype(np.int64)
+        baseline = estimate_baseline(slow)
+        assert float(np.abs(baseline - slow).mean()) < 40
+
+
+class TestMrpdln:
+    def test_mmd_zero_on_linear_signal(self):
+        x = list(range(0, 200, 2))
+        d = mmd(x, scale=3)
+        assert np.all(d[7:-7] == 0)   # interior: dilation+erosion == 2x
+
+    def test_mmd_negative_at_sharp_peak(self):
+        x = [0] * 32
+        x[16] = 100
+        d = mmd(x, scale=3)
+        assert d[16] <= -100          # deep minimum at the peak
+
+    def test_detects_all_r_peaks(self):
+        rec = generate_ecg(n_channels=1, n_samples=512,
+                           config=EcgConfig(noise_rms=2.0,
+                                            baseline_amp=40.0))
+        marks = delineate(rec.channel(0))
+        truth = [p for p in rec.r_peaks if 5 < p < 507]
+        assert len(marks.peaks) == len(truth)
+        for found, expected in zip(sorted(marks.peaks), sorted(truth)):
+            assert abs(found - expected) <= 5
+
+    def test_onset_offset_bracket_peak(self):
+        rec = generate_ecg(n_channels=1, n_samples=512)
+        marks = delineate(rec.channel(0))
+        for peak, onset, offset in zip(marks.peaks, marks.onsets,
+                                       marks.offsets):
+            assert onset <= peak <= offset
+
+    def test_int_matches_numpy_delineation(self):
+        rec = generate_ecg(n_channels=1, n_samples=400)
+        x = rec.channel(0)
+        record = mrpdln_int(x)
+        marks = delineate(x)
+        count = record[0]
+        assert count == len(marks.peaks)
+        for i in range(count):
+            assert record[1 + 3 * i] == marks.peaks[i]
+            assert record[2 + 3 * i] == marks.onsets[i]
+            assert record[3 + 3 * i] == marks.offsets[i]
+
+    def test_int_mmd_matches(self):
+        rec = generate_ecg(n_channels=1, n_samples=128)
+        x = rec.channel(0)
+        assert mmd_int(x) == list(mmd(x))
+
+
+class TestIsqrt32:
+    @pytest.mark.parametrize("n,expected", [
+        (0, 0), (1, 1), (2, 1), (3, 1), (4, 2), (15, 3), (16, 4),
+        (65535, 255), (65536, 256), ((1 << 32) - 1, 65535),
+    ])
+    def test_known_values(self, n, expected):
+        assert isqrt32(n) == expected
+
+    def test_domain_checked(self):
+        with pytest.raises(ValueError):
+            isqrt32(-1)
+        with pytest.raises(ValueError):
+            isqrt32(1 << 32)
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_is_floor_sqrt(self, n):
+        r = isqrt32(n)
+        assert r * r <= n < (r + 1) * (r + 1)
+
+    @given(st.integers(0, 65535))
+    def test_exact_on_squares(self, r):
+        assert isqrt32(r * r) == r
+
+    def test_rms_envelope(self):
+        x = [3] * 16
+        assert rms_envelope(x, window=8) == [3, 3]
+
+    def test_rms_envelope_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            rms_envelope([1, 2, 3], window=3)
+
+    def test_combine_leads(self):
+        chans = [[3, 0], [4, 0]]
+        assert combine_leads(chans) == [5, 0]
+
+
+class TestEcgGenerator:
+    def test_reproducible(self):
+        a = generate_ecg(n_channels=2, n_samples=100)
+        b = generate_ecg(n_channels=2, n_samples=100)
+        assert np.array_equal(a.channels, b.channels)
+        assert a.r_peaks == b.r_peaks
+
+    def test_seed_changes_noise(self):
+        a = generate_ecg(config=EcgConfig(seed=1), n_samples=100)
+        b = generate_ecg(config=EcgConfig(seed=2), n_samples=100)
+        assert not np.array_equal(a.channels, b.channels)
+
+    def test_channels_differ_but_share_beats(self):
+        rec = generate_ecg(n_channels=4, n_samples=300)
+        assert not np.array_equal(rec.channels[0], rec.channels[1])
+        # all channels peak near the shared R positions
+        for c in range(4):
+            x = rec.channels[c].astype(int)
+            for p in rec.r_peaks:
+                if 10 < p < 290:
+                    window = x[p - 3:p + 4]
+                    assert window.max() > x.mean() + 100
+
+    def test_12_bit_range(self):
+        rec = generate_ecg(n_samples=200)
+        assert rec.channels.min() >= -2048
+        assert rec.channels.max() <= 2047
+
+    def test_heart_rate_respected(self):
+        config = EcgConfig(heart_rate_bpm=120, rr_jitter=0.0)
+        rec = generate_ecg(n_channels=1, n_samples=600, config=config)
+        rr = np.diff(rec.r_peaks)
+        expected = 60.0 / 120 * config.fs
+        assert abs(float(rr.mean()) - expected) < 2
+
+    def test_channel_accessor(self):
+        rec = generate_ecg(n_channels=2, n_samples=50)
+        chan = rec.channel(1)
+        assert isinstance(chan, list) and len(chan) == 50
+        assert all(isinstance(v, int) for v in chan)

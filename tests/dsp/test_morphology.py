@@ -1,0 +1,99 @@
+"""Unit and property tests for 1-D flat morphology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsp import (
+    closing,
+    closing_int,
+    dilation,
+    dilation_int,
+    erosion,
+    erosion_int,
+    opening,
+    opening_int,
+)
+
+signals = st.lists(st.integers(-2048, 2047), min_size=4, max_size=64)
+lengths = st.sampled_from([1, 3, 5, 9])
+
+
+class TestBasics:
+    def test_erosion_takes_window_min(self):
+        x = [5, 1, 5, 5, 5]
+        assert list(erosion(x, 3)) == [1, 1, 1, 5, 5]
+
+    def test_dilation_takes_window_max(self):
+        x = [0, 9, 0, 0, 0]
+        assert list(dilation(x, 3)) == [9, 9, 9, 0, 0]
+
+    def test_edges_replicate(self):
+        x = [7, 1, 1, 1, 9]
+        assert erosion(x, 3)[0] == 1      # window [7, 7, 1] -> wait: [7,7,1]
+        assert dilation(x, 3)[-1] == 9
+
+    def test_length_one_is_identity(self):
+        x = [3, 1, 4, 1, 5]
+        assert list(erosion(x, 1)) == x
+        assert list(dilation(x, 1)) == x
+
+    def test_even_length_rejected(self):
+        with pytest.raises(ValueError):
+            erosion([1, 2, 3], 2)
+
+    def test_opening_removes_narrow_peak(self):
+        x = [0, 0, 10, 0, 0, 0]
+        assert list(opening(x, 3)) == [0] * 6
+
+    def test_closing_fills_narrow_pit(self):
+        x = [0, 0, -10, 0, 0, 0]
+        assert list(closing(x, 3)) == [0] * 6
+
+
+@given(signals, lengths)
+def test_int_and_numpy_forms_agree(x, k):
+    assert erosion_int(x, k) == list(erosion(x, k))
+    assert dilation_int(x, k) == list(dilation(x, k))
+    assert opening_int(x, k) == list(opening(x, k))
+    assert closing_int(x, k) == list(closing(x, k))
+
+
+@given(signals, lengths)
+def test_erosion_dilation_duality(x, k):
+    negated = [-v for v in x]
+    assert erosion_int(x, k) == [-v for v in dilation_int(negated, k)]
+
+
+@given(signals, lengths)
+def test_extensivity(x, k):
+    """erosion <= x <= dilation pointwise."""
+    ero, dil = erosion_int(x, k), dilation_int(x, k)
+    assert all(e <= v <= d for e, v, d in zip(ero, x, dil))
+
+
+@given(signals, lengths)
+def test_opening_anti_extensive_closing_extensive(x, k):
+    assert all(o <= v for o, v in zip(opening_int(x, k), x))
+    assert all(c >= v for c, v in zip(closing_int(x, k), x))
+
+
+@given(signals, lengths)
+def test_opening_closing_idempotent(x, k):
+    opened = opening_int(x, k)
+    assert opening_int(opened, k) == opened
+    closed = closing_int(x, k)
+    assert closing_int(closed, k) == closed
+
+
+@given(signals, lengths, st.integers(-100, 100))
+def test_translation_invariance(x, k, offset):
+    shifted = [v + offset for v in x]
+    assert erosion_int(shifted, k) == [v + offset for v in erosion_int(x, k)]
+
+
+@given(signals, lengths)
+def test_monotonicity(x, k):
+    bumped = [v + 1 for v in x]
+    assert all(a <= b for a, b in
+               zip(dilation_int(x, k), dilation_int(bumped, k)))

@@ -1,0 +1,225 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import assemble, AssemblyError, Instruction, Opcode
+from repro.isa.instruction import format_instruction
+from repro.isa.spec import Cond, ShiftOp, SysOp
+
+
+def ops(program):
+    return [ins.op for ins in program.instructions]
+
+
+class TestBasicStatements:
+    def test_r3_instruction(self):
+        p = assemble("ADD R1, R2, R3")
+        assert p.instructions == [Instruction(Opcode.ADD, rd=1, rs=2, rt=3)]
+
+    def test_register_aliases(self):
+        p = assemble("MOV SP, LR")
+        ins = p.instructions[0]
+        assert (ins.rd, ins.rs) == (6, 7)
+
+    def test_immediate_forms(self):
+        p = assemble("ADDI R0, R1, #-3\nADDI R2, R3, 5")
+        assert p.instructions[0].imm == -3
+        assert p.instructions[1].imm == 5
+
+    def test_memory_operands(self):
+        p = assemble("LD R0, [R1 + #2]\nST R3, [SP]")
+        ld, st_ = p.instructions
+        assert (ld.op, ld.rd, ld.rs, ld.imm) == (Opcode.LD, 0, 1, 2)
+        assert (st_.op, st_.rd, st_.rs, st_.imm) == (Opcode.ST, 3, 6, 0)
+
+    def test_sys_mnemonics(self):
+        p = assemble("NOP\nHALT\nSLEEP\nRETI\nEI\nDI")
+        assert [ins.sub for ins in p.instructions] == list(range(6))
+
+    def test_shift_immediates(self):
+        p = assemble("SLLI R1, #3\nSRAI R2, #15")
+        assert p.instructions[0].sub == ShiftOp.SLLI
+        assert p.instructions[1].sub == ShiftOp.SRAI
+        assert p.instructions[1].imm == 15
+
+    def test_sync_ise(self):
+        p = assemble("SINC #4\nSDEC #4")
+        assert ops(p) == [Opcode.SINC, Opcode.SDEC]
+        assert p.instructions[0].imm == 4
+
+    def test_special_registers_by_name(self):
+        p = assemble("MFSR R1, COREID\nMTSR RSYNC, R2")
+        assert p.instructions[0].imm == 4
+        assert p.instructions[1].imm == 0
+
+    def test_comments_ignored(self):
+        p = assemble("NOP ; trailing\n// whole line\nHALT")
+        assert len(p) == 2
+
+
+class TestLabelsAndBranches:
+    def test_backward_branch(self):
+        p = assemble("top:\nNOP\nBEQ top")
+        # branch at address 1, target 0 -> displacement -2 relative to pc+1
+        assert p.instructions[1].imm == -2
+
+    def test_forward_branch(self):
+        p = assemble("BNE done\nNOP\ndone:\nHALT")
+        assert p.instructions[0].imm == 1
+
+    def test_jump_absolute(self):
+        p = assemble("NOP\nNOP\ntarget:\nNOP\nJMP target")
+        assert p.instructions[3].imm == 2
+
+    def test_call_and_ret(self):
+        p = assemble("CALL fn\nHALT\nfn:\nRET")
+        assert p.instructions[0].op == Opcode.CALL
+        ret = p.instructions[2]
+        assert (ret.op, ret.rs) == (Opcode.JR, 7)
+
+    def test_long_branch_expansion(self):
+        p = assemble("LBEQ far\nNOP\nfar:\nHALT")
+        bcc, jmp = p.instructions[0], p.instructions[1]
+        assert bcc.cond == Cond.NE and bcc.imm == 1
+        assert (jmp.op, jmp.imm) == (Opcode.JMP, 3)
+
+    def test_branch_out_of_range_rejected(self):
+        body = "\n".join(["NOP"] * 200)
+        with pytest.raises(AssemblyError):
+            assemble(f"BEQ far\n{body}\nfar:\nHALT")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("x:\nNOP\nx:\nNOP")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("JMP nowhere")
+
+    def test_entry_directive(self):
+        p = assemble(".entry start\nNOP\nstart:\nHALT")
+        assert p.entry == 1
+
+
+class TestPseudoInstructions:
+    def test_li_small_constant_is_single_ldi(self):
+        p = assemble("LI R0, #5")
+        assert len(p) == 1
+        assert p.instructions[0] == Instruction(Opcode.LDI, rd=0, imm=5)
+
+    def test_li_negative_small(self):
+        p = assemble("LI R0, #-7")
+        assert p.instructions[0].imm == -7
+
+    def test_li_large_constant_expands(self):
+        p = assemble("LI R0, #0x1234")
+        lui, ori = p.instructions
+        assert (lui.op, lui.imm) == (Opcode.LUI, 0x12)
+        assert (ori.op, ori.imm) == (Opcode.ORI, 0x34)
+
+    def test_li_symbolic_uses_two_words(self):
+        p = assemble("LI R0, #buf\nHALT\n.data 100\nbuf: .word 1")
+        assert len(p) == 3  # LUI + ORI/NOP + HALT
+        assert p.instructions[0].op == Opcode.LUI
+
+    def test_neg_not_expand(self):
+        p = assemble("NEG R0, R1\nNOT R2, R3")
+        assert ops(p) == [Opcode.LDI, Opcode.SUB, Opcode.LDI, Opcode.XOR]
+
+    def test_neg_same_register_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("NEG R1, R1")
+
+    def test_inc_dec_clr(self):
+        p = assemble("INC R1\nDEC R2\nCLR R3")
+        assert p.instructions[0].imm == 1
+        assert p.instructions[1].imm == -1
+        assert p.instructions[2] == Instruction(Opcode.LDI, rd=3, imm=0)
+
+
+class TestDataSection:
+    def test_word_emission(self):
+        p = assemble(".data 256\ntable: .word 1, 2, 0xFFFF, -1")
+        (block,) = p.data
+        assert block.address == 256
+        assert block.values == (1, 2, 0xFFFF, 0xFFFF)
+        assert p.symbols["table"] == 256
+
+    def test_space_reserves_zeroes(self):
+        p = assemble(".data 0\n.space 4\nafter: .word 9")
+        (block,) = p.data
+        assert block.values == (0, 0, 0, 0, 9)
+        assert p.symbols["after"] == 4
+
+    def test_data_labels_usable_in_code(self):
+        p = assemble("LI R0, #buf\nLD R1, [R0]\nHALT\n"
+                     ".data 300\nbuf: .word 42")
+        assert p.symbols["buf"] == 300
+
+    def test_equ_constants(self):
+        p = assemble(".equ BASE 0x100\nLI R0, #BASE+4")
+        # 0x104 > 127 so it expands
+        assert p.instructions[0].imm == 0x1
+        assert p.instructions[1].imm == 0x04
+
+    def test_word_outside_data_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".word 1")
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        p = assemble(".equ A 10\n.equ B A*3+2\nLI R0, #B")
+        assert p.instructions[0].imm == 32
+
+    def test_lo_hi(self):
+        p = assemble(".equ V 0xABCD\nLDI R0, #hi(V)-0xAB\nORI R1, #lo(V)")
+        assert p.instructions[0].imm == 0
+        assert p.instructions[1].imm == 0xCD
+
+    def test_parenthesized(self):
+        p = assemble("LI R0, #(2+3)*4")
+        assert p.instructions[0].imm == 20
+
+
+class TestListings:
+    def test_binary_roundtrip(self):
+        src = "start:\nLI R0, #1000\nADD R1, R0, R0\nHALT"
+        p = assemble(src)
+        from repro.isa import Program
+        p2 = Program.from_binary(p.to_binary())
+        assert p2.instructions == p.instructions
+
+    def test_listing_contains_labels(self):
+        p = assemble("main:\nNOP\nHALT")
+        assert "main:" in p.listing()
+
+    def test_format_every_instruction(self):
+        src = """
+        ADD R0, R1, R2
+        MOV R3, R4
+        CMP R5, R6
+        MFSR R0, COREID
+        MTSR RSYNC, R1
+        ADDI R0, R0, #1
+        LDI R1, #-5
+        LUI R2, #10
+        ORI R2, #3
+        CMPI R3, #0
+        SLLI R4, #2
+        LD R0, [R1 + #1]
+        ST R0, [R1]
+        BEQ next
+        next:
+        JMP next
+        CALL next
+        JR R1
+        CALLR R2
+        SINC #1
+        SDEC #1
+        NOP
+        HALT
+        """
+        p = assemble(src)
+        for ins in p.instructions:
+            assert format_instruction(ins)

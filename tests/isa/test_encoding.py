@@ -1,0 +1,162 @@
+"""Unit and property tests for ulp16 binary encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.spec import (
+    Cond,
+    Opcode,
+    ShiftOp,
+    SysOp,
+    R3_OPCODES,
+    JUMP_TARGET_MAX,
+)
+
+
+def roundtrip(ins: Instruction) -> Instruction:
+    return decode(encode(ins))
+
+
+class TestFixedEncodings:
+    def test_nop_is_all_zero(self):
+        assert encode(Instruction(Opcode.SYS, sub=SysOp.NOP)) == 0
+
+    def test_opcode_occupies_top_five_bits(self):
+        word = encode(Instruction(Opcode.SINC, imm=0))
+        assert word >> 11 == int(Opcode.SINC)
+
+    def test_add_fields(self):
+        word = encode(Instruction(Opcode.ADD, rd=1, rs=2, rt=3))
+        assert (word >> 8) & 7 == 1
+        assert (word >> 5) & 7 == 2
+        assert (word >> 2) & 7 == 3
+
+    def test_negative_immediate_two_complement(self):
+        word = encode(Instruction(Opcode.ADDI, rd=0, rs=0, imm=-1))
+        assert word & 0x1F == 0x1F
+
+
+class TestRoundTrip:
+    def test_r3(self):
+        for op in R3_OPCODES:
+            ins = Instruction(op, rd=3, rs=5, rt=7)
+            assert roundtrip(ins) == ins
+
+    def test_sys(self):
+        for sub in SysOp:
+            ins = Instruction(Opcode.SYS, sub=sub)
+            assert roundtrip(ins) == ins
+
+    def test_shift_immediate(self):
+        for sub in ShiftOp:
+            ins = Instruction(Opcode.SHI, rd=2, sub=sub, imm=13)
+            assert roundtrip(ins) == ins
+
+    def test_branches(self):
+        for cond in Cond:
+            for disp in (-128, -1, 0, 1, 127):
+                ins = Instruction(Opcode.BCC, cond=cond, imm=disp)
+                assert roundtrip(ins) == ins
+
+    def test_jumps_absolute(self):
+        for op in (Opcode.JMP, Opcode.CALL):
+            for target in (0, 1, JUMP_TARGET_MAX):
+                ins = Instruction(op, imm=target)
+                assert roundtrip(ins) == ins
+
+    def test_memory(self):
+        for op in (Opcode.LD, Opcode.ST):
+            for imm in (-16, 0, 15):
+                ins = Instruction(op, rd=1, rs=2, imm=imm)
+                assert roundtrip(ins) == ins
+
+    def test_sync_ise(self):
+        for op in (Opcode.SINC, Opcode.SDEC):
+            for idx in (0, 1, 255):
+                ins = Instruction(op, imm=idx)
+                assert roundtrip(ins) == ins
+
+    def test_special_registers(self):
+        assert roundtrip(Instruction(Opcode.MFSR, rd=4, imm=3)) == \
+            Instruction(Opcode.MFSR, rd=4, imm=3)
+        assert roundtrip(Instruction(Opcode.MTSR, rs=2, imm=0)) == \
+            Instruction(Opcode.MTSR, rs=2, imm=0)
+
+    def test_immediates_i8(self):
+        assert roundtrip(Instruction(Opcode.LDI, rd=1, imm=-100)) == \
+            Instruction(Opcode.LDI, rd=1, imm=-100)
+        assert roundtrip(Instruction(Opcode.LUI, rd=1, imm=200)) == \
+            Instruction(Opcode.LUI, rd=1, imm=200)
+        assert roundtrip(Instruction(Opcode.ORI, rd=1, imm=255)) == \
+            Instruction(Opcode.ORI, rd=1, imm=255)
+
+
+class TestRangeChecks:
+    @pytest.mark.parametrize("ins", [
+        Instruction(Opcode.ADD, rd=8, rs=0, rt=0),
+        Instruction(Opcode.ADDI, rd=0, rs=0, imm=16),
+        Instruction(Opcode.ADDI, rd=0, rs=0, imm=-17),
+        Instruction(Opcode.LDI, rd=0, imm=128),
+        Instruction(Opcode.ORI, rd=0, imm=-1),
+        Instruction(Opcode.BCC, cond=Cond.EQ, imm=128),
+        Instruction(Opcode.JMP, imm=JUMP_TARGET_MAX + 1),
+        Instruction(Opcode.JMP, imm=-1),
+        Instruction(Opcode.SHI, rd=0, sub=ShiftOp.SLLI, imm=16),
+        Instruction(Opcode.SINC, imm=256),
+    ])
+    def test_out_of_range_rejected(self, ins):
+        with pytest.raises(EncodingError):
+            encode(ins)
+
+    def test_decode_rejects_wide_word(self):
+        with pytest.raises(EncodingError):
+            decode(0x10000)
+
+
+@st.composite
+def arbitrary_instruction(draw):
+    """Generate a valid Instruction across every format."""
+    op = draw(st.sampled_from(list(Opcode)))
+    reg = st.integers(0, 7)
+    if op is Opcode.SYS:
+        return Instruction(op, sub=draw(st.sampled_from(list(SysOp))))
+    if op in R3_OPCODES:
+        return Instruction(op, rd=draw(reg), rs=draw(reg), rt=draw(reg))
+    if op in (Opcode.MOV, Opcode.CMP):
+        return Instruction(op, rd=draw(reg), rs=draw(reg))
+    if op in (Opcode.MFSR, Opcode.MTSR):
+        return Instruction(op, rd=draw(reg), rs=draw(reg),
+                           imm=draw(st.integers(0, 31)))
+    if op in (Opcode.ADDI, Opcode.LD, Opcode.ST):
+        return Instruction(op, rd=draw(reg), rs=draw(reg),
+                           imm=draw(st.integers(-16, 15)))
+    if op is Opcode.CMPI:
+        return Instruction(op, rd=draw(reg), imm=draw(st.integers(-16, 15)))
+    if op is Opcode.LDI:
+        return Instruction(op, rd=draw(reg), imm=draw(st.integers(-128, 127)))
+    if op in (Opcode.LUI, Opcode.ORI):
+        return Instruction(op, rd=draw(reg), imm=draw(st.integers(0, 255)))
+    if op is Opcode.SHI:
+        return Instruction(op, rd=draw(reg),
+                           sub=draw(st.sampled_from(list(ShiftOp))),
+                           imm=draw(st.integers(0, 15)))
+    if op is Opcode.BCC:
+        return Instruction(op, cond=draw(st.sampled_from(list(Cond))),
+                           imm=draw(st.integers(-128, 127)))
+    if op in (Opcode.JMP, Opcode.CALL):
+        return Instruction(op, imm=draw(st.integers(0, JUMP_TARGET_MAX)))
+    if op in (Opcode.JR, Opcode.CALLR):
+        return Instruction(op, rs=draw(reg))
+    return Instruction(op, imm=draw(st.integers(0, 255)))  # SINC/SDEC
+
+
+@given(arbitrary_instruction())
+def test_encode_decode_roundtrip(ins):
+    assert roundtrip(ins) == ins
+
+
+@given(arbitrary_instruction())
+def test_encoding_fits_16_bits(ins):
+    assert 0 <= encode(ins) <= 0xFFFF

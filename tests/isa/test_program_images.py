@@ -1,0 +1,69 @@
+"""Tests for program images, binary round-trips and the disassembler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    Instruction,
+    Opcode,
+    Program,
+    assemble,
+    disassemble,
+    disassemble_word,
+    encode,
+)
+from repro.isa.disassembler import disassemble_instructions
+from tests.isa.test_encoding import arbitrary_instruction
+
+
+class TestBinaryImages:
+    def test_roundtrip_preserves_instructions(self):
+        program = assemble("LI R0, #1000\nADD R1, R0, R0\nHALT")
+        clone = Program.from_binary(program.to_binary())
+        assert clone.instructions == program.instructions
+
+    def test_binary_is_little_endian_16bit(self):
+        program = assemble("NOP")
+        assert program.to_binary() == b"\x00\x00"
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            Program.from_binary(b"\x00")
+
+    @given(st.lists(arbitrary_instruction(), min_size=1, max_size=40))
+    def test_roundtrip_property(self, instructions):
+        program = Program(instructions=list(instructions))
+        assert Program.from_binary(
+            program.to_binary()).instructions == instructions
+
+
+class TestListings:
+    def test_listing_shows_addresses_and_symbols(self):
+        program = assemble("start:\nNOP\nloop:\nJMP loop")
+        listing = program.listing()
+        assert "start:" in listing and "loop:" in listing
+        assert "JMP" in listing
+
+    def test_disassemble_words(self):
+        words = [encode(Instruction(Opcode.SINC, imm=3))]
+        text = disassemble(words, base=100)
+        assert "100" in text and "SINC #3" in text
+
+    def test_disassemble_word_single(self):
+        assert disassemble_word(0) == "NOP"
+
+    def test_disassemble_instructions(self):
+        text = disassemble_instructions(
+            [Instruction(Opcode.SDEC, imm=7)], base=5)
+        assert "SDEC #7" in text
+
+    @given(arbitrary_instruction())
+    def test_every_instruction_formats(self, ins):
+        assert disassemble_word(encode(ins))
+
+
+class TestSourceMap:
+    def test_assembler_records_origins(self):
+        program = assemble("ADD R0, R0, R0\nHALT")
+        assert "line 1" in program.source_map[0]
+        assert "line 2" in program.source_map[1]

@@ -1,0 +1,66 @@
+"""Kernels are runtime-parameterizable through their shared globals.
+
+The minic kernels expose their structuring-element lengths / thresholds
+as ``uniform`` globals in shared memory; the host can retune them per
+deployment without recompiling.  These tests poke different parameters
+and verify against the golden models evaluated with the same values.
+"""
+
+import pytest
+
+from repro.dsp import generate_ecg
+from repro.dsp.mrpdln import mrpdln_int
+from repro.dsp.mrpfltr import mrpfltr_int
+from repro.isa.spec import to_signed16
+from repro.kernels import WITH_SYNC, build_program
+from repro.kernels.mrpdln import OUT_WORDS
+from repro.platform import Machine
+
+N = 32
+
+
+@pytest.fixture(scope="module")
+def channels():
+    rec = generate_ecg(n_channels=8, n_samples=N)
+    return [rec.channel(c) for c in range(8)]
+
+
+def run_with_params(bench_name, channels, params, out_words):
+    program = build_program(bench_name, True)
+    machine = Machine(program, WITH_SYNC.platform_config(len(channels)))
+    for core, channel in enumerate(channels):
+        machine.dm.load(core * 2048, [v & 0xFFFF for v in channel])
+    machine.dm.write(program.symbols["g_n_samples"], len(channels[0]))
+    for name, value in params.items():
+        machine.dm.write(program.symbols[f"g_{name}"], value)
+    machine.run()
+    return [
+        [to_signed16(v) for v in machine.dm.dump(c * 2048 + 512, out_words)]
+        for c in range(len(channels))
+    ]
+
+
+class TestMrpfltrParameters:
+    @pytest.mark.parametrize("b,l1,l2", [(3, 5, 7), (5, 11, 15)])
+    def test_structuring_elements_retunable(self, channels, b, l1, l2):
+        got = run_with_params("MRPFLTR", channels,
+                              {"k_noise": b, "k_base1": l1, "k_base2": l2},
+                              N)
+        expected = [mrpfltr_int(c, b, l1, l2) for c in channels]
+        assert got == expected
+
+
+class TestMrpdlnParameters:
+    def test_scale_retunable(self, channels):
+        got = run_with_params("MRPDLN", channels,
+                              {"scale": 2, "refractory": 20, "search": 8},
+                              OUT_WORDS)
+        expected = [mrpdln_int(c, 2, 20, 8, 16) for c in channels]
+        assert got == expected
+
+    def test_small_refractory_finds_more_peaks(self, channels):
+        few = run_with_params("MRPDLN", channels, {"refractory": 40},
+                              OUT_WORDS)
+        many = run_with_params("MRPDLN", channels, {"refractory": 2},
+                               OUT_WORDS)
+        assert sum(r[0] for r in many) >= sum(r[0] for r in few)

@@ -1,0 +1,73 @@
+"""Kernel robustness across input extremes and seeds.
+
+The golden-equivalence property must hold for any 12-bit input, not just
+nominal ECG: full-scale values stress the 32-bit accumulation paths
+(SQRT32) and the morphology edge handling."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dsp import EcgConfig, generate_ecg
+from repro.kernels import WITH_SYNC, WITHOUT_SYNC, golden_outputs, run_benchmark
+
+
+def assert_golden(bench, channels, design=WITH_SYNC):
+    run = run_benchmark(bench, design, channels)
+    assert run.outputs == golden_outputs(bench, channels)
+
+
+class TestExtremes:
+    def test_full_scale_negative(self):
+        channels = [[-2048] * 16 for _ in range(8)]
+        assert_golden("SQRT32", channels)      # max 32-bit accumulation
+        assert_golden("MRPFLTR", channels)
+
+    def test_full_scale_positive(self):
+        channels = [[2047] * 16 for _ in range(8)]
+        assert_golden("SQRT32", channels)
+
+    def test_all_zero(self):
+        channels = [[0] * 16 for _ in range(8)]
+        for bench in ("SQRT32", "MRPFLTR", "MRPDLN"):
+            assert_golden(bench, channels)
+
+    def test_alternating_extremes(self):
+        pattern = [-2048, 2047] * 8
+        channels = [pattern for _ in range(8)]
+        assert_golden("SQRT32", channels)
+        assert_golden("MRPDLN", channels)
+
+    def test_impulse_train(self):
+        channel = [0] * 24
+        channel[5] = 2047
+        channel[15] = -2048
+        channels = [list(channel) for _ in range(8)]
+        assert_golden("MRPFLTR", channels)
+        assert_golden("MRPDLN", channels)
+
+
+class TestSeeds:
+    @pytest.mark.parametrize("seed", [1, 99, 31337])
+    def test_sqrt32_across_seeds(self, seed):
+        rec = generate_ecg(n_channels=8, n_samples=24,
+                           config=EcgConfig(seed=seed))
+        channels = [rec.channel(c) for c in range(8)]
+        assert_golden("SQRT32", channels)
+        assert_golden("SQRT32", channels, WITHOUT_SYNC)
+
+    @pytest.mark.parametrize("seed", [7, 2026])
+    def test_mrpdln_across_seeds(self, seed):
+        rec = generate_ecg(n_channels=8, n_samples=32,
+                           config=EcgConfig(seed=seed,
+                                            noise_rms=25.0))
+        channels = [rec.channel(c) for c in range(8)]
+        assert_golden("MRPDLN", channels)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(
+    st.lists(st.integers(-2048, 2047), min_size=16, max_size=16),
+    min_size=8, max_size=8))
+def test_sqrt32_arbitrary_inputs(channels):
+    assert_golden("SQRT32", channels)

@@ -1,0 +1,122 @@
+"""Integration tests: platform kernels vs golden models, on every design.
+
+These are the core correctness claims of the reproduction: the paper's
+synchronization technique must change *performance*, never *results*.
+"""
+
+import pytest
+
+from repro.dsp import generate_ecg
+from repro.kernels import (
+    BARRIER_ONLY,
+    BENCHMARKS,
+    DESIGNS,
+    DXBAR_ONLY,
+    MAX_SAMPLES,
+    WITH_SYNC,
+    WITHOUT_SYNC,
+    build_program,
+    golden_outputs,
+    run_benchmark,
+)
+
+N_SAMPLES = 32
+
+
+@pytest.fixture(scope="module")
+def channels():
+    rec = generate_ecg(n_channels=8, n_samples=N_SAMPLES)
+    return [rec.channel(c) for c in range(8)]
+
+
+@pytest.fixture(scope="module")
+def runs(channels):
+    """Run every benchmark on the two main designs once (shared)."""
+    out = {}
+    for name in BENCHMARKS:
+        for design in (WITH_SYNC, WITHOUT_SYNC):
+            out[name, design.name] = run_benchmark(name, design, channels)
+    return out
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    @pytest.mark.parametrize("design", ["with-sync", "without-sync"])
+    def test_matches_golden(self, runs, channels, name, design):
+        assert runs[name, design].outputs == golden_outputs(name, channels)
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_designs_agree(self, runs, name):
+        assert (runs[name, "with-sync"].outputs
+                == runs[name, "without-sync"].outputs)
+
+    @pytest.mark.parametrize("design", [BARRIER_ONLY, DXBAR_ONLY])
+    def test_ablation_designs_also_correct(self, channels, design):
+        run = run_benchmark("SQRT32", design, channels)
+        assert run.outputs == golden_outputs("SQRT32", channels)
+
+
+class TestPerformanceShape:
+    """The paper's qualitative performance claims (sec. V-B)."""
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_synchronizer_speeds_up(self, runs, name):
+        base = runs[name, "without-sync"]
+        sync = runs[name, "with-sync"]
+        speedup = base.cycles / sync.cycles
+        assert speedup > 1.5, f"{name}: speedup only {speedup:.2f}"
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_im_accesses_reduced(self, runs, name):
+        base = runs[name, "without-sync"].trace.im_bank_accesses
+        sync = runs[name, "with-sync"].trace.im_bank_accesses
+        assert sync < 0.6 * base
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_dm_access_overhead_small(self, runs, name):
+        base = runs[name, "without-sync"].trace.dm_accesses
+        sync = runs[name, "with-sync"].trace.dm_accesses
+        assert sync >= base          # sync RMWs add accesses...
+        assert sync < 1.35 * base    # ...but only moderately
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_lockstep_restored(self, runs, name):
+        assert runs[name, "with-sync"].trace.lockstep_fraction > 0.5
+        assert (runs[name, "with-sync"].trace.lockstep_fraction
+                > runs[name, "without-sync"].trace.lockstep_fraction)
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_baseline_never_syncs(self, runs, name):
+        trace = runs[name, "without-sync"].trace
+        assert trace.sync_rmw_ops == 0
+        assert trace.sync_wait_cycles == 0
+
+
+class TestHarness:
+    def test_program_cache_reused(self):
+        a = build_program("MRPFLTR", True)
+        b = build_program("MRPFLTR", True)
+        assert a is b
+
+    def test_rejects_oversized_input(self, channels):
+        big = [[0] * (MAX_SAMPLES + 1)] * 8
+        with pytest.raises(ValueError):
+            run_benchmark("SQRT32", WITH_SYNC, big)
+
+    def test_rejects_ragged_channels(self):
+        with pytest.raises(ValueError):
+            run_benchmark("SQRT32", WITH_SYNC, [[0] * 16, [0] * 8])
+
+    def test_designs_registry(self):
+        assert set(DESIGNS) == {"with-sync", "without-sync",
+                                "barrier-only", "dxbar-only"}
+
+    def test_fewer_cores_supported(self, channels):
+        run = run_benchmark("SQRT32", WITH_SYNC, channels[:4])
+        assert len(run.outputs) == 4
+        assert run.outputs == golden_outputs("SQRT32", channels[:4])
+
+    def test_negative_samples_roundtrip(self):
+        chans = [[-100 + 7 * c] * 16 for c in range(8)]
+        run = run_benchmark("MRPFLTR", WITH_SYNC, chans)
+        assert run.outputs == golden_outputs("MRPFLTR", chans)

@@ -1,0 +1,146 @@
+"""Property-based tests for crossbar arbitration invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.platform.config import PlatformConfig, SyncPolicy
+from repro.platform.dxbar import DataCrossbar, DmRequest
+from repro.platform.ixbar import InstructionCrossbar
+from repro.platform.memory import BankedMemory
+from repro.platform.trace import ActivityTrace
+
+CONFIG = PlatformConfig(num_cores=8, dm_banks=4, dm_bank_words=16,
+                        im_banks=2, im_bank_words=32,
+                        policy=SyncPolicy.FULL)
+
+fetch_requests = st.dictionaries(
+    st.integers(0, 7), st.integers(0, 63), min_size=1, max_size=8)
+
+
+@given(fetch_requests)
+def test_ixbar_grants_subset_of_requests(requests):
+    xbar = InstructionCrossbar(CONFIG, ActivityTrace())
+    granted = xbar.arbitrate(dict(requests))
+    assert granted <= set(requests)
+    assert granted    # at least one request served per cycle
+
+
+@given(fetch_requests)
+def test_ixbar_one_access_per_bank(requests):
+    trace = ActivityTrace()
+    xbar = InstructionCrossbar(CONFIG, trace)
+    xbar.arbitrate(dict(requests))
+    banks_hit = {CONFIG.im_bank_of(a) for a in requests.values()}
+    assert trace.im_bank_accesses <= len(banks_hit)
+
+
+@given(fetch_requests)
+def test_ixbar_granted_cores_share_address_per_bank(requests):
+    xbar = InstructionCrossbar(CONFIG, ActivityTrace())
+    granted = xbar.arbitrate(dict(requests))
+    per_bank: dict[int, set[int]] = {}
+    for core in granted:
+        bank = CONFIG.im_bank_of(requests[core])
+        per_bank.setdefault(bank, set()).add(requests[core])
+    assert all(len(addresses) == 1 for addresses in per_bank.values())
+
+
+@given(fetch_requests)
+def test_ixbar_eventually_serves_everyone(requests):
+    """Liveness: repeating the same request set drains it completely."""
+    xbar = InstructionCrossbar(CONFIG, ActivityTrace())
+    outstanding = dict(requests)
+    for _ in range(len(requests) + 1):
+        if not outstanding:
+            break
+        for core in xbar.arbitrate(dict(outstanding)):
+            del outstanding[core]
+    assert not outstanding
+
+
+dm_request_lists = st.lists(
+    st.builds(DmRequest,
+              core=st.integers(0, 7),
+              address=st.integers(0, 63),
+              is_write=st.booleans(),
+              value=st.integers(0, 0xFFFF),
+              pc=st.integers(0, 3)),
+    min_size=1, max_size=8,
+    unique_by=lambda r: r.core)
+
+
+def make_dxbar(policy=SyncPolicy.NONE):
+    trace = ActivityTrace()
+    memory = BankedMemory(CONFIG.dm_banks, CONFIG.dm_bank_words)
+    return DataCrossbar(
+        PlatformConfig(num_cores=8, dm_banks=4, dm_bank_words=16,
+                       im_banks=2, im_bank_words=32, policy=policy),
+        trace, memory), trace
+
+
+@given(dm_request_lists)
+def test_dxbar_completions_subset_and_progress(requests):
+    xbar, _ = make_dxbar()
+    result = xbar.arbitrate(list(requests), set())
+    cores = {r.core for r in requests}
+    assert set(result.completions) <= cores
+    assert result.released <= set(result.completions)
+    assert result.denied <= cores
+    assert not (set(result.completions) & result.denied)
+    assert result.completions     # progress every cycle
+
+
+@given(dm_request_lists)
+def test_dxbar_eventually_serves_everyone_without_policy(requests):
+    xbar, _ = make_dxbar(SyncPolicy.NONE)
+    outstanding = {r.core: r for r in requests}
+    for _ in range(len(requests) + 1):
+        if not outstanding:
+            break
+        result = xbar.arbitrate(list(outstanding.values()), set())
+        for core in result.completions:
+            del outstanding[core]
+    assert not outstanding
+
+
+@given(dm_request_lists)
+def test_dxbar_sync_policy_releases_all_eventually(requests):
+    """With the synchronous-stall policy, every conflict group drains and
+    all requesters are eventually released."""
+    xbar, _ = make_dxbar(SyncPolicy.DXBAR_SYNC_STALL)
+    outstanding = {r.core: r for r in requests}
+    released: set[int] = set()
+    for _ in range(2 * len(requests) + 2):
+        if not outstanding and not xbar.held_cores:
+            break
+        pending = [r for core, r in outstanding.items()
+                   if core not in xbar.held_cores]
+        result = xbar.arbitrate(pending, set())
+        for core in result.completions:
+            pass
+        released |= result.released
+        for core in result.released:
+            outstanding.pop(core, None)
+        for core in set(result.completions) - result.released:
+            pass  # held: stays in outstanding but not re-requested
+    assert released == {r.core for r in requests}
+    assert not xbar.held_cores
+
+
+@given(dm_request_lists)
+def test_dxbar_writes_land_in_memory(requests):
+    xbar, _ = make_dxbar()
+    memory_writes = {}
+    outstanding = {r.core: r for r in requests}
+    for _ in range(len(requests) + 1):
+        if not outstanding:
+            break
+        result = xbar.arbitrate(list(outstanding.values()), set())
+        for core in result.completions:
+            request = outstanding.pop(core)
+            if request.is_write:
+                memory_writes[request.address] = request.value
+    for address, value in memory_writes.items():
+        stored = xbar._memory.read(address)
+        same_address_writes = [r.value for r in requests
+                               if r.is_write and r.address == address]
+        assert stored in same_address_writes

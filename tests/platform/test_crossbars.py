@@ -1,0 +1,198 @@
+"""Tests for I-Xbar and D-Xbar arbitration, broadcast and stall policies."""
+
+from repro.platform.config import PlatformConfig, SyncPolicy
+from repro.platform.dxbar import DataCrossbar, DmRequest
+from repro.platform.ixbar import InstructionCrossbar
+from repro.platform.memory import BankedMemory
+from repro.platform.trace import ActivityTrace
+
+
+def make_config(policy=SyncPolicy.FULL):
+    return PlatformConfig(num_cores=8, dm_banks=4, dm_bank_words=16,
+                          im_banks=2, im_bank_words=32, policy=policy)
+
+
+class TestInstructionCrossbar:
+    def test_broadcast_single_access(self):
+        trace = ActivityTrace()
+        xbar = InstructionCrossbar(make_config(), trace)
+        granted = xbar.arbitrate({c: 5 for c in range(8)})
+        assert granted == set(range(8))
+        assert trace.im_bank_accesses == 1
+        assert trace.im_fetches_served == 8
+
+    def test_same_bank_different_address_serializes(self):
+        trace = ActivityTrace()
+        xbar = InstructionCrossbar(make_config(), trace)
+        granted = xbar.arbitrate({0: 5, 1: 6})
+        assert len(granted) == 1
+        assert trace.im_bank_accesses == 1
+        assert trace.im_conflict_cycles == 1
+
+    def test_different_banks_served_in_parallel(self):
+        trace = ActivityTrace()
+        xbar = InstructionCrossbar(make_config(), trace)
+        granted = xbar.arbitrate({0: 5, 1: 40})  # banks 0 and 1
+        assert granted == {0, 1}
+        assert trace.im_bank_accesses == 2
+
+    def test_rotating_priority_is_fair(self):
+        trace = ActivityTrace()
+        xbar = InstructionCrossbar(make_config(), trace)
+        served = []
+        for _ in range(4):
+            granted = xbar.arbitrate({0: 5, 1: 6})
+            served.append(min(granted))
+        # both cores make progress in alternation
+        assert set(served) == {0, 1}
+
+    def test_subgroup_broadcast(self):
+        trace = ActivityTrace()
+        xbar = InstructionCrossbar(make_config(), trace)
+        requests = {0: 5, 1: 5, 2: 5, 3: 9}  # two lockstep subgroups
+        granted = xbar.arbitrate(requests)
+        if 3 in granted:
+            assert granted == {3}
+        else:
+            assert granted == {0, 1, 2}
+        assert trace.im_bank_accesses == 1
+
+
+class TestDataCrossbarBroadcast:
+    def make(self, policy=SyncPolicy.FULL):
+        trace = ActivityTrace()
+        config = make_config(policy)
+        memory = BankedMemory(config.dm_banks, config.dm_bank_words)
+        return DataCrossbar(config, trace, memory), trace, memory
+
+    def test_read_broadcast(self):
+        xbar, trace, memory = self.make()
+        memory.write(7, 0xABCD)
+        reqs = [DmRequest(c, 7, False, 0, pc=10) for c in range(8)]
+        result = xbar.arbitrate(reqs, set())
+        assert set(result.completions) == set(range(8))
+        assert all(v == 0xABCD for v in result.completions.values())
+        assert result.released == set(range(8))
+        assert trace.dm_bank_reads == 1
+        assert trace.dm_served == 8
+
+    def test_write_is_exclusive(self):
+        xbar, trace, memory = self.make()
+        reqs = [DmRequest(0, 7, True, 11, pc=10),
+                DmRequest(1, 7, True, 22, pc=10)]
+        result = xbar.arbitrate(reqs, set())
+        assert len(result.completions) == 1
+        assert trace.dm_bank_writes == 1
+        assert memory.read(7) in (11, 22)
+
+    def test_different_banks_parallel(self):
+        xbar, trace, memory = self.make()
+        reqs = [DmRequest(0, 0, False, 0, 10), DmRequest(1, 16, False, 0, 10)]
+        result = xbar.arbitrate(reqs, set())
+        assert set(result.completions) == {0, 1}
+        assert trace.dm_bank_reads == 2
+
+    def test_busy_bank_denies_all(self):
+        xbar, trace, memory = self.make()
+        reqs = [DmRequest(0, 0, False, 0, 10)]
+        result = xbar.arbitrate(reqs, {0})
+        assert result.denied == {0}
+        assert not result.completions
+
+    def test_locked_address_denied(self):
+        xbar, trace, memory = self.make()
+        xbar.lock(5)
+        result = xbar.arbitrate([DmRequest(0, 5, False, 0, 10)], set())
+        assert result.denied == {0}
+        xbar.unlock(5)
+        result = xbar.arbitrate([DmRequest(0, 5, False, 0, 10)], set())
+        assert 0 in result.completions
+
+
+class TestSynchronousStallPolicy:
+    def conflicting_requests(self, pcs):
+        # same bank (0), different addresses -> conflict
+        return [DmRequest(c, c, False, 0, pcs[c]) for c in range(4)]
+
+    def test_synchronous_conflict_forms_group(self):
+        trace = ActivityTrace()
+        config = make_config(SyncPolicy.FULL)
+        memory = BankedMemory(config.dm_banks, config.dm_bank_words)
+        xbar = DataCrossbar(config, trace, memory)
+
+        reqs = self.conflicting_requests({c: 100 for c in range(4)})
+        result = xbar.arbitrate(reqs, set())
+        # one served but held, none released
+        assert len(result.completions) == 1
+        assert result.released == set()
+        assert xbar.held_cores == set(result.completions)
+
+        # serve the rest over the following cycles
+        outstanding = {r.core: r for r in reqs if r.core not in result.completions}
+        released = set(result.released)
+        for _ in range(3):
+            result = xbar.arbitrate(list(outstanding.values()), set())
+            for core in result.completions:
+                del outstanding[core]
+            released |= result.released
+        assert released == {0, 1, 2, 3}
+        assert not xbar.held_cores
+
+    def test_asynchronous_conflict_releases_immediately(self):
+        trace = ActivityTrace()
+        config = make_config(SyncPolicy.FULL)
+        memory = BankedMemory(config.dm_banks, config.dm_bank_words)
+        xbar = DataCrossbar(config, trace, memory)
+        pcs = {0: 100, 1: 101, 2: 102, 3: 103}  # different PCs: not in sync
+        result = xbar.arbitrate(self.conflicting_requests(pcs), set())
+        assert result.released == set(result.completions)
+        assert not xbar.held_cores
+
+    def test_policy_disabled_never_groups(self):
+        trace = ActivityTrace()
+        config = make_config(SyncPolicy.NONE)
+        memory = BankedMemory(config.dm_banks, config.dm_bank_words)
+        xbar = DataCrossbar(config, trace, memory)
+        result = xbar.arbitrate(
+            self.conflicting_requests({c: 100 for c in range(4)}), set())
+        assert result.released == set(result.completions)
+        assert not xbar.held_cores
+
+    def test_non_members_kept_out_until_group_drains(self):
+        trace = ActivityTrace()
+        config = make_config(SyncPolicy.FULL)
+        memory = BankedMemory(config.dm_banks, config.dm_bank_words)
+        xbar = DataCrossbar(config, trace, memory)
+        reqs = [DmRequest(0, 0, False, 0, 100), DmRequest(1, 1, False, 0, 100)]
+        xbar.arbitrate(reqs, set())          # group {0,1} formed
+        intruder = DmRequest(5, 2, False, 0, 300)
+        remaining = [r for r in reqs if r.core not in xbar.held_cores]
+        result = xbar.arbitrate(remaining + [intruder], set())
+        assert 5 in result.denied
+        assert result.released == {0, 1}
+
+
+class TestBroadcastDisable:
+    def test_ixbar_without_broadcast_serves_one_per_bank(self):
+        trace = ActivityTrace()
+        config = PlatformConfig(num_cores=8, dm_banks=4, dm_bank_words=16,
+                                im_banks=2, im_bank_words=32,
+                                policy=SyncPolicy.FULL, im_broadcast=False)
+        xbar = InstructionCrossbar(config, trace)
+        granted = xbar.arbitrate({c: 5 for c in range(8)})
+        assert len(granted) == 1
+        assert trace.im_bank_accesses == 1
+        assert trace.im_fetches_served == 1
+
+    def test_dxbar_without_broadcast_serves_one_reader(self):
+        trace = ActivityTrace()
+        config = PlatformConfig(num_cores=8, dm_banks=4, dm_bank_words=16,
+                                im_banks=2, im_bank_words=32,
+                                policy=SyncPolicy.NONE, dm_broadcast=False)
+        memory = BankedMemory(config.dm_banks, config.dm_bank_words)
+        xbar = DataCrossbar(config, trace, memory)
+        memory.write(7, 99)
+        reqs = [DmRequest(c, 7, False, 0, pc=10) for c in range(8)]
+        result = xbar.arbitrate(reqs, set())
+        assert len(result.completions) == 1
+        assert trace.dm_served == 1

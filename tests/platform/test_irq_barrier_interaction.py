@@ -1,0 +1,90 @@
+"""Interrupts must not break the barrier protocol.
+
+A core that has checked out sleeps under synchronizer control; delivering
+an interrupt there would let it execute past an unreleased checkpoint.
+The machine defers such IRQs until the barrier wakes the core.
+"""
+
+import pytest
+
+from repro.platform import DeadlockError, Machine, WITH_SYNCHRONIZER
+
+PROGRAM = """
+    .equ SYNCBASE 30720
+.entry main
+isr:
+    LI R4, #60
+    LD R5, [R4]
+    INC R5
+    ST R5, [R4]
+    RETI
+main:
+    LI R1, #SYNCBASE
+    MTSR RSYNC, R1
+    LI R1, #isr
+    MTSR IVEC, R1
+    EI
+    MFSR R0, COREID
+    SINC #0
+    CMPI R0, #0
+    BEQ short_path
+    ; long path: cores 1..7 spin a while
+    LI R2, #40
+spin:
+    DEC R2
+    BNE spin
+short_path:
+    SDEC #0
+    ; after the barrier: each core marks its own arrival slot
+    LI R4, #64
+    MFSR R0, COREID
+    ADD R4, R4, R0
+    LDI R5, #1
+    ST R5, [R4]
+    HALT
+"""
+
+
+class TestIrqVsBarrier:
+    def test_irq_deferred_while_checked_out(self):
+        machine = Machine.from_assembly(PROGRAM, WITH_SYNCHRONIZER)
+        # core 0 reaches SDEC quickly and sleeps; fire an IRQ at it while
+        # the others are still spinning
+        machine.schedule_interrupt(40, 0)
+        machine.run(max_cycles=100_000)
+        assert machine.all_halted
+        # the ISR ran exactly once — after the barrier released
+        assert machine.dm.read(60) == 1
+        # all 8 cores passed the barrier and the word was cleared
+        assert machine.dm.dump(64, 8) == [1] * 8
+        assert machine.dm.read(30720) == 0
+
+    def test_barrier_wakeup_not_stolen(self):
+        machine = Machine.from_assembly(PROGRAM, WITH_SYNCHRONIZER)
+        machine.schedule_interrupt(40, 0)
+        machine.run(max_cycles=100_000)
+        trace = machine.trace
+        assert trace.sync_checkins == 8
+        assert trace.sync_checkouts == 8
+        assert trace.sync_wakeups == 1
+
+    def test_pending_irq_to_dead_barrier_still_deadlocks(self):
+        # core 0 never checks out; an undeliverable pending IRQ on a
+        # barrier sleeper must not mask the deadlock
+        source = """
+            .equ SYNCBASE 30720
+            LI R1, #SYNCBASE
+            MTSR RSYNC, R1
+            EI
+            MFSR R0, COREID
+            SINC #0
+            CMPI R0, #0
+            BEQ skip
+            SDEC #0
+        skip:
+            HALT
+        """
+        machine = Machine.from_assembly(source, WITH_SYNCHRONIZER)
+        machine.schedule_interrupt(30, 1)
+        with pytest.raises(DeadlockError):
+            machine.run(max_cycles=100_000)

@@ -1,0 +1,299 @@
+"""End-to-end machine tests with small SPMD assembly programs."""
+
+import pytest
+
+from repro.platform import (
+    DeadlockError,
+    Machine,
+    PlatformConfig,
+    SimulationLimitError,
+    SyncPolicy,
+    WITH_SYNCHRONIZER,
+    WITHOUT_SYNCHRONIZER,
+)
+
+ONE_CORE = PlatformConfig(num_cores=1, policy=SyncPolicy.FULL)
+
+
+def run(source, config=WITH_SYNCHRONIZER):
+    machine = Machine.from_assembly(source, config)
+    machine.run(max_cycles=100_000)
+    return machine
+
+
+class TestSingleCore:
+    def test_arithmetic_to_memory(self):
+        m = run("""
+            LI R1, #21
+            ADD R1, R1, R1
+            LI R2, #100
+            ST R1, [R2]
+            HALT
+        """, ONE_CORE)
+        assert m.dm.read(100) == 42
+
+    def test_loop_sums_array(self):
+        m = run("""
+            .data 200
+            arr: .word 1, 2, 3, 4, 5
+            .code
+            LI R1, #arr
+            LI R2, #5       ; remaining
+            CLR R3          ; sum
+        loop:
+            LD R4, [R1]
+            ADD R3, R3, R4
+            INC R1
+            DEC R2
+            BNE loop
+            LI R5, #300
+            ST R3, [R5]
+            HALT
+        """, ONE_CORE)
+        assert m.dm.read(300) == 15
+
+    def test_call_ret(self):
+        m = run("""
+            .entry main
+        double:
+            ADD R0, R0, R0
+            RET
+        main:
+            LI R0, #7
+            CALL double
+            LI R1, #50
+            ST R0, [R1]
+            HALT
+        """, ONE_CORE)
+        assert m.dm.read(50) == 14
+
+    def test_interrupt_service(self):
+        source = """
+            .entry main
+        isr:
+            LI R4, #99
+            LI R5, #60
+            ST R4, [R5]
+            RETI
+        main:
+            LI R1, #isr
+            MTSR IVEC, R1
+            EI
+            SLEEP
+            LI R2, #7
+            LI R3, #61
+            ST R2, [R3]
+            HALT
+        """
+        m = Machine.from_assembly(source, ONE_CORE)
+        m.schedule_interrupt(30, 0)
+        m.run(max_cycles=10_000)
+        assert m.dm.read(60) == 99   # handler ran
+        assert m.dm.read(61) == 7    # resumed after SLEEP
+
+    def test_runaway_program_hits_limit(self):
+        with pytest.raises(SimulationLimitError):
+            run("spin:\nJMP spin\nHALT", ONE_CORE)
+
+
+class TestSpmd:
+    def test_every_core_writes_its_bank(self):
+        m = run("""
+            .equ BANKW 2048
+            MFSR R0, COREID
+            LI R1, #BANKW
+            MUL R2, R0, R1
+            LI R3, #42
+            ADD R3, R3, R0
+            ST R3, [R2]
+            HALT
+        """)
+        for cid in range(8):
+            assert m.dm.read(cid * 2048) == 42 + cid
+
+    def test_lockstep_straight_line_is_8_ops_per_cycle(self):
+        body = "\n".join(["ADD R1, R1, R1"] * 64)
+        m = run(f"LDI R1, #1\n{body}\nHALT")
+        # every fetch is broadcast: ~1 IM access per program instruction
+        assert m.trace.im_bank_accesses <= 68
+        assert m.trace.ops_per_cycle > 7.0
+        assert m.trace.lockstep_fraction > 0.9
+
+    def test_shared_read_broadcast(self):
+        m = run("""
+            .data 16384
+            shared: .word 1234
+            .code
+            LI R1, #shared
+            LD R2, [R1]
+            MFSR R0, COREID
+            SLLI R0, #11
+            ST R2, [R0]
+            HALT
+        """)
+        assert m.trace.dm_bank_reads == 1   # one broadcast read
+        for cid in range(8):
+            assert m.dm.read(cid * 2048) == 1234
+
+
+def delay_divergence(sync: bool, tail_len: int = 40) -> str:
+    """A data-dependent region whose path length differs per core.
+
+    Each core spins ``coreid`` iterations, so the cores leave the region at
+    different times — the drift mechanism the paper's benchmarks exhibit.
+    ``sync=True`` wraps the region in a SINC/SDEC checkpoint.
+    """
+    enter = "SINC #0" if sync else "NOP"
+    leave = "SDEC #0" if sync else "NOP"
+    tail = "\n".join(["ADD R3, R3, R3"] * tail_len)
+    return f"""
+        .equ SYNCBASE 30720
+        LI R1, #SYNCBASE
+        MTSR RSYNC, R1
+        MFSR R0, COREID
+        {enter}
+        CMPI R0, #0
+        BEQ out
+        MOV R2, R0
+    delay:
+        DEC R2
+        BNE delay
+    out:
+        {leave}
+        {tail}
+        HALT
+    """
+
+
+class TestDivergenceWithoutSync:
+    def test_divergence_costs_extra_im_accesses(self):
+        m = run(delay_divergence(sync=False), WITHOUT_SYNCHRONIZER)
+        # cores leave the region staggered: the 40-instruction tail is
+        # fetched by several drifting subgroups instead of broadcast once
+        assert m.trace.im_bank_accesses > 100
+        assert m.trace.ops_per_cycle < 5.0
+
+    def test_all_cores_still_complete(self):
+        m = run(delay_divergence(sync=False), WITHOUT_SYNCHRONIZER)
+        assert m.all_halted
+
+
+class TestBarrierResynchronization:
+    def sync_program(self, tail_len=40):
+        tail = "\n".join(["ADD R3, R3, R3"] * tail_len)
+        return f"""
+            .equ SYNCBASE 30720      ; bank 15
+            LI R1, #SYNCBASE
+            MTSR RSYNC, R1
+            MFSR R0, COREID
+            LDI R1, #1
+            AND R1, R0, R1
+            SINC #0
+            CMPI R1, #0
+            BEQ even
+            LDI R2, #1
+            LDI R2, #2
+            LDI R2, #3
+            JMP join
+        even:
+            LDI R2, #4
+            LDI R2, #5
+            LDI R2, #6
+        join:
+            SDEC #0
+            {tail}
+            HALT
+        """
+
+    def test_barrier_restores_lockstep(self):
+        m = run(self.sync_program())
+        assert m.trace.sync_checkins == 8
+        assert m.trace.sync_checkouts == 8
+        assert m.trace.sync_wakeups >= 1
+        # checkpoint word cleared after release
+        assert m.dm.read(30720) == 0
+
+    def test_sync_design_fetches_fewer_instructions(self):
+        m_sync = run(delay_divergence(sync=True))
+        m_base = run(delay_divergence(sync=False), WITHOUT_SYNCHRONIZER)
+        assert (m_sync.trace.im_bank_accesses
+                < 0.7 * m_base.trace.im_bank_accesses)
+        assert m_sync.trace.ops_per_cycle > m_base.trace.ops_per_cycle
+
+    def test_unbalanced_paths_resynchronize(self):
+        # odd cores do a data-dependent-length loop; all must meet at SDEC
+        m = run("""
+            .equ SYNCBASE 30720
+            LI R1, #SYNCBASE
+            MTSR RSYNC, R1
+            MFSR R0, COREID
+            SINC #0
+            CMPI R0, #0
+            BEQ out
+            MOV R2, R0
+        delay:
+            DEC R2
+            BNE delay
+        out:
+            SDEC #0
+        """ + "\n".join(["ADD R3, R3, R3"] * 16) + "\nHALT")
+        assert m.trace.sync_wakeups == 1
+        assert m.all_halted
+
+    def test_missing_checkout_deadlocks(self):
+        with pytest.raises(DeadlockError):
+            run("""
+                .equ SYNCBASE 30720
+                LI R1, #SYNCBASE
+                MTSR RSYNC, R1
+                MFSR R0, COREID
+                SINC #0
+                CMPI R0, #0
+                BEQ skip        ; core 0 never checks out
+                SDEC #0
+            skip:
+                HALT
+            """)
+
+    def test_sinc_without_synchronizer_hardware_rejected(self):
+        from repro.cpu.executor import ExecutionError
+        with pytest.raises(ExecutionError):
+            run("SINC #0\nHALT", WITHOUT_SYNCHRONIZER)
+
+
+class TestDataConflictPolicy:
+    CONFLICT = """
+        .data 16384
+        tbl: .word 10, 11, 12, 13, 14, 15, 16, 17
+        .code
+        MFSR R0, COREID
+        LI R1, #tbl
+        ADD R1, R1, R0
+        LD R2, [R1]          ; same bank, different addresses
+    """ + "\n".join(["ADD R3, R3, R3"] * 32) + "\nHALT"
+
+    def test_policy_keeps_cores_in_lockstep(self):
+        m_with = run(self.CONFLICT,
+                     PlatformConfig(policy=SyncPolicy.DXBAR_SYNC_STALL))
+        m_without = run(self.CONFLICT, WITHOUT_SYNCHRONIZER)
+        assert (m_with.trace.im_bank_accesses
+                < m_without.trace.im_bank_accesses)
+        assert m_with.trace.lockstep_fraction > 0.8
+
+    def test_conflict_serializes_bank_reads(self):
+        m = run(self.CONFLICT, WITHOUT_SYNCHRONIZER)
+        assert m.trace.dm_bank_reads == 8
+        assert m.trace.dm_conflict_cycles > 0
+
+
+class TestMetrics:
+    def test_core_cycle_accounting_partitions(self):
+        m = run(TestBarrierResynchronization().sync_program())
+        t = m.trace
+        total = (t.core_active_cycles + t.core_stall_cycles
+                 + t.core_sleep_cycles + t.core_halted_cycles)
+        assert total == t.cycles * 8
+
+    def test_summary_renders(self):
+        m = run("NOP\nHALT", ONE_CORE)
+        assert "cycles" in m.trace.summary()

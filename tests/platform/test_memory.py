@@ -1,0 +1,57 @@
+"""Tests for the banked memory model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.platform.memory import BankedMemory, MemoryError_
+
+
+class TestBankedMemory:
+    def test_initially_zero(self):
+        mem = BankedMemory(4, 16)
+        assert len(mem) == 64
+        assert all(word == 0 for word in mem.words)
+
+    def test_read_write(self):
+        mem = BankedMemory(4, 16)
+        mem.write(10, 0x1234)
+        assert mem.read(10) == 0x1234
+
+    def test_write_masks_to_16_bits(self):
+        mem = BankedMemory(1, 8)
+        mem.write(0, 0x1FFFF)
+        assert mem.read(0) == 0xFFFF
+
+    def test_bank_of_contiguous_mapping(self):
+        mem = BankedMemory(4, 16)
+        assert mem.bank_of(0) == 0
+        assert mem.bank_of(15) == 0
+        assert mem.bank_of(16) == 1
+        assert mem.bank_of(63) == 3
+
+    def test_out_of_range_rejected(self):
+        mem = BankedMemory(2, 8)
+        with pytest.raises(MemoryError_):
+            mem.read(16)
+        with pytest.raises(MemoryError_):
+            mem.write(-1, 0)
+        with pytest.raises(MemoryError_):
+            mem.bank_of(16)
+
+    def test_load_and_dump(self):
+        mem = BankedMemory(2, 8)
+        mem.load(3, [1, 2, 3])
+        assert mem.dump(3, 3) == [1, 2, 3]
+
+    def test_load_overflow_rejected(self):
+        mem = BankedMemory(1, 4)
+        with pytest.raises(MemoryError_):
+            mem.load(2, [1, 2, 3])
+
+
+@given(st.integers(0, 127), st.integers(0, 0xFFFF))
+def test_read_back_matches_write(addr, value):
+    mem = BankedMemory(8, 16)
+    mem.write(addr, value)
+    assert mem.read(addr) == value
+    assert mem.bank_of(addr) == addr // 16

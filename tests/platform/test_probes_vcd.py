@@ -1,0 +1,124 @@
+"""Tests for machine probes, VCD export and checkpoint statistics."""
+
+import io
+
+from repro.platform import Machine, PlatformConfig, WITH_SYNCHRONIZER
+from repro.platform.vcd import VcdProbe, parse_vcd_signals
+
+ONE_CORE = PlatformConfig(num_cores=1)
+
+SYNC_PROGRAM = """
+    .equ SYNCBASE 30720
+    LI R1, #SYNCBASE
+    MTSR RSYNC, R1
+    MFSR R0, COREID
+    SINC #0
+    CMPI R0, #0
+    BEQ out
+    MOV R2, R0
+delay:
+    DEC R2
+    BNE delay
+out:
+    SDEC #0
+    HALT
+"""
+
+
+class RecordingProbe:
+    def __init__(self):
+        self.samples = 0
+        self.finished = False
+
+    def sample(self, machine, active):
+        self.samples += 1
+
+    def finish(self, machine):
+        self.finished = True
+
+
+class TestProbeInterface:
+    def test_probe_called_every_cycle(self):
+        machine = Machine.from_assembly("NOP\nNOP\nHALT", ONE_CORE)
+        probe = RecordingProbe()
+        machine.attach_probe(probe)
+        machine.run()
+        assert probe.samples == machine.trace.cycles
+        assert probe.finished
+
+    def test_multiple_probes(self):
+        machine = Machine.from_assembly("NOP\nHALT", ONE_CORE)
+        probes = [RecordingProbe(), RecordingProbe()]
+        for p in probes:
+            machine.attach_probe(p)
+        machine.run()
+        assert all(p.samples == machine.trace.cycles for p in probes)
+
+
+class TestVcd:
+    def run_with_vcd(self, source, config=WITH_SYNCHRONIZER):
+        machine = Machine.from_assembly(source, config)
+        sink = io.StringIO()
+        machine.attach_probe(VcdProbe(sink))
+        machine.run()
+        return machine, sink.getvalue()
+
+    def test_header_structure(self):
+        _, text = self.run_with_vcd("NOP\nHALT", ONE_CORE)
+        assert "$timescale 1 ns $end" in text
+        assert "$var wire 16" in text
+        assert "$enddefinitions $end" in text
+
+    def test_signals_parse_back(self):
+        machine, text = self.run_with_vcd(SYNC_PROGRAM)
+        signals = parse_vcd_signals(text)
+        assert "core0_pc" in signals and "core7_state" in signals
+        # pc advances over time
+        pcs = [value for _, value in signals["core0_pc"]]
+        assert len(set(pcs)) > 3
+
+    def test_timestamps_increase_by_clock_period(self):
+        _, text = self.run_with_vcd("NOP\nNOP\nHALT", ONE_CORE)
+        times = [int(l[1:]) for l in text.splitlines()
+                 if l.startswith("#")]
+        assert times == sorted(times)
+        assert all(t % 12 == 0 for t in times)
+
+    def test_sync_wake_pulses(self):
+        _, text = self.run_with_vcd(SYNC_PROGRAM)
+        signals = parse_vcd_signals(text)
+        wake_values = [v for _, v in signals["sync_wake"]]
+        assert 1 in wake_values       # the barrier released
+
+    def test_sleep_state_visible(self):
+        _, text = self.run_with_vcd(SYNC_PROGRAM)
+        signals = parse_vcd_signals(text)
+        # core 0 checks out first and sleeps: state code 2 appears
+        state_values = {v for _, v in signals["core0_state"]}
+        assert 2 in state_values
+
+    def test_file_sink(self, tmp_path):
+        path = tmp_path / "wave.vcd"
+        machine = Machine.from_assembly("NOP\nHALT", ONE_CORE)
+        machine.attach_probe(VcdProbe(str(path)))
+        machine.run()
+        assert path.read_text().startswith("$comment")
+
+
+class TestCheckpointStats:
+    def test_stats_collected(self):
+        machine = Machine.from_assembly(SYNC_PROGRAM, WITH_SYNCHRONIZER)
+        machine.run()
+        (stats,) = machine.synchronizer.stats.values()
+        assert stats.checkins == 8
+        assert stats.checkouts == 8
+        assert stats.wakeups == 1
+        assert stats.max_counter == 8
+        assert stats.rmws >= 2
+
+    def test_report_renders(self):
+        machine = Machine.from_assembly(SYNC_PROGRAM, WITH_SYNCHRONIZER)
+        machine.run()
+        report = machine.synchronizer.stats_report(base=30720,
+                                                   names={0: "region"})
+        assert "#0" in report and "region" in report

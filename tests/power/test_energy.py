@@ -1,0 +1,70 @@
+"""Tests for the activity-based energy model."""
+
+import pytest
+
+from repro.power import (
+    Component,
+    EnergyCoefficients,
+    EnergyModel,
+    default_energy_model,
+)
+
+RATES = {
+    "core_active": 4.0,
+    "core_stalled": 2.0,
+    "core_sleeping": 2.0,
+    "im_access": 1.0,
+    "im_served": 6.0,
+    "dm_access": 0.5,
+    "dm_served": 0.6,
+    "sync_rmw": 0.1,
+    "ops": 4.0,
+}
+
+COEFFS = EnergyCoefficients(
+    core_active=10.0, core_gated=1.0, im_access=50.0, ixbar_transfer=2.0,
+    dm_access=20.0, dxbar_transfer=5.0, sync_rmw=30.0, sync_idle=4.0,
+    clock_tree=40.0)
+
+
+class TestEnergyPerCycle:
+    def test_component_math(self):
+        model = EnergyModel(COEFFS, has_synchronizer=True)
+        energies = model.energy_per_cycle(RATES)
+        assert energies[Component.CORES] == pytest.approx(10 * 4 + 1 * 2)
+        assert energies[Component.IM] == pytest.approx(50.0)
+        assert energies[Component.DM] == pytest.approx(10.0)
+        assert energies[Component.DXBAR] == pytest.approx(3.0)
+        assert energies[Component.IXBAR] == pytest.approx(12.0)
+        assert energies[Component.SYNCHRONIZER] == pytest.approx(
+            30 * 0.1 + 4)
+        assert energies[Component.CLOCK_TREE] == pytest.approx(40.0)
+
+    def test_synchronizer_absent_in_baseline(self):
+        model = EnergyModel(COEFFS, has_synchronizer=False)
+        assert model.energy_per_cycle(RATES)[Component.SYNCHRONIZER] == 0.0
+
+
+class TestPower:
+    def test_scales_linearly_with_frequency(self):
+        model = EnergyModel(COEFFS)
+        p10 = model.total_power_mw(RATES, 10.0)
+        p20 = model.total_power_mw(RATES, 20.0)
+        assert p20 == pytest.approx(2 * p10)
+
+    def test_scales_with_voltage_squared(self):
+        model = EnergyModel(COEFFS)
+        p_full = model.total_power_mw(RATES, 10.0, 1.2)
+        p_half = model.total_power_mw(RATES, 10.0, 0.6)
+        assert p_half == pytest.approx(p_full / 4)
+
+    def test_units(self):
+        # 100 pJ/cycle at 10 MHz = 1 µW/... = 1e-3 mW per pJ·MHz/1000
+        coeffs = EnergyCoefficients(0, 0, 0, 0, 0, 0, 0, 0, 100.0)
+        model = EnergyModel(coeffs, has_synchronizer=False)
+        assert model.total_power_mw(RATES, 10.0) == pytest.approx(1.0)
+
+    def test_defaults_positive(self):
+        model = default_energy_model()
+        total = model.total_power_mw(RATES, 10.0)
+        assert total > 0

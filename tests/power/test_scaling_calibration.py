@@ -1,0 +1,126 @@
+"""Tests for workload scaling and power-model calibration."""
+
+import pytest
+
+from repro.analysis import power_models, reference_runs, run_activities
+from repro.power import (
+    Component,
+    RunActivity,
+    TABLE1_TOTAL_MW,
+    TABLE1_WORKLOAD_MOPS,
+    calibrate,
+    default_energy_model,
+    default_voltage_model,
+    fit_energy_coefficients,
+    savings_at,
+)
+from repro.power.scaling import DesignPowerModel, log_sweep
+
+N = 32
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return reference_runs(n_samples=N)
+
+
+@pytest.fixture(scope="module")
+def models(runs):
+    return power_models(runs)
+
+
+class TestDesignPowerModel:
+    def test_max_workload(self, models):
+        model = models["SQRT32", "with-sync"]
+        assert model.max_mops == pytest.approx(
+            model.ops_per_cycle * 1000 / 12)
+
+    def test_beyond_peak_infeasible(self, models):
+        model = models["SQRT32", "with-sync"]
+        assert model.at_workload(model.max_mops * 1.1) is None
+
+    def test_power_monotone_in_workload(self, models):
+        model = models["MRPDLN", "with-sync"]
+        powers = [p.power_mw for p in model.sweep(log_sweep(1, model.max_mops, 25))]
+        assert powers == sorted(powers)
+
+    def test_voltage_scaling_saves_power(self, models):
+        model = models["MRPDLN", "with-sync"]
+        mops = model.max_mops / 4
+        scaled = model.at_workload(mops)
+        nominal = model.at_nominal(mops)
+        assert scaled.power_mw < nominal.power_mw
+        assert scaled.v < nominal.v
+
+    def test_breakdown_sums_to_total(self, models):
+        point = models["MRPFLTR", "with-sync"].at_workload(20.0)
+        assert sum(point.breakdown.values()) == pytest.approx(
+            point.power_mw)
+
+    def test_savings_positive_everywhere(self, models):
+        with_model = models["SQRT32", "with-sync"]
+        without_model = models["SQRT32", "without-sync"]
+        for mops in (5, 20, 50, without_model.max_mops):
+            saving = savings_at(with_model, without_model, mops)
+            assert saving is not None and saving > 0
+
+
+class TestCalibratedDefaults:
+    """The shipped constants must reproduce the paper's anchors on the
+    reference workload (loose bounds: different window size than the
+    calibration run)."""
+
+    def test_table1_totals_in_band(self, models):
+        for design, (lo, hi) in TABLE1_TOTAL_MW.items():
+            for bench in ("MRPFLTR", "SQRT32", "MRPDLN"):
+                point = models[bench, design].at_nominal(
+                    TABLE1_WORKLOAD_MOPS)
+                assert 0.5 * lo < point.power_mw < 1.5 * hi, \
+                    f"{bench}/{design}: {point.power_mw:.2f} mW"
+
+    def test_improved_design_cheaper_at_fixed_workload(self, models):
+        for bench in ("MRPFLTR", "SQRT32", "MRPDLN"):
+            base = models[bench, "without-sync"].at_nominal(8.0)
+            sync = models[bench, "with-sync"].at_nominal(8.0)
+            assert sync.power_mw < base.power_mw
+
+    def test_im_power_drops_substantially(self, models):
+        for bench in ("MRPFLTR", "SQRT32", "MRPDLN"):
+            base = models[bench, "without-sync"].at_nominal(8.0)
+            sync = models[bench, "with-sync"].at_nominal(8.0)
+            assert (sync.breakdown[Component.IM]
+                    < 0.6 * base.breakdown[Component.IM])
+
+    def test_synchronizer_under_two_percent(self, models):
+        for bench in ("MRPFLTR", "SQRT32", "MRPDLN"):
+            point = models[bench, "with-sync"].at_nominal(8.0)
+            assert (point.breakdown[Component.SYNCHRONIZER]
+                    < 0.05 * point.power_mw)
+
+    def test_headline_savings_band(self, models):
+        """Paper: 64%/56%/55% savings at the baseline peak workload."""
+        for bench in ("MRPFLTR", "SQRT32", "MRPDLN"):
+            without_model = models[bench, "without-sync"]
+            saving = savings_at(models[bench, "with-sync"], without_model,
+                                without_model.max_mops)
+            assert 0.40 < saving < 0.75, f"{bench}: {saving:.2f}"
+
+
+class TestCalibrationFit:
+    def test_energy_fit_nonnegative(self, runs):
+        coefficients, residual = fit_energy_coefficients(
+            run_activities(runs))
+        for name in ("core_active", "im_access", "dm_access",
+                     "clock_tree"):
+            assert getattr(coefficients, name) >= 0
+        assert residual < 0.25
+
+    def test_full_calibration_runs(self, runs):
+        result = calibrate(run_activities(runs))
+        assert result.voltage.v_threshold < result.voltage.v_floor
+        assert "fitted per-event energies" in result.report()
+
+    def test_missing_runs_rejected(self, runs):
+        activities = run_activities(runs)[:2]
+        with pytest.raises(ValueError):
+            calibrate(activities)

@@ -1,0 +1,69 @@
+"""Tests for the alpha-power voltage/frequency model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.power import VoltageModel, default_voltage_model
+
+
+@pytest.fixture
+def model():
+    return VoltageModel(v_threshold=0.4, alpha=2.5, v_floor=0.5)
+
+
+class TestDelay:
+    def test_nominal_anchor(self, model):
+        assert model.delay_ns(1.2) == pytest.approx(12.0)
+        assert model.f_nominal_mhz == pytest.approx(1000 / 12)
+
+    def test_delay_increases_as_voltage_drops(self, model):
+        voltages = [1.2, 1.0, 0.8, 0.6, 0.5]
+        delays = [model.delay_ns(v) for v in voltages]
+        assert delays == sorted(delays)
+
+    def test_below_threshold_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.delay_ns(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VoltageModel(v_threshold=0.6, v_floor=0.5)
+        with pytest.raises(ValueError):
+            VoltageModel(alpha=-1)
+
+
+class TestVoltageForFrequency:
+    def test_nominal_frequency_needs_nominal_voltage(self, model):
+        v = model.v_for_frequency(model.f_nominal_mhz)
+        assert v == pytest.approx(1.2, abs=1e-6)
+
+    def test_above_nominal_infeasible(self, model):
+        assert model.v_for_frequency(model.f_nominal_mhz * 1.01) is None
+
+    def test_low_frequency_clamps_to_floor(self, model):
+        assert model.v_for_frequency(0.001) == model.v_floor
+
+    def test_roundtrip(self, model):
+        for f in (10.0, 30.0, 60.0, 80.0):
+            v = model.v_for_frequency(f)
+            assert v is not None
+            if v > model.v_floor:
+                assert model.f_max_mhz(v) == pytest.approx(f, rel=1e-6)
+
+    def test_zero_frequency_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.v_for_frequency(0)
+
+
+@given(st.floats(0.51, 1.2), st.floats(0.51, 1.2))
+def test_voltage_monotone_with_frequency(v1, v2):
+    model = VoltageModel(v_threshold=0.4, alpha=2.5, v_floor=0.5)
+    f1, f2 = model.f_max_mhz(v1), model.f_max_mhz(v2)
+    if v1 < v2:
+        assert f1 <= f2
+
+
+def test_default_model_is_valid():
+    model = default_voltage_model()
+    assert model.v_threshold < model.v_floor <= model.v_nominal
+    assert model.f_nominal_mhz == pytest.approx(1000 / 12)

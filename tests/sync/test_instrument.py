@@ -1,0 +1,78 @@
+"""Tests for the pragma-driven assembly instrumentation pass."""
+
+import pytest
+
+from repro.platform import Machine, WITH_SYNCHRONIZER, WITHOUT_SYNCHRONIZER
+from repro.sync import (
+    InstrumentationError,
+    instrument_assembly,
+    startup_assembly,
+)
+
+
+SOURCE = """
+    MFSR R0, COREID
+;@sync begin outer
+    CMPI R0, #0
+    BEQ out
+    MOV R2, R0
+loop:
+;@sync begin inner
+    DEC R2
+;@sync end
+    BNE loop
+out:
+;@sync end
+    HALT
+"""
+
+
+class TestExpansion:
+    def test_begin_end_become_sinc_sdec(self):
+        result = instrument_assembly(SOURCE)
+        assert "SINC #0" in result.source
+        assert "SDEC #0" in result.source
+        assert "SINC #1" in result.source
+        assert result.regions == 2
+
+    def test_nested_regions_get_distinct_indices(self):
+        result = instrument_assembly(SOURCE)
+        lines = [l.strip() for l in result.source.splitlines()
+                 if "SINC" in l or "SDEC" in l]
+        # inner SDEC (index 1) appears before outer SDEC (index 0)
+        assert lines.index("SDEC #1") < lines.index("SDEC #0")
+
+    def test_disabled_strips_pragmas(self):
+        result = instrument_assembly(SOURCE, enabled=False)
+        assert "SINC" not in result.source
+        assert ";@sync" not in result.source
+        assert result.regions == 2   # regions still counted
+
+    def test_unbalanced_end_rejected(self):
+        with pytest.raises(InstrumentationError):
+            instrument_assembly(";@sync end\nHALT")
+
+    def test_unclosed_begin_rejected(self):
+        with pytest.raises(InstrumentationError):
+            instrument_assembly(";@sync begin x\nHALT")
+
+    def test_names_recorded(self):
+        result = instrument_assembly(SOURCE)
+        assert result.allocator.name_of(0) == "outer"
+        assert result.allocator.name_of(1) == "inner"
+
+
+class TestEndToEnd:
+    def test_instrumented_source_runs_and_resynchronizes(self):
+        body = instrument_assembly(startup_assembly() + SOURCE)
+        machine = Machine.from_assembly(body.source, WITH_SYNCHRONIZER)
+        machine.run(max_cycles=100_000)
+        assert machine.trace.sync_checkins > 0
+        assert machine.trace.sync_wakeups >= 1
+
+    def test_stripped_source_runs_on_baseline(self):
+        body = instrument_assembly(startup_assembly() + SOURCE,
+                                   enabled=False)
+        machine = Machine.from_assembly(body.source, WITHOUT_SYNCHRONIZER)
+        machine.run(max_cycles=100_000)
+        assert machine.trace.sync_checkins == 0

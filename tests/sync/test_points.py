@@ -1,0 +1,43 @@
+"""Tests for checkpoint allocation and layout."""
+
+import pytest
+
+from repro.sync import DEFAULT_SYNC_BASE, SyncPointAllocator, startup_assembly
+
+
+class TestAllocator:
+    def test_sequential_indices(self):
+        alloc = SyncPointAllocator()
+        assert [alloc.allocate() for _ in range(3)] == [0, 1, 2]
+
+    def test_addresses_offset_from_base(self):
+        alloc = SyncPointAllocator(base=100)
+        idx = alloc.allocate("loop")
+        assert alloc.address_of(idx) == 100
+        assert alloc.name_of(idx) == "loop"
+
+    def test_default_base_is_bank_15(self):
+        assert DEFAULT_SYNC_BASE == 15 * 2048
+
+    def test_exhaustion_detected(self):
+        alloc = SyncPointAllocator()
+        for _ in range(256):
+            alloc.allocate()
+        with pytest.raises(ValueError):
+            alloc.allocate()
+
+    def test_describe_lists_all(self):
+        alloc = SyncPointAllocator()
+        alloc.allocate("a")
+        alloc.allocate("b")
+        text = alloc.describe()
+        assert "a" in text and "b" in text
+
+
+def test_startup_assembly_sets_rsync():
+    from repro.platform import Machine, PlatformConfig
+
+    src = startup_assembly() + "HALT\n"
+    machine = Machine.from_assembly(src, PlatformConfig(num_cores=1))
+    machine.run()
+    assert machine.cores[0].rsync == DEFAULT_SYNC_BASE

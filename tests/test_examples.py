@@ -1,0 +1,63 @@
+"""Smoke tests: the shipped examples run and print what they promise."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "speedup from synchronization" in out
+    assert "sync points inserted automatically: 2" in out
+
+
+def test_custom_kernel():
+    out = run_example("custom_kernel.py")
+    assert "all modes agree on results" in out
+    assert "SINC" in out
+
+
+def test_streaming_node():
+    out = run_example("streaming_node.py")
+    assert "all match the golden EMA" in out
+    assert "duty cycle" in out
+    assert "power profile" in out
+
+
+def test_design_space():
+    out = run_example("design_space.py")
+    assert "design-space sweep" in out
+    assert "full" in out and "none" in out
+
+
+@pytest.mark.slow
+def test_ecg_pipeline():
+    out = run_example("ecg_pipeline.py", timeout=400)
+    assert "overall sensitivity: 100.0%" in out
+    assert "saving:" in out
+
+
+@pytest.mark.slow
+def test_voltage_scaling_explorer():
+    out = run_example("voltage_scaling_explorer.py", timeout=400)
+    assert "Fig. 3 — MRPFLTR" in out
+    assert "savings at baseline peak" in out
+
+
+def test_all_examples_importable():
+    """Every example parses (catches syntax rot without running)."""
+    for path in EXAMPLES.glob("*.py"):
+        compile(path.read_text(), str(path), "exec")
