@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Benchmark the fast simulation engine; write ``BENCH_engine.json``.
+
+Times the reference per-cycle engine against the fast engine
+(predecoded dispatch + lockstep bursts + sleep fast-forward) on the
+paper's Fig. 3 kernels and a duty-cycled streaming node, cross-checking
+trace bit-exactness on every pair.  Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.perf import engine_benchmark  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=64,
+                        help="per-channel input samples for the kernels")
+    parser.add_argument("--streaming-samples", type=int, default=256,
+                        help="ADC samples for the streaming workload")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed repetitions per engine (best-of)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small inputs, one repeat (CI smoke)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_engine.json",
+                        help="result file (default: repo root)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.samples = min(args.samples, 32)
+        args.streaming_samples = min(args.streaming_samples, 64)
+        args.repeats = 1
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    payload = engine_benchmark(
+        samples=args.samples,
+        streaming_samples=args.streaming_samples,
+        repeats=args.repeats,
+        log=print)
+    payload["generated"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds")
+    payload["python"] = platform.python_version()
+
+    summary = payload["summary"]
+    print(f"\ngeomean speedup (with-sync kernels): "
+          f"{summary['geomean_with_sync']}x")
+    print(f"geomean speedup (all kernels):       "
+          f"{summary['geomean_kernels']}x")
+    print(f"streaming speedup:                   "
+          f"{summary['streaming_speedup']}x")
+    print(f"all pairs bit-exact:                 {summary['all_exact']}")
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0 if summary["all_exact"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ from .experiments import (
     speedup_rows,
 )
 from .energy import compare_energy, energy_per_op_pj, format_energy
+from .perf import WorkloadResult, engine_benchmark, run_streaming
 from .power_trace import PowerTraceProbe, power_profile, profile_stats
 from .profiler import ProfileProbe, format_profile, profile_regions
 from .report import full_report
@@ -39,6 +40,7 @@ __all__ = [
     "ProfileProbe",
     "SpeedupRow",
     "TimelineProbe",
+    "WorkloadResult",
     "compare_energy",
     "energy_per_op_pj",
     "format_energy",
@@ -49,6 +51,7 @@ __all__ = [
     "profile_stats",
     "access_rows",
     "clear_cache",
+    "engine_benchmark",
     "evaluation_channels",
     "fig3_series",
     "format_accesses",
@@ -60,6 +63,7 @@ __all__ = [
     "power_models",
     "reference_runs",
     "run_activities",
+    "run_streaming",
     "speedup_rows",
     "table1_values",
 ]

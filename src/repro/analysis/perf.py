@@ -1,0 +1,212 @@
+"""Wall-clock benchmark of the fast simulation engine.
+
+Measures the end-to-end simulator throughput of the
+:class:`~repro.platform.engine.FastEngine` against the reference
+per-cycle ``step()`` on the two regimes it targets:
+
+- the paper's Fig. 3 kernels (MRPFLTR / MRPDLN / SQRT32) on the
+  with-sync and without-sync designs — dominated by lockstep bursts;
+- a duty-cycled streaming node (per-sample ADC timer interrupt, EMA
+  filter, sleep between samples) — dominated by sleep fast-forward.
+
+Every timed pair also cross-checks the two engines' final
+:class:`~repro.platform.trace.ActivityTrace` for bit-exactness, so a
+benchmark run doubles as a coarse differential test.  The results feed
+``benchmarks/perf/bench_engine.py`` which writes ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from ..kernels.layout import BANK_WORDS, OUT_OFFSET
+from ..kernels.suite import DESIGNS, build_program, run_benchmark
+from ..platform import Machine, WITH_SYNCHRONIZER
+
+#: deterministic pseudo-signal, one list per core (no RNG dependency)
+def synthetic_channels(n_samples: int, num_cores: int = 8) -> list[list[int]]:
+    """Deterministic per-core sample streams in the ADC range."""
+    return [[(1000 + 37 * core + 13 * i) % 4096 for i in range(n_samples)]
+            for core in range(num_cores)]
+
+
+STREAMING_PERIOD = 1000      #: cycles between ADC sample interrupts
+
+#: duty-cycled sensor node: wake on the ADC timer, EMA-filter one sample
+#: per channel, sleep again (same shape as ``examples/streaming_node.py``
+#: but probe-free, so the fast engine stays engaged).
+STREAMING_PROGRAM = """
+.equ NSAMPLES {n_samples}
+.entry main
+
+isr:
+    LD R5, [R1]             ; x = next input sample
+    SUB R5, R5, R4
+    SRAI R5, #2
+    ADD R4, R4, R5          ; ema += (x - ema) >> 2
+    ST R4, [R2]
+    INC R1
+    INC R2
+    INC R3                  ; samples processed
+    RETI
+
+main:
+    MFSR R0, COREID
+    LI R1, #2048
+    MUL R1, R0, R1          ; R1 = in_ptr  (private bank base)
+    LI R2, #512
+    ADD R2, R1, R2          ; R2 = out_ptr (base + 512)
+    CLR R3                  ; count
+    CLR R4                  ; ema
+    LI R5, #isr
+    MTSR IVEC, R5
+    EI
+loop:
+    SLEEP                   ; wait for the ADC timer
+    LI R5, #NSAMPLES
+    CMP R3, R5
+    LBLT loop
+    HALT
+"""
+
+
+@dataclass
+class WorkloadResult:
+    """Timed fast-vs-reference pair for one workload."""
+
+    name: str
+    design: str
+    cycles: int
+    reference_seconds: float
+    fast_seconds: float
+    exact: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.reference_seconds / self.fast_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "design": self.design,
+            "cycles": self.cycles,
+            "reference_seconds": round(self.reference_seconds, 4),
+            "fast_seconds": round(self.fast_seconds, 4),
+            "speedup": round(self.speedup, 2),
+            "exact": self.exact,
+        }
+
+
+def geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _best_of(fn, repeats: int):
+    """(best wall seconds, last result) of ``repeats`` calls."""
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _kernel_result(bench: str, design_name: str, channels,
+                   repeats: int) -> WorkloadResult:
+    design = DESIGNS[design_name]
+    build_program(bench, design.sync_enabled)   # compile outside the timer
+    ref_s, ref = _best_of(
+        lambda: run_benchmark(bench, design, channels, fast_engine=False),
+        repeats)
+    fast_s, fast = _best_of(
+        lambda: run_benchmark(bench, design, channels, fast_engine=True),
+        repeats)
+    exact = (ref.trace.as_dict() == fast.trace.as_dict()
+             and ref.outputs == fast.outputs)
+    return WorkloadResult(bench, design_name, fast.cycles,
+                          ref_s, fast_s, exact)
+
+
+def run_streaming(n_samples: int, *, period: int = STREAMING_PERIOD,
+                  fast_engine: bool = True) -> Machine:
+    """Simulate the duty-cycled streaming node to completion."""
+    machine = Machine.from_assembly(
+        STREAMING_PROGRAM.format(n_samples=n_samples),
+        WITH_SYNCHRONIZER, fast_engine=fast_engine)
+    for core, channel in enumerate(synthetic_channels(n_samples)):
+        machine.dm.load(core * BANK_WORDS, channel)
+    machine.add_timer(period, offset=period)
+    machine.run(max_cycles=(n_samples + 2) * period * 2)
+    return machine
+
+
+def _streaming_result(n_samples: int, period: int,
+                      repeats: int) -> WorkloadResult:
+    ref_s, ref = _best_of(
+        lambda: run_streaming(n_samples, period=period, fast_engine=False),
+        repeats)
+    fast_s, fast = _best_of(
+        lambda: run_streaming(n_samples, period=period, fast_engine=True),
+        repeats)
+    exact = (ref.trace.as_dict() == fast.trace.as_dict()
+             and ref.dm.words == fast.dm.words)
+    return WorkloadResult("STREAMING-EMA", "with-sync", fast.trace.cycles,
+                          ref_s, fast_s, exact)
+
+
+def engine_benchmark(*, samples: int = 64, streaming_samples: int = 256,
+                     streaming_period: int = STREAMING_PERIOD,
+                     repeats: int = 2, log=None) -> dict:
+    """Time every workload pair; returns the ``BENCH_engine.json`` payload.
+
+    :param samples: per-channel input length for the Fig. 3 kernels.
+    :param streaming_samples: ADC samples for the streaming node.
+    :param repeats: timed repetitions per engine (best-of).
+    :param log: optional callable for per-workload progress lines.
+    """
+    channels = synthetic_channels(samples)
+    results: list[WorkloadResult] = []
+    for bench in ("MRPFLTR", "MRPDLN", "SQRT32"):
+        for design_name in ("with-sync", "without-sync"):
+            result = _kernel_result(bench, design_name, channels, repeats)
+            results.append(result)
+            if log:
+                log(f"{result.name:13s} {result.design:13s} "
+                    f"{result.cycles:9d} cycles  "
+                    f"ref {result.reference_seconds:6.2f}s  "
+                    f"fast {result.fast_seconds:6.2f}s  "
+                    f"{result.speedup:5.2f}x  exact={result.exact}")
+    streaming = _streaming_result(streaming_samples, streaming_period,
+                                  repeats)
+    results.append(streaming)
+    if log:
+        log(f"{streaming.name:13s} {streaming.design:13s} "
+            f"{streaming.cycles:9d} cycles  "
+            f"ref {streaming.reference_seconds:6.2f}s  "
+            f"fast {streaming.fast_seconds:6.2f}s  "
+            f"{streaming.speedup:5.2f}x  exact={streaming.exact}")
+
+    with_sync = [r for r in results
+                 if r.design == "with-sync" and r.name != "STREAMING-EMA"]
+    kernels = [r for r in results if r.name != "STREAMING-EMA"]
+    return {
+        "config": {
+            "samples": samples,
+            "streaming_samples": streaming_samples,
+            "streaming_period": streaming_period,
+            "repeats": repeats,
+        },
+        "workloads": [r.as_dict() for r in results],
+        "summary": {
+            "geomean_with_sync": round(
+                geomean(r.speedup for r in with_sync), 2),
+            "geomean_kernels": round(
+                geomean(r.speedup for r in kernels), 2),
+            "streaming_speedup": round(streaming.speedup, 2),
+            "all_exact": all(r.exact for r in results),
+        },
+    }

@@ -7,6 +7,7 @@ multi-core machine can arbitrate memory and synchronization operations.
 """
 
 from .state import CoreMode, CoreState
+from .predecode import compile_instruction, predecode
 from .executor import (
     ExecutionError,
     checkpoint_address,
@@ -26,9 +27,11 @@ __all__ = [
     "CoreState",
     "ExecutionError",
     "checkpoint_address",
+    "compile_instruction",
     "complete_load",
     "complete_store",
     "condition_met",
+    "predecode",
     "effective_address",
     "execute_plain",
     "is_memory_op",

@@ -46,9 +46,27 @@ class Program:
     symbols: dict[str, int] = field(default_factory=dict)
     entry: int = 0
     source_map: dict[int, str] = field(default_factory=dict)
+    #: lazily-built predecoded dispatch records (see
+    #: :func:`repro.cpu.predecode.predecode`); cached here so every
+    #: machine running this image shares one compilation.
+    _decode_cache: list | None = field(default=None, repr=False,
+                                       compare=False)
 
     def __len__(self) -> int:
         return len(self.instructions)
+
+    def predecoded(self) -> list:
+        """Predecoded ``(kind, run)`` dispatch records, index == address.
+
+        Compiled on first use and cached; the cache assumes the
+        instruction stream is not mutated afterwards (program images are
+        treated as immutable once loaded).
+        """
+        if self._decode_cache is None:
+            from ..cpu.predecode import predecode
+
+            self._decode_cache = predecode(self.instructions)
+        return self._decode_cache
 
     def to_binary(self) -> bytes:
         """Encode the instruction stream as little-endian 16-bit words."""

@@ -126,10 +126,13 @@ class BenchmarkRun:
 
 def run_benchmark(bench_name: str, design: Design,
                   channels: list[list[int]],
-                  *, max_cycles: int = 50_000_000) -> BenchmarkRun:
+                  *, max_cycles: int = 50_000_000,
+                  fast_engine: bool = True) -> BenchmarkRun:
     """Run one benchmark over per-core channels; returns outputs + trace.
 
     :param channels: one sample list per core (all equal length).
+    :param fast_engine: forward to :class:`Machine` — disable to force
+        the reference per-cycle engine (differential tests, perf bench).
     """
     bench = BENCHMARKS[bench_name]
     num_cores = len(channels)
@@ -138,7 +141,8 @@ def run_benchmark(bench_name: str, design: Design,
         raise ValueError("all channels must have the same length")
 
     program = build_program(bench_name, design.sync_enabled)
-    machine = Machine(program, design.platform_config(num_cores))
+    machine = Machine(program, design.platform_config(num_cores),
+                      fast_engine=fast_engine)
 
     # load inputs into each core's private bank and set the shared count
     for core, channel in enumerate(channels):

@@ -13,6 +13,7 @@ from .config import (
     WITHOUT_SYNCHRONIZER,
 )
 from .dxbar import DataCrossbar, DmRequest, DmResult
+from .engine import FastEngine
 from .functional import FunctionalDeadlock, FunctionalSimulator
 from .ixbar import InstructionCrossbar
 from .machine import DeadlockError, Machine, SimulationLimitError
@@ -33,6 +34,7 @@ __all__ = [
     "DeadlockError",
     "DmRequest",
     "DmResult",
+    "FastEngine",
     "FunctionalDeadlock",
     "FunctionalSimulator",
     "InstructionCrossbar",

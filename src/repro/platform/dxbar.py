@@ -96,6 +96,10 @@ class DataCrossbar:
         :param busy_banks: banks whose port is used by the synchronizer
             this cycle (its accesses have priority).
         """
+        if not requests:
+            # Early-out on traffic-free cycles: no per-bank grouping, no
+            # conflict bookkeeping, no counter updates.
+            return DmResult({}, set(), set())
         config, trace = self._config, self._trace
         completions: dict[int, int | None] = {}
         released: set[int] = set()

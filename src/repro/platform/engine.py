@@ -1,0 +1,375 @@
+"""Fast execution engine: lockstep bursts and event-driven sleep skips.
+
+:meth:`Machine.step` is the *reference* cycle model — it re-arbitrates
+every structure every cycle and is what the counters are defined against.
+This module is the performance path layered on top of it.  It exploits the
+two regimes that dominate the paper's workloads:
+
+**Lockstep bursts** — on the improved design the cores spend most of their
+time executing the *same* instruction at the *same* PC (the property the
+I-Xbar broadcast and the synchronizer exist to create).  While every
+running core shares one PC, no request is outstanding, and nothing is
+pending in the synchronizer, a whole cycle collapses to "run one
+predecoded closure once per running core" — or, for a lockstep LD/ST
+whose requests provably win D-Xbar arbitration (distinct banks, or one
+broadcast read), one inline pass over the banks.  The engine executes
+the entire run of such instructions in a tight loop and credits the
+activity counters in one batched update — the software mirror of a
+broadcast fetch serving all cores from a single IM bank read.
+
+**Sleep fast-forward** — duty-cycled streaming nodes sleep for hundreds of
+cycles between ADC interrupts.  When no core is running and only a timer
+or a scheduled interrupt can change machine state, the engine jumps
+``trace.cycles`` straight to the cycle before the next event and
+bulk-credits the sleep/halt counters, instead of ticking the idle
+platform one cycle at a time.
+
+Both paths are cycle-exact: every counter in the
+:class:`~repro.platform.trace.ActivityTrace`, every register and every
+memory word ends up bit-for-bit identical to pure ``step()`` stepping
+(guarded by ``tests/platform/test_engine_differential.py``).  Whenever a
+precondition fails — probes attached, divergent PCs, outstanding memory
+or synchronizer work, pending interrupts, broadcast disabled — the engine
+degrades to the reference ``step()`` for that cycle.
+"""
+
+from __future__ import annotations
+
+from ..cpu.predecode import BURSTABLE, KIND_JUMP, KIND_MEM, KIND_SEQ
+from ..cpu.state import CoreMode
+
+INFINITY = float("inf")
+
+#: after a failed fast-path probe, this many reference cycles are stepped
+#: before probing again (doubling per consecutive failure up to the cap).
+#: Keeps the probe overhead negligible on divergent workloads while
+#: re-engaging within a few cycles once lockstep re-forms.
+_MAX_BACKOFF = 16
+
+
+class DeadlockError(RuntimeError):
+    """All awake work is exhausted but some cores still sleep."""
+
+
+class SimulationLimitError(RuntimeError):
+    """The configured cycle budget was exceeded."""
+
+
+class FastEngine:
+    """Opportunistic fast paths around a :class:`Machine`'s ``step()``."""
+
+    __slots__ = ("_machine",)
+
+    def __init__(self, machine):
+        self._machine = machine
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self, limit: int, *, raise_on_limit: bool = True) -> None:
+        """Advance the machine until every core halts or ``limit`` cycles.
+
+        Uses the fast paths whenever their preconditions hold and the
+        reference ``step()`` otherwise.  Probes force pure ``step()``
+        stepping (they observe individual cycles).
+        """
+        machine = self._machine
+        trace = machine.trace
+        step = machine.step
+        fast = machine.fast_engine and not machine._probes
+        backoff = 0           # slow cycles left before the next probe
+        penalty = 1           # backoff charged by the next failed probe
+        while True:
+            if fast:
+                if backoff:
+                    backoff -= 1
+                else:
+                    before = trace.cycles
+                    self._advance(limit)
+                    if trace.cycles != before:
+                        penalty = 1
+                    else:
+                        backoff = penalty
+                        if penalty < _MAX_BACKOFF:
+                            penalty += penalty
+            if trace.cycles >= limit:
+                if not raise_on_limit:
+                    return
+                raise SimulationLimitError(
+                    f"exceeded {limit} cycles "
+                    f"(pcs={[c.pc for c in machine.cores]})")
+            step()
+            # Only a cycle with no activity at all can be the end of the
+            # program or a deadlock; skip the scans otherwise.
+            if machine._quiet:
+                if machine.all_halted:
+                    machine._finish_probes()
+                    return
+                machine._check_deadlock()
+
+    # ------------------------------------------------------------------
+    # Fast paths
+    # ------------------------------------------------------------------
+
+    def _advance(self, limit: int) -> None:
+        """Consume as many cycles as the fast paths allow (maybe none)."""
+        machine = self._machine
+        cores = machine.cores
+        while True:
+            # Preconditions shared by both fast paths: nothing in flight
+            # anywhere but the cores themselves.
+            if (machine._outstanding_count or machine._pending_irq_count
+                    or machine._wake_next):
+                return
+            sync = machine.synchronizer
+            if sync is not None and sync.busy:
+                return
+            if machine.trace.cycles >= limit:
+                return
+            running = [c for c in cores if c.mode is CoreMode.RUNNING]
+            if not running:
+                self._sleep_fast_forward(limit)
+                return
+            if not machine.config.im_broadcast:
+                return
+            pc = running[0].pc
+            for core in running:
+                if core.pc != pc:
+                    return
+            if not self._lockstep_burst(running, pc, limit):
+                return
+
+    def _next_event_cycle(self) -> float:
+        """First future cycle at which a timer or scheduled IRQ fires."""
+        machine = self._machine
+        nxt = machine._next_timer_fire
+        schedule = machine._irq_schedule
+        if schedule:
+            now = machine.trace.cycles
+            for cycle in schedule:
+                if now < cycle < nxt:
+                    nxt = cycle
+        return nxt
+
+    def _idle_census(self) -> tuple[int, int, int]:
+        """(halted, sleeping, barrier-sleeping) core counts."""
+        machine = self._machine
+        halted = sleeping = waiting = 0
+        for cid, core in enumerate(machine.cores):
+            mode = core.mode
+            if mode is CoreMode.HALTED:
+                halted += 1
+            elif mode is CoreMode.SLEEPING:
+                sleeping += 1
+                if machine._barrier_sleeper[cid]:
+                    waiting += 1
+        return halted, sleeping, waiting
+
+    def _lockstep_burst(self, running: list, pc: int, limit: int) -> bool:
+        """Execute a run of plain instructions shared by all running cores.
+
+        Mirrors, cycle for cycle, what ``step()`` does when every running
+        core fetches one address through the broadcast I-Xbar and the
+        instruction retires in one cycle: one IM bank access serves
+        ``len(running)`` fetches, every running core is active, every
+        idle core accrues its sleep/halt cycle.  A lockstep LD/ST whose
+        requests provably win arbitration (distinct banks, or one
+        broadcast read address) is served inline through
+        :meth:`_mem_cycle`; everything else — SINC/SDEC, mode changes,
+        PC divergence, bank conflicts — ends the burst, as does the
+        cycle before the next timer/IRQ event.
+
+        :returns: True if at least one cycle was consumed.
+        """
+        machine = self._machine
+        trace = machine.trace
+        decoded = machine._decoded
+        im_len = len(decoded)
+        # The last cycle this burst may simulate: stay inside the run
+        # budget and strictly before the next external event, which must
+        # be handled (and accounted) by the reference step().
+        horizon = min(limit, self._next_event_cycle() - 1)
+        cycles = trace.cycles
+        if cycles >= horizon:
+            return False
+
+        # The synchronizer is idle (precondition), so no checkpoint word
+        # is locked and no conflict group is draining; inline memory
+        # cycles stay valid for the whole burst because they can create
+        # neither.
+        dxbar = machine.dxbar
+        mem_ok = not (dxbar.locked_addresses or dxbar._groups)
+        executed = 0
+        n = len(running)
+        single = running[0] if n == 1 else None
+        while cycles < horizon:
+            if pc >= im_len:
+                break                 # let step() raise the fetch error
+            rec = decoded[pc]
+            kind = rec[0]
+            if kind <= BURSTABLE:
+                run = rec[1]
+                if single is not None:
+                    run(single)
+                else:
+                    for core in running:
+                        run(core)
+                cycles += 1
+                executed += 1
+                if kind == KIND_SEQ:
+                    pc += 1
+                else:
+                    pc = running[0].pc
+                    if kind != KIND_JUMP:     # divergent control flow
+                        diverged = False
+                        for core in running:
+                            if core.pc != pc:
+                                diverged = True
+                                break
+                        if diverged:
+                            break
+            elif kind == KIND_MEM and mem_ok:
+                if not self._mem_cycle(running, rec[1]):
+                    break             # possible conflict: slow path
+                cycles += 1
+                executed += 1
+                pc += 1
+            else:
+                break                 # synchronizer / mode change: slow path
+        if not executed:
+            return False
+
+        # Batched accounting — the per-cycle counters of `executed`
+        # identical lockstep cycles, applied in one update.
+        halted, sleeping, waiting = self._idle_census()
+        trace.cycles = cycles
+        trace.core_active_cycles += executed * n
+        trace.retired_ops += executed * n
+        retired = trace.retired_per_core
+        for core in running:
+            retired[core.coreid] += executed
+        trace.im_bank_accesses += executed
+        trace.im_fetches_served += executed * n
+        histogram = trace.lockstep_histogram
+        histogram[n] = histogram.get(n, 0) + executed
+        if halted:
+            trace.core_halted_cycles += executed * halted
+        if sleeping:
+            trace.core_sleep_cycles += executed * sleeping
+        if waiting:
+            trace.sync_wait_cycles += executed * waiting
+        machine._quiet = False
+        return True
+
+    def _mem_cycle(self, running: list, info: tuple) -> bool:
+        """Serve one lockstep LD/ST cycle inline when it provably wins.
+
+        Handles the two request patterns that cannot lose D-Xbar
+        arbitration: every core hitting a distinct bank (the SPMD
+        private-buffer pattern) and every core reading one shared
+        address (one broadcast bank read serves all).  Reproduces the
+        counter updates, round-robin priority rotation, serve order and
+        error behaviour of ``DataCrossbar._serve_bank`` exactly.
+        Returns False — leaving all state untouched — on any other
+        pattern, so the reference ``step()`` arbitrates the conflict.
+        """
+        machine = self._machine
+        config = machine.config
+        is_write, rs, imm, rd = info
+        interleaved = config.dm_interleaved
+        banks = config.dm_banks
+        bank_words = config.dm_bank_words
+        plan = []
+        seen = set()
+        clash = False
+        for core in running:
+            addr = (core.regs[rs] + imm) & 0xFFFF
+            bank = addr % banks if interleaved else addr // bank_words
+            if bank in seen:
+                clash = True
+            else:
+                seen.add(bank)
+            plan.append((core, addr, bank))
+
+        dm = machine.dm
+        trace = machine.trace
+        priority = machine.dxbar._priority
+        ncores = config.num_cores
+        if clash:
+            if is_write or not config.dm_broadcast:
+                return False
+            addr = plan[0][1]
+            for entry in plan:
+                if entry[1] != addr:
+                    return False
+            bank = plan[0][2]
+            winner = min((core.coreid for core in running),
+                         key=lambda cid: (cid - priority[bank]) % ncores)
+            priority[bank] = (winner + 1) % ncores
+            value = dm.read(addr)
+            trace.dm_bank_reads += 1
+            for core in running:
+                core.regs[rd] = value
+                core.pc += 1
+            trace.dm_served += len(plan)
+            return True
+        if is_write:
+            for core, addr, bank in plan:
+                priority[bank] = (core.coreid + 1) % ncores
+                dm.write(addr, core.regs[rd])
+                core.pc += 1
+            trace.dm_bank_writes += len(plan)
+        else:
+            for core, addr, bank in plan:
+                priority[bank] = (core.coreid + 1) % ncores
+                core.regs[rd] = dm.read(addr)
+                core.pc += 1
+            trace.dm_bank_reads += len(plan)
+        trace.dm_served += len(plan)
+        return True
+
+    def _sleep_fast_forward(self, limit: int) -> bool:
+        """Jump over an all-asleep stretch to the next timer/IRQ event.
+
+        Only taken when the platform is fully event-driven: no core runs,
+        nothing is in flight, and no pending interrupt is deliverable —
+        so *nothing* can change until the next timer fire or scheduled
+        interrupt.  Credits every skipped cycle's sleep/halt (and barrier
+        wait) counters in bulk.
+
+        :returns: True if at least one cycle was skipped.
+        """
+        machine = self._machine
+        if machine._pending_irq_count:
+            # A deliverable pending IRQ changes state on the very next
+            # cycle; leave it to the reference step().  Undeliverable
+            # ones (masked, halted, checked out at a barrier) stay
+            # pending for the whole sleep period.
+            for cid, pending in enumerate(machine._pending_irq):
+                if not pending:
+                    continue
+                core = machine.cores[cid]
+                if (core.interrupts_enabled
+                        and core.mode is not CoreMode.HALTED
+                        and not machine._barrier_sleeper[cid]):
+                    return False
+        next_event = self._next_event_cycle()
+        if next_event == INFINITY:
+            return False              # deadlock or halt: step() decides
+        trace = machine.trace
+        target = min(limit, next_event - 1)
+        skipped = target - trace.cycles
+        if skipped <= 0:
+            return False
+        halted, sleeping, waiting = self._idle_census()
+        if not sleeping:
+            return False              # fully halted: run loop terminates
+        trace.cycles = target
+        trace.core_sleep_cycles += skipped * sleeping
+        if halted:
+            trace.core_halted_cycles += skipped * halted
+        if waiting:
+            trace.sync_wait_cycles += skipped * waiting
+        machine._quiet = True
+        return True

@@ -17,6 +17,13 @@ platform, in the order the hardware resolves it:
 
 Cores are clock gated while they wait for arbitration (counted as stalled)
 and consume only sleep power while checked out at a barrier.
+
+``step()`` is the *reference* engine; :meth:`Machine.run` drives it
+through the :class:`~repro.platform.engine.FastEngine`, which collapses
+lockstep stretches and idle sleep periods into batched updates whenever
+that is provably cycle-exact (and always when probes are attached falls
+back to per-cycle stepping).  Construct with ``fast_engine=False`` to
+force pure ``step()`` stepping.
 """
 
 from __future__ import annotations
@@ -29,23 +36,38 @@ from ..cpu.executor import (
     store_operands,
     take_interrupt,
 )
+from ..cpu.predecode import KIND_MEM, KIND_SYNC
 from ..cpu.state import CoreMode, CoreState
 from ..isa.program import Program
 from ..isa.spec import Opcode
 from .config import PlatformConfig, WITH_SYNCHRONIZER
 from .dxbar import DataCrossbar, DmRequest
+from .engine import DeadlockError, FastEngine, INFINITY, SimulationLimitError
 from .ixbar import InstructionCrossbar
 from .memory import BankedMemory
 from .synchronizer import Synchronizer, SyncRequest
 from .trace import ActivityTrace
 
+__all__ = [
+    "DeadlockError",
+    "Machine",
+    "SimulationLimitError",
+]
 
-class DeadlockError(RuntimeError):
-    """All awake work is exhausted but some cores still sleep."""
+#: shared immutable stand-in for "no banks busy this cycle" — avoids
+#: allocating a set on every cycle without synchronizer traffic.
+_NO_BANKS: frozenset[int] = frozenset()
 
 
-class SimulationLimitError(RuntimeError):
-    """The configured cycle budget was exceeded."""
+def _timer_next_fire(period: int, offset: int, after: int) -> int:
+    """First cycle > ``after`` at which a periodic timer fires.
+
+    Matches the reference predicate ``cycle >= offset and
+    (cycle - offset) % period == 0`` (cycle numbering starts at 1).
+    """
+    if offset > after:
+        return offset
+    return offset + ((after - offset) // period + 1) * period
 
 
 class Machine:
@@ -54,10 +76,14 @@ class Machine:
     :param program: the SPMD image every core executes.
     :param config: structural/policy parameters
         (default: the paper's improved 8-core design).
+    :param fast_engine: allow :meth:`run`/:meth:`run_cycles` to take the
+        cycle-exact fast paths (lockstep bursts, sleep fast-forward).
+        Disable to force the reference ``step()`` for every cycle.
     """
 
     def __init__(self, program: Program,
-                 config: PlatformConfig = WITH_SYNCHRONIZER):
+                 config: PlatformConfig = WITH_SYNCHRONIZER,
+                 *, fast_engine: bool = True):
         self.config = config
         self.trace = ActivityTrace()
         self.trace.retired_per_core = [0] * config.num_cores
@@ -69,6 +95,9 @@ class Machine:
         for block in program.data:
             self.dm.load(block.address, block.values)
         self.program = program
+        #: predecoded dispatch records, index == IM address (shared with
+        #: other machines running the same Program instance)
+        self._decoded = program.predecoded()
 
         self.cores = [CoreState(cid, config.num_cores)
                       for cid in range(config.num_cores)]
@@ -84,19 +113,30 @@ class Machine:
         self._quiet = False
         self._probes: list = []
         self._outstanding: list[tuple | None] = [None] * config.num_cores
+        self._outstanding_count = 0
         self._barrier_sleeper = [False] * config.num_cores
         self._wake_next: set[int] = set()
         self._pending_irq = [False] * config.num_cores
+        self._pending_irq_count = 0
         self._irq_schedule: dict[int, list[int]] = {}
         self._timers: list[tuple[int, int, tuple[int, ...]]] = []
+        #: per-timer next-fire cycle, parallel to ``_timers``
+        self._timer_next: list[int] = []
+        #: min of ``_timer_next`` (INFINITY when no timers) — the step
+        #: loop compares one number instead of re-moduloing every timer.
+        self._next_timer_fire: float = INFINITY
+
+        self.fast_engine = fast_engine
+        self._engine = FastEngine(self)
 
     @classmethod
     def from_assembly(cls, source: str,
-                      config: PlatformConfig = WITH_SYNCHRONIZER) -> "Machine":
+                      config: PlatformConfig = WITH_SYNCHRONIZER,
+                      **kwargs) -> "Machine":
         """Assemble ``source`` and construct a machine running it."""
         from ..isa.assembler import assemble
 
-        return cls(assemble(source), config)
+        return cls(assemble(source), config, **kwargs)
 
     # ------------------------------------------------------------------
     # External stimulus
@@ -118,16 +158,22 @@ class Machine:
         targets = tuple(range(self.config.num_cores)) if cores is None \
             else tuple(cores)
         self._timers.append((period, offset, targets))
+        fire = _timer_next_fire(period, offset, self.trace.cycles)
+        self._timer_next.append(fire)
+        if fire < self._next_timer_fire:
+            self._next_timer_fire = fire
 
     def attach_probe(self, probe) -> None:
         """Attach a cycle probe: ``probe.sample(machine, active_cores)`` is
         called at the end of every simulated cycle (costs nothing when no
         probe is attached).  Probes may implement ``finish(machine)``,
-        invoked by :meth:`run` on completion."""
+        invoked by :meth:`run` on completion.  While any probe is
+        attached the fast engine stands down, so every cycle is stepped
+        (and sampled) individually."""
         self._probes.append(probe)
 
     # ------------------------------------------------------------------
-    # Cycle engine
+    # Cycle engine (reference path)
     # ------------------------------------------------------------------
 
     def step(self) -> None:
@@ -150,13 +196,20 @@ class Machine:
         due = self._irq_schedule.pop(cycle, None)
         if due:
             for cid in due:
-                self._pending_irq[cid] = True
-        if self._timers:
-            for period, offset, targets in self._timers:
-                if cycle >= offset and (cycle - offset) % period == 0:
+                if not self._pending_irq[cid]:
+                    self._pending_irq[cid] = True
+                    self._pending_irq_count += 1
+        if cycle >= self._next_timer_fire:
+            timer_next = self._timer_next
+            for index, (period, _offset, targets) in enumerate(self._timers):
+                if timer_next[index] == cycle:
                     for cid in targets:
-                        self._pending_irq[cid] = True
-        if any(self._pending_irq):
+                        if not self._pending_irq[cid]:
+                            self._pending_irq[cid] = True
+                            self._pending_irq_count += 1
+                    timer_next[index] = cycle + period
+            self._next_timer_fire = min(timer_next)
+        if self._pending_irq_count:
             for cid, core in enumerate(cores):
                 # A core checked out at a barrier is clock gated by the
                 # synchronizer, one level below interrupt-wakeable sleep:
@@ -168,11 +221,13 @@ class Machine:
                         and self._outstanding[cid] is None):
                     take_interrupt(core)
                     self._pending_irq[cid] = False
+                    self._pending_irq_count -= 1
 
         # -- 2. synchronizer write phase ---------------------------------
-        busy_banks: set[int] = set()
-        if self.synchronizer is not None:
-            completions, busy_banks = self.synchronizer.write_phase()
+        busy_banks: set[int] = _NO_BANKS
+        synchronizer = self.synchronizer
+        if synchronizer is not None and synchronizer.busy:
+            completions, busy_banks = synchronizer.write_phase()
             for comp in completions:
                 for cid in comp.checkin_cores:
                     self._retire_sync(cid, active)
@@ -196,6 +251,7 @@ class Machine:
         granted = self.ixbar.arbitrate(fetchers) if fetchers else set()
 
         # -- 4. execute / classify fetched instructions -------------------
+        decoded = self._decoded
         for cid in granted:
             core = cores[cid]
             pc = core.pc
@@ -204,40 +260,46 @@ class Machine:
                     f"core {cid} fetched past the program end (pc={pc})")
             ins = self.im[pc]
             active.add(cid)
-            op = ins.op
-            if op is Opcode.LD or op is Opcode.ST:
+            kind = decoded[pc][0]
+            if kind == KIND_MEM:
                 self._outstanding[cid] = ("mem", ins)
-            elif op is Opcode.SINC or op is Opcode.SDEC:
+                self._outstanding_count += 1
+            elif kind == KIND_SYNC:
                 if self.synchronizer is None:
                     raise ExecutionError(
-                        f"core {cid} executed {op.name} but the platform "
+                        f"core {cid} executed {ins.op.name} but the platform "
                         "has no hardware synchronizer")
                 self._outstanding[cid] = ("sync", ins)
+                self._outstanding_count += 1
             else:
                 execute_plain(core, ins)
                 self._retire(cid)
 
         # -- collect outstanding memory / sync requests -------------------
-        dm_requests: list[DmRequest] = []
-        sync_requests: list[SyncRequest] = []
-        for cid, out in enumerate(self._outstanding):
-            if out is None:
-                continue
-            kind, ins = out
-            core = cores[cid]
-            if kind == "mem":
-                if ins.op is Opcode.ST:
-                    addr, value = store_operands(core, ins)
-                    dm_requests.append(
-                        DmRequest(cid, addr, True, value, core.pc))
-                else:
-                    dm_requests.append(
-                        DmRequest(cid, effective_address(core, ins),
-                                  False, 0, core.pc))
-            elif kind == "sync":
-                sync_requests.append(
-                    SyncRequest(cid, checkpoint_address(core, ins),
-                                ins.op is Opcode.SDEC))
+        if self._outstanding_count:
+            dm_requests: list[DmRequest] = []
+            sync_requests: list[SyncRequest] = []
+            for cid, out in enumerate(self._outstanding):
+                if out is None:
+                    continue
+                kind, ins = out
+                core = cores[cid]
+                if kind == "mem":
+                    if ins.op is Opcode.ST:
+                        addr, value = store_operands(core, ins)
+                        dm_requests.append(
+                            DmRequest(cid, addr, True, value, core.pc))
+                    else:
+                        dm_requests.append(
+                            DmRequest(cid, effective_address(core, ins),
+                                      False, 0, core.pc))
+                elif kind == "sync":
+                    sync_requests.append(
+                        SyncRequest(cid, checkpoint_address(core, ins),
+                                    ins.op is Opcode.SDEC))
+        else:
+            dm_requests = []
+            sync_requests = []
 
         # -- 5. synchronizer read phase ------------------------------------
         if sync_requests:
@@ -261,6 +323,7 @@ class Machine:
                 kind, ins = self._outstanding[cid]
                 cores[cid].pc += 1
                 self._outstanding[cid] = None
+                self._outstanding_count -= 1
                 self._retire(cid)
                 active.add(cid)
 
@@ -291,8 +354,16 @@ class Machine:
         """Finish a SINC/SDEC: advance the PC and count the op."""
         self.cores[cid].pc += 1
         self._outstanding[cid] = None
+        self._outstanding_count -= 1
         self._retire(cid)
         active.add(cid)
+
+    def _finish_probes(self) -> None:
+        """Invoke every probe's optional ``finish`` hook."""
+        for probe in self._probes:
+            finish = getattr(probe, "finish", None)
+            if finish is not None:
+                finish(self)
 
     # ------------------------------------------------------------------
     # Run control
@@ -328,29 +399,18 @@ class Machine:
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
         if self.all_halted:
             return self.trace
-        step = self.step
-        trace = self.trace
-        while True:
-            if trace.cycles >= limit:
-                raise SimulationLimitError(
-                    f"exceeded {limit} cycles "
-                    f"(pcs={[c.pc for c in self.cores]})")
-            step()
-            # Only a cycle with no activity at all can be the end of the
-            # program or a deadlock; skip the scans otherwise.
-            if self._quiet:
-                if self.all_halted:
-                    for probe in self._probes:
-                        finish = getattr(probe, "finish", None)
-                        if finish is not None:
-                            finish(self)
-                    return self.trace
-                self._check_deadlock()
+        self._engine.run(limit)
+        return self.trace
 
     def run_cycles(self, count: int) -> ActivityTrace:
-        """Run for at most ``count`` cycles (stops early if all halt)."""
-        for _ in range(count):
-            if self.all_halted:
-                break
-            self.step()
+        """Run for at most ``count`` more cycles (stops when all halt).
+
+        Shares the engine (and its fast paths) with :meth:`run`: like
+        ``run()`` it detects completion on the first quiet cycle after
+        the last core halts and then invokes probe ``finish()`` hooks,
+        instead of rescanning every core each cycle.
+        """
+        if count <= 0 or self.all_halted:
+            return self.trace
+        self._engine.run(self.trace.cycles + count, raise_on_limit=False)
         return self.trace

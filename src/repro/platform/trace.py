@@ -79,6 +79,39 @@ class ActivityTrace:
         self.lockstep_histogram[group_size] = (
             self.lockstep_histogram.get(group_size, 0) + 1)
 
+    def as_dict(self) -> dict:
+        """Every raw counter as one plain dict.
+
+        The canonical form for differential comparison (fast engine vs.
+        reference stepping) and for serializing runs into ``BENCH_*.json``
+        perf-regression files.
+        """
+        return {
+            "cycles": self.cycles,
+            "retired_ops": self.retired_ops,
+            "retired_per_core": list(self.retired_per_core),
+            "core_active_cycles": self.core_active_cycles,
+            "core_stall_cycles": self.core_stall_cycles,
+            "core_sleep_cycles": self.core_sleep_cycles,
+            "core_halted_cycles": self.core_halted_cycles,
+            "im_bank_accesses": self.im_bank_accesses,
+            "im_fetches_served": self.im_fetches_served,
+            "im_conflict_cycles": self.im_conflict_cycles,
+            "dm_bank_reads": self.dm_bank_reads,
+            "dm_bank_writes": self.dm_bank_writes,
+            "dm_served": self.dm_served,
+            "dm_conflict_cycles": self.dm_conflict_cycles,
+            "sync_checkins": self.sync_checkins,
+            "sync_checkouts": self.sync_checkouts,
+            "sync_rmw_ops": self.sync_rmw_ops,
+            "sync_wakeups": self.sync_wakeups,
+            "sync_wait_cycles": self.sync_wait_cycles,
+            "lockstep_histogram": {
+                str(size): count
+                for size, count in sorted(self.lockstep_histogram.items())
+            },
+        }
+
     # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------

@@ -1,0 +1,296 @@
+"""Differential proof that the fast engine is cycle-exact.
+
+Every workload here is simulated twice — once with the fast engine
+(lockstep bursts, inline lockstep memory cycles, sleep fast-forward)
+and once with ``fast_engine=False`` forcing the reference per-cycle
+``step()`` — and the two machines must finish in bit-identical state:
+every :class:`~repro.platform.trace.ActivityTrace` counter, every
+register, flag, PC and mode of every core, and every data-memory word.
+
+Coverage: the three Fig. 3 kernels under six platform configurations
+(the four designs plus a 4-core machine and a broadcast-less ablation),
+interrupt-driven streaming with a periodic timer, scheduled one-shot
+interrupts, period-1/period-2 timer edges, incremental ``run_cycles``
+stepping, and the error paths (cycle limit, deadlock).
+"""
+
+import pytest
+
+from repro.kernels.layout import BANK_WORDS
+from repro.kernels.suite import (
+    BENCHMARKS,
+    DESIGNS,
+    build_program,
+    golden_outputs,
+    run_benchmark,
+)
+from repro.platform import (
+    DeadlockError,
+    Machine,
+    PlatformConfig,
+    SimulationLimitError,
+    SyncPolicy,
+)
+
+N_SAMPLES = 16
+
+
+def channels(n_samples, num_cores=8):
+    return [[(1000 + 37 * core + 13 * i) % 4096 for i in range(n_samples)]
+            for core in range(num_cores)]
+
+
+def machine_state(machine: Machine) -> dict:
+    """Everything observable about a finished machine."""
+    return {
+        "trace": machine.trace.as_dict(),
+        "dm": list(machine.dm.words),
+        "cores": [
+            (core.pc, core.mode, tuple(core.regs),
+             core.flag_z, core.flag_n, core.flag_c, core.flag_v,
+             core.epc, core.ivec, core.status, core.rsync)
+            for core in machine.cores
+        ],
+    }
+
+
+def assert_equivalent(fast: Machine, slow: Machine) -> None:
+    fast_state = machine_state(fast)
+    slow_state = machine_state(slow)
+    assert fast_state["trace"] == slow_state["trace"]
+    assert fast_state["cores"] == slow_state["cores"]
+    assert fast_state["dm"] == slow_state["dm"]
+
+
+def run_pair(program, config, setup=None, max_cycles=200_000):
+    """Simulate one program on both engines; return (fast, slow)."""
+    machines = []
+    for fast_engine in (True, False):
+        machine = Machine(program, config, fast_engine=fast_engine)
+        if setup is not None:
+            setup(machine)
+        machine.run(max_cycles=max_cycles)
+        machines.append(machine)
+    return machines
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 kernels across platform configurations
+# ---------------------------------------------------------------------------
+
+# name -> (config, programs built with sync points?)
+CONFIGS = {
+    name: (design.platform_config(), design.sync_enabled)
+    for name, design in DESIGNS.items()
+}
+CONFIGS["with-sync-4-cores"] = (
+    PlatformConfig(num_cores=4, policy=SyncPolicy.FULL), True)
+CONFIGS["with-sync-no-broadcast"] = (
+    PlatformConfig(num_cores=8, policy=SyncPolicy.FULL,
+                   im_broadcast=False, dm_broadcast=False), True)
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("bench", sorted(BENCHMARKS))
+def test_kernel_differential(bench, config_name):
+    config, sync_enabled = CONFIGS[config_name]
+    program = build_program(bench, sync_enabled)
+    data = channels(N_SAMPLES, config.num_cores)
+
+    def setup(machine):
+        for core, channel in enumerate(data):
+            machine.dm.load(core * BANK_WORDS, channel)
+        n_address = program.symbols.get("g_n_samples")
+        if n_address is None:
+            from repro.kernels.sqrt32 import N_SAMPLES_ADDRESS
+            n_address = N_SAMPLES_ADDRESS
+        machine.dm.write(n_address, N_SAMPLES)
+
+    fast, slow = run_pair(program, config, setup, max_cycles=2_000_000)
+    assert_equivalent(fast, slow)
+
+
+@pytest.mark.parametrize("design_name", sorted(DESIGNS))
+def test_kernel_outputs_stay_golden(design_name):
+    """The fast engine must not just match step() — both must be right."""
+    data = channels(N_SAMPLES)
+    run = run_benchmark("MRPFLTR", DESIGNS[design_name], data)
+    assert run.outputs == golden_outputs("MRPFLTR", data)
+
+
+# ---------------------------------------------------------------------------
+# Timers, interrupts, sleep fast-forward
+# ---------------------------------------------------------------------------
+
+def streaming_pair(n_samples=24, period=120, **timer_kwargs):
+    from repro.analysis.perf import STREAMING_PROGRAM, synthetic_channels
+    from repro.isa.assembler import assemble
+
+    program = assemble(STREAMING_PROGRAM.format(n_samples=n_samples))
+
+    def setup(machine):
+        for core, channel in enumerate(synthetic_channels(n_samples)):
+            machine.dm.load(core * BANK_WORDS, channel)
+        machine.add_timer(period, **timer_kwargs)
+
+    return run_pair(program, PlatformConfig(num_cores=8), setup)
+
+
+def test_streaming_timer_differential():
+    """Duty-cycled EMA node: ISR + SLEEP + timer = sleep fast-forward."""
+    fast, slow = streaming_pair(offset=120)
+    assert_equivalent(fast, slow)
+    assert fast.trace.core_sleep_cycles > 0
+
+
+# counts interrupts in the ISR and halts from there, so the main loop
+# never reads flags an ISR could clobber and period-1 timers cannot
+# livelock the count check
+COUNTING_ISR = """
+.entry main
+isr:
+    INC R1                  ; interrupts taken
+    CMP R1, R3
+    LBGE done
+    RETI
+done:
+    HALT
+main:
+    LI R2, #isr
+    MTSR IVEC, R2
+    CLR R1
+    LI R3, #{expected}
+    EI
+loop:
+    SLEEP
+    JMP loop
+"""
+
+
+def counting_pair(expected, setup_irqs, max_cycles=10_000):
+    from repro.isa.assembler import assemble
+
+    program = assemble(COUNTING_ISR.format(expected=expected))
+    return run_pair(program, PlatformConfig(num_cores=8), setup_irqs,
+                    max_cycles=max_cycles)
+
+
+@pytest.mark.parametrize("period,offset", [(1, 0), (1, 1), (2, 0), (2, 5)])
+def test_timer_edge_periods(period, offset):
+    """Back-to-back timer fires leave no room to fast-forward — still exact."""
+    fast, slow = counting_pair(
+        10, lambda machine: machine.add_timer(period, offset=offset))
+    assert_equivalent(fast, slow)
+    assert all(core.regs[1] == 10 for core in fast.cores)
+
+
+def test_scheduled_interrupt_differential():
+    """One-shot IRQs land mid-burst and mid-sleep on both engines alike."""
+    def setup(machine):
+        machine.schedule_interrupt(7, 0)      # during the startup burst
+        machine.schedule_interrupt(40, 0)
+        machine.schedule_interrupt(41, 0)     # back-to-back delivery
+        for core in range(1, machine.config.num_cores):
+            machine.schedule_interrupt(20, core)
+            machine.schedule_interrupt(30, core)
+            machine.schedule_interrupt(55, core)
+
+    fast, slow = counting_pair(3, setup)
+    assert_equivalent(fast, slow)
+    assert all(core.regs[1] == 3 for core in fast.cores)
+
+
+# ---------------------------------------------------------------------------
+# Run control: incremental stepping and error paths
+# ---------------------------------------------------------------------------
+
+def test_run_cycles_incremental_differential():
+    """Chunked run_cycles on the fast engine == one reference run."""
+    program = build_program("MRPDLN", True)
+    config = DESIGNS["with-sync"].platform_config()
+    data = channels(N_SAMPLES)
+
+    def setup(machine):
+        for core, channel in enumerate(data):
+            machine.dm.load(core * BANK_WORDS, channel)
+        machine.dm.write(program.symbols["g_n_samples"], N_SAMPLES)
+
+    fast = Machine(program, config, fast_engine=True)
+    slow = Machine(program, config, fast_engine=False)
+    setup(fast)
+    setup(slow)
+    slow.run(max_cycles=2_000_000)
+    while not fast.all_halted:
+        before = fast.trace.cycles
+        fast.run_cycles(997)
+        if fast.trace.cycles == before:
+            break
+        # chunks stop exactly on the requested boundary until completion
+        assert (fast.all_halted
+                or fast.trace.cycles == before + 997)
+    assert_equivalent(fast, slow)
+
+
+def test_simulation_limit_equivalence():
+    spin = Machine.from_assembly("loop:\n JMP #loop\n",
+                                 PlatformConfig(num_cores=2))
+    spin_slow = Machine.from_assembly("loop:\n JMP #loop\n",
+                                      PlatformConfig(num_cores=2),
+                                      fast_engine=False)
+    with pytest.raises(SimulationLimitError):
+        spin.run(max_cycles=300)
+    with pytest.raises(SimulationLimitError):
+        spin_slow.run(max_cycles=300)
+    assert spin.trace.cycles == spin_slow.trace.cycles == 300
+    # run_cycles never raises on the budget; both engines stop on it
+    for machine in (Machine.from_assembly("loop:\n JMP #loop\n"),
+                    Machine.from_assembly("loop:\n JMP #loop\n",
+                                          fast_engine=False)):
+        machine.run_cycles(123)
+        assert machine.trace.cycles == 123
+
+
+def test_deadlock_equivalence():
+    source = " SLEEP\n HALT\n"     # sleeps forever: no IRQ source exists
+    for fast_engine in (True, False):
+        machine = Machine.from_assembly(
+            source, PlatformConfig(num_cores=2), fast_engine=fast_engine)
+        with pytest.raises(DeadlockError):
+            machine.run(max_cycles=1_000)
+
+
+def test_probes_force_reference_stepping():
+    """An attached probe must see every single cycle."""
+    program = build_program("SQRT32", True)
+    config = DESIGNS["with-sync"].platform_config()
+    data = channels(N_SAMPLES)
+
+    class CycleCounter:
+        def __init__(self):
+            self.samples = 0
+            self.finished = 0
+
+        def sample(self, machine, active):
+            self.samples += 1
+
+        def finish(self, machine):
+            self.finished += 1
+
+    def setup(machine):
+        for core, channel in enumerate(data):
+            machine.dm.load(core * BANK_WORDS, channel)
+        from repro.kernels.sqrt32 import N_SAMPLES_ADDRESS
+        machine.dm.write(N_SAMPLES_ADDRESS, N_SAMPLES)
+
+    probed = Machine(program, config, fast_engine=True)
+    counter = CycleCounter()
+    probed.attach_probe(counter)
+    setup(probed)
+    probed.run(max_cycles=2_000_000)
+    assert counter.samples == probed.trace.cycles
+    assert counter.finished == 1
+
+    bare = Machine(program, config, fast_engine=True)
+    setup(bare)
+    bare.run(max_cycles=2_000_000)
+    assert_equivalent(probed, bare)
