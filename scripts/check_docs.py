@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Documentation health check (the CI docs job).
+
+Two passes over ``README.md``, ``docs/*.md`` and the other top-level
+markdown files:
+
+1. **Link check** — every relative markdown link must resolve to an
+   existing file, and every ``#anchor`` (same-file or cross-file) must
+   match a heading in the target, using GitHub's slug rules.  External
+   (``http(s)://``, ``mailto:``) links are not fetched.
+2. **Doctest** — every file containing ``>>>`` examples is executed with
+   :mod:`doctest` (``PYTHONPATH=src`` is arranged by the caller or by
+   this script's own sys.path setup).
+
+Exit status is non-zero when anything fails, printing one line per
+problem — suitable both for CI and for a quick local run:
+
+    python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: markdown inline links: [text](target) — images ![...](...) included
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.M)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.S)
+
+
+def doc_files() -> list[Path]:
+    files = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor slug transformation (close enough)."""
+    text = re.sub(r"[*_`]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = path.read_text(encoding="utf-8")
+    text = _CODE_FENCE_RE.sub("", text)     # headings inside fences don't count
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in _HEADING_RE.finditer(text):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_links(files: list[Path]) -> list[str]:
+    problems: list[str] = []
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        text = _CODE_FENCE_RE.sub("", text)
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(REPO)}: broken link -> {target}")
+                    continue
+            else:
+                resolved = path
+            if anchor and resolved.suffix == ".md":
+                if anchor not in anchors_of(resolved):
+                    problems.append(
+                        f"{path.relative_to(REPO)}: missing anchor "
+                        f"-> {target}")
+    return problems
+
+
+def run_doctests(files: list[Path]) -> list[str]:
+    problems: list[str] = []
+    sys.path.insert(0, str(REPO / "src"))
+    for path in files:
+        if ">>>" not in path.read_text(encoding="utf-8"):
+            continue
+        failures, tests = doctest.testfile(
+            str(path), module_relative=False, verbose=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE)
+        label = path.relative_to(REPO)
+        print(f"doctest {label}: {tests} example(s), {failures} failure(s)")
+        if failures:
+            problems.append(f"{label}: {failures} doctest failure(s)")
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    print(f"checking {len(files)} markdown file(s)")
+    problems = check_links(files)
+    problems += run_doctests(files)
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if problems:
+        return 1
+    print("docs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

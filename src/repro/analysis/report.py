@@ -23,6 +23,32 @@ from .tables import (
 )
 
 
+def synclint_section() -> str:
+    """Static sync-discipline verification of every bundled kernel.
+
+    The whole evaluation rests on the checkpoint discipline being
+    honoured (docs/sync_model.md); this section proves it statically for
+    each benchmark image the report's numbers were produced from.
+    """
+    from ..kernels import BENCHMARKS
+    from ..sync import lint_assembly, lint_minic
+
+    lines = []
+    for name in sorted(BENCHMARKS):
+        bench = BENCHMARKS[name]
+        if bench.kind == "minic":
+            report = lint_minic(bench.source, name=name, sync_mode="auto")
+        else:
+            report = lint_assembly(bench.source, name=name)
+        status = "clean" if report.ok and not report.warnings else "DIRTY"
+        lines.append(
+            f"  {name:10s} {status:6s} {len(report.regions):3d} regions, "
+            f"{report.errors} error(s), {report.warnings} warning(s)")
+        for diag in report.diagnostics:
+            lines.append(f"    {diag.render().splitlines()[0]}")
+    return "\n".join(lines)
+
+
 def full_report(n_samples: int = 64) -> str:
     """Generate the complete reproduction report as text."""
     runs = reference_runs(n_samples=n_samples)
@@ -45,6 +71,7 @@ def full_report(n_samples: int = 64) -> str:
         ("E7 — savings without voltage scaling",
          format_novscale(models)),
         ("Energy per operation (derived)", format_energy(models)),
+        ("Sync-discipline verification (synclint)", synclint_section()),
     ]
     parts = []
     for title, body in sections:

@@ -10,6 +10,7 @@ Usage::
     python -m repro run SQRT32 --design with-sync --samples 64
     python -m repro calibrate           # re-fit the power model
     python -m repro listing MRPDLN      # program disassembly
+    python -m repro synclint --all      # verify sync discipline statically
 """
 
 from __future__ import annotations
@@ -168,6 +169,108 @@ def cmd_syncstats(args) -> int:
     return 0
 
 
+def _synclint_target(target: str, args):
+    """Lint one synclint target: a bundled benchmark name or a file path.
+
+    :returns: a :class:`~repro.sync.verifier.LintReport`.
+    """
+    from .sync.verifier import lint_assembly, lint_compile_result, lint_minic
+
+    sync_enabled = not args.baseline
+    if target in BENCHMARKS:
+        bench = BENCHMARKS[target]
+        flavour = "baseline" if args.baseline else "with-sync"
+        name = f"{target}[{flavour}]"
+        if bench.kind == "minic":
+            return lint_minic(bench.source, name=name,
+                              sync_mode=args.sync_mode
+                              if sync_enabled else "none")
+        return lint_assembly(bench.source, name=name,
+                             sync_enabled=sync_enabled,
+                             loads_divergent=args.strict)
+    with open(target, encoding="utf-8") as handle:
+        source = handle.read()
+    lang = args.lang
+    if lang == "auto":
+        lang = ("minic" if target.endswith((".mc", ".minic", ".c"))
+                else "asm")
+    if lang == "minic":
+        return lint_minic(source, name=target, sync_mode=args.sync_mode)
+    return lint_assembly(source, name=target, filename=target,
+                         sync_enabled=sync_enabled,
+                         loads_divergent=args.strict)
+
+
+def _synclint_crosscheck(target: str, report, args) -> int:
+    """Run a bundled benchmark and replay its barrier traces against the
+    static region tree; returns a process exit code."""
+    from .analysis import evaluation_channels
+    from .kernels.suite import WITH_SYNC
+    from .kernels.sqrt32 import N_SAMPLES_ADDRESS
+    from .platform import Machine
+    from .sync.verifier import SyncCrosscheck
+
+    if target not in BENCHMARKS:
+        print(f"synclint: --crosscheck needs a bundled benchmark, "
+              f"not {target!r}")
+        return 2
+    channels = evaluation_channels(args.samples)
+    program = build_program(target, True)
+    machine = Machine(program, WITH_SYNC.platform_config(len(channels)))
+    check = SyncCrosscheck(machine, report)
+    for core, channel in enumerate(channels):
+        machine.dm.load(core * 2048, [v & 0xFFFF for v in channel])
+    address = program.symbols.get("g_n_samples", N_SAMPLES_ADDRESS)
+    machine.dm.write(address, len(channels[0]))
+    machine.run()
+    result = check.result()
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+def cmd_synclint(args) -> int:
+    import json as _json
+
+    from .compiler.lexer import CompileError
+    from .sync.instrument import InstrumentationError
+
+    targets = list(args.targets)
+    if args.all:
+        targets.extend(t for t in BENCHMARKS if t not in targets)
+    if not targets:
+        print("synclint: nothing to lint "
+              "(name a file or benchmark, or pass --all)")
+        return 2
+
+    reports = []
+    for target in targets:
+        try:
+            reports.append(_synclint_target(target, args))
+        except (InstrumentationError, CompileError, OSError) as exc:
+            print(f"synclint: {target}: {exc}", file=sys.stderr)
+            return 2
+
+    if args.json:
+        payload = [r.to_json() for r in reports]
+        print(_json.dumps(payload[0] if len(payload) == 1 else payload,
+                          indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+
+    status = 0
+    if any(r.errors for r in reports):
+        status = 1
+    elif args.werror and any(r.warnings for r in reports):
+        status = 1
+
+    if args.crosscheck:
+        for target, report in zip(targets, reports):
+            code = _synclint_crosscheck(target, report, args)
+            status = max(status, code)
+    return status
+
+
 def cmd_energy(args) -> int:
     from .analysis.energy import format_energy
 
@@ -256,6 +359,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = instrumented("syncstats", "per-checkpoint contention statistics")
     p.set_defaults(func=cmd_syncstats)
+
+    p = sub.add_parser(
+        "synclint",
+        help="statically verify SINC/SDEC sync discipline",
+        description="Static sync-coverage verifier: checks balance, "
+                    "nesting, aliasing and divergence coverage of "
+                    "checkpoint regions (see docs/synclint.md).")
+    p.add_argument("targets", nargs="*",
+                   help="assembly/minic files or bundled benchmark names "
+                        f"({', '.join(BENCHMARKS)})")
+    p.add_argument("--all", action="store_true",
+                   help="lint every bundled benchmark (CI regression gate)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable JSON report")
+    p.add_argument("--lang", choices=("auto", "asm", "minic"),
+                   default="auto",
+                   help="source language for file targets "
+                        "(default: by extension)")
+    p.add_argument("--sync-mode", choices=("auto", "all", "none"),
+                   default="auto", help="minic sync insertion mode")
+    p.add_argument("--baseline", action="store_true",
+                   help="lint the build without sync points")
+    p.add_argument("--strict", action="store_true",
+                   help="treat every memory load as per-core "
+                        "(fully conservative divergence analysis)")
+    p.add_argument("--werror", action="store_true",
+                   help="exit non-zero on warnings too")
+    p.add_argument("--crosscheck", action="store_true",
+                   help="also run bundled benchmarks and replay observed "
+                        "barrier traces against the static region tree")
+    _add_samples(p)
+    p.set_defaults(func=cmd_synclint)
 
     p = sub.add_parser("energy", help="energy-per-op table")
     _add_samples(p)

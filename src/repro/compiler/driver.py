@@ -40,6 +40,9 @@ class CompileResult:
     sync_mode: str
     sync_points: int = 0
     symbols: dict[str, int] = field(default_factory=dict)
+    #: synclint report (:class:`repro.sync.verifier.LintReport`), unless
+    #: the unit was compiled with ``synclint='off'``
+    lint: object | None = None
 
     def symbol(self, name: str) -> int:
         """DM address of a minic global (``name`` without mangling)."""
@@ -50,7 +53,8 @@ def compile_source(source: str, *, sync_mode: str = "auto",
                    optimize: bool = True,
                    sync_base: int = DEFAULT_SYNC_BASE,
                    globals_base: int = GLOBALS_BASE,
-                   sync_min_statements: int = 0) -> CompileResult:
+                   sync_min_statements: int = 0,
+                   synclint: str = "warn") -> CompileResult:
     """Compile minic source into a program for the multi-core platform.
 
     :param sync_mode: ``'none'`` (baseline build without check-in/out),
@@ -58,7 +62,14 @@ def compile_source(source: str, *, sync_mode: str = "auto",
         ``'auto'`` (wrap only divergent conditionals).
     :param sync_min_statements: skip checkpoints around regions smaller
         than this many statements (density/overhead knob).
+    :param synclint: ``'warn'`` (default) verifies the sync discipline of
+        the output and surfaces error-severity findings through
+        ``warnings.warn``; ``'error'`` raises :class:`CompileError`
+        instead; ``'off'`` skips verification.  The report is attached as
+        :attr:`CompileResult.lint`.
     """
+    if synclint not in ("warn", "error", "off"):
+        raise ValueError(f"synclint must be warn/error/off, not {synclint!r}")
     ast = parse(source)
     analyze(ast)
     analyze_uniformity(ast)
@@ -91,7 +102,7 @@ def compile_source(source: str, *, sync_mode: str = "auto",
         + [runtime_library(sync=sync_mode != "none")] + data_lines) + "\n"
 
     program = assemble(assembly)
-    return CompileResult(
+    result = CompileResult(
         program=program,
         assembly=assembly,
         ast=ast,
@@ -100,6 +111,33 @@ def compile_source(source: str, *, sync_mode: str = "auto",
         sync_points=allocator.count,
         symbols=dict(program.symbols),
     )
+    if synclint != "off":
+        result.lint = _run_synclint(result, synclint)
+    return result
+
+
+def _run_synclint(result: CompileResult, mode: str):
+    """Verify the compiled unit's sync discipline (the ``synclint`` gate).
+
+    Imported lazily: the verifier needs the AST node types for its
+    source-level pass, and importing it at module scope would cycle
+    through ``repro.compiler`` package init.
+    """
+    import warnings
+
+    from ..sync.verifier import SyncLintWarning, lint_compile_result
+
+    report = lint_compile_result(result)
+    if report.errors:
+        summary = "; ".join(
+            d.render().splitlines()[0]
+            for d in report.diagnostics if d.severity == "error")
+        if mode == "error":
+            raise CompileError(f"synclint: {summary}")
+        warnings.warn(f"synclint found {report.errors} sync-discipline "
+                      f"error(s): {summary}", SyncLintWarning,
+                      stacklevel=3)
+    return report
 
 
 def _emit_globals(ast: ProgramAst, base: int) -> list[str]:

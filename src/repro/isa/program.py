@@ -8,10 +8,13 @@ platform loader consumes them.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 from .encoding import decode, encode
 from .instruction import Instruction
+
+_SOURCE_LINE_RE = re.compile(r"\(line (\d+)\)")
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,6 +57,19 @@ class Program:
 
     def __len__(self) -> int:
         return len(self.instructions)
+
+    def line_of(self, pc: int) -> int | None:
+        """Source line number of the instruction at ``pc``, if recorded.
+
+        Parses the ``"MNEMONIC (line N)"`` convention both toolchains use
+        when filling :attr:`source_map` — the anchor diagnostics tools
+        (assembler errors, synclint) report to the programmer.
+        """
+        origin = self.source_map.get(pc)
+        if not origin:
+            return None
+        match = _SOURCE_LINE_RE.search(origin)
+        return int(match.group(1)) if match else None
 
     def predecoded(self) -> list:
         """Predecoded ``(kind, run)`` dispatch records, index == address.

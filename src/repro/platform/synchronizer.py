@@ -99,6 +99,12 @@ class Synchronizer:
         self._pending_writes: list[_Rmw] = []
         #: checkpoint DM address -> usage statistics
         self.stats: dict[int, CheckpointStats] = {}
+        #: observers called as ``listener(cycle, completion)`` for every
+        #: completed RMW — e.g. :class:`repro.sync.verifier.SyncCrosscheck`.
+        #: The synchronizer performs RMWs on the slow path even under the
+        #: fast engine, so listeners see every barrier event at no cost to
+        #: lockstep bursts.
+        self.listeners: list = []
 
     @property
     def busy(self) -> bool:
@@ -118,8 +124,11 @@ class Synchronizer:
         completions: list[SyncCompletion] = []
         busy_banks: set[int] = set()
         for rmw in self._pending_writes:
-            completions.append(self._complete(rmw))
+            completion = self._complete(rmw)
+            completions.append(completion)
             busy_banks.add(self._config.dm_bank_of(rmw.address))
+            for listener in self.listeners:
+                listener(self._trace.cycles, completion)
         self._pending_writes = []
         return completions, busy_banks
 

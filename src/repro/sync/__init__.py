@@ -3,14 +3,21 @@
 - :mod:`~repro.sync.points` — checkpoint array layout and index allocation.
 - :mod:`~repro.sync.instrument` — pragma-driven instrumentation of assembly
   sources (the paper's Listing 1 workflow).
+- :mod:`~repro.sync.cfg` — control-flow recovery over assembled programs.
+- :mod:`~repro.sync.verifier` — ``synclint``, the static sync-coverage
+  verifier, plus the runtime barrier-trace cross-check.
 - :class:`~repro.platform.config.SyncPolicy` (re-exported) — hardware-side
   policy knob used for ablations.
+
+The programming model all of this enforces is documented in
+``docs/sync_model.md``; the verifier's manual is ``docs/synclint.md``.
 """
 
 from ..platform.config import SyncPolicy
 from .instrument import (
     InstrumentationError,
     InstrumentationResult,
+    PragmaRegion,
     instrument_assembly,
 )
 from .points import (
@@ -19,14 +26,37 @@ from .points import (
     SyncPointAllocator,
     startup_assembly,
 )
+from .verifier import (
+    ERROR_CODES,
+    CrosscheckResult,
+    Diagnostic,
+    LintReport,
+    SyncCrosscheck,
+    SyncLintWarning,
+    lint_assembly,
+    lint_compile_result,
+    lint_minic,
+    lint_program,
+)
 
 __all__ = [
     "DEFAULT_SYNC_BASE",
+    "ERROR_CODES",
     "SYNC_BANK",
+    "CrosscheckResult",
+    "Diagnostic",
     "InstrumentationError",
     "InstrumentationResult",
+    "LintReport",
+    "PragmaRegion",
+    "SyncCrosscheck",
+    "SyncLintWarning",
     "SyncPointAllocator",
     "SyncPolicy",
     "instrument_assembly",
+    "lint_assembly",
+    "lint_compile_result",
+    "lint_minic",
+    "lint_program",
     "startup_assembly",
 ]

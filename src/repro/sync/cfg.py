@@ -1,0 +1,156 @@
+"""Control-flow recovery over assembled programs (synclint's substrate).
+
+The static sync-coverage verifier (:mod:`repro.sync.verifier`) reasons
+about *paths* through a :class:`~repro.isa.program.Program`: which
+instructions can follow which, where functions begin and end, and which
+calls connect them.  This module recovers exactly that structure from the
+decoded instruction stream:
+
+- per-instruction :class:`FlowInfo` — intra-procedural successors, call
+  targets, and exit classification;
+- a partition of the reachable code into functions (:class:`FunctionCfg`),
+  rooted at the program entry point and at every direct ``CALL`` target;
+- the direct call graph between those functions.
+
+The recovery is sound for the code the toolchain emits (direct calls,
+``JR LR`` returns, PC-relative branches).  Indirect control flow —
+``CALLR``, or ``JR`` through a register other than the link register — is
+flagged rather than followed; the verifier downgrades its guarantees
+around such instructions (diagnostic ``SL008``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instruction import Instruction
+from ..isa.program import Program
+from ..isa.spec import Opcode, SysOp, REG_LR
+
+
+@dataclass(frozen=True, slots=True)
+class FlowInfo:
+    """Where control can go after one instruction (intra-procedural).
+
+    :param succs: successor instruction addresses inside the same function
+        (a ``CALL``'s successor is its return point, not the callee).
+    :param call_target: entry address of the callee for a direct ``CALL``.
+    :param is_return: ``JR LR`` (the ``RET`` idiom) or ``RETI``.
+    :param is_exit: execution cannot continue past this instruction within
+        the function (``HALT``, a return, or falling off the image).
+    :param is_indirect: target is computed at run time (``CALLR``, or
+        ``JR`` through a non-link register) and cannot be followed.
+    """
+
+    succs: tuple[int, ...] = ()
+    call_target: int | None = None
+    is_return: bool = False
+    is_exit: bool = False
+    is_indirect: bool = False
+
+
+@dataclass(slots=True)
+class FunctionCfg:
+    """One function: its entry, reachable body, and outgoing direct calls."""
+
+    entry: int
+    body: frozenset[int] = frozenset()
+    #: call-site pc -> callee entry pc
+    calls: dict[int, int] = field(default_factory=dict)
+
+
+def flow_info(ins: Instruction, pc: int, size: int) -> FlowInfo:
+    """Classify one instruction's control flow at address ``pc``."""
+    op = ins.op
+    if op is Opcode.SYS:
+        if ins.sub == SysOp.HALT:
+            return FlowInfo(is_exit=True)
+        if ins.sub == SysOp.RETI:
+            # Interrupt return: the resume point is dynamic (EPC).  For
+            # region purposes it ends the handler, like a return.
+            return FlowInfo(is_return=True, is_exit=True)
+        return _fallthrough(pc, size)
+    if op is Opcode.BCC:
+        taken = pc + 1 + ins.imm
+        succs = tuple(sorted({t for t in (pc + 1, taken) if 0 <= t < size}))
+        return FlowInfo(succs=succs, is_exit=not succs)
+    if op is Opcode.JMP:
+        if 0 <= ins.imm < size:
+            return FlowInfo(succs=(ins.imm,))
+        return FlowInfo(is_exit=True)
+    if op is Opcode.CALL:
+        info = _fallthrough(pc, size)
+        target = ins.imm if 0 <= ins.imm < size else None
+        return FlowInfo(succs=info.succs, call_target=target,
+                        is_exit=info.is_exit)
+    if op is Opcode.JR:
+        if ins.rs == REG_LR:
+            return FlowInfo(is_return=True, is_exit=True)
+        return FlowInfo(is_exit=True, is_indirect=True)
+    if op is Opcode.CALLR:
+        info = _fallthrough(pc, size)
+        return FlowInfo(succs=info.succs, is_exit=info.is_exit,
+                        is_indirect=True)
+    return _fallthrough(pc, size)
+
+
+def _fallthrough(pc: int, size: int) -> FlowInfo:
+    if pc + 1 < size:
+        return FlowInfo(succs=(pc + 1,))
+    return FlowInfo(is_exit=True)
+
+
+def program_flow(program: Program) -> list[FlowInfo]:
+    """Per-address :class:`FlowInfo` for the whole instruction stream."""
+    size = len(program.instructions)
+    return [flow_info(ins, pc, size)
+            for pc, ins in enumerate(program.instructions)]
+
+
+def _reach(flow: list[FlowInfo], entry: int) -> tuple[frozenset[int],
+                                                      dict[int, int]]:
+    """Body and call sites reachable from ``entry`` without entering calls."""
+    seen: set[int] = set()
+    calls: dict[int, int] = {}
+    work = [entry]
+    while work:
+        pc = work.pop()
+        if pc in seen or not 0 <= pc < len(flow):
+            continue
+        seen.add(pc)
+        info = flow[pc]
+        if info.call_target is not None:
+            calls[pc] = info.call_target
+        work.extend(info.succs)
+    return frozenset(seen), calls
+
+
+def partition(program: Program,
+              flow: list[FlowInfo] | None = None) -> dict[int, FunctionCfg]:
+    """Partition reachable code into functions, keyed by entry address.
+
+    Roots are the program entry point plus every direct ``CALL`` target
+    discovered transitively.  Bodies may overlap when code is shared via
+    jumps (tolerated: each function is verified independently).
+    """
+    flow = flow if flow is not None else program_flow(program)
+    if not flow:
+        return {}
+    functions: dict[int, FunctionCfg] = {}
+    pending = [program.entry]
+    while pending:
+        entry = pending.pop()
+        if entry in functions or not 0 <= entry < len(flow):
+            continue
+        body, calls = _reach(flow, entry)
+        functions[entry] = FunctionCfg(entry, body, calls)
+        pending.extend(calls.values())
+    return functions
+
+
+def entry_label(program: Program, entry: int) -> str:
+    """Best-effort symbolic name for a function entry address."""
+    for name, addr in sorted(program.symbols.items()):
+        if addr == entry and not name.startswith("."):
+            return name
+    return f"fn@{entry}"

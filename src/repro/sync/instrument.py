@@ -10,9 +10,18 @@ marks regions with ``;@sync`` pragmas, and the pass replaces them with
 Pragmas::
 
     ;@sync begin [name]    ->  SINC #<index>
-    ;@sync end             ->  SDEC #<index of innermost open region>
+    ;@sync end [name]      ->  SDEC #<index of innermost open region>
 
-Regions nest; each syntactic region gets its own checkpoint word.
+Regions nest; each syntactic region gets its own checkpoint word.  An
+``end`` may optionally repeat the region name, in which case it must match
+the innermost open region — cheap insurance against pairing the wrong
+``end`` with the wrong ``begin`` in long listings.
+
+Every pragma line is replaced by exactly one output line (an instruction
+when sync is enabled, a blank line when building the baseline), so line
+numbers in the instrumented source equal line numbers in the original
+file — diagnostics downstream (assembler errors, ``synclint``) therefore
+point at the programmer's own source.
 """
 
 from __future__ import annotations
@@ -22,11 +31,42 @@ from dataclasses import dataclass
 
 from .points import SyncPointAllocator
 
-_PRAGMA_RE = re.compile(r"^\s*;@sync\s+(begin|end)\s*(\S*)\s*$")
+_PRAGMA_RE = re.compile(r"^\s*;@sync\b\s*(\S*)\s*(\S*)\s*$")
+
+_VERBS = ("begin", "end")
 
 
 class InstrumentationError(ValueError):
-    """Unbalanced or malformed sync pragmas."""
+    """Unbalanced or malformed sync pragmas.
+
+    :ivar filename: source file the offending pragma came from (or None
+        for in-memory sources).
+    :ivar line: 1-based line number of the offending pragma, when the
+        error anchors to one.
+    """
+
+    def __init__(self, message: str, *, filename: str | None = None,
+                 line: int | None = None):
+        prefix = ""
+        if filename is not None:
+            prefix = f"{filename}:"
+        if line is not None:
+            prefix += f"line {line}: "
+        elif prefix:
+            prefix += " "
+        super().__init__(prefix + message)
+        self.filename = filename
+        self.line = line
+
+
+@dataclass(frozen=True)
+class PragmaRegion:
+    """One syntactic ``;@sync`` region found in the source."""
+
+    index: int
+    name: str
+    begin_line: int
+    end_line: int
 
 
 @dataclass(frozen=True)
@@ -36,46 +76,65 @@ class InstrumentationResult:
     source: str
     allocator: SyncPointAllocator
     regions: int
+    #: one record per syntactic region, in order of their ``begin`` lines
+    region_list: tuple[PragmaRegion, ...] = ()
 
 
 def instrument_assembly(source: str, *, enabled: bool = True,
                         allocator: SyncPointAllocator | None = None,
+                        filename: str | None = None,
                         ) -> InstrumentationResult:
     """Expand ``;@sync`` pragmas into SINC/SDEC (or strip them).
 
     :param source: assembly text containing pragmas.
-    :param enabled: when False, pragmas are removed without emitting any
-        instruction — this builds the *without synchronizer* baseline from
-        the same source.
+    :param enabled: when False, pragmas are replaced by blank lines
+        without emitting any instruction — this builds the *without
+        synchronizer* baseline from the same source, at the same line
+        numbers.
     :param allocator: optionally share an allocator across several files.
+    :param filename: origin of ``source``, used to label
+        :class:`InstrumentationError` diagnostics.
     """
     allocator = allocator or SyncPointAllocator()
-    stack: list[int] = []
-    regions = 0
+    stack: list[tuple[int, str, int]] = []     # (index, name, begin line)
+    found: list[PragmaRegion] = []
     out_lines: list[str] = []
+
+    def fail(message: str, line: int | None) -> InstrumentationError:
+        return InstrumentationError(message, filename=filename, line=line)
 
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _PRAGMA_RE.match(line)
         if not match:
             out_lines.append(line)
             continue
-        kind, name = match.groups()
-        if kind == "begin":
+        verb, name = match.groups()
+        if verb not in _VERBS:
+            raise fail(
+                f"unknown sync pragma ';@sync {verb}' "
+                f"(expected one of: {', '.join(_VERBS)})", lineno)
+        if verb == "begin":
             index = allocator.allocate(name or f"line{lineno}")
-            stack.append(index)
-            regions += 1
-            if enabled:
-                out_lines.append(f"    SINC #{index}")
+            stack.append((index, allocator.name_of(index), lineno))
+            out_lines.append(f"    SINC #{index}" if enabled else "")
         else:
             if not stack:
-                raise InstrumentationError(
-                    f"line {lineno}: ';@sync end' without a matching begin")
-            index = stack.pop()
-            if enabled:
-                out_lines.append(f"    SDEC #{index}")
+                raise fail("';@sync end' without a matching begin", lineno)
+            index, open_name, begin_line = stack.pop()
+            if name and name != open_name:
+                raise fail(
+                    f"';@sync end {name}' closes region '{open_name}' "
+                    f"opened at line {begin_line} — name the innermost "
+                    "open region (or omit the name)", lineno)
+            found.append(PragmaRegion(index, open_name, begin_line, lineno))
+            out_lines.append(f"    SDEC #{index}" if enabled else "")
 
     if stack:
-        raise InstrumentationError(
-            f"unclosed sync regions: "
-            f"{[allocator.name_of(i) for i in stack]}")
-    return InstrumentationResult("\n".join(out_lines), allocator, regions)
+        index, open_name, begin_line = stack[-1]
+        raise fail(
+            f"unclosed sync region '{open_name}' "
+            f"(';@sync begin' at line {begin_line} has no matching end; "
+            f"{len(stack)} region(s) left open)", begin_line)
+    found.sort(key=lambda r: r.begin_line)
+    return InstrumentationResult("\n".join(out_lines), allocator,
+                                 len(found), tuple(found))

@@ -67,3 +67,12 @@ class TestSourceMap:
         program = assemble("ADD R0, R0, R0\nHALT")
         assert "line 1" in program.source_map[0]
         assert "line 2" in program.source_map[1]
+
+    def test_line_of_parses_the_origin(self):
+        program = assemble("NOP\n\nHALT")
+        assert program.line_of(0) == 1
+        assert program.line_of(1) == 3      # blank line skipped
+
+    def test_line_of_without_mapping(self):
+        program = assemble("NOP")
+        assert program.line_of(99) is None

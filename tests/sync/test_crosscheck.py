@@ -1,0 +1,126 @@
+"""Tests for the runtime barrier-trace cross-check (SyncCrosscheck)."""
+
+import pytest
+
+from repro.cli import main
+from repro.platform import Machine, WITH_SYNCHRONIZER, WITHOUT_SYNCHRONIZER
+from repro.platform.synchronizer import SyncCompletion
+from repro.sync import (
+    DEFAULT_SYNC_BASE,
+    SyncCrosscheck,
+    instrument_assembly,
+    lint_assembly,
+    startup_assembly,
+)
+
+SOURCE = """
+    MFSR R0, COREID
+;@sync begin outer
+    CMPI R0, #0
+    BEQ out
+    MOV R2, R0
+loop:
+;@sync begin inner
+    DEC R2
+;@sync end
+    BNE loop
+out:
+;@sync end
+    HALT
+"""
+
+
+def run_with_crosscheck(source):
+    report = lint_assembly(source, name="crosscheck")
+    assert report.ok, report.render()
+    instrumented = instrument_assembly(source)
+    machine = Machine.from_assembly(instrumented.source, WITH_SYNCHRONIZER)
+    check = SyncCrosscheck(machine, report)
+    machine.run(max_cycles=100_000)
+    return check.result()
+
+
+class TestCleanRuns:
+    def test_nested_divergent_regions_replay_cleanly(self):
+        result = run_with_crosscheck(startup_assembly() + SOURCE)
+        assert result.ok, result.render()
+        assert result.events > 0
+        assert result.checkins == result.checkouts
+        assert "consistent" in result.render()
+
+    def test_requires_a_synchronizer(self):
+        report = lint_assembly(startup_assembly() + SOURCE)
+        instrumented = instrument_assembly(startup_assembly() + SOURCE)
+        machine = Machine.from_assembly(instrumented.source,
+                                        WITHOUT_SYNCHRONIZER)
+        with pytest.raises(ValueError, match="synchronizer"):
+            SyncCrosscheck(machine, report)
+
+
+class TestViolations:
+    def test_misconfigured_rsync_base_is_detected(self):
+        """Rsync pointing at the wrong base puts barrier traffic at
+        addresses outside the static region tree."""
+        source = (
+            "    LI R1, #100\n"          # wrong base (should be 30720)
+            "    MTSR RSYNC, R1\n"
+            + SOURCE)
+        result = run_with_crosscheck(source)
+        assert not result.ok
+        assert any("RSYNC" in v for v in result.violations)
+
+    def _fresh_check(self):
+        source = startup_assembly() + SOURCE
+        report = lint_assembly(source)
+        instrumented = instrument_assembly(source)
+        machine = Machine.from_assembly(instrumented.source,
+                                        WITH_SYNCHRONIZER)
+        return SyncCrosscheck(machine, report)
+
+    @staticmethod
+    def completion(index, *, checkins=(), checkouts=()):
+        return SyncCompletion(DEFAULT_SYNC_BASE + index,
+                              tuple(checkins), tuple(checkouts), (), False)
+
+    def test_checkin_under_wrong_parent(self):
+        check = self._fresh_check()
+        # region 1 ('inner') statically nests under 0; entering it at top
+        # level violates the tree
+        check._on_completion(10, self.completion(1, checkins=[2]))
+        result = check.result()
+        assert any("nests under" in v for v in result.violations)
+
+    def test_checkout_with_no_region_open(self):
+        check = self._fresh_check()
+        check._on_completion(10, self.completion(0, checkouts=[3]))
+        result = check.result()
+        assert any("no region open" in v for v in result.violations)
+
+    def test_checkout_out_of_lifo_order(self):
+        check = self._fresh_check()
+        check._on_completion(10, self.completion(0, checkins=[1]))
+        check._on_completion(20, self.completion(1, checkins=[1]))
+        check._on_completion(30, self.completion(0, checkouts=[1]))
+        result = check.result()
+        assert any("innermost" in v for v in result.violations)
+
+    def test_region_left_open_at_end_of_run(self):
+        check = self._fresh_check()
+        check._on_completion(10, self.completion(0, checkins=[5]))
+        result = check.result()
+        assert any("still holds" in v for v in result.violations)
+
+
+class TestBenchmarkCrosscheck:
+    def test_cli_crosscheck_on_bundled_kernel(self, capsys):
+        code = main(["synclint", "SQRT32", "--crosscheck",
+                     "--samples", "32"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "crosscheck" in out and "consistent" in out
+
+    def test_cli_crosscheck_rejects_file_targets(self, tmp_path, capsys):
+        target = tmp_path / "k.asm"
+        target.write_text("    HALT\n")
+        code = main(["synclint", str(target), "--crosscheck"])
+        assert code == 2

@@ -62,6 +62,71 @@ class TestExpansion:
         assert result.allocator.name_of(1) == "inner"
 
 
+class TestErrorReporting:
+    def test_orphan_end_carries_filename_and_line(self):
+        with pytest.raises(InstrumentationError) as exc:
+            instrument_assembly("    NOP\n;@sync end\nHALT",
+                                filename="kernel.asm")
+        assert exc.value.filename == "kernel.asm"
+        assert exc.value.line == 2
+        assert "kernel.asm" in str(exc.value)
+        assert "line 2" in str(exc.value)
+
+    def test_unclosed_begin_points_at_the_begin_line(self):
+        with pytest.raises(InstrumentationError) as exc:
+            instrument_assembly("    NOP\n;@sync begin x\nHALT",
+                                filename="kernel.asm")
+        assert exc.value.line == 2
+        assert "'x'" in str(exc.value)
+
+    def test_error_without_filename_still_carries_line(self):
+        with pytest.raises(InstrumentationError) as exc:
+            instrument_assembly(";@sync end\nHALT")
+        assert exc.value.filename is None
+        assert exc.value.line == 1
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(InstrumentationError, match="unknown sync"):
+            instrument_assembly(";@sync stop\nHALT")
+
+    def test_bare_pragma_rejected(self):
+        with pytest.raises(InstrumentationError):
+            instrument_assembly(";@sync\nHALT")
+
+    def test_mismatched_end_name_rejected(self):
+        source = ";@sync begin alpha\n;@sync end beta\nHALT"
+        with pytest.raises(InstrumentationError) as exc:
+            instrument_assembly(source)
+        assert "beta" in str(exc.value) and "alpha" in str(exc.value)
+        assert exc.value.line == 2
+
+    def test_matching_end_name_accepted(self):
+        result = instrument_assembly(
+            ";@sync begin alpha\n    NOP\n;@sync end alpha\nHALT")
+        assert result.regions == 1
+
+    def test_baseline_build_checks_pragmas_too(self):
+        with pytest.raises(InstrumentationError):
+            instrument_assembly(";@sync end\nHALT", enabled=False)
+
+
+class TestRegionRecords:
+    def test_region_list_names_and_lines(self):
+        result = instrument_assembly(SOURCE)
+        by_name = {r.name: r for r in result.region_list}
+        assert set(by_name) == {"outer", "inner"}
+        assert by_name["outer"].index == 0
+        assert by_name["inner"].index == 1
+        assert by_name["inner"].begin_line > by_name["outer"].begin_line
+        assert by_name["inner"].end_line < by_name["outer"].end_line
+
+    def test_line_numbers_preserved_one_to_one(self):
+        original = SOURCE.splitlines()
+        for enabled in (True, False):
+            result = instrument_assembly(SOURCE, enabled=enabled)
+            assert len(result.source.splitlines()) == len(original)
+
+
 class TestEndToEnd:
     def test_instrumented_source_runs_and_resynchronizes(self):
         body = instrument_assembly(startup_assembly() + SOURCE)

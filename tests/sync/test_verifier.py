@@ -1,0 +1,471 @@
+"""Tests for synclint, the static sync-coverage verifier.
+
+Covers every error code the verifier can emit (each with a seeded
+violation), the diagnostics' PC/line anchoring, the JSON report shape,
+the compiler gate, the CLI subcommand, and a known-clean sweep over all
+bundled kernels and example programs.
+"""
+
+import json
+import re
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.compiler import compile_source
+from repro.compiler.lexer import CompileError
+from repro.isa.instruction import HALT, Instruction
+from repro.isa.program import Program
+from repro.isa.spec import Opcode
+from repro.kernels import BENCHMARKS
+from repro.sync import (
+    ERROR_CODES,
+    SyncLintWarning,
+    lint_assembly,
+    lint_minic,
+    lint_program,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+PRELUDE = """\
+    LI R1, #30720
+    MTSR RSYNC, R1
+"""
+
+
+def asm_line_of(source: str, needle: str) -> int:
+    """1-based line number of the first source line containing needle."""
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"{needle!r} not in source")
+
+
+class TestBalance:
+    def test_sl001_unclosed_region_on_one_path(self):
+        source = PRELUDE + """\
+    SINC #0
+    CMPI R0, #0
+    BEQ skip
+    SDEC #0
+skip:
+    HALT
+"""
+        report = lint_assembly(source, name="seeded-unbalanced")
+        assert not report.ok
+        assert "SL001" in report.codes()
+        diag = next(d for d in report.diagnostics if d.code == "SL001")
+        # the open region is reported at the exit the path reaches
+        assert diag.line == asm_line_of(source, "HALT")
+        assert report.program_name == "seeded-unbalanced"
+        assert diag.hint is not None
+
+    def test_sl001_pc_points_at_the_exit_instruction(self):
+        source = PRELUDE + "    SINC #2\n    HALT\n"
+        report = lint_assembly(source)
+        diag = next(d for d in report.diagnostics if d.code == "SL001")
+        program_len = report.instructions
+        assert diag.pc == program_len - 1          # the HALT
+        assert "#2" in diag.message
+
+    def test_sl002_orphan_checkout(self):
+        report = lint_assembly(PRELUDE + "    SDEC #3\n    HALT\n")
+        assert report.codes() == ["SL002"]
+        assert not report.ok
+
+    def test_sl002_wrong_index_checkout(self):
+        source = PRELUDE + """\
+    SINC #0
+    SDEC #4
+    SDEC #0
+    HALT
+"""
+        report = lint_assembly(source)
+        diag = next(d for d in report.diagnostics if d.code == "SL002")
+        assert diag.line == asm_line_of(source, "SDEC #4")
+
+    def test_sl003_inconsistent_join(self):
+        source = PRELUDE + """\
+    CMPI R0, #0
+    BEQ join
+    SINC #0
+join:
+    HALT
+"""
+        report = lint_assembly(source)
+        assert "SL003" in report.codes()
+        diag = next(d for d in report.diagnostics if d.code == "SL003")
+        assert diag.line == asm_line_of(source, "HALT")
+
+    def test_sl005_reentered_live_index(self):
+        source = PRELUDE + """\
+    SINC #0
+    SINC #0
+    SDEC #0
+    HALT
+"""
+        report = lint_assembly(source)
+        assert report.codes() == ["SL005"]
+        diag = report.diagnostics[0]
+        assert diag.line == 4        # the second SINC
+
+    def test_sl006_misnested_checkout(self):
+        source = PRELUDE + """\
+    SINC #0
+    SINC #1
+    SDEC #0
+    SDEC #1
+    HALT
+"""
+        report = lint_assembly(source)
+        assert report.codes() == ["SL006"]
+        assert report.diagnostics[0].line == asm_line_of(source, "SDEC #0")
+
+    def test_balanced_nested_regions_are_clean(self):
+        source = PRELUDE + """\
+    SINC #0
+    SINC #1
+    SDEC #1
+    SDEC #0
+    HALT
+"""
+        report = lint_assembly(source)
+        assert report.ok and not report.diagnostics
+        assert report.regions[1].parents == {0}
+        assert report.regions[0].parents == {None}
+
+
+class TestInterprocedural:
+    def test_sl007_callee_reopens_held_index(self):
+        source = PRELUDE + """\
+    SINC #0
+    CALL helper
+    SDEC #0
+    HALT
+helper:
+    SINC #0
+    SDEC #0
+    JR LR
+"""
+        report = lint_assembly(source)
+        assert report.codes() == ["SL007"]
+        assert report.diagnostics[0].line == asm_line_of(source, "CALL")
+        assert "helper" in report.diagnostics[0].message
+
+    def test_sl007_is_transitive(self):
+        source = PRELUDE + """\
+    SINC #0
+    CALL middle
+    SDEC #0
+    HALT
+middle:
+    CALL leaf
+    JR LR
+leaf:
+    SINC #0
+    SDEC #0
+    JR LR
+"""
+        report = lint_assembly(source)
+        assert "SL007" in report.codes()
+
+    def test_distinct_callee_index_is_clean(self):
+        source = PRELUDE + """\
+    SINC #0
+    CALL helper
+    SDEC #0
+    HALT
+helper:
+    SINC #1
+    SDEC #1
+    JR LR
+"""
+        report = lint_assembly(source)
+        assert report.ok and not report.diagnostics
+
+    def test_sl008_indirect_control_flow_is_a_warning(self):
+        report = lint_assembly(PRELUDE + "    LDI R2, #5\n    JR R2\n")
+        assert report.codes() == ["SL008"]
+        assert report.ok                      # warning, not error
+        assert report.warnings == 1
+
+    def test_sl009_missing_rsync_init(self):
+        report = lint_assembly("    SINC #0\n    SDEC #0\n    HALT\n")
+        assert report.codes() == ["SL009"]
+        assert report.ok
+        assert report.diagnostics[0].pc is None
+
+    def test_sl009_not_raised_without_sync_use(self):
+        report = lint_assembly("    LDI R0, #1\n    HALT\n")
+        assert not report.diagnostics
+
+
+class TestRange:
+    def test_sl010_out_of_range_index(self):
+        # the assembler refuses imm > 255, so build the image by hand
+        program = Program(instructions=[
+            Instruction(Opcode.SINC, imm=300),
+            Instruction(Opcode.SDEC, imm=300),
+            HALT,
+        ])
+        report = lint_program(program, require_rsync=False)
+        assert "SL010" in report.codes()
+        diag = next(d for d in report.diagnostics if d.code == "SL010")
+        assert diag.pc == 0 and diag.severity == "error"
+
+
+class TestDivergence:
+    def test_sl004_uncovered_coreid_branch(self):
+        source = PRELUDE + """\
+    MFSR R0, COREID
+    CMPI R0, #0
+    BEQ odd
+    LDI R2, #1
+odd:
+    HALT
+"""
+        report = lint_assembly(source, name="seeded-divergent")
+        assert report.codes() == ["SL004"]
+        diag = report.diagnostics[0]
+        assert diag.severity == "error"
+        assert diag.line == asm_line_of(source, "BEQ odd")
+        assert diag.pc is not None
+
+    def test_covered_coreid_branch_is_clean(self):
+        source = PRELUDE + """\
+    SINC #0
+    MFSR R0, COREID
+    CMPI R0, #0
+    BEQ odd
+    LDI R2, #1
+odd:
+    SDEC #0
+    HALT
+"""
+        report = lint_assembly(source)
+        assert report.ok and not report.diagnostics
+
+    def test_taint_flows_through_arithmetic(self):
+        source = PRELUDE + """\
+    MFSR R0, COREID
+    ADDI R2, R0, #1
+    MOV R3, R2
+    CMPI R3, #3
+    BEQ out
+out:
+    HALT
+"""
+        report = lint_assembly(source)
+        assert "SL004" in report.codes()
+
+    def test_taint_flows_through_call_return_value(self):
+        source = PRELUDE + """\
+    CALL whoami
+    CMPI R0, #0
+    BEQ out
+out:
+    HALT
+whoami:
+    MFSR R0, COREID
+    JR LR
+"""
+        report = lint_assembly(source)
+        assert "SL004" in report.codes()
+
+    def test_loads_clear_taint_by_default(self):
+        source = PRELUDE + """\
+    MFSR R0, COREID
+    LD R2, [R0 + #0]
+    CMPI R2, #0
+    BEQ out
+out:
+    HALT
+"""
+        assert lint_assembly(source).ok
+        strict = lint_assembly(source, loads_divergent=True)
+        assert "SL004" in strict.codes()
+
+    def test_uniform_branch_is_clean(self):
+        source = PRELUDE + """\
+    LDI R0, #5
+    CMPI R0, #0
+    BEQ out
+    LDI R2, #1
+out:
+    HALT
+"""
+        assert not lint_assembly(source).diagnostics
+
+
+class TestReport:
+    SOURCE = PRELUDE + "    SINC #0\n    HALT\n"
+
+    def test_json_shape(self):
+        report = lint_assembly(self.SOURCE, name="demo")
+        payload = json.loads(report.json_text())
+        assert payload["program"] == "demo"
+        assert payload["ok"] is False
+        assert payload["errors"] == report.errors
+        diag = payload["diagnostics"][0]
+        assert set(diag) == {"code", "severity", "message", "pc", "line",
+                             "location", "hint"}
+        region = payload["regions"][0]
+        assert region["index"] == 0
+        assert region["sinc_pcs"]
+
+    def test_render_mentions_code_and_fix(self):
+        text = lint_assembly(self.SOURCE).render()
+        assert "SL001" in text and "fix:" in text
+
+    def test_every_code_has_severity_and_hintable_docs(self):
+        from repro.sync.verifier import _HINTS, _SEVERITIES
+        assert set(_SEVERITIES) == set(ERROR_CODES) == set(_HINTS)
+        assert all(s in ("error", "warning") for s in _SEVERITIES.values())
+
+    def test_docs_cover_every_error_code(self):
+        """docs/sync_model.md documents every code synclint can emit."""
+        text = (REPO / "docs" / "sync_model.md").read_text()
+        for code in ERROR_CODES:
+            assert re.search(rf"^### {code} ", text, re.M), \
+                f"{code} lacks a section in docs/sync_model.md"
+
+    def test_diagnostics_sorted_by_pc(self):
+        source = PRELUDE + """\
+    SINC #0
+    SINC #0
+    SDEC #4
+    HALT
+"""
+        report = lint_assembly(source)
+        pcs = [d.pc for d in report.diagnostics if d.pc is not None]
+        assert pcs == sorted(pcs)
+
+
+class TestCompilerGate:
+    BAD = """
+int main() {
+    __sync_enter(5);
+    return 0;
+}
+"""
+
+    def test_clean_unit_attaches_ok_report(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = compile_source("int main() { return 0; }")
+        assert result.lint is not None and result.lint.ok
+
+    def test_unbalanced_intrinsic_warns_by_default(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = compile_source(self.BAD)
+        lint_warnings = [w for w in caught
+                        if issubclass(w.category, SyncLintWarning)]
+        assert lint_warnings, "expected a SyncLintWarning"
+        assert "SL001" in str(lint_warnings[0].message)
+        assert "SL001" in result.lint.codes()
+
+    def test_synclint_error_mode_raises(self):
+        with pytest.raises(CompileError, match="synclint.*SL001"):
+            compile_source(self.BAD, synclint="error")
+
+    def test_synclint_off_skips(self):
+        result = compile_source(self.BAD, synclint="off")
+        assert result.lint is None
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            compile_source("int main() { return 0; }", synclint="maybe")
+
+    def test_density_knob_surfaces_sl004_warnings(self):
+        source = """
+int out[8];
+int main() {
+    int id = __coreid();
+    if (id > 3) { out[id] = 1; }
+    return 0;
+}
+"""
+        report = lint_minic(source, sync_mode="auto",
+                            sync_min_statements=50)
+        assert "SL004" in report.codes()
+        diag = next(d for d in report.diagnostics if d.code == "SL004")
+        assert diag.severity == "warning"
+        assert diag.line is not None
+        # with the default density the same region is wrapped: clean
+        assert lint_minic(source, sync_mode="auto").ok
+
+
+class TestCleanSweep:
+    """Acceptance: synclint passes clean on every bundled program."""
+
+    @pytest.mark.parametrize("bench", sorted(BENCHMARKS))
+    @pytest.mark.parametrize("sync_enabled", [True, False],
+                             ids=["with-sync", "baseline"])
+    def test_bundled_kernels(self, bench, sync_enabled):
+        b = BENCHMARKS[bench]
+        if b.kind == "minic":
+            report = lint_minic(
+                b.source, name=bench,
+                sync_mode="auto" if sync_enabled else "none")
+        else:
+            report = lint_assembly(b.source, name=bench,
+                                   sync_enabled=sync_enabled)
+        assert report.errors == 0, report.render()
+        assert report.warnings == 0, report.render()
+
+    @pytest.mark.parametrize("example", ["quickstart", "custom_kernel"])
+    @pytest.mark.parametrize("mode", ["auto", "all", "none"])
+    def test_example_kernels(self, example, mode):
+        text = (REPO / "examples" / f"{example}.py").read_text()
+        kernel = re.search(r'KERNEL\s*=\s*"""(.*?)"""', text, re.S).group(1)
+        report = lint_minic(kernel, name=example, sync_mode=mode)
+        assert report.errors == 0, report.render()
+        assert report.warnings == 0, report.render()
+
+
+class TestCli:
+    def test_all_bundled_kernels_pass(self, capsys):
+        assert main(["synclint", "--all"]) == 0
+        out = capsys.readouterr().out
+        for bench in BENCHMARKS:
+            assert bench in out
+
+    def test_seeded_unbalanced_file_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.asm"
+        bad.write_text(PRELUDE + "    SINC #0\n    HALT\n")
+        assert main(["synclint", str(bad)]) == 1
+        assert "SL001" in capsys.readouterr().out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        bad = tmp_path / "bad.asm"
+        bad.write_text(PRELUDE + "    SINC #0\n    HALT\n")
+        main(["synclint", str(bad), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] >= 1
+
+    def test_malformed_pragmas_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.asm"
+        bad.write_text(";@sync begin x\n    HALT\n")
+        assert main(["synclint", str(bad)]) == 2
+        assert "bad.asm" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["synclint", "no_such_file.asm"]) == 2
+
+    def test_no_targets_exits_2(self, capsys):
+        assert main(["synclint"]) == 2
+
+    def test_werror_turns_warnings_into_failure(self, tmp_path):
+        warn_only = tmp_path / "warn.asm"
+        warn_only.write_text("    SINC #0\n    SDEC #0\n    HALT\n")
+        assert main(["synclint", str(warn_only)]) == 0       # SL009 warning
+        assert main(["synclint", str(warn_only), "--werror"]) == 1
+
+    def test_minic_file_target(self, tmp_path, capsys):
+        kernel = tmp_path / "k.mc"
+        kernel.write_text("int main() { return 0; }")
+        assert main(["synclint", str(kernel)]) == 0
