@@ -6,48 +6,34 @@ interleaving — spreads every buffer across all banks, so lockstep cores
 accessing their private buffers at the same offset collide in one bank
 on *every* data access.  This ablation quantifies why the platform's
 banking choice matters and how the synchronous-stall policy keeps even
-the pathological mapping correct (if slow).
+the pathological mapping correct (if slow).  Both mappings run as one
+sweep through the executor, golden-verified in the worker.
 """
 
-from repro.analysis import evaluation_channels
-from repro.kernels import (
-    BENCHMARKS,
-    WITH_SYNC,
-    build_program,
-    golden_outputs,
-)
-from repro.platform import Machine, PlatformConfig, SyncPolicy
+from repro.exec import RunRequest
+from repro.kernels import WITH_SYNC
+from repro.platform import PlatformConfig, SyncPolicy
 
 from conftest import BENCH_SAMPLES
 
 
-def run_banking(interleaved: bool, channels):
-    program = build_program("SQRT32", True)
-    config = PlatformConfig(policy=SyncPolicy.FULL,
-                            dm_interleaved=interleaved)
-    machine = Machine(program, config)
-    for core, channel in enumerate(channels):
-        machine.dm.load(core * 2048, [v & 0xFFFF for v in channel])
-    machine.dm.write(16384, len(channels[0]))
-    machine.run()
-    outputs = [machine.dm.dump(c * 2048 + 512, len(channels[0]) // 8)
-               for c in range(8)]
-    return outputs, machine.trace
+def banking_request(interleaved: bool) -> RunRequest:
+    return RunRequest(
+        "SQRT32", WITH_SYNC, n_samples=BENCH_SAMPLES,
+        config=PlatformConfig(policy=SyncPolicy.FULL,
+                              dm_interleaved=interleaved))
 
 
-def test_banking_ablation(benchmark, write_report):
-    channels = evaluation_channels(BENCH_SAMPLES)
-    expected = golden_outputs("SQRT32", channels)
+def test_banking_ablation(benchmark, write_report, executor):
+    requests = [banking_request(False), banking_request(True)]
 
     def run_both():
-        return run_banking(False, channels), run_banking(True, channels)
+        outcomes = executor.run(requests)
+        # correctness is independent of the mapping
+        assert all(o.ok and o.golden_match for o in outcomes)
+        return tuple(o.benchmark_run().trace for o in outcomes)
 
-    (block_out, block), (inter_out, inter) = benchmark.pedantic(
-        run_both, rounds=1, iterations=1)
-
-    # correctness is independent of the mapping
-    assert [list(o) for o in block_out] == expected
-    assert [list(o) for o in inter_out] == expected
+    block, inter = benchmark.pedantic(run_both, rounds=1, iterations=1)
 
     lines = [
         "A5 — DM banking: block (paper) vs low-order interleaved, SQRT32",

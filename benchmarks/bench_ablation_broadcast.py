@@ -5,38 +5,32 @@ crossbars of the predecessor platform (ref. [4] of the paper, which
 reported up to 40.6% active power savings from coordinated accesses).
 Turning broadcast off isolates that enabler: with one fetch served per
 bank per cycle, lockstep no longer saves IM accesses and the whole
-benefit chain collapses.
+benefit chain collapses.  Both variants run as one executor sweep.
 """
 
-from repro.analysis import evaluation_channels
-from repro.kernels import build_program, golden_outputs
-from repro.platform import Machine, PlatformConfig, SyncPolicy
+from repro.exec import RunRequest
+from repro.kernels import WITH_SYNC
+from repro.platform import PlatformConfig, SyncPolicy
 from repro.power import default_energy_model
 
 from conftest import BENCH_SAMPLES
 
 
-def run_variant(broadcast: bool, channels):
-    program = build_program("SQRT32", True)
-    config = PlatformConfig(policy=SyncPolicy.FULL,
-                            im_broadcast=broadcast,
-                            dm_broadcast=broadcast)
-    machine = Machine(program, config)
-    for core, channel in enumerate(channels):
-        machine.dm.load(core * 2048, [v & 0xFFFF for v in channel])
-    machine.dm.write(16384, len(channels[0]))
-    machine.run()
-    outputs = [machine.dm.dump(c * 2048 + 512, len(channels[0]) // 8)
-               for c in range(8)]
-    assert outputs == golden_outputs("SQRT32", channels)
-    return machine.trace
+def broadcast_request(broadcast: bool) -> RunRequest:
+    return RunRequest(
+        "SQRT32", WITH_SYNC, n_samples=BENCH_SAMPLES,
+        config=PlatformConfig(policy=SyncPolicy.FULL,
+                              im_broadcast=broadcast,
+                              dm_broadcast=broadcast))
 
 
-def test_broadcast_ablation(benchmark, write_report):
-    channels = evaluation_channels(BENCH_SAMPLES)
+def test_broadcast_ablation(benchmark, write_report, executor):
+    requests = [broadcast_request(True), broadcast_request(False)]
 
     def run_both():
-        return run_variant(True, channels), run_variant(False, channels)
+        outcomes = executor.run(requests)
+        assert all(o.ok and o.golden_match for o in outcomes)
+        return tuple(o.benchmark_run().trace for o in outcomes)
 
     with_bc, without_bc = benchmark.pedantic(run_both, rounds=1,
                                              iterations=1)

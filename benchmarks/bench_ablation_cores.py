@@ -3,32 +3,41 @@
 The paper's platform has 8 cores/channels; this ablation checks that the
 synchronization benefit is not an 8-core artifact: throughput scales with
 the core count on the improved design, while the baseline saturates on
-IM-bank serialization.
+IM-bank serialization.  The (cores x design) grid is scheduled through
+the sweep executor, which verifies every point against the golden model
+in the worker.
 """
 
-from repro.analysis import evaluation_channels
-from repro.kernels import WITH_SYNC, WITHOUT_SYNC, run_benchmark
+from repro.exec import RunRequest
+from repro.kernels import WITH_SYNC, WITHOUT_SYNC
 
 from conftest import BENCH_SAMPLES
 
+CORES = (2, 4, 8)
 
-def test_core_scaling(benchmark, write_report):
-    channels = evaluation_channels(BENCH_SAMPLES)
+
+def test_core_scaling(benchmark, write_report, executor):
+    requests = [
+        RunRequest("SQRT32", design, num_cores=cores,
+                   n_samples=BENCH_SAMPLES)
+        for cores in CORES for design in (WITH_SYNC, WITHOUT_SYNC)
+    ]
 
     def run_all():
-        results = {}
-        for cores in (2, 4, 8):
-            for design in (WITH_SYNC, WITHOUT_SYNC):
-                run = run_benchmark("SQRT32", design, channels[:cores])
-                results[cores, design.name] = run.trace.ops_per_cycle
-        return results
+        outcomes = executor.run(requests)
+        assert all(o.ok and o.golden_match for o in outcomes)
+        return {
+            (o.request.platform_config().num_cores, o.request.design.name):
+                o.benchmark_run().ops_per_cycle
+            for o in outcomes
+        }
 
     ipc = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     lines = ["A3 — core-count scaling on SQRT32 (ops/cycle)", "",
              f"  {'cores':>5s}  {'with-sync':>9s}  {'without':>9s}  "
              f"{'ratio':>6s}"]
-    for cores in (2, 4, 8):
+    for cores in CORES:
         w = ipc[cores, "with-sync"]
         wo = ipc[cores, "without-sync"]
         lines.append(f"  {cores:5d}  {w:9.2f}  {wo:9.2f}  {w / wo:6.2f}")
@@ -40,6 +49,5 @@ def test_core_scaling(benchmark, write_report):
     # baseline saturates: far sublinear from 2 to 8 cores
     assert ipc[8, "without-sync"] < 2.5 * ipc[2, "without-sync"]
     # the benefit *grows* with core count (more fetches to broadcast)
-    ratios = [ipc[c, "with-sync"] / ipc[c, "without-sync"]
-              for c in (2, 4, 8)]
+    ratios = [ipc[c, "with-sync"] / ipc[c, "without-sync"] for c in CORES]
     assert ratios[2] > ratios[0]

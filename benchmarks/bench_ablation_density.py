@@ -5,50 +5,36 @@ The paper inserts a checkpoint at *every* data-dependent conditional; the
 trading resynchronization quality against checkpoint overhead.  This
 sweep maps that trade-off on MRPDLN, whose divergent regions range
 from single-statement min/max ``if``s through the multi-line peak-record
-block, so the threshold removes checkpoints gradually.
+block, so the threshold removes checkpoints gradually.  Each threshold
+is one compile-option variant of the same request, scheduled through the
+executor (which rebuilds — and content-addresses — the image per
+threshold).
 """
 
-from repro.analysis import evaluation_channels
-from repro.compiler import compile_source
-from repro.kernels import WITH_SYNC, golden_outputs
-from repro.kernels.mrpdln import OUT_WORDS, SOURCE as MRPDLN_SOURCE
-from repro.platform import Machine
+from repro.exec import RunRequest
+from repro.kernels import WITH_SYNC
 
 from conftest import BENCH_SAMPLES
 
 THRESHOLDS = (0, 2, 5, 1000)
 
 
-def _run(threshold, channels):
-    compiled = compile_source(MRPDLN_SOURCE, sync_mode="auto",
-                              sync_min_statements=threshold)
-    machine = Machine(compiled.program,
-                      WITH_SYNC.platform_config(len(channels)))
-    for core, channel in enumerate(channels):
-        machine.dm.load(core * 2048, [v & 0xFFFF for v in channel])
-    machine.dm.write(compiled.symbols["g_n_samples"], len(channels[0]))
-    machine.run()
-    return compiled, machine
-
-
-def test_density_sweep(benchmark, write_report):
-    channels = evaluation_channels(BENCH_SAMPLES)
-    expected = golden_outputs("MRPDLN", channels)
+def test_density_sweep(benchmark, write_report, executor):
+    requests = [
+        RunRequest("MRPDLN", WITH_SYNC, n_samples=BENCH_SAMPLES,
+                   sync_mode="auto", sync_min_statements=threshold)
+        for threshold in THRESHOLDS
+    ]
 
     def sweep():
+        outcomes = executor.run(requests)
         results = {}
-        for threshold in THRESHOLDS:
-            compiled, machine = _run(threshold, channels)
-            got = [
-                [v - 0x10000 if v & 0x8000 else v
-                 for v in machine.dm.dump(c * 2048 + 512, OUT_WORDS)]
-                for c in range(8)
-            ]
-            assert got == expected, f"threshold {threshold}"
-            results[threshold] = (compiled.sync_points,
-                                  machine.trace.cycles,
-                                  machine.trace.sync_rmw_ops,
-                                  machine.trace.ops_per_cycle)
+        for threshold, outcome in zip(THRESHOLDS, outcomes):
+            assert outcome.ok and outcome.golden_match, \
+                f"threshold {threshold}"
+            trace = outcome.benchmark_run().trace
+            results[threshold] = (outcome.sync_points, trace.cycles,
+                                  trace.sync_rmw_ops, trace.ops_per_cycle)
         return results
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -3,33 +3,28 @@
 The paper's technique has two parts: the hardware barrier
 (SINC/SDEC/synchronizer) and the enhanced D-Xbar serving policy.  This
 ablation runs the in-between designs to split their contributions —
-analysis the paper motivates but does not report.
+analysis the paper motivates but does not report.  All four designs run
+as one executor sweep, golden-verified in the worker.
 """
 
-from repro.analysis import evaluation_channels
-from repro.kernels import (
-    BARRIER_ONLY,
-    DXBAR_ONLY,
-    WITH_SYNC,
-    WITHOUT_SYNC,
-    golden_outputs,
-    run_benchmark,
-)
+from repro.exec import RunRequest
+from repro.kernels import BARRIER_ONLY, DXBAR_ONLY, WITH_SYNC, WITHOUT_SYNC
 
 from conftest import BENCH_SAMPLES
 
+DESIGN_ORDER = (WITH_SYNC, BARRIER_ONLY, DXBAR_ONLY, WITHOUT_SYNC)
 
-def test_policy_ablation(benchmark, write_report):
-    channels = evaluation_channels(BENCH_SAMPLES)
-    golden = golden_outputs("SQRT32", channels)
+
+def test_policy_ablation(benchmark, write_report, executor):
+    requests = [RunRequest("SQRT32", design, n_samples=BENCH_SAMPLES)
+                for design in DESIGN_ORDER]
 
     def run_all():
-        results = {}
-        for design in (WITH_SYNC, BARRIER_ONLY, DXBAR_ONLY, WITHOUT_SYNC):
-            run = run_benchmark("SQRT32", design, channels)
-            assert run.outputs == golden, design.name
-            results[design.name] = run
-        return results
+        outcomes = executor.run(requests)
+        for outcome in outcomes:
+            assert outcome.ok and outcome.golden_match, \
+                outcome.request.design.name
+        return {o.request.design.name: o.benchmark_run() for o in outcomes}
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

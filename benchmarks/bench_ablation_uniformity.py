@@ -4,49 +4,33 @@ The paper wraps *every* data-dependent conditional by hand and suggests
 automating the process in the compiler.  Our ``auto`` mode adds a
 uniformity analysis that skips provably-uniform conditionals (e.g. the
 sample loop); this ablation measures what that analysis buys over the
-literal ``all`` discipline.
+literal ``all`` discipline.  The two insertion modes are two
+compile-option variants of one request, scheduled through the executor.
 """
 
-from repro.analysis import evaluation_channels
-from repro.compiler import compile_source
-from repro.kernels import WITH_SYNC, golden_outputs
-from repro.kernels.mrpdln import SOURCE as MRPDLN_SOURCE
-from repro.platform import Machine
+from repro.exec import RunRequest
+from repro.kernels import WITH_SYNC
 
 from conftest import BENCH_SAMPLES
 
 
-def _run(program, channels):
-    machine = Machine(program, WITH_SYNC.platform_config(len(channels)))
-    for core, channel in enumerate(channels):
-        machine.dm.load(core * 2048, [v & 0xFFFF for v in channel])
-    machine.dm.write(program.symbols["g_n_samples"], len(channels[0]))
-    machine.run()
-    return machine
-
-
-def test_uniformity_ablation(benchmark, write_report):
-    channels = evaluation_channels(BENCH_SAMPLES)
-
-    auto = compile_source(MRPDLN_SOURCE, sync_mode="auto")
-    everything = compile_source(MRPDLN_SOURCE, sync_mode="all")
-    assert everything.sync_points > auto.sync_points
+def test_uniformity_ablation(benchmark, write_report, executor):
+    requests = [
+        RunRequest("MRPDLN", WITH_SYNC, n_samples=BENCH_SAMPLES,
+                   sync_mode=mode)
+        for mode in ("auto", "all")
+    ]
 
     def run_both():
-        return (_run(auto.program, channels),
-                _run(everything.program, channels))
+        outcomes = executor.run(requests)
+        # identical (golden) results either way
+        assert all(o.ok and o.golden_match for o in outcomes)
+        return tuple(outcomes)
 
-    m_auto, m_all = benchmark.pedantic(run_both, rounds=1, iterations=1)
-
-    # identical results either way
-    expected = golden_outputs("MRPDLN", channels)
-    for machine in (m_auto, m_all):
-        got = [
-            [v - 0x10000 if v & 0x8000 else v
-             for v in machine.dm.dump(c * 2048 + 512, 49)]
-            for c in range(8)
-        ]
-        assert got == expected
+    auto, everything = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert everything.sync_points > auto.sync_points
+    m_auto = auto.benchmark_run()
+    m_all = everything.benchmark_run()
 
     lines = [
         "A2 — sync-insertion modes on MRPDLN",

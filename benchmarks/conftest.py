@@ -7,11 +7,13 @@ analysis, and writes the rendered report to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.analysis import power_models, reference_runs
+from repro.exec import MemoryCache, SweepExecutor
 
 #: evaluation window used by all benches (samples per channel)
 BENCH_SAMPLES = 48
@@ -20,9 +22,21 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
-def runs():
+def executor():
+    """Sweep executor shared by every ablation bench.
+
+    Serial by default so pytest-benchmark timings stay comparable;
+    ``REPRO_JOBS=N`` fans the ablation grids out across workers.
+    """
+    with SweepExecutor(jobs=int(os.environ.get("REPRO_JOBS", "0") or 0),
+                       cache=MemoryCache(max_entries=256)) as exe:
+        yield exe
+
+
+@pytest.fixture(scope="session")
+def runs(executor):
     """The six reference simulations (cached across the whole session)."""
-    return reference_runs(n_samples=BENCH_SAMPLES)
+    return reference_runs(n_samples=BENCH_SAMPLES, executor=executor)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Benchmark the sweep executor; write ``BENCH_sweep.json``.
+
+Times the full ablation-suite-shaped sweep (reference grid + core
+scaling + policy split + banking + broadcast + sync-density +
+uniformity points) three ways:
+
+1. serial, no cache — the pre-executor baseline (one process, every
+   point simulated);
+2. parallel cold — ``--jobs N`` workers against an empty
+   content-addressed disk cache;
+3. parallel warm — the same sweep again: every point must be a cache
+   hit.
+
+Every serial/parallel result pair is cross-checked for bit-identity, so
+the benchmark doubles as the executor's differential test.  Run from
+the repo root:
+
+    PYTHONPATH=src python benchmarks/perf/bench_sweep.py --jobs 8
+    PYTHONPATH=src python benchmarks/perf/bench_sweep.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.exec import (  # noqa: E402
+    DiskCache,
+    RunRequest,
+    SweepExecutor,
+    SweepSpec,
+)
+from repro.kernels import DESIGNS, WITH_SYNC, WITHOUT_SYNC  # noqa: E402
+from repro.platform import PlatformConfig, SyncPolicy  # noqa: E402
+
+
+def ablation_spec(samples: int, *, quick: bool = False) -> SweepSpec:
+    """The ablation suite as one flat sweep."""
+    requests: list[RunRequest] = []
+    # reference grid: every benchmark on both headline designs
+    benches = ("SQRT32", "MRPDLN") if quick else ("MRPFLTR", "MRPDLN",
+                                                  "SQRT32")
+    for bench in benches:
+        for design in (WITH_SYNC, WITHOUT_SYNC):
+            requests.append(RunRequest(bench, design, n_samples=samples))
+    # A3 core scaling (8-core points are already in the grid)
+    for cores in (2, 4):
+        for design in (WITH_SYNC, WITHOUT_SYNC):
+            requests.append(RunRequest("SQRT32", design, num_cores=cores,
+                                       n_samples=samples))
+    # A1 policy split (the two in-between designs)
+    for name in ("barrier-only", "dxbar-only"):
+        requests.append(RunRequest("SQRT32", DESIGNS[name],
+                                   n_samples=samples))
+    # A5 banking + A6 broadcast ablations
+    requests.append(RunRequest(
+        "SQRT32", WITH_SYNC, n_samples=samples,
+        config=PlatformConfig(policy=SyncPolicy.FULL, dm_interleaved=True)))
+    requests.append(RunRequest(
+        "SQRT32", WITH_SYNC, n_samples=samples,
+        config=PlatformConfig(policy=SyncPolicy.FULL, im_broadcast=False,
+                              dm_broadcast=False)))
+    # A4 sync-density sweep + A2 uniformity ablation (compile variants)
+    thresholds = (2, 1000) if quick else (0, 2, 5, 1000)
+    for threshold in thresholds:
+        requests.append(RunRequest("MRPDLN", WITH_SYNC, n_samples=samples,
+                                   sync_mode="auto",
+                                   sync_min_statements=threshold))
+    requests.append(RunRequest("MRPDLN", WITH_SYNC, n_samples=samples,
+                               sync_mode="all"))
+    return SweepSpec("ablation-suite", tuple(requests))
+
+
+def run_pass(spec: SweepSpec, *, jobs: int, cache) -> tuple[float, list]:
+    with SweepExecutor(jobs=jobs, cache=cache) as executor:
+        start = time.perf_counter()
+        outcomes = executor.run(spec)
+        elapsed = time.perf_counter() - start
+    failed = [o for o in outcomes if not o.ok or o.golden_match is False]
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)} sweep points failed, first: "
+            f"{failed[0].request.label}: {failed[0].error}")
+    return elapsed, outcomes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=48,
+                        help="per-channel input samples (default 48)")
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="worker processes for the parallel passes")
+    parser.add_argument("--quick", action="store_true",
+                        help="small inputs, reduced grid (CI smoke)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_sweep.json",
+                        help="result file (default: repo root)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.samples = min(args.samples, 16)
+
+    spec = ablation_spec(args.samples, quick=args.quick)
+    print(f"ablation sweep: {len(spec)} points, samples={args.samples}, "
+          f"jobs={args.jobs}, cpus={os.cpu_count()}")
+
+    serial_s, serial = run_pass(spec, jobs=0, cache=None)
+    print(f"serial, no cache:     {serial_s:7.2f}s")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as tmp:
+        cache = DiskCache(tmp)
+        cold_s, cold = run_pass(spec, jobs=args.jobs, cache=cache)
+        print(f"jobs={args.jobs}, cold cache: {cold_s:7.2f}s "
+              f"({serial_s / cold_s:5.2f}x)")
+        warm_s, warm = run_pass(spec, jobs=args.jobs, cache=cache)
+        print(f"jobs={args.jobs}, warm cache: {warm_s:7.2f}s "
+              f"({serial_s / warm_s:5.2f}x, "
+              f"{sum(o.cached for o in warm)}/{len(warm)} hits)")
+        cache_stats = cache.stats.as_dict()
+
+    identical = all(
+        a.payload["run"] == b.payload["run"] == c.payload["run"]
+        for a, b, c in zip(serial, cold, warm))
+    print(f"serial / parallel / warm results bit-identical: {identical}")
+
+    payload = {
+        "generated": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "config": {"samples": args.samples, "jobs": args.jobs,
+                   "quick": args.quick, "points": len(spec)},
+        "passes": {
+            "serial_seconds": round(serial_s, 3),
+            "parallel_cold_seconds": round(cold_s, 3),
+            "parallel_warm_seconds": round(warm_s, 3),
+        },
+        "summary": {
+            "speedup_cold": round(serial_s / cold_s, 2),
+            "speedup_warm": round(serial_s / warm_s, 2),
+            "warm_hits": sum(o.cached for o in warm),
+            "identical": identical,
+        },
+        "cache": cache_stats,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    ok = identical and sum(o.cached for o in warm) == len(warm)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,54 +5,77 @@ Sweeps the architectural knobs the repository exposes and prints the
 throughput matrix — the kind of early exploration that motivated the
 paper's final configuration (8 cores, block banking, hardware barrier +
 D-Xbar policy).
+
+The 24-point grid is declared as one :class:`~repro.exec.SweepSpec` and
+scheduled through the sweep executor: points fan out across worker
+processes (``REPRO_JOBS``, default: one per CPU), every point is
+verified against the golden model in its worker, and repeat runs of this
+script are served from the content-addressed result cache.
 """
 
-from repro.analysis import evaluation_channels
-from repro.kernels import build_program, golden_outputs
-from repro.platform import Machine, PlatformConfig, SyncPolicy
+import os
+
+from repro.exec import MemoryCache, RunRequest, SweepExecutor, SweepSpec
+from repro.kernels import DESIGNS
+from repro.platform import PlatformConfig, SyncPolicy
 
 N_SAMPLES = 48
+CORE_COUNTS = (2, 4, 8)
 
+#: (label, policy, design carrying the matching program flavour)
 POLICIES = [
-    ("full", SyncPolicy.FULL, True),
-    ("barrier", SyncPolicy.HW_BARRIER, True),
-    ("dxbar", SyncPolicy.DXBAR_SYNC_STALL, False),
-    ("none", SyncPolicy.NONE, False),
+    ("full", SyncPolicy.FULL, DESIGNS["with-sync"]),
+    ("barrier", SyncPolicy.HW_BARRIER, DESIGNS["barrier-only"]),
+    ("dxbar", SyncPolicy.DXBAR_SYNC_STALL, DESIGNS["dxbar-only"]),
+    ("none", SyncPolicy.NONE, DESIGNS["without-sync"]),
 ]
 
 
-def run_point(cores, policy, sync_enabled, interleaved, channels):
-    program = build_program("SQRT32", sync_enabled)
-    config = PlatformConfig(num_cores=cores, policy=policy,
-                            dm_interleaved=interleaved)
-    machine = Machine(program, config)
-    subset = channels[:cores]
-    for core, channel in enumerate(subset):
-        machine.dm.load(core * 2048, [v & 0xFFFF for v in channel])
-    machine.dm.write(16384, N_SAMPLES)
-    machine.run()
-    outputs = [machine.dm.dump(c * 2048 + 512, N_SAMPLES // 8)
-               for c in range(cores)]
-    assert outputs == golden_outputs("SQRT32", subset)
-    return machine.trace
+def sweep_spec() -> SweepSpec:
+    requests = [
+        RunRequest("SQRT32", design, n_samples=N_SAMPLES,
+                   config=PlatformConfig(num_cores=cores, policy=policy,
+                                         dm_interleaved=interleaved))
+        for _, policy, design in POLICIES
+        for cores in CORE_COUNTS
+        for interleaved in (False, True)
+    ]
+    return SweepSpec("design-space", tuple(requests))
 
 
 def main() -> None:
-    channels = evaluation_channels(N_SAMPLES)
+    jobs = int(os.environ.get("REPRO_JOBS", str(os.cpu_count() or 1)))
+    spec = sweep_spec()
+    with SweepExecutor(jobs=jobs, cache=MemoryCache()) as executor:
+        outcomes = executor.run(spec)
+
+    ipc = {}
+    for outcome in outcomes:
+        assert outcome.ok and outcome.golden_match, outcome.request.label
+        config = outcome.request.platform_config()
+        key = (outcome.request.design.name, config.num_cores,
+               config.dm_interleaved)
+        ipc[key] = outcome.benchmark_run().ops_per_cycle
 
     print("SQRT32 design-space sweep — ops/cycle "
           "(block banking / interleaved banking)\n")
     header = f"{'policy':>9s} |" + "".join(
-        f"  {c} cores " for c in (2, 4, 8))
+        f"  {c} cores " for c in CORE_COUNTS)
     print(header)
     print("-" * len(header))
-    for name, policy, sync_enabled in POLICIES:
-        cells = []
-        for cores in (2, 4, 8):
-            block = run_point(cores, policy, sync_enabled, False, channels)
-            inter = run_point(cores, policy, sync_enabled, True, channels)
-            cells.append(f"{block.ops_per_cycle:4.2f}/{inter.ops_per_cycle:4.2f}")
+    for name, _, design in POLICIES:
+        cells = [
+            f"{ipc[design.name, cores, False]:4.2f}/"
+            f"{ipc[design.name, cores, True]:4.2f}"
+            for cores in CORE_COUNTS
+        ]
         print(f"{name:>9s} |  " + "   ".join(cells))
+
+    metrics = executor.last_metrics
+    print(f"\n{len(spec)} design points, jobs={jobs}: "
+          f"{metrics.wall_seconds:.1f}s "
+          f"({metrics.runs_per_second:.1f} runs/s, "
+          f"{metrics.cache_hits} cache hits)")
 
     print("""
 Reading the table:

@@ -7,6 +7,7 @@ from .experiments import (
     SpeedupRow,
     access_rows,
     clear_cache,
+    default_executor,
     evaluation_channels,
     power_models,
     reference_runs,
@@ -51,6 +52,7 @@ __all__ = [
     "profile_stats",
     "access_rows",
     "clear_cache",
+    "default_executor",
     "engine_benchmark",
     "evaluation_channels",
     "fig3_series",

@@ -2,15 +2,25 @@
 
 The paper's evaluation rests on six simulations (three benchmarks x two
 designs).  :func:`reference_runs` performs them on synthetic multi-channel
-ECG and caches the results per parameter set, so the many report
-generators don't re-simulate.
+ECG through the sweep executor (:mod:`repro.exec`), so the many report
+generators don't re-simulate: results are content-addressed by program
+image, platform configuration, input samples and package version — a
+changed kernel, knob or ECG default can never alias a stale entry.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from ..dsp import generate_ecg
+from ..exec import (
+    DiskCache,
+    MemoryCache,
+    RunRequest,
+    SweepExecutor,
+    TieredCache,
+)
 from ..kernels import (
     BENCHMARKS,
     BenchmarkRun,
@@ -33,7 +43,24 @@ from ..power import (
 DEFAULT_SAMPLES = 64
 DEFAULT_SEED = 2013
 
-_cache: dict[tuple, dict] = {}
+_executor: SweepExecutor | None = None
+
+
+def default_executor() -> SweepExecutor:
+    """The process-wide executor behind :func:`reference_runs`.
+
+    Serial with a bounded in-process cache by default; ``REPRO_JOBS=N``
+    turns on the process pool, ``REPRO_CACHE_DIR=...`` adds the on-disk
+    cache tier so results persist across sessions.
+    """
+    global _executor
+    if _executor is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "0") or 0)
+        cache = MemoryCache(max_entries=64)
+        if os.environ.get("REPRO_CACHE_DIR"):
+            cache = TieredCache(cache, DiskCache())
+        _executor = SweepExecutor(jobs=jobs, cache=cache)
+    return _executor
 
 
 def evaluation_channels(n_samples: int = DEFAULT_SAMPLES,
@@ -53,26 +80,33 @@ def reference_runs(n_samples: int = DEFAULT_SAMPLES,
                    benchmarks: tuple[str, ...] = ("MRPFLTR", "SQRT32",
                                                   "MRPDLN"),
                    verify: bool = True,
+                   executor: SweepExecutor | None = None,
                    ) -> dict[tuple[str, str], BenchmarkRun]:
     """Run (or fetch cached) reference simulations.
 
+    :param executor: sweep executor to schedule on; defaults to the
+        process-wide :func:`default_executor`.
     :returns: ``(benchmark, design name) -> BenchmarkRun``.
     """
-    key = (n_samples, seed, tuple(d.name for d in designs), benchmarks)
-    if key in _cache:
-        return _cache[key]
-    channels = evaluation_channels(n_samples, seed=seed)
+    executor = executor or default_executor()
+    requests = [
+        RunRequest(benchmark=name, design=design, n_samples=n_samples,
+                   seed=seed, verify=verify)
+        for name in benchmarks for design in designs
+    ]
     runs: dict[tuple[str, str], BenchmarkRun] = {}
-    for name in benchmarks:
-        golden = golden_outputs(name, channels) if verify else None
-        for design in designs:
-            run = run_benchmark(name, design, channels)
-            if verify and run.outputs != golden:
-                raise AssertionError(
-                    f"{name} on {design.name} diverged from the golden "
-                    "model — the platform simulation is broken")
-            runs[name, design.name] = run
-    _cache[key] = runs
+    for outcome in executor.run(requests):
+        if not outcome.ok:
+            raise RuntimeError(
+                f"reference run {outcome.request.label} failed: "
+                f"{outcome.error}")
+        if verify and outcome.golden_match is False:
+            raise AssertionError(
+                f"{outcome.request.benchmark} on "
+                f"{outcome.request.design.name} diverged from the golden "
+                "model — the platform simulation is broken")
+        run = outcome.benchmark_run()
+        runs[run.benchmark, run.design.name] = run
     return runs
 
 
@@ -168,4 +202,5 @@ def access_rows(runs: dict[tuple[str, str], BenchmarkRun]
 
 def clear_cache() -> None:
     """Drop cached reference runs (tests use this)."""
-    _cache.clear()
+    if _executor is not None and _executor.cache is not None:
+        _executor.cache.clear()

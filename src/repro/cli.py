@@ -11,6 +11,7 @@ Usage::
     python -m repro calibrate           # re-fit the power model
     python -m repro listing MRPDLN      # program disassembly
     python -m repro synclint --all      # verify sync discipline statically
+    python -m repro sweep --jobs 8      # parallel cached design-space sweep
 """
 
 from __future__ import annotations
@@ -271,6 +272,81 @@ def cmd_synclint(args) -> int:
     return status
 
 
+def cmd_sweep(args) -> int:
+    import json as _json
+
+    from .exec import DiskCache, SweepExecutor, SweepSpec
+
+    benchmarks = args.benchmarks or list(BENCHMARKS)
+    designs = [DESIGNS[name]
+               for name in (args.designs or ("with-sync", "without-sync"))]
+    samples = args.samples or [64]
+    if args.quick:
+        samples = [min(n, 16) for n in samples]
+
+    spec = SweepSpec.grid("cli-sweep", benchmarks, designs,
+                          samples=tuple(samples), seed=args.seed)
+    cache = None if args.no_cache else DiskCache(args.cache_dir)
+    cache_label = "off" if cache is None else str(cache.root)
+    print(f"sweep: {len(spec)} runs, jobs={args.jobs}, "
+          f"cache={cache_label}"
+          f"{' (refresh)' if args.refresh else ''}")
+
+    with SweepExecutor(jobs=args.jobs, cache=cache, timeout=args.timeout,
+                       refresh=args.refresh, log=print) as executor:
+        outcomes = executor.run(spec)
+    metrics = executor.last_metrics
+
+    print()
+    print(f"  {'benchmark':9s}  {'design':13s}  {'n':>4s}  {'cycles':>9s}"
+          f"  {'ops/cyc':>7s}  {'golden':>6s}  origin")
+    for outcome in outcomes:
+        request = outcome.request
+        if outcome.ok:
+            run = outcome.benchmark_run()
+            golden = {True: "ok", False: "FAIL", None: "-"}[
+                outcome.golden_match]
+            print(f"  {request.benchmark:9s}  {request.design.name:13s}  "
+                  f"{request.n_samples:4d}  {run.cycles:9d}  "
+                  f"{run.ops_per_cycle:7.2f}  {golden:>6s}  "
+                  f"{'cache' if outcome.cached else 'run'}")
+        else:
+            print(f"  {request.benchmark:9s}  {request.design.name:13s}  "
+                  f"{request.n_samples:4d}  {'-':>9s}  {'-':>7s}  "
+                  f"{'-':>6s}  ERROR: {outcome.error}")
+    print()
+    print(metrics.report())
+    if cache is not None:
+        print(f"cache: {cache.stats.summary()}")
+
+    if args.json:
+        payload = {
+            "spec": {"benchmarks": benchmarks,
+                     "designs": [d.name for d in designs],
+                     "samples": samples, "seed": args.seed,
+                     "jobs": args.jobs},
+            "metrics": metrics.as_dict(),
+            "cache": None if cache is None else cache.stats.as_dict(),
+            "runs": [
+                {"digest": o.digest, "cached": o.cached, "error": o.error,
+                 "golden_match": o.golden_match,
+                 "run": None if not o.ok else o.payload["run"]}
+                for o in outcomes
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as sink:
+            _json.dump(payload, sink, indent=2)
+        print(f"wrote {args.json}")
+
+    if any(not o.ok or o.golden_match is False for o in outcomes):
+        return 1
+    if args.expect_cached and metrics.executed:
+        print(f"expected an all-cached sweep but {metrics.executed} runs "
+              "executed")
+        return 2
+    return 0
+
+
 def cmd_energy(args) -> int:
     from .analysis.energy import format_energy
 
@@ -391,6 +467,44 @@ def build_parser() -> argparse.ArgumentParser:
                         "barrier traces against the static region tree")
     _add_samples(p)
     p.set_defaults(func=cmd_synclint)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a benchmark x design sweep in parallel, with caching",
+        description="Parallel sweep executor: schedules independent "
+                    "simulations across worker processes and serves "
+                    "unchanged runs from a content-addressed result "
+                    "cache (see docs/performance.md).")
+    p.add_argument("--benchmarks", nargs="+", choices=list(BENCHMARKS),
+                   default=None, help="kernels to sweep (default: all)")
+    p.add_argument("--designs", nargs="+", choices=list(DESIGNS),
+                   default=None,
+                   help="designs to sweep (default: with-sync "
+                        "without-sync)")
+    p.add_argument("--samples", nargs="+", type=int, default=None,
+                   metavar="N",
+                   help="per-channel window sizes (default: 64)")
+    p.add_argument("--seed", type=int, default=2013,
+                   help="ECG generator seed")
+    p.add_argument("-j", "--jobs", type=int, default=0,
+                   help="worker processes (0 = in-process serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory "
+                        "(default: ~/.cache/repro or $REPRO_CACHE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache entirely")
+    p.add_argument("--refresh", action="store_true",
+                   help="ignore cached entries but store fresh results")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-run wall-clock budget in seconds")
+    p.add_argument("--quick", action="store_true",
+                   help="clamp windows to 16 samples (CI smoke)")
+    p.add_argument("--expect-cached", action="store_true",
+                   help="exit 2 unless every run was a cache hit "
+                        "(CI warm-cache assertion)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write results + metrics as JSON")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("energy", help="energy-per-op table")
     _add_samples(p)

@@ -1,0 +1,49 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+The paper's evaluation — and this repository's ablation suite on top of
+it — is a design-space sweep: many independent simulations over a grid
+of kernels, designs and platform knobs.  This package turns one such
+simulation into a pure, pickle-able job (:mod:`repro.exec.job`),
+schedules jobs across a process pool with crash isolation and
+deterministic result ordering (:mod:`repro.exec.scheduler`), and never
+recomputes a run whose inputs haven't changed, via content-addressed
+on-disk/in-memory caches (:mod:`repro.exec.cache`).
+
+Entry points: ``python -m repro sweep`` on the command line,
+:class:`SweepExecutor` from code.
+"""
+
+from .cache import (
+    CacheStats,
+    DiskCache,
+    MemoryCache,
+    TieredCache,
+    default_cache_dir,
+)
+from .job import (
+    RunRequest,
+    RunTimeout,
+    SweepSpec,
+    execute_request,
+    program_digest,
+    request_digest,
+)
+from .progress import SweepMetrics
+from .scheduler import RunOutcome, SweepExecutor
+
+__all__ = [
+    "CacheStats",
+    "DiskCache",
+    "MemoryCache",
+    "RunOutcome",
+    "RunRequest",
+    "RunTimeout",
+    "SweepExecutor",
+    "SweepMetrics",
+    "SweepSpec",
+    "TieredCache",
+    "default_cache_dir",
+    "execute_request",
+    "program_digest",
+    "request_digest",
+]

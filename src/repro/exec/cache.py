@@ -1,0 +1,226 @@
+"""Content-addressed result caches for the sweep executor.
+
+A cache maps a request digest (:func:`repro.exec.job.request_digest`) to
+the payload dict produced by :func:`repro.exec.job.execute_request`.
+Because the digest covers every input of the run — program image bits,
+platform configuration, channel samples, package version — entries never
+need invalidation: any change to the inputs lands on a different key.
+
+Three implementations share the ``get``/``put``/``clear`` protocol:
+
+- :class:`MemoryCache` — bounded in-process LRU; the replacement for the
+  old unbounded ``analysis.experiments._cache`` module global.
+- :class:`DiskCache` — one JSON file per entry under ``~/.cache/repro``
+  (or ``$REPRO_CACHE_DIR`` / an explicit root), written atomically,
+  shared between processes and sessions.  Corrupt entries are dropped
+  and recomputed, never trusted.
+- :class:`TieredCache` — memory in front of disk, promoting disk hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from .job import SCHEMA
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/corruption/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "corrupt": self.corrupt,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate, 4)}
+
+    def summary(self) -> str:
+        return (f"{self.hits} hits, {self.misses} misses, "
+                f"{self.stores} stores, {self.corrupt} corrupt, "
+                f"{self.evictions} evicted "
+                f"(hit rate {self.hit_rate:.0%})")
+
+
+class MemoryCache:
+    """Bounded in-process LRU over payload dicts."""
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: str) -> dict | None:
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(digest)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, digest: str, payload: dict) -> None:
+        self._entries[digest] = payload
+        self._entries.move_to_end(digest)
+        self.stats.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class DiskCache:
+    """One JSON file per result under a content-addressed directory tree.
+
+    Entries live at ``root/<digest[:2]>/<digest>.json`` and are written
+    via a temporary file + :func:`os.replace`, so concurrent writers
+    (pool workers, parallel CI jobs) can only ever observe complete
+    entries.  A file that fails to parse or whose recorded digest/schema
+    disagrees with its name counts as *corrupt*: it is deleted and the
+    lookup reports a miss, so the sweep recomputes and rewrites it.
+
+    :param max_entries: optional eviction bound; when exceeded after a
+        store, the oldest entries (by mtime) are removed.
+    """
+
+    def __init__(self, root: Path | str | None = None, *,
+                 max_entries: int | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> dict | None:
+        path = self._path(digest)
+        try:
+            with path.open(encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if (entry.get("schema") != SCHEMA
+                    or entry.get("digest") != digest
+                    or "payload" not in entry):
+                raise ValueError("entry does not match its address")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, OSError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        return entry["payload"]
+
+    def put(self, digest: str, payload: dict) -> None:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps({"schema": SCHEMA, "digest": digest,
+                           "payload": payload})
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(blob, encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        if self.max_entries is not None:
+            self._evict()
+
+    def _entry_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return [path for shard in self.root.iterdir() if shard.is_dir()
+                for path in shard.glob("*.json")]
+
+    def _evict(self) -> None:
+        files = self._entry_files()
+        excess = len(files) - self.max_entries
+        if excess <= 0:
+            return
+        files.sort(key=lambda p: p.stat().st_mtime)
+        for path in files[:excess]:
+            path.unlink(missing_ok=True)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        for path in self._entry_files():
+            path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entry_files())
+
+
+class TieredCache:
+    """Memory cache in front of a disk cache.
+
+    Lookups hit memory first and promote disk hits into memory; stores
+    write through to both layers.  ``stats`` aggregates the tiers so the
+    executor's hit-rate report counts each logical lookup once.
+    """
+
+    def __init__(self, memory: MemoryCache, disk: DiskCache):
+        self.memory = memory
+        self.disk = disk
+
+    @property
+    def stats(self) -> CacheStats:
+        merged = CacheStats()
+        merged.hits = self.memory.stats.hits + self.disk.stats.hits
+        merged.misses = self.disk.stats.misses
+        merged.stores = self.disk.stats.stores
+        merged.corrupt = self.disk.stats.corrupt
+        merged.evictions = (self.memory.stats.evictions
+                            + self.disk.stats.evictions)
+        return merged
+
+    def get(self, digest: str) -> dict | None:
+        payload = self.memory.get(digest)
+        if payload is not None:
+            return payload
+        payload = self.disk.get(digest)
+        if payload is not None:
+            self.memory.put(digest, payload)
+            self.memory.stats.stores -= 1   # promotion, not a new store
+        return payload
+
+    def put(self, digest: str, payload: dict) -> None:
+        self.memory.put(digest, payload)
+        self.memory.stats.stores -= 1
+        self.disk.put(digest, payload)
+
+    def clear(self) -> None:
+        self.memory.clear()
+        self.disk.clear()

@@ -1,0 +1,322 @@
+"""Job model for the sweep executor.
+
+A :class:`RunRequest` is a *pure, pickle-able description* of one
+simulation: which benchmark image to build, which platform to build, and
+which inputs to feed it.  Executing a request anywhere — this process, a
+pool worker, a different machine — produces the same
+:class:`~repro.kernels.suite.BenchmarkRun`, which is what makes results
+content-addressable: :func:`request_digest` hashes everything the run
+depends on (the *built* program image, the full platform configuration,
+the materialized input channels and the package version), so a cache hit
+is a proof that recomputation would be identical.
+
+:class:`SweepSpec` is an ordered bag of requests — the unit the
+scheduler (:mod:`repro.exec.scheduler`) fans out across workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .. import __version__
+from ..compiler import compile_source
+from ..dsp import generate_ecg
+from ..dsp.ecg import EcgConfig
+from ..isa.program import Program
+from ..kernels import BENCHMARKS, Design, golden_outputs, run_benchmark
+from ..kernels.suite import build_program
+from ..platform import PlatformConfig
+
+#: cache-entry / payload schema; bump on incompatible layout changes
+SCHEMA = 1
+
+DEFAULT_SAMPLES = 64
+DEFAULT_SEED = 2013
+
+
+class RunTimeout(Exception):
+    """A run exceeded its per-run wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Everything one simulation run is a function of.
+
+    :ivar benchmark: bundled benchmark name (``BENCHMARKS`` key).
+    :ivar design: hardware/software design pair; decides the program
+        flavour (sync points or not) and the default platform policy.
+    :ivar config: full platform override for ablations (core count,
+        banking, broadcast, policy).  ``None`` means
+        ``design.platform_config(num_cores)``.
+    :ivar n_samples: per-channel evaluation window.
+    :ivar seed: ECG generator seed (shorthand for ``ecg``).
+    :ivar ecg: full ECG generator parameters; ``None`` means
+        ``EcgConfig(seed=seed)``.  The cache key hashes the *generated
+        samples*, so any parameter change — including a changed
+        ``EcgConfig`` field default — changes the key.
+    :ivar channels: explicit input override (one tuple per core); when
+        set, the ECG parameters are ignored.
+    :ivar sync_mode: minic sync-insertion override (``'auto'``/``'all'``/
+        ``'none'``); ``None`` uses the design default.
+    :ivar sync_min_statements: minic checkpoint-density threshold.
+    :ivar fast_engine: engine selection (bit-exact either way).
+    :ivar max_cycles: simulation safety bound.
+    :ivar verify: check outputs against the golden model in the worker.
+    """
+
+    benchmark: str
+    design: Design
+    config: PlatformConfig | None = None
+    n_samples: int = DEFAULT_SAMPLES
+    num_cores: int = 8
+    seed: int = DEFAULT_SEED
+    ecg: EcgConfig | None = None
+    channels: tuple[tuple[int, ...], ...] | None = None
+    sync_mode: str | None = None
+    sync_min_statements: int = 0
+    fast_engine: bool = True
+    max_cycles: int = 50_000_000
+    verify: bool = True
+
+    @property
+    def label(self) -> str:
+        """Short human-readable name for progress lines."""
+        cores = self.platform_config().num_cores
+        extras = []
+        if self.sync_mode is not None:
+            extras.append(f"mode={self.sync_mode}")
+        if self.sync_min_statements:
+            extras.append(f"min={self.sync_min_statements}")
+        if self.config is not None:
+            if self.config.dm_interleaved:
+                extras.append("interleaved")
+            if not (self.config.im_broadcast and self.config.dm_broadcast):
+                extras.append("no-bcast")
+        suffix = f" [{','.join(extras)}]" if extras else ""
+        return (f"{self.benchmark} {self.design.name} "
+                f"c{cores} n{self.n_samples}{suffix}")
+
+    def platform_config(self) -> PlatformConfig:
+        return self.config or self.design.platform_config(self.num_cores)
+
+    def ecg_config(self) -> EcgConfig:
+        return self.ecg or EcgConfig(seed=self.seed)
+
+    def to_key(self) -> tuple:
+        """Stable identity tuple (hashable; independent of repr/pickle)."""
+        return ("RunRequest", self.benchmark, self.design.to_key(),
+                self.platform_config().to_key(), self.n_samples,
+                self.ecg_config() if self.channels is None else None,
+                self.channels, self.sync_mode, self.sync_min_statements,
+                self.fast_engine, self.max_cycles, self.verify)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """An ordered set of runs executed (and reported) as one sweep."""
+
+    name: str
+    requests: tuple[RunRequest, ...]
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @classmethod
+    def grid(cls, name: str, benchmarks, designs, *,
+             samples=(DEFAULT_SAMPLES,), seed: int = DEFAULT_SEED,
+             **common) -> "SweepSpec":
+        """The classic evaluation product: samples x benchmark x design."""
+        requests = tuple(
+            RunRequest(benchmark=bench, design=design, n_samples=n,
+                       seed=seed, **common)
+            for n in samples for bench in benchmarks for design in designs)
+        return cls(name, requests)
+
+
+# ---------------------------------------------------------------------------
+# Request resolution (runs in the worker; memoized per process, so pool
+# workers reuse built images and generated inputs across tasks)
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=128)
+def _build_minic(benchmark: str, sync_mode: str,
+                 sync_min_statements: int) -> tuple[Program, int]:
+    bench = BENCHMARKS[benchmark]
+    result = compile_source(bench.source, sync_mode=sync_mode,
+                            sync_min_statements=sync_min_statements,
+                            synclint="off")
+    return result.program, result.sync_points
+
+
+def resolve_program(request: RunRequest) -> tuple[Program, int | None]:
+    """Build (or fetch the per-process cached) image for a request.
+
+    :returns: ``(program, sync_points)``; ``sync_points`` is ``None``
+        for assembly kernels, where the compiler never counts them.
+    """
+    bench = BENCHMARKS[request.benchmark]
+    if bench.kind == "minic":
+        mode = request.sync_mode
+        if mode is None:
+            mode = "auto" if request.design.sync_enabled else "none"
+        return _build_minic(request.benchmark, mode,
+                            request.sync_min_statements)
+    if request.sync_mode is not None or request.sync_min_statements:
+        raise ValueError(
+            f"{request.benchmark} is assembly: sync_mode / "
+            "sync_min_statements overrides only apply to minic kernels")
+    return build_program(request.benchmark,
+                         request.design.sync_enabled), None
+
+
+_channel_memo: dict[tuple[int, EcgConfig], list[list[int]]] = {}
+
+
+def resolve_channels(request: RunRequest) -> list[list[int]]:
+    """Materialize the per-core input channels for a request.
+
+    Generated inputs always come from an 8-lead recording sliced to the
+    platform's core count, so an ``n``-core run sees the same leads as
+    the first ``n`` cores of the 8-core run (the convention every
+    ablation in ``benchmarks/`` relies on).
+    """
+    cores = request.platform_config().num_cores
+    if request.channels is not None:
+        if len(request.channels) < cores:
+            raise ValueError(
+                f"request supplies {len(request.channels)} channels for "
+                f"{cores} cores")
+        return [list(channel) for channel in request.channels[:cores]]
+    key = (request.n_samples, request.ecg_config())
+    if key not in _channel_memo:
+        if len(_channel_memo) >= 32:
+            _channel_memo.pop(next(iter(_channel_memo)))
+        recording = generate_ecg(n_channels=8, n_samples=request.n_samples,
+                                 config=key[1])
+        _channel_memo[key] = [recording.channel(c) for c in range(8)]
+    return [list(channel) for channel in _channel_memo[key][:cores]]
+
+
+# ---------------------------------------------------------------------------
+# Content addressing
+# ---------------------------------------------------------------------------
+
+def program_digest(program: Program) -> str:
+    """Content hash of a built image: code, data, symbols, entry."""
+    h = hashlib.sha256()
+    h.update(program.to_binary())
+    h.update(f"entry={program.entry};".encode())
+    for block in program.data:
+        h.update(f"@{block.address}:".encode())
+        h.update(",".join(map(str, block.values)).encode())
+    for name, address in sorted(program.symbols.items()):
+        h.update(f"{name}={address};".encode())
+    return h.hexdigest()
+
+
+def request_digest(request: RunRequest, *, version: str | None = None) -> str:
+    """Content address of one run.
+
+    Hashes the *resolved* inputs — the built program image and the
+    materialized channel samples — plus the platform configuration and
+    the package version, so a digest match means "the bits this run
+    consumes are identical".  Compiler changes, kernel-source edits, ECG
+    parameter changes and package upgrades all change the digest without
+    any of them having to be listed here explicitly.
+    """
+    program, _ = resolve_program(request)
+    channels = resolve_channels(request)
+    doc = {
+        "schema": SCHEMA,
+        "version": version if version is not None else __version__,
+        "benchmark": request.benchmark,
+        "design": request.design.to_json(),
+        "config": request.platform_config().to_json(),
+        "program": program_digest(program),
+        "channels": hashlib.sha256(
+            json.dumps(channels, separators=(",", ":")).encode()
+        ).hexdigest(),
+        "n_samples": request.n_samples,
+        "sync_mode": request.sync_mode,
+        "sync_min_statements": request.sync_min_statements,
+        "fast_engine": request.fast_engine,
+        "max_cycles": request.max_cycles,
+        "verify": request.verify,
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+@contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`RunTimeout` if the block runs longer than ``seconds``.
+
+    Implemented with ``SIGALRM`` so it interrupts the simulation loop
+    itself; only usable in a main thread on POSIX, and silently skipped
+    elsewhere (the ``max_cycles`` bound still applies).
+    """
+    usable = (seconds is not None and seconds > 0
+              and hasattr(signal, "setitimer")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise RunTimeout(f"run exceeded {seconds:.3g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_request(request: RunRequest, *,
+                    timeout: float | None = None) -> dict:
+    """Run one request to completion; returns the cacheable payload.
+
+    Pure with respect to the request: the payload's ``run`` /
+    ``sync_points`` / ``golden_match`` fields depend only on the request
+    contents (``elapsed`` and ``worker`` are bookkeeping and excluded
+    from differential comparison).
+    """
+    start = time.perf_counter()
+    program, sync_points = resolve_program(request)
+    channels = resolve_channels(request)
+    with _deadline(timeout):
+        run = run_benchmark(request.benchmark, request.design, channels,
+                            max_cycles=request.max_cycles,
+                            fast_engine=request.fast_engine,
+                            config=request.platform_config(),
+                            program=program)
+        golden_match = None
+        if request.verify:
+            golden_match = (run.outputs
+                            == golden_outputs(request.benchmark, channels))
+    return {
+        "schema": SCHEMA,
+        "version": __version__,
+        "run": run.to_json(),
+        "sync_points": sync_points,
+        "golden_match": golden_match,
+        "elapsed": round(time.perf_counter() - start, 6),
+        "worker": os.getpid(),
+    }

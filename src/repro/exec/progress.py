@@ -1,0 +1,123 @@
+"""Progress and throughput reporting for sweep executions.
+
+The scheduler drives one :class:`SweepMetrics` per sweep: every finished
+run is noted with its wall time, origin (cache hit, executed, failed)
+and worker pid, and :meth:`SweepMetrics.report` renders the numbers an
+operator wants while a fan-out is running — runs/s, cache hit rate and
+per-worker utilization (busy seconds over sweep wall-clock).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunRecord:
+    """One completed run, as the metrics see it."""
+
+    index: int
+    label: str
+    cached: bool
+    failed: bool
+    elapsed: float
+    worker: int | None
+
+
+@dataclass
+class SweepMetrics:
+    """Aggregate throughput accounting for one sweep execution."""
+
+    total: int = 0
+    records: list[RunRecord] = field(default_factory=list)
+    _started: float = field(default_factory=time.perf_counter)
+    wall_seconds: float = 0.0
+
+    def note(self, index: int, label: str, *, cached: bool, failed: bool,
+             elapsed: float, worker: int | None) -> RunRecord:
+        record = RunRecord(index, label, cached, failed, elapsed, worker)
+        self.records.append(record)
+        self.wall_seconds = time.perf_counter() - self._started
+        return record
+
+    def finish(self) -> None:
+        self.wall_seconds = time.perf_counter() - self._started
+
+    # -- derived ---------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.cached for r in self.records)
+
+    @property
+    def executed(self) -> int:
+        return sum(not r.cached for r in self.records)
+
+    @property
+    def failures(self) -> int:
+        return sum(r.failed for r in self.records)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.completed if self.completed else 0.0
+
+    @property
+    def runs_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def worker_utilization(self) -> dict[int, float]:
+        """Per-worker busy fraction: executed seconds / sweep wall-clock."""
+        if self.wall_seconds <= 0:
+            return {}
+        busy: dict[int, float] = {}
+        for record in self.records:
+            if record.cached or record.worker is None:
+                continue
+            busy[record.worker] = busy.get(record.worker, 0.0) + record.elapsed
+        return {pid: min(1.0, seconds / self.wall_seconds)
+                for pid, seconds in sorted(busy.items())}
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "failures": self.failures,
+            "hit_rate": round(self.hit_rate, 4),
+            "wall_seconds": round(self.wall_seconds, 4),
+            "runs_per_second": round(self.runs_per_second, 3),
+            "worker_utilization": {
+                str(pid): round(fraction, 3)
+                for pid, fraction in self.worker_utilization().items()
+            },
+        }
+
+    def report(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"{self.completed}/{self.total} runs in "
+            f"{self.wall_seconds:.2f}s ({self.runs_per_second:.2f} runs/s) "
+            f"— {self.cache_hits} cached, {self.executed} executed, "
+            f"{self.failures} failed",
+        ]
+        utilization = self.worker_utilization()
+        if utilization:
+            cells = [f"pid {pid} {fraction:.0%}"
+                     for pid, fraction in utilization.items()]
+            lines.append("worker utilization: " + ", ".join(cells))
+        return "\n".join(lines)
+
+
+def progress_line(record: RunRecord, done: int, total: int) -> str:
+    """One status line per completed run, for `--progress` style logs."""
+    origin = "hit " if record.cached else ("FAIL" if record.failed else "run ")
+    return (f"[{done:3d}/{total}] {origin} {record.label:44s} "
+            f"{record.elapsed:7.2f}s")

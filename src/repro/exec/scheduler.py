@@ -1,0 +1,222 @@
+"""Process-pool scheduler for simulation sweeps.
+
+:class:`SweepExecutor` takes an ordered list of
+:class:`~repro.exec.job.RunRequest` and produces one
+:class:`RunOutcome` per request, **in request order**, regardless of how
+the work was scheduled:
+
+1. every request is content-addressed (:func:`request_digest`) and
+   deduplicated — identical requests simulate once;
+2. digests are looked up in the configured cache (unless ``refresh``);
+3. the misses execute — serially in-process for ``jobs <= 1``, else on a
+   ``ProcessPoolExecutor`` with ``jobs`` workers.  The pool persists
+   across :meth:`SweepExecutor.run` calls, so workers keep their
+   per-process caches of built kernel images and generated inputs warm
+   (on fork start methods they even inherit the parent's warm caches);
+4. failures are isolated: a run that raises (diverging config, deadlock,
+   cycle-limit, per-run timeout) produces an outcome with ``error`` set
+   while the rest of the sweep completes.  Even a worker crash that
+   breaks the pool only falls back to in-process execution of the
+   remaining runs;
+5. successful results are written back to the cache.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..kernels import BenchmarkRun
+from .job import RunRequest, SweepSpec, execute_request, request_digest
+from .progress import SweepMetrics, progress_line
+
+
+@dataclass
+class RunOutcome:
+    """One request's result: a payload on success, an error string else."""
+
+    index: int
+    request: RunRequest
+    digest: str
+    payload: dict | None = None
+    error: str | None = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.payload is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Simulation seconds (0 for cache hits)."""
+        return 0.0 if self.cached else (self.payload or {}).get("elapsed",
+                                                                0.0)
+
+    @property
+    def worker(self) -> int | None:
+        return (self.payload or {}).get("worker")
+
+    @property
+    def golden_match(self) -> bool | None:
+        return (self.payload or {}).get("golden_match")
+
+    @property
+    def sync_points(self) -> int | None:
+        return (self.payload or {}).get("sync_points")
+
+    def benchmark_run(self) -> BenchmarkRun:
+        """Reconstruct the run; raises if the request failed."""
+        if not self.ok:
+            raise RuntimeError(
+                f"run {self.request.label} failed: {self.error}")
+        return BenchmarkRun.from_json(self.payload["run"])
+
+
+def _pool_task(request: RunRequest,
+               timeout: float | None) -> tuple[dict | None, str | None]:
+    """Worker entry point: crash isolation boundary for one run."""
+    try:
+        return execute_request(request, timeout=timeout), None
+    except BaseException as exc:                  # noqa: BLE001 — isolate
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+class SweepExecutor:
+    """Schedules sweeps over a cache and (optionally) a process pool.
+
+    :param jobs: worker processes; ``0`` or ``1`` executes in-process.
+    :param cache: a :class:`MemoryCache` / :class:`DiskCache` /
+        :class:`TieredCache`, or ``None`` for no caching.
+    :param timeout: per-run wall-clock budget in seconds (``None`` =
+        unbounded; the request's ``max_cycles`` still applies).
+    :param refresh: ignore existing cache entries but store fresh ones
+        (``--refresh``).
+    :param log: callable for progress lines (e.g. ``print``); ``None``
+        runs quietly.
+    """
+
+    def __init__(self, jobs: int = 0, cache=None, *,
+                 timeout: float | None = None, refresh: bool = False,
+                 log=None):
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout = timeout
+        self.refresh = refresh
+        self.log = log
+        self.last_metrics: SweepMetrics | None = None
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _pool_instance(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, requests) -> list[RunOutcome]:
+        """Execute a :class:`SweepSpec` or request sequence.
+
+        :returns: outcomes in request order (deterministic regardless of
+            worker completion order).
+        """
+        if isinstance(requests, SweepSpec):
+            requests = requests.requests
+        requests = list(requests)
+        metrics = SweepMetrics(total=len(requests))
+        self.last_metrics = metrics
+
+        digests = [request_digest(request) for request in requests]
+        outcomes: list[RunOutcome | None] = [None] * len(requests)
+
+        # cache phase — identical digests collapse onto one slot
+        pending: dict[str, list[int]] = {}
+        done = 0
+        for index, (request, digest) in enumerate(zip(requests, digests)):
+            payload = None
+            if self.cache is not None and not self.refresh:
+                payload = self.cache.get(digest)
+            if payload is not None:
+                outcomes[index] = RunOutcome(index, request, digest,
+                                             payload=payload, cached=True)
+                done += 1
+                record = metrics.note(index, request.label, cached=True,
+                                      failed=False, elapsed=0.0, worker=None)
+                if self.log:
+                    self.log(progress_line(record, done, metrics.total))
+            else:
+                pending.setdefault(digest, []).append(index)
+
+        # execute phase
+        unique = [(digest, requests[indices[0]])
+                  for digest, indices in pending.items()]
+        for digest, payload, error in self._execute(unique):
+            for position, index in enumerate(pending[digest]):
+                outcomes[index] = RunOutcome(index, requests[index], digest,
+                                             payload=payload, error=error)
+                done += 1
+                # duplicates share the payload but only the first one
+                # carries the execution time (metrics honesty)
+                record = metrics.note(
+                    index, requests[index].label, cached=False,
+                    failed=error is not None,
+                    elapsed=((payload or {}).get("elapsed", 0.0)
+                             if position == 0 else 0.0),
+                    worker=(payload or {}).get("worker"))
+                if self.log:
+                    self.log(progress_line(record, done, metrics.total))
+            if error is None and self.cache is not None:
+                self.cache.put(digest, payload)
+
+        metrics.finish()
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _execute(self, unique):
+        """Yield ``(digest, payload, error)`` for each unique pending run."""
+        if self.jobs > 1 and len(unique) > 1:
+            yield from self._execute_pool(unique)
+        else:
+            for digest, request in unique:
+                payload, error = _pool_task(request, self.timeout)
+                yield digest, payload, error
+
+    def _execute_pool(self, unique):
+        pool = self._pool_instance()
+        futures = {}
+        try:
+            for digest, request in unique:
+                futures[digest] = (pool.submit(_pool_task, request,
+                                               self.timeout), request)
+        except BaseException:
+            self.close()
+            raise
+        broken: list[tuple[str, RunRequest]] = []
+        for digest, (future, request) in futures.items():
+            try:
+                payload, error = future.result()
+            except Exception:
+                # pool-level failure (e.g. a worker died hard and broke
+                # the pool): salvage this run in-process and rebuild the
+                # pool lazily on the next sweep.
+                broken.append((digest, request))
+                self.close()
+                continue
+            yield digest, payload, error
+        for digest, request in broken:
+            payload, error = _pool_task(request, self.timeout)
+            yield digest, payload, error

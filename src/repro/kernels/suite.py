@@ -30,6 +30,15 @@ from . import mrpdln, mrpfltr, sqrt32
 from .layout import BANK_WORDS, OUT_OFFSET, check_samples
 
 
+def _freeze(value):
+    """Recursively convert JSON-shaped data into a hashable tuple form."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
 @dataclass(frozen=True)
 class Design:
     """One platform/program configuration pair."""
@@ -40,6 +49,22 @@ class Design:
 
     def platform_config(self, num_cores: int = 8) -> PlatformConfig:
         return PlatformConfig(num_cores=num_cores, policy=self.policy)
+
+    def to_key(self) -> tuple:
+        """Stable identity tuple (field order fixed here, not by repr)."""
+        return ("Design", self.name, self.policy.flag_names(),
+                self.sync_enabled)
+
+    def to_json(self) -> dict:
+        return {"name": self.name,
+                "policy": list(self.policy.flag_names()),
+                "sync_enabled": self.sync_enabled}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Design":
+        return cls(payload["name"],
+                   SyncPolicy.from_flag_names(payload["policy"]),
+                   payload["sync_enabled"])
 
 
 WITH_SYNC = Design("with-sync", SyncPolicy.FULL, True)
@@ -123,25 +148,71 @@ class BenchmarkRun:
     def cycles(self) -> int:
         return self.trace.cycles
 
+    def to_key(self) -> tuple:
+        """Stable content tuple: two runs with equal keys produced the
+        same outputs and the same activity trace."""
+        trace = self.trace.as_dict() if self.trace else None
+        return ("BenchmarkRun", self.benchmark, self.design.to_key(),
+                self.n_samples,
+                tuple(tuple(channel) for channel in self.outputs),
+                _freeze(trace))
+
+    def to_json(self) -> dict:
+        """JSON-safe dict for cache entries and worker transport.
+
+        The attached :class:`Machine` (if any) is deliberately dropped:
+        a serialized run carries results, not simulator state.
+        """
+        return {
+            "benchmark": self.benchmark,
+            "design": self.design.to_json(),
+            "n_samples": self.n_samples,
+            "outputs": [list(channel) for channel in self.outputs],
+            "trace": self.trace.as_dict() if self.trace else None,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "BenchmarkRun":
+        trace = payload.get("trace")
+        return cls(
+            benchmark=payload["benchmark"],
+            design=Design.from_json(payload["design"]),
+            n_samples=payload["n_samples"],
+            outputs=[list(channel) for channel in payload["outputs"]],
+            trace=ActivityTrace.from_dict(trace) if trace else None,
+        )
+
 
 def run_benchmark(bench_name: str, design: Design,
                   channels: list[list[int]],
                   *, max_cycles: int = 50_000_000,
-                  fast_engine: bool = True) -> BenchmarkRun:
+                  fast_engine: bool = True,
+                  config: PlatformConfig | None = None,
+                  program: Program | None = None) -> BenchmarkRun:
     """Run one benchmark over per-core channels; returns outputs + trace.
 
     :param channels: one sample list per core (all equal length).
     :param fast_engine: forward to :class:`Machine` — disable to force
         the reference per-cycle engine (differential tests, perf bench).
+    :param config: platform override for ablations (banking, broadcast,
+        custom policy); defaults to ``design.platform_config``.  Its core
+        count must match ``len(channels)``.
+    :param program: image override (e.g. built with non-default compile
+        options); defaults to the cached :func:`build_program` image.
     """
     bench = BENCHMARKS[bench_name]
     num_cores = len(channels)
     n_samples = check_samples(len(channels[0]))
     if any(len(c) != n_samples for c in channels):
         raise ValueError("all channels must have the same length")
+    if config is not None and config.num_cores != num_cores:
+        raise ValueError(
+            f"config has {config.num_cores} cores but {num_cores} "
+            "channels were supplied")
 
-    program = build_program(bench_name, design.sync_enabled)
-    machine = Machine(program, design.platform_config(num_cores),
+    if program is None:
+        program = build_program(bench_name, design.sync_enabled)
+    machine = Machine(program, config or design.platform_config(num_cores),
                       fast_engine=fast_engine)
 
     # load inputs into each core's private bank and set the shared count

@@ -32,6 +32,26 @@ class SyncPolicy(enum.Flag):
     DXBAR_SYNC_STALL = enum.auto()
     FULL = HW_BARRIER | DXBAR_SYNC_STALL
 
+    def flag_names(self) -> tuple[str, ...]:
+        """The primitive member names in declaration order.
+
+        The stable wire form of a policy: unlike ``repr`` or the raw
+        ``value``, it survives member renumbering and is readable in
+        cache keys and JSON payloads.
+        """
+        return tuple(
+            flag.name for flag
+            in (SyncPolicy.HW_BARRIER, SyncPolicy.DXBAR_SYNC_STALL)
+            if self & flag)
+
+    @classmethod
+    def from_flag_names(cls, names) -> "SyncPolicy":
+        """Inverse of :meth:`flag_names`."""
+        policy = cls.NONE
+        for name in names:
+            policy |= cls[name]
+        return policy
+
 
 @dataclass(frozen=True)
 class PlatformConfig:
@@ -95,6 +115,38 @@ class PlatformConfig:
     @property
     def has_dxbar_sync_stall(self) -> bool:
         return bool(self.policy & SyncPolicy.DXBAR_SYNC_STALL)
+
+    def to_key(self) -> tuple:
+        """Stable identity tuple for hashing and cache keys.
+
+        The field order is fixed *here*, so keys do not depend on
+        ``repr`` formatting or pickle dict order.
+        """
+        return ("PlatformConfig", self.num_cores, self.dm_banks,
+                self.dm_bank_words, self.im_banks, self.im_bank_words,
+                self.policy.flag_names(), self.max_cycles,
+                self.dm_interleaved, self.im_broadcast, self.dm_broadcast)
+
+    def to_json(self) -> dict:
+        """JSON-safe dict; round-trips through :meth:`from_json`."""
+        return {
+            "num_cores": self.num_cores,
+            "dm_banks": self.dm_banks,
+            "dm_bank_words": self.dm_bank_words,
+            "im_banks": self.im_banks,
+            "im_bank_words": self.im_bank_words,
+            "policy": list(self.policy.flag_names()),
+            "max_cycles": self.max_cycles,
+            "dm_interleaved": self.dm_interleaved,
+            "im_broadcast": self.im_broadcast,
+            "dm_broadcast": self.dm_broadcast,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "PlatformConfig":
+        data = dict(payload)
+        data["policy"] = SyncPolicy.from_flag_names(data.get("policy", ()))
+        return cls(**data)
 
     def dm_bank_of(self, address: int) -> int:
         """Bank index holding DM word ``address``."""

@@ -112,6 +112,18 @@ class ActivityTrace:
             },
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ActivityTrace":
+        """Rebuild a trace from :meth:`as_dict` output (cache entries,
+        ``BENCH_*.json`` files, worker transport)."""
+        data = dict(payload)
+        histogram = {int(size): count for size, count
+                     in data.pop("lockstep_histogram", {}).items()}
+        data["retired_per_core"] = list(data.get("retired_per_core", ()))
+        trace = cls(**data)
+        trace.lockstep_histogram = histogram
+        return trace
+
     # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------

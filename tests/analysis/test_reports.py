@@ -4,6 +4,7 @@ import pytest
 
 from repro.analysis import (
     access_rows,
+    default_executor,
     evaluation_channels,
     fig3_series,
     format_accesses,
@@ -35,7 +36,12 @@ def models(runs):
 class TestReferenceRuns:
     def test_cached(self, runs):
         again = reference_runs(n_samples=N)
-        assert again is runs
+        assert {key: run.to_key() for key, run in again.items()} \
+            == {key: run.to_key() for key, run in runs.items()}
+        # the repeat call was served from the result cache, not re-run
+        metrics = default_executor().last_metrics
+        assert metrics.executed == 0
+        assert metrics.cache_hits == len(again)
 
     def test_covers_all_pairs(self, runs):
         assert set(runs) == {

@@ -1,0 +1,131 @@
+"""Cache layer: LRU bounds, atomic disk entries, corruption recovery."""
+
+import json
+
+import pytest
+
+from repro.exec import DiskCache, MemoryCache, TieredCache, default_cache_dir
+from repro.exec.job import SCHEMA
+
+DIGESTS = [f"{i:02x}" + "0" * 62 for i in range(8)]
+PAYLOAD = {"schema": SCHEMA, "run": {"cycles": 123}, "golden_match": True}
+
+
+class TestMemoryCache:
+    def test_hit_and_miss(self):
+        cache = MemoryCache()
+        assert cache.get(DIGESTS[0]) is None
+        cache.put(DIGESTS[0], PAYLOAD)
+        assert cache.get(DIGESTS[0]) == PAYLOAD
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_keeps_recently_used(self):
+        cache = MemoryCache(max_entries=2)
+        cache.put(DIGESTS[0], PAYLOAD)
+        cache.put(DIGESTS[1], PAYLOAD)
+        assert cache.get(DIGESTS[0]) is not None    # touch 0 -> 1 is LRU
+        cache.put(DIGESTS[2], PAYLOAD)
+        assert cache.get(DIGESTS[1]) is None
+        assert cache.get(DIGESTS[0]) is not None
+        assert cache.stats.evictions == 1
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            MemoryCache(max_entries=0)
+
+
+class TestDiskCache:
+    def test_round_trip_and_persistence(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(DIGESTS[0], PAYLOAD)
+        assert cache.get(DIGESTS[0]) == PAYLOAD
+        # a second instance over the same root sees the entry
+        assert DiskCache(tmp_path).get(DIGESTS[0]) == PAYLOAD
+        assert len(cache) == 1
+
+    def test_no_temporary_files_left_behind(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for digest in DIGESTS:
+            cache.put(digest, PAYLOAD)
+        leftovers = [p for p in tmp_path.rglob("*") if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_unparseable_entry_is_dropped_and_recomputed(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(DIGESTS[0], PAYLOAD)
+        path = cache._path(DIGESTS[0])
+        path.write_text("{truncated", encoding="utf-8")
+        assert cache.get(DIGESTS[0]) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()                    # poisoned file removed
+        cache.put(DIGESTS[0], PAYLOAD)              # recovery
+        assert cache.get(DIGESTS[0]) == PAYLOAD
+
+    def test_digest_mismatch_counts_as_corrupt(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = cache._path(DIGESTS[0])
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"schema": SCHEMA, "digest": DIGESTS[1],
+                                    "payload": PAYLOAD}), encoding="utf-8")
+        assert cache.get(DIGESTS[0]) is None
+        assert cache.stats.corrupt == 1
+
+    def test_schema_mismatch_counts_as_corrupt(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = cache._path(DIGESTS[0])
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"schema": SCHEMA + 1,
+                                    "digest": DIGESTS[0],
+                                    "payload": PAYLOAD}), encoding="utf-8")
+        assert cache.get(DIGESTS[0]) is None
+        assert cache.stats.corrupt == 1
+
+    def test_eviction_bound(self, tmp_path):
+        cache = DiskCache(tmp_path, max_entries=3)
+        for digest in DIGESTS:
+            cache.put(digest, PAYLOAD)
+        assert len(cache) == 3
+        assert cache.stats.evictions == len(DIGESTS) - 3
+
+    def test_clear(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for digest in DIGESTS[:3]:
+            cache.put(digest, PAYLOAD)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestTieredCache:
+    def test_disk_hits_promote_to_memory(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.put(DIGESTS[0], PAYLOAD)
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path))
+        assert tiered.get(DIGESTS[0]) == PAYLOAD    # served from disk
+        assert tiered.memory.get(DIGESTS[0]) == PAYLOAD   # now in memory
+
+    def test_put_writes_through_both_tiers(self, tmp_path):
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path))
+        tiered.put(DIGESTS[0], PAYLOAD)
+        assert tiered.memory.get(DIGESTS[0]) == PAYLOAD
+        assert DiskCache(tmp_path).get(DIGESTS[0]) == PAYLOAD
+
+    def test_merged_stats_count_each_lookup_once(self, tmp_path):
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path))
+        tiered.put(DIGESTS[0], PAYLOAD)
+        tiered.get(DIGESTS[0])                       # memory hit
+        tiered.get(DIGESTS[1])                       # full miss
+        stats = tiered.stats
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.stores == 1
+
+
+class TestDefaultCacheDir:
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_xdg_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"
