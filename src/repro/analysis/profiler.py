@@ -1,10 +1,10 @@
 """Cycle-attribution profiler for platform programs.
 
 Attach a :class:`ProfileProbe` to a machine and every core-cycle is
-attributed to the program counter the core was at — active and stalled
-cycles separately.  The report aggregates by symbol (function labels from
-the program image), yielding the hot-spot view a firmware engineer uses
-to decide where synchronization points pay off.
+attributed to the program counter the core was at — active, stalled and
+barrier-sleep cycles separately.  The report aggregates by symbol
+(function labels from the program image), yielding the hot-spot view a
+firmware engineer uses to decide where synchronization points pay off.
 """
 
 from __future__ import annotations
@@ -16,19 +16,32 @@ from ..cpu.state import CoreMode
 
 
 class ProfileProbe:
-    """Per-PC active/stall cycle counters."""
+    """Per-PC active/stall/sleep cycle counters."""
 
     def __init__(self):
         self.active_cycles: Counter[int] = Counter()
         self.stall_cycles: Counter[int] = Counter()
-        self.sleep_cycles: int = 0
+        self.sleep_by_pc: Counter[int] = Counter()
+
+    @property
+    def sleep_cycles(self) -> int:
+        """Total sleep cycles across all PCs (matches the machine's
+        ``core_sleep_cycles``)."""
+        return sum(self.sleep_by_pc.values())
 
     def sample(self, machine, active: set[int]) -> None:
         for core_id, core in enumerate(machine.cores):
             if core_id in active:
                 self.active_cycles[core.pc] += 1
             elif core.mode is CoreMode.SLEEPING:
-                self.sleep_cycles += 1
+                # A core asleep at a barrier already advanced its PC past
+                # the SDEC it is waiting on; attribute the wait to that
+                # check-out so barrier cost lands on the region that
+                # incurred it, not on whatever instruction follows.
+                if machine.is_barrier_sleeper(core_id):
+                    self.sleep_by_pc[max(core.pc - 1, 0)] += 1
+                else:
+                    self.sleep_by_pc[core.pc] += 1
             elif core.mode is not CoreMode.HALTED:
                 self.stall_cycles[core.pc] += 1
 
@@ -42,10 +55,11 @@ class RegionProfile:
     end: int                      # exclusive
     active: int
     stalled: int
+    sleeping: int = 0
 
     @property
     def total(self) -> int:
-        return self.active + self.stalled
+        return self.active + self.stalled + self.sleeping
 
 
 def _code_regions(symbols: dict[str, int],
@@ -75,8 +89,10 @@ def profile_regions(probe: ProfileProbe, program) -> list[RegionProfile]:
     for name, start, end in regions:
         active = sum(probe.active_cycles[pc] for pc in range(start, end))
         stalled = sum(probe.stall_cycles[pc] for pc in range(start, end))
-        if active or stalled:
-            out.append(RegionProfile(name, start, end, active, stalled))
+        sleeping = sum(probe.sleep_by_pc[pc] for pc in range(start, end))
+        if active or stalled or sleeping:
+            out.append(RegionProfile(name, start, end, active, stalled,
+                                     sleeping))
     out.sort(key=lambda r: r.total, reverse=True)
     return out
 
@@ -88,12 +104,13 @@ def format_profile(probe: ProfileProbe, program,
     total = sum(r.total for r in regions) or 1
     lines = [
         f"{'symbol':24s} {'core-cycles':>12s} {'active':>9s} "
-        f"{'stalled':>9s} {'share':>7s}",
+        f"{'stalled':>9s} {'asleep':>9s} {'share':>7s}",
     ]
     for region in regions[:top]:
         lines.append(
             f"{region.symbol:24s} {region.total:12d} {region.active:9d} "
-            f"{region.stalled:9d} {region.total / total:7.1%}")
+            f"{region.stalled:9d} {region.sleeping:9d} "
+            f"{region.total / total:7.1%}")
     lines.append(f"{'(asleep at barriers)':24s} "
                  f"{probe.sleep_cycles:12d}")
     return "\n".join(lines)

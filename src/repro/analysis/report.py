@@ -49,6 +49,57 @@ def synclint_section() -> str:
     return "\n".join(lines)
 
 
+def telemetry_section(n_samples: int = 64) -> str:
+    """Barrier-span telemetry for every with-sync benchmark.
+
+    Event-driven (:class:`~repro.telemetry.BarrierTracer`) — the fast
+    engine stays engaged, and every span is named from the synclint
+    region tree, so the wait table below ties each checkpoint's cost to
+    a source construct.
+    """
+    from ..kernels import BENCHMARKS, build_program
+    from ..kernels.suite import WITH_SYNC
+    from ..platform import Machine
+    from ..sync import lint_assembly, lint_minic
+    from ..telemetry import BarrierTracer
+    from .experiments import evaluation_channels
+
+    channels = evaluation_channels(n_samples)
+    lines = []
+    for name in sorted(BENCHMARKS):
+        bench = BENCHMARKS[name]
+        program = build_program(name, True)
+        if bench.kind == "minic":
+            lint = lint_minic(bench.source, name=name, sync_mode="auto")
+        else:
+            lint = lint_assembly(bench.source, name=name)
+        machine = Machine(program, WITH_SYNC.platform_config(len(channels)))
+        tracer = BarrierTracer(machine, labels=lint.region_labels(program))
+        for core, channel in enumerate(channels):
+            machine.dm.load(core * 2048, [v & 0xFFFF for v in channel])
+        from ..kernels.sqrt32 import N_SAMPLES_ADDRESS
+
+        address = program.symbols.get("g_n_samples", N_SAMPLES_ADDRESS)
+        machine.dm.write(address, len(channels[0]))
+        machine.run()
+
+        summary = tracer.summary()
+        lines.append(
+            f"  {name}: {summary['spans']} barrier spans over "
+            f"{machine.trace.cycles} cycles, "
+            f"{summary['wait_cycles_total']} wait cycles")
+        lines.append(f"    {'checkpoint':34s} {'spans':>5s} "
+                     f"{'p50':>6s} {'p90':>6s} {'max':>6s} {'total':>8s}")
+        checkpoints = summary["checkpoints"]
+        for index in sorted(checkpoints, key=int):
+            row = checkpoints[index]
+            lines.append(
+                f"    {row['label']:34s} {row['spans']:5d} "
+                f"{row['wait_p50']:6d} {row['wait_p90']:6d} "
+                f"{row['wait_max']:6d} {row['wait_total']:8d}")
+    return "\n".join(lines)
+
+
 def full_report(n_samples: int = 64) -> str:
     """Generate the complete reproduction report as text."""
     runs = reference_runs(n_samples=n_samples)
@@ -72,6 +123,8 @@ def full_report(n_samples: int = 64) -> str:
          format_novscale(models)),
         ("Energy per operation (derived)", format_energy(models)),
         ("Sync-discipline verification (synclint)", synclint_section()),
+        ("Barrier telemetry (per-checkpoint wait distribution)",
+         telemetry_section(n_samples)),
     ]
     parts = []
     for title, body in sections:

@@ -12,6 +12,8 @@ Usage::
     python -m repro listing MRPDLN      # program disassembly
     python -m repro synclint --all      # verify sync discipline statically
     python -m repro sweep --jobs 8      # parallel cached design-space sweep
+    python -m repro trace MRPDLN        # Perfetto trace of barrier spans
+    python -m repro stats sweep-out     # summarize a sweep run manifest
 """
 
 from __future__ import annotations
@@ -106,8 +108,8 @@ def cmd_listing(args) -> int:
     return 0
 
 
-def _instrumented_run(args, probe):
-    """Run one benchmark with a probe attached; returns (machine, program)."""
+def _prepared_machine(args):
+    """Build a loaded, un-run machine for an instrumented subcommand."""
     from .analysis import evaluation_channels
     from .platform import Machine
 
@@ -121,6 +123,12 @@ def _instrumented_run(args, probe):
 
     address = program.symbols.get("g_n_samples", N_SAMPLES_ADDRESS)
     machine.dm.write(address, len(channels[0]))
+    return machine, program
+
+
+def _instrumented_run(args, probe):
+    """Run one benchmark with a probe attached; returns (machine, program)."""
+    machine, program = _prepared_machine(args)
     if probe is not None:
         machine.attach_probe(probe)
     machine.run()
@@ -156,6 +164,65 @@ def cmd_vcd(args) -> int:
     probe = VcdProbe(args.output)
     machine, _ = _instrumented_run(args, probe)   # run() finishes the probe
     print(f"wrote {args.output} ({machine.trace.cycles} cycles)")
+    return 0
+
+
+def _span_labels(benchmark: str, design) -> dict[int, str]:
+    """Checkpoint index -> span name, from the synclint region tree."""
+    from .sync.verifier import lint_assembly, lint_minic
+
+    bench = BENCHMARKS[benchmark]
+    if bench.kind == "minic":
+        report = lint_minic(bench.source, name=benchmark,
+                            sync_mode="auto" if design.sync_enabled
+                            else "none")
+    else:
+        report = lint_assembly(bench.source, name=benchmark,
+                               sync_enabled=design.sync_enabled)
+    return report.region_labels(build_program(benchmark,
+                                              design.sync_enabled))
+
+
+def cmd_trace(args) -> int:
+    from .telemetry import BarrierTracer, MetricsRegistry, write_trace
+
+    design = DESIGNS[args.design]
+    machine, program = _prepared_machine(args)
+    if machine.synchronizer is None:
+        print(f"trace: design {design.name!r} has no synchronizer — "
+              "barrier spans need one (try --design with-sync)")
+        return 2
+    tracer = BarrierTracer(machine,
+                           labels=_span_labels(args.benchmark, design))
+    machine.run()
+
+    payload = write_trace(tracer, args.out, benchmark=args.benchmark)
+    registry = MetricsRegistry.for_machine(machine, tracer)
+    snapshot = registry.snapshot()
+    stats = machine.engine_stats
+    print(f"wrote {args.out}: {len(payload['traceEvents'])} events, "
+          f"{len(tracer.spans)} barrier spans over "
+          f"{machine.trace.cycles} cycles")
+    print(f"fast engine {'engaged' if stats.engaged else 'stood down'}: "
+          f"{stats.lockstep_cycles} lockstep + {stats.sleep_cycles} "
+          f"sleep cycles on fast paths")
+    for index, row in sorted(snapshot["barriers"]["checkpoints"].items(),
+                             key=lambda kv: int(kv[0])):
+        print(f"  {row['label']:32s} {row['spans']:5d} spans  "
+              f"wait p50/p90/max {row['wait_p50']}/{row['wait_p90']}/"
+              f"{row['wait_max']} cycles")
+    print("open in https://ui.perfetto.dev")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .telemetry import summarize_manifest
+
+    try:
+        print(summarize_manifest(args.manifest))
+    except FileNotFoundError as exc:
+        print(f"stats: {exc}")
+        return 2
     return 0
 
 
@@ -292,10 +359,19 @@ def cmd_sweep(args) -> int:
           f"cache={cache_label}"
           f"{' (refresh)' if args.refresh else ''}")
 
+    manifest = None
+    if not args.no_manifest:
+        from .telemetry import SweepManifestWriter
+
+        manifest = SweepManifestWriter(args.manifest, name=spec.name)
+
     with SweepExecutor(jobs=args.jobs, cache=cache, timeout=args.timeout,
                        refresh=args.refresh, log=print) as executor:
-        outcomes = executor.run(spec)
+        outcomes = executor.run(spec, manifest=manifest)
     metrics = executor.last_metrics
+    if manifest is not None:
+        print(f"manifest: {manifest.manifest_path} "
+              f"(+ {manifest.runs_path.name})")
 
     print()
     print(f"  {'benchmark':9s}  {'design':13s}  {'n':>4s}  {'cycles':>9s}"
@@ -504,7 +580,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "(CI warm-cache assertion)")
     p.add_argument("--json", default=None, metavar="FILE",
                    help="also write results + metrics as JSON")
+    p.add_argument("--manifest", default="sweep-out", metavar="DIR",
+                   help="directory for the run manifest "
+                        "(manifest.json + runs.jsonl; default: sweep-out)")
+    p.add_argument("--no-manifest", action="store_true",
+                   help="skip writing the run manifest")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "trace",
+        help="export a Perfetto trace of one benchmark's barrier spans",
+        description="Event-driven barrier tracing: runs one benchmark "
+                    "with the telemetry tracer attached (the fast engine "
+                    "stays engaged) and writes Chrome trace-event JSON "
+                    "for ui.perfetto.dev (see docs/telemetry.md).")
+    p.add_argument("benchmark", type=str.upper, choices=list(BENCHMARKS),
+                   help="benchmark to trace (case-insensitive)")
+    p.add_argument("--design", choices=list(DESIGNS), default="with-sync")
+    p.add_argument("--out", default="trace.json", metavar="FILE",
+                   help="output JSON path (default: trace.json)")
+    _add_samples(p)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "stats",
+        help="summarize a sweep run manifest",
+        description="Render the manifest.json / runs.jsonl a "
+                    "`repro sweep` left behind: per-run outcomes, cache "
+                    "hits, telemetry totals (see docs/telemetry.md).")
+    p.add_argument("manifest", nargs="?", default="sweep-out",
+                   help="sweep directory, manifest.json or runs.jsonl "
+                        "(default: sweep-out)")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("energy", help="energy-per-op table")
     _add_samples(p)

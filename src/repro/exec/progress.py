@@ -27,24 +27,37 @@ class RunRecord:
 
 @dataclass
 class SweepMetrics:
-    """Aggregate throughput accounting for one sweep execution."""
+    """Aggregate throughput accounting for one sweep execution.
+
+    All timing is monotonic-clock based and safe to read **mid-flight**:
+    :attr:`wall_seconds` (and everything derived from it — runs/s,
+    worker utilization, :meth:`report`) measures elapsed time live until
+    :meth:`finish` freezes it, so progress displays and the manifest
+    writer can snapshot the metrics while the sweep is still running.
+    """
 
     total: int = 0
     records: list[RunRecord] = field(default_factory=list)
-    _started: float = field(default_factory=time.perf_counter)
-    wall_seconds: float = 0.0
+    _started: float = field(default_factory=time.monotonic)
+    _finished: float | None = None
 
     def note(self, index: int, label: str, *, cached: bool, failed: bool,
              elapsed: float, worker: int | None) -> RunRecord:
         record = RunRecord(index, label, cached, failed, elapsed, worker)
         self.records.append(record)
-        self.wall_seconds = time.perf_counter() - self._started
         return record
 
     def finish(self) -> None:
-        self.wall_seconds = time.perf_counter() - self._started
+        """Freeze the sweep wall-clock (idempotent)."""
+        if self._finished is None:
+            self._finished = time.monotonic()
 
     # -- derived ---------------------------------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        end = self._finished if self._finished is not None else time.monotonic()
+        return end - self._started
 
     @property
     def completed(self) -> int:
@@ -116,8 +129,12 @@ class SweepMetrics:
         return "\n".join(lines)
 
 
-def progress_line(record: RunRecord, done: int, total: int) -> str:
+def progress_line(record: RunRecord, done: int, total: int, *,
+                  hit_rate: float | None = None) -> str:
     """One status line per completed run, for `--progress` style logs."""
     origin = "hit " if record.cached else ("FAIL" if record.failed else "run ")
-    return (f"[{done:3d}/{total}] {origin} {record.label:44s} "
+    line = (f"[{done:3d}/{total}] {origin} {record.label:44s} "
             f"{record.elapsed:7.2f}s")
+    if hit_rate is not None:
+        line += f"  cache {hit_rate:4.0%}"
+    return line

@@ -129,12 +129,17 @@ class SweepExecutor:
 
     # -- execution -------------------------------------------------------
 
-    def run(self, requests) -> list[RunOutcome]:
+    def run(self, requests, manifest=None) -> list[RunOutcome]:
         """Execute a :class:`SweepSpec` or request sequence.
 
+        :param manifest: optional
+            :class:`~repro.telemetry.manifest.SweepManifestWriter`; each
+            outcome is appended to its run log as it lands (cache hits
+            included) and the manifest is finalized when the sweep ends.
         :returns: outcomes in request order (deterministic regardless of
             worker completion order).
         """
+        spec = requests if isinstance(requests, SweepSpec) else None
         if isinstance(requests, SweepSpec):
             requests = requests.requests
         requests = list(requests)
@@ -157,8 +162,11 @@ class SweepExecutor:
                 done += 1
                 record = metrics.note(index, request.label, cached=True,
                                       failed=False, elapsed=0.0, worker=None)
+                if manifest is not None:
+                    manifest.note_outcome(outcomes[index], record)
                 if self.log:
-                    self.log(progress_line(record, done, metrics.total))
+                    self.log(progress_line(record, done, metrics.total,
+                                           hit_rate=metrics.hit_rate))
             else:
                 pending.setdefault(digest, []).append(index)
 
@@ -178,12 +186,17 @@ class SweepExecutor:
                     elapsed=((payload or {}).get("elapsed", 0.0)
                              if position == 0 else 0.0),
                     worker=(payload or {}).get("worker"))
+                if manifest is not None:
+                    manifest.note_outcome(outcomes[index], record)
                 if self.log:
-                    self.log(progress_line(record, done, metrics.total))
+                    self.log(progress_line(record, done, metrics.total,
+                                           hit_rate=metrics.hit_rate))
             if error is None and self.cache is not None:
                 self.cache.put(digest, payload)
 
         metrics.finish()
+        if manifest is not None:
+            manifest.finalize(metrics=metrics, cache=self.cache, spec=spec)
         return [outcome for outcome in outcomes if outcome is not None]
 
     def _execute(self, unique):

@@ -13,7 +13,7 @@ from .config import (
     WITHOUT_SYNCHRONIZER,
 )
 from .dxbar import DataCrossbar, DmRequest, DmResult
-from .engine import FastEngine
+from .engine import EngineStats, FastEngine
 from .functional import FunctionalDeadlock, FunctionalSimulator
 from .ixbar import InstructionCrossbar
 from .machine import DeadlockError, Machine, SimulationLimitError
@@ -34,6 +34,7 @@ __all__ = [
     "DeadlockError",
     "DmRequest",
     "DmResult",
+    "EngineStats",
     "FastEngine",
     "FunctionalDeadlock",
     "FunctionalSimulator",

@@ -79,6 +79,12 @@ class DataCrossbar:
         self._priority = [0] * config.dm_banks
         self._groups: dict[int, _ConflictGroup] = {}
         self.locked_addresses: set[int] = set()
+        #: observers called as ``listener(cycle, denied_requests)`` on every
+        #: cycle that refuses at least one request (``denied_requests`` is a
+        #: tuple of the losing :class:`DmRequest`).  The fast engine serves
+        #: only provably conflict-free patterns inline, so every conflict
+        #: arbitrates here and listeners see them all at no cost to bursts.
+        self.conflict_listeners: list = []
 
     @property
     def held_cores(self) -> set[int]:
@@ -160,6 +166,10 @@ class DataCrossbar:
 
         if denied:
             trace.dm_conflict_cycles += 1
+            if self.conflict_listeners:
+                losers = tuple(r for r in requests if r.core in denied)
+                for listener in self.conflict_listeners:
+                    listener(trace.cycles, losers)
         return DmResult(completions, released, denied)
 
     def _serve_bank(self, bank: int, reqs: list[DmRequest]) -> dict[int, int | None]:

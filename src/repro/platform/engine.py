@@ -35,6 +35,8 @@ degrades to the reference ``step()`` for that cycle.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..cpu.predecode import BURSTABLE, KIND_JUMP, KIND_MEM, KIND_SEQ
 from ..cpu.state import CoreMode
 
@@ -55,13 +57,46 @@ class SimulationLimitError(RuntimeError):
     """The configured cycle budget was exceeded."""
 
 
+@dataclass(slots=True)
+class EngineStats:
+    """Fast-path engagement counters (one update per burst/skip, so the
+    bookkeeping adds no per-cycle cost).  The telemetry layer reads these
+    to prove the fast engine stayed engaged during a traced run."""
+
+    lockstep_bursts: int = 0
+    lockstep_cycles: int = 0
+    sleep_skips: int = 0
+    sleep_cycles: int = 0
+
+    @property
+    def fast_cycles(self) -> int:
+        """Cycles consumed by the fast paths (the rest were ``step()``)."""
+        return self.lockstep_cycles + self.sleep_cycles
+
+    @property
+    def engaged(self) -> bool:
+        """True when at least one fast path fired during the run."""
+        return bool(self.lockstep_bursts or self.sleep_skips)
+
+    def as_dict(self) -> dict:
+        return {
+            "lockstep_bursts": self.lockstep_bursts,
+            "lockstep_cycles": self.lockstep_cycles,
+            "sleep_skips": self.sleep_skips,
+            "sleep_cycles": self.sleep_cycles,
+            "fast_cycles": self.fast_cycles,
+            "engaged": self.engaged,
+        }
+
+
 class FastEngine:
     """Opportunistic fast paths around a :class:`Machine`'s ``step()``."""
 
-    __slots__ = ("_machine",)
+    __slots__ = ("_machine", "stats")
 
     def __init__(self, machine):
         self._machine = machine
+        self.stats = EngineStats()
 
     # ------------------------------------------------------------------
     # Run loop
@@ -259,6 +294,8 @@ class FastEngine:
             trace.core_sleep_cycles += executed * sleeping
         if waiting:
             trace.sync_wait_cycles += executed * waiting
+        self.stats.lockstep_bursts += 1
+        self.stats.lockstep_cycles += executed
         machine._quiet = False
         return True
 
@@ -371,5 +408,7 @@ class FastEngine:
             trace.core_halted_cycles += skipped * halted
         if waiting:
             trace.sync_wait_cycles += skipped * waiting
+        self.stats.sleep_skips += 1
+        self.stats.sleep_cycles += skipped
         machine._quiet = True
         return True

@@ -112,6 +112,7 @@ class Machine:
 
         self._quiet = False
         self._probes: list = []
+        self._observers: list = []
         self._outstanding: list[tuple | None] = [None] * config.num_cores
         self._outstanding_count = 0
         self._barrier_sleeper = [False] * config.num_cores
@@ -128,6 +129,11 @@ class Machine:
 
         self.fast_engine = fast_engine
         self._engine = FastEngine(self)
+
+    @property
+    def engine_stats(self):
+        """Fast-engine engagement counters (:class:`EngineStats`)."""
+        return self._engine.stats
 
     @classmethod
     def from_assembly(cls, source: str,
@@ -171,6 +177,21 @@ class Machine:
         attached the fast engine stands down, so every cycle is stepped
         (and sampled) individually."""
         self._probes.append(probe)
+
+    def attach_observer(self, observer) -> None:
+        """Attach an *event* observer: unlike a probe it has no per-cycle
+        ``sample`` hook, so the fast engine stays engaged.  Observers
+        subscribe to event streams themselves (synchronizer completion
+        listeners, D-Xbar conflict listeners); the machine only calls
+        their optional ``finish(machine)`` when a run completes — e.g.
+        :class:`repro.telemetry.BarrierTracer`."""
+        self._observers.append(observer)
+
+    def is_barrier_sleeper(self, core_id: int) -> bool:
+        """True while ``core_id`` is asleep checked out at a barrier (as
+        opposed to an explicit ``SLEEP``) — the distinction probes need
+        to attribute wait cycles to a pending checkpoint."""
+        return self._barrier_sleeper[core_id]
 
     # ------------------------------------------------------------------
     # Cycle engine (reference path)
@@ -359,9 +380,13 @@ class Machine:
         active.add(cid)
 
     def _finish_probes(self) -> None:
-        """Invoke every probe's optional ``finish`` hook."""
+        """Invoke every probe's and observer's optional ``finish`` hook."""
         for probe in self._probes:
             finish = getattr(probe, "finish", None)
+            if finish is not None:
+                finish(self)
+        for observer in self._observers:
+            finish = getattr(observer, "finish", None)
             if finish is not None:
                 finish(self)
 

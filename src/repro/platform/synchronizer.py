@@ -85,6 +85,9 @@ class SyncCompletion:
     checkout_cores: tuple[int, ...]
     woken_cores: tuple[int, ...]     # flagged sleepers to wake (incl. none)
     barrier_released: bool           # counter reached zero
+    #: checkpoint counter value after the write — the barrier occupancy
+    #: observers (telemetry, crosscheck) would otherwise have to rederive
+    count_after: int = 0
 
 
 class Synchronizer:
@@ -222,6 +225,7 @@ class Synchronizer:
             tuple(rmw.checkout_cores),
             woken,
             released,
+            count,
         )
 
     # ------------------------------------------------------------------

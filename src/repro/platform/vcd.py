@@ -67,7 +67,11 @@ class VcdProbe:
         self._signals: list[tuple[str, int, str]] = []  # (name, bits, id)
         self._previous: dict[str, int] = {}
         self._header_written = False
-        self._last_counts = {"im": 0, "dm": 0, "wake": 0, "ops": 0}
+        self._last_counts = {"im": 0, "dm": 0, "ops": 0}
+        # event-driven synchronizer view (fed by completion listeners,
+        # not re-derived from counters every cycle)
+        self._wake_pulse = False
+        self._asleep: set[int] = set()
 
     # ------------------------------------------------------------------
 
@@ -94,15 +98,32 @@ class VcdProbe:
             out.write(f"$var wire {bits} {ident} {name} $end\n")
         out.write("$upscope $end\n$enddefinitions $end\n")
         self._header_written = True
+        if machine.synchronizer is not None:
+            machine.synchronizer.listeners.append(self._on_sync)
 
-    @staticmethod
-    def _state_code(machine, core_id: int, active: set[int]) -> int:
+    def _on_sync(self, cycle: int, completion) -> None:
+        """Synchronizer completion listener: tracks barrier sleepers and
+        latches the wake pulse, replacing per-cycle counter diffing.
+
+        Fires on the reference path even under the fast engine, so the
+        VCD is bit-identical either way (the probe forces per-cycle
+        stepping regardless; this keeps the *source* of the signals the
+        event stream, same as the telemetry tracer)."""
+        if completion.barrier_released:
+            self._wake_pulse = True
+            self._asleep -= set(completion.woken_cores)
+        else:
+            self._asleep |= set(completion.checkout_cores)
+
+    def _state_code(self, machine, core_id: int, active: set[int]) -> int:
         if core_id in active:
             return STATE_ACTIVE
         mode = machine.cores[core_id].mode
         if mode is CoreMode.HALTED:
             return STATE_HALTED
-        if mode is CoreMode.SLEEPING:
+        # barrier sleepers come from the completion events; the mode
+        # check keeps explicit SLEEP instructions (no event) covered
+        if core_id in self._asleep or mode is CoreMode.SLEEPING:
             return STATE_SLEEPING
         return STATE_STALLED
 
@@ -134,12 +155,13 @@ class VcdProbe:
                        changes)
 
         counts = {"im": trace.im_bank_accesses, "dm": trace.dm_accesses,
-                  "wake": trace.sync_wakeups, "ops": trace.retired_ops}
+                  "ops": trace.retired_ops}
         deltas = {k: counts[k] - self._last_counts[k] for k in counts}
         self._last_counts = counts
         self._emit(self._im, min(deltas["im"], 255), 8, changes)
         self._emit(self._dm, min(deltas["dm"], 255), 8, changes)
-        self._emit(self._wake, 1 if deltas["wake"] else 0, 1, changes)
+        self._emit(self._wake, 1 if self._wake_pulse else 0, 1, changes)
+        self._wake_pulse = False
         self._emit(self._retired, min(deltas["ops"], 255), 8, changes)
 
         if changes:

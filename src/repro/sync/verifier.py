@@ -216,6 +216,24 @@ class LintReport:
     def codes(self) -> list[str]:
         return [d.code for d in self.diagnostics]
 
+    def region_labels(self, program=None) -> dict[int, str]:
+        """Checkpoint index -> human-readable span label.
+
+        Combines the statically recovered region name with the source
+        line of its first check-in (via
+        :meth:`~repro.isa.program.Program.line_of`) — the naming the
+        telemetry layer uses for barrier spans in exported traces.
+        """
+        labels: dict[int, str] = {}
+        for index, region in self.regions.items():
+            name = region.name or f"region{index}"
+            line = None
+            if program is not None and region.sinc_pcs:
+                line = program.line_of(min(region.sinc_pcs))
+            labels[index] = (f"{name} (line {line})"
+                             if line is not None else name)
+        return labels
+
     def render(self) -> str:
         head = (f"synclint {self.program_name}: "
                 f"{self.instructions} instructions, "

@@ -1,0 +1,50 @@
+"""Unified telemetry: barrier-span tracing, export, metrics, manifests.
+
+The paper's argument is about *when* cores reach and leave barriers —
+lockstep coverage, sync wait cycles, broadcast-fetch rates.  This package
+makes those visible without per-cycle probes, so the fast engine
+(:mod:`repro.platform.engine`) stays engaged:
+
+- :class:`BarrierTracer` (:mod:`repro.telemetry.tracer`) subscribes to
+  the synchronizer's completion listeners and the D-Xbar's conflict
+  listeners and reconstructs **barrier spans** — per-checkpoint
+  check-in → wake intervals with arrival order, occupancy and per-core
+  wait cycles — purely from events;
+- :mod:`repro.telemetry.perfetto` renders tracer output as Chrome
+  trace-event JSON, viewable in ``ui.perfetto.dev`` with one track per
+  core and barrier spans named by symbol/source line;
+- :class:`MetricsRegistry` (:mod:`repro.telemetry.metrics`) unifies the
+  :class:`~repro.platform.trace.ActivityTrace` counters, barrier wait
+  histograms and the derived paper metrics behind one
+  ``snapshot() -> dict`` API with stable keys;
+- :mod:`repro.telemetry.manifest` writes structured sweep run logs
+  (JSONL) plus a per-sweep ``manifest.json`` for ``repro stats``.
+
+Entry points: ``python -m repro trace`` / ``repro stats`` on the command
+line; ``attach_tracer`` from code.  See ``docs/telemetry.md``.
+"""
+
+from .manifest import (
+    SweepManifestWriter,
+    load_manifest,
+    summarize_manifest,
+)
+from .metrics import MetricsRegistry, percentile
+from .perfetto import check_trace, trace_events, validate_trace, write_trace
+from .tracer import BarrierSpan, BarrierTracer, ConflictEvent, attach_tracer
+
+__all__ = [
+    "BarrierSpan",
+    "BarrierTracer",
+    "ConflictEvent",
+    "MetricsRegistry",
+    "SweepManifestWriter",
+    "attach_tracer",
+    "check_trace",
+    "load_manifest",
+    "percentile",
+    "summarize_manifest",
+    "trace_events",
+    "validate_trace",
+    "write_trace",
+]

@@ -1,0 +1,196 @@
+"""Chrome trace-event (Perfetto) export of barrier-tracer output.
+
+Produces the JSON object format of the Trace Event spec — load the file
+in ``ui.perfetto.dev`` (or ``chrome://tracing``) to see one track per
+core plus a synchronizer track:
+
+- per-core **region** spans: check-in → check-out inside a barrier
+  region, named from the synclint region tree (symbol + source line);
+- per-core **wait** spans: check-out → wake, i.e. the cycles the core
+  slept at the barrier (zero-length waits of releasing cores are
+  omitted);
+- synchronizer-track spans: the whole barrier span (first check-in →
+  wake-all) with arrival order, occupancy and per-core waits as args;
+- a counter track per checkpoint with the occupancy timeline;
+- instant events for D-Xbar conflict cycles.
+
+Timestamps are microseconds (the spec's unit) at the platform's
+:data:`~repro.platform.vcd.CLOCK_PERIOD_NS` clock;
+``displayTimeUnit: "ns"`` keeps single cycles readable in the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..platform.vcd import CLOCK_PERIOD_NS
+
+#: trace-event process id for the whole platform
+PID = 1
+#: thread ids: core *n* maps to tid *n*; the shared blocks sit above
+TID_SYNCHRONIZER = 100
+TID_DXBAR = 101
+
+
+def _ts(cycle: int) -> float:
+    """Cycle number -> trace-event timestamp (microseconds)."""
+    return cycle * CLOCK_PERIOD_NS / 1000.0
+
+
+def trace_events(tracer, *, benchmark: str | None = None) -> dict:
+    """Render a :class:`~repro.telemetry.tracer.BarrierTracer` as a
+    trace-event JSON object (``json.dump``-ready)."""
+    machine = tracer.machine
+    num_cores = machine.config.num_cores
+    events: list[dict] = []
+
+    def meta(name, tid, value):
+        events.append({"ph": "M", "pid": PID, "tid": tid, "name": name,
+                       "args": {"name": value}})
+
+    meta("process_name", 0, "ulp platform")
+    for core in range(num_cores):
+        meta("thread_name", core, f"core {core}")
+    meta("thread_name", TID_SYNCHRONIZER, "synchronizer")
+    meta("thread_name", TID_DXBAR, "d-xbar")
+
+    for span in list(tracer.spans) + tracer.open_spans:
+        label = tracer.label_of(span.index)
+        name = f"{label} #{span.sequence}"
+        waits = span.wait_cycles()
+        end = span.release_cycle
+        # synchronizer track: the whole barrier span
+        if end is not None:
+            events.append({
+                "ph": "X", "pid": PID, "tid": TID_SYNCHRONIZER,
+                "name": name, "cat": "barrier",
+                "ts": _ts(span.start_cycle),
+                "dur": max(_ts(end) - _ts(span.start_cycle), 0.001),
+                "args": {
+                    "checkpoint": span.index,
+                    "address": span.address,
+                    "arrival_order": span.arrival_order(),
+                    "max_occupancy": span.max_occupancy,
+                    "woken_cores": list(span.woken_cores),
+                    "wait_cycles": {str(c): w
+                                    for c, w in sorted(waits.items())},
+                },
+            })
+        # per-core region spans: check-in -> check-out (or end of data)
+        checkout_at = dict((core, cycle) for cycle, core in span.checkouts)
+        for cycle, core in span.arrivals:
+            out = checkout_at.get(core, end)
+            if out is None or out <= cycle:
+                continue
+            events.append({
+                "ph": "X", "pid": PID, "tid": core,
+                "name": name, "cat": "region",
+                "ts": _ts(cycle), "dur": _ts(out) - _ts(cycle),
+                "args": {"checkpoint": span.index},
+            })
+        # per-core wait spans: check-out -> wake (skip zero waits)
+        if end is not None:
+            for cycle, core in span.checkouts:
+                if end <= cycle:
+                    continue
+                events.append({
+                    "ph": "X", "pid": PID, "tid": core,
+                    "name": f"wait {name}", "cat": "barrier-wait",
+                    "ts": _ts(cycle), "dur": _ts(end) - _ts(cycle),
+                    "args": {"checkpoint": span.index,
+                             "wait_cycles": end - cycle},
+                })
+        # occupancy counter track
+        for cycle, count in span.occupancy:
+            events.append({
+                "ph": "C", "pid": PID, "tid": TID_SYNCHRONIZER,
+                "name": f"occupancy {tracer.label_of(span.index)}",
+                "ts": _ts(cycle),
+                "args": {"cores": count},
+            })
+
+    for conflict in tracer.conflicts:
+        events.append({
+            "ph": "i", "pid": PID, "tid": TID_DXBAR, "s": "t",
+            "name": "dm conflict", "cat": "conflict",
+            "ts": _ts(conflict.cycle),
+            "args": {"cores": list(conflict.cores),
+                     "pcs": list(conflict.pcs)},
+        })
+
+    events.sort(key=lambda e: (e.get("ts", -1.0), e["tid"]))
+    other = {
+        "clock_period_ns": CLOCK_PERIOD_NS,
+        "cycles": machine.trace.cycles,
+        "spans": len(tracer.spans),
+        "open_spans": len(tracer.open_spans),
+        "conflicts_dropped": tracer.conflicts_dropped,
+    }
+    if benchmark:
+        other["benchmark"] = benchmark
+    return {
+        "displayTimeUnit": "ns",
+        "otherData": other,
+        "traceEvents": events,
+    }
+
+
+def validate_trace(payload) -> list[str]:
+    """Schema problems in a trace-event payload (empty list == valid).
+
+    Checks the subset of the Trace Event spec this exporter emits plus
+    what Perfetto needs to load the file at all — used by the CI smoke
+    job and the golden-file test.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload is {type(payload).__name__}, expected object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if payload.get("displayTimeUnit") not in (None, "ms", "ns"):
+        problems.append("displayTimeUnit must be 'ms' or 'ns'")
+    for pos, event in enumerate(events):
+        where = f"traceEvents[{pos}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M", "i", "C"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for key in ("pid", "tid", "name"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur <= 0:
+                problems.append(f"{where}: X event needs positive dur")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant scope must be t/p/g")
+        if ph == "C" and not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: counter event needs args")
+    return problems
+
+
+def check_trace(payload) -> None:
+    """Raise :class:`ValueError` listing every schema problem."""
+    problems = validate_trace(payload)
+    if problems:
+        raise ValueError("invalid trace-event payload:\n  "
+                         + "\n  ".join(problems))
+
+
+def write_trace(tracer, path, *, benchmark: str | None = None) -> dict:
+    """Render, validate and write the trace JSON; returns the payload."""
+    payload = trace_events(tracer, benchmark=benchmark)
+    check_trace(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload

@@ -105,7 +105,21 @@ class TestProfiler:
         _, compiled = run_with(probe)
         for region in profile_regions(probe, compiled.program):
             assert 0 <= region.start < region.end
-            assert region.total == region.active + region.stalled
+            assert region.total == (region.active + region.stalled
+                                    + region.sleeping)
+
+    def test_barrier_sleep_attributed_to_checkout_pc(self):
+        """Sleep cycles land inside code regions, on the pending SDEC."""
+        probe = ProfileProbe()
+        machine, compiled = run_with(probe)
+        assert machine.trace.core_sleep_cycles > 0
+        regions = profile_regions(probe, compiled.program)
+        region_sleep = sum(r.sleeping for r in regions)
+        # every barrier-sleep cycle is attributed to a code region (the
+        # check-out PC), not lost past the region map
+        assert region_sleep == probe.sleep_cycles
+        code_len = len(compiled.program.instructions)
+        assert all(pc < code_len for pc in probe.sleep_by_pc)
 
     def test_format_profile(self):
         probe = ProfileProbe()

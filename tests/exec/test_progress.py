@@ -1,0 +1,40 @@
+"""SweepMetrics timing is monotonic-based and safe to read mid-flight."""
+
+from repro.exec.progress import RunRecord, SweepMetrics, progress_line
+
+
+def test_report_safe_before_finish():
+    metrics = SweepMetrics(total=4)
+    metrics.note(0, "a", cached=True, failed=False, elapsed=0.0, worker=None)
+    metrics.note(1, "b", cached=False, failed=False, elapsed=0.5, worker=7)
+    # mid-flight: wall clock is live, nothing raises, rates are sane
+    assert metrics.wall_seconds >= 0.0
+    assert metrics.runs_per_second >= 0.0
+    assert "2/4 runs" in metrics.report()
+    assert metrics.as_dict()["hit_rate"] == 0.5
+
+
+def test_finish_freezes_wall_clock():
+    metrics = SweepMetrics(total=1)
+    metrics.note(0, "a", cached=False, failed=False, elapsed=0.1, worker=1)
+    metrics.finish()
+    frozen = metrics.wall_seconds
+    metrics.finish()  # idempotent
+    assert metrics.wall_seconds == frozen
+
+
+def test_wall_clock_advances_mid_flight():
+    import time
+
+    metrics = SweepMetrics(total=2)
+    first = metrics.wall_seconds
+    time.sleep(0.01)
+    assert metrics.wall_seconds > first
+
+
+def test_progress_line_includes_hit_rate():
+    record = RunRecord(0, "MRPDLN with-sync", cached=True, failed=False,
+                       elapsed=0.0, worker=None)
+    line = progress_line(record, 1, 2, hit_rate=1.0)
+    assert "cache 100%" in line
+    assert "cache" not in progress_line(record, 1, 2)

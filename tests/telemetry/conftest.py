@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic barrier programs under trace."""
+
+import pytest
+
+from repro.platform import Machine, WITH_SYNCHRONIZER
+from repro.sync import instrument_assembly, lint_assembly, startup_assembly
+from repro.telemetry import BarrierTracer, attach_tracer
+
+#: nested divergent regions: every core enters 'outer'; cores 1..7 spin
+#: their core id down inside 'inner' — staggered arrivals, real waits.
+NESTED = """
+    MFSR R0, COREID
+;@sync begin outer
+    CMPI R0, #0
+    BEQ out
+    MOV R2, R0
+loop:
+;@sync begin inner
+    DEC R2
+;@sync end
+    BNE loop
+out:
+;@sync end
+    HALT
+"""
+
+
+def traced_machine(source=NESTED, *, fast_engine=True, labels=None,
+                   with_lint=False, **tracer_kwargs):
+    """Build a machine running ``source`` with a tracer attached."""
+    full = startup_assembly() + source
+    instrumented = instrument_assembly(full)
+    machine = Machine.from_assembly(instrumented.source, WITH_SYNCHRONIZER,
+                                    fast_engine=fast_engine)
+    if with_lint:
+        report = lint_assembly(full, name="traced")
+        tracer = attach_tracer(machine, program=machine.program,
+                               lint_report=report, **tracer_kwargs)
+    else:
+        tracer = BarrierTracer(machine, labels=labels, **tracer_kwargs)
+    return machine, tracer
+
+
+@pytest.fixture
+def traced_run():
+    """A completed deterministic run: ``(machine, tracer)``."""
+    machine, tracer = traced_machine()
+    machine.run(max_cycles=100_000)
+    return machine, tracer

@@ -1,0 +1,44 @@
+"""Regenerate golden_trace.json after an intentional exporter change.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/telemetry/regen_golden.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.platform import Machine, WITH_SYNCHRONIZER  # noqa: E402
+from repro.sync import (  # noqa: E402
+    instrument_assembly,
+    lint_assembly,
+    startup_assembly,
+)
+from repro.telemetry import attach_tracer, check_trace, trace_events  # noqa: E402
+
+
+def main() -> None:
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import NESTED
+
+    full = startup_assembly() + NESTED
+    instrumented = instrument_assembly(full)
+    machine = Machine.from_assembly(instrumented.source, WITH_SYNCHRONIZER)
+    report = lint_assembly(full, name="traced")
+    tracer = attach_tracer(machine, program=machine.program,
+                           lint_report=report)
+    machine.run(max_cycles=100_000)
+    payload = trace_events(tracer, benchmark="nested")
+    check_trace(payload)
+    golden = Path(__file__).parent / "golden_trace.json"
+    with open(golden, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {golden}: {len(payload['traceEvents'])} events")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Perfetto/Chrome trace-event exporter: schema and golden-file tests."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.platform.vcd import CLOCK_PERIOD_NS
+from repro.telemetry import check_trace, trace_events, validate_trace
+from repro.telemetry.perfetto import (
+    PID,
+    TID_DXBAR,
+    TID_SYNCHRONIZER,
+    write_trace,
+)
+
+from .conftest import traced_machine
+
+GOLDEN = Path(__file__).parent / "golden_trace.json"
+
+
+@pytest.fixture(scope="module")
+def payload():
+    machine, tracer = traced_machine(with_lint=True)
+    machine.run(max_cycles=100_000)
+    return trace_events(tracer, benchmark="nested"), machine, tracer
+
+
+class TestSchema:
+    def test_validates_clean(self, payload):
+        doc, _, _ = payload
+        assert validate_trace(doc) == []
+        check_trace(doc)
+
+    def test_top_level_shape(self, payload):
+        doc, machine, tracer = payload
+        assert doc["displayTimeUnit"] == "ns"
+        other = doc["otherData"]
+        assert other["clock_period_ns"] == CLOCK_PERIOD_NS
+        assert other["cycles"] == machine.trace.cycles
+        assert other["spans"] == len(tracer.spans)
+        assert other["benchmark"] == "nested"
+
+    def test_thread_metadata_covers_all_tracks(self, payload):
+        doc, machine, _ = payload
+        names = {(e["tid"]): e["args"]["name"]
+                 for e in doc["traceEvents"] if e["ph"] == "M"
+                 and e["name"] == "thread_name"}
+        for core in range(machine.config.num_cores):
+            assert names[core] == f"core {core}"
+        assert names[TID_SYNCHRONIZER] == "synchronizer"
+        assert names[TID_DXBAR] == "d-xbar"
+
+    def test_span_events_on_synchronizer_track(self, payload):
+        doc, _, tracer = payload
+        barrier = [e for e in doc["traceEvents"]
+                   if e["ph"] == "X" and e.get("cat") == "barrier"]
+        assert len(barrier) == len(tracer.spans)
+        for event in barrier:
+            assert event["pid"] == PID
+            assert event["tid"] == TID_SYNCHRONIZER
+            assert event["dur"] > 0
+            assert "arrival_order" in event["args"]
+
+    def test_events_sorted_by_timestamp(self, payload):
+        doc, _, _ = payload
+        stamps = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert stamps == sorted(stamps)
+
+    def test_timestamps_are_cycle_scaled(self, payload):
+        doc, _, tracer = payload
+        span = tracer.spans[0]
+        label = tracer.label_of(span.index)
+        event = next(e for e in doc["traceEvents"]
+                     if e.get("cat") == "barrier"
+                     and e["name"].startswith(label))
+        assert event["ts"] == span.start_cycle * CLOCK_PERIOD_NS / 1000.0
+
+    def test_validator_flags_problems(self):
+        assert validate_trace([]) != []
+        assert validate_trace({"traceEvents": [{"ph": "Z"}]}) != []
+        bad_dur = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 0, "name": "x", "ts": 1.0,
+             "dur": 0}]}
+        assert any("dur" in p for p in validate_trace(bad_dur))
+        with pytest.raises(ValueError, match="invalid trace-event"):
+            check_trace(bad_dur)
+
+
+class TestGoldenFile:
+    def test_matches_golden(self):
+        """The exported trace for the nested-barrier program is stable.
+
+        After an intentional exporter change, regenerate the golden with
+        ``python tests/telemetry/regen_golden.py``.
+        """
+        machine, tracer = traced_machine(with_lint=True)
+        machine.run(max_cycles=100_000)
+        fresh = json.loads(json.dumps(trace_events(tracer,
+                                                   benchmark="nested")))
+        golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert fresh == golden
+
+    def test_write_trace_round_trips(self, tmp_path):
+        machine, tracer = traced_machine()
+        machine.run(max_cycles=100_000)
+        out = tmp_path / "trace.json"
+        payload = write_trace(tracer, out)
+        assert json.loads(out.read_text(encoding="utf-8")) == json.loads(
+            json.dumps(payload))

@@ -1,0 +1,143 @@
+"""Tests for the event-driven barrier tracer."""
+
+import pytest
+
+from repro.platform import Machine, WITHOUT_SYNCHRONIZER
+from repro.sync import DEFAULT_SYNC_BASE
+from repro.telemetry import BarrierTracer
+from repro.telemetry.metrics import percentile
+
+from .conftest import traced_machine
+
+
+class TestSpanSemantics:
+    def test_every_span_released(self, traced_run):
+        machine, tracer = traced_run
+        assert tracer.spans
+        assert not tracer.open_spans
+        for span in tracer.spans:
+            assert not span.open
+            assert span.release_cycle >= span.start_cycle
+            assert span.duration == span.release_cycle - span.start_cycle
+
+    def test_arrivals_balance_checkouts(self, traced_run):
+        _, tracer = traced_run
+        for span in tracer.spans:
+            assert len(span.arrivals) == len(span.checkouts)
+            assert sorted(span.arrival_order()) == sorted(
+                core for _, core in span.checkouts)
+
+    def test_occupancy_tracks_counter(self, traced_run):
+        _, tracer = traced_run
+        for span in tracer.spans:
+            assert span.occupancy[-1][1] == 0          # released
+            assert span.max_occupancy == max(c for _, c in span.occupancy)
+            assert span.max_occupancy >= 1
+
+    def test_wait_cycles_nonnegative_and_releaser_free(self, traced_run):
+        _, tracer = traced_run
+        for span in tracer.spans:
+            waits = span.wait_cycles()
+            assert all(w >= 0 for w in waits.values())
+            # whoever checked out on the release cycle waited zero
+            for cycle, core in span.checkouts:
+                if cycle == span.release_cycle:
+                    assert waits[core] == 0
+
+    def test_outer_region_spans_once_inner_many(self, traced_run):
+        _, tracer = traced_run
+        by_index = {}
+        for span in tracer.spans:
+            by_index.setdefault(span.index, []).append(span)
+        # 'outer' (index 0) barriers once; 'inner' (index 1) once per
+        # loop turn, with sequence numbers counting up from zero
+        assert len(by_index[0]) == 1
+        assert len(by_index[1]) > 1
+        assert [s.sequence for s in by_index[1]] == list(
+            range(len(by_index[1])))
+
+    def test_total_wait_matches_machine_counter(self, traced_run):
+        machine, tracer = traced_run
+        assert tracer.total_wait_cycles() == machine.trace.sync_wait_cycles
+
+    def test_span_addresses_sit_in_checkpoint_array(self, traced_run):
+        _, tracer = traced_run
+        for span in tracer.spans:
+            assert span.address == DEFAULT_SYNC_BASE + span.index
+
+    def test_to_json_round_trip_shape(self, traced_run):
+        _, tracer = traced_run
+        doc = tracer.spans[0].to_json()
+        for key in ("index", "address", "sequence", "start_cycle",
+                    "release_cycle", "arrivals", "checkouts",
+                    "woken_cores", "max_occupancy", "wait_cycles"):
+            assert key in doc
+
+
+class TestLabels:
+    def test_default_label(self, traced_run):
+        _, tracer = traced_run
+        assert tracer.label_of(3) == "sync#3"
+
+    def test_lint_region_labels(self):
+        machine, tracer = traced_machine(with_lint=True)
+        machine.run(max_cycles=100_000)
+        assert "outer" in tracer.label_of(0)
+        assert "inner" in tracer.label_of(1)
+
+    def test_summary_stable_keys(self, traced_run):
+        _, tracer = traced_run
+        summary = tracer.summary()
+        assert set(summary) == {"spans", "open_spans", "wait_cycles_total",
+                                "conflict_events",
+                                "conflict_events_dropped", "checkpoints"}
+        for row in summary["checkpoints"].values():
+            assert set(row) == {"label", "spans", "waits", "wait_p50",
+                                "wait_p90", "wait_max", "wait_total",
+                                "max_occupancy"}
+
+
+class TestConflicts:
+    def test_conflict_bound_counts_overflow(self):
+        machine, tracer = traced_machine(max_conflicts=0)
+        # synthesize conflicts through the listener directly
+        class R:
+            core = 1
+            pc = 7
+        tracer._on_conflict(10, [R()])
+        tracer._on_conflict(11, [R()])
+        assert not tracer.conflicts
+        assert tracer.conflicts_dropped == 2
+        assert tracer.summary()["conflict_events"] == 2
+
+    def test_conflict_event_json(self):
+        machine, tracer = traced_machine()
+        class R:
+            core = 2
+            pc = 9
+        tracer._on_conflict(5, [R()])
+        assert tracer.conflicts[0].to_json() == {
+            "cycle": 5, "cores": [2], "pcs": [9]}
+
+
+class TestConstruction:
+    def test_requires_synchronizer(self):
+        machine = Machine.from_assembly("HALT", WITHOUT_SYNCHRONIZER)
+        with pytest.raises(ValueError, match="synchronizer"):
+            BarrierTracer(machine)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0
+
+    def test_nearest_rank(self):
+        values = [10, 20, 30, 40]
+        assert percentile(values, 0.0) == 10
+        assert percentile(values, 0.5) == 20
+        assert percentile(values, 0.75) == 30
+        assert percentile(values, 1.0) == 40
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)

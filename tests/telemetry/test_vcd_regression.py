@@ -1,0 +1,58 @@
+"""VCD output is engine-independent.
+
+The :class:`~repro.platform.vcd.VcdProbe` now derives ``sync_wake`` and
+per-core sleep state from synchronizer completion events instead of
+re-deriving them from counters every cycle.  Those events fire on the
+reference path whichever engine is active, so a VCD captured with the
+fast engine constructed (it stands down while a probe is attached, but
+its listeners are wired) must match one captured on a machine built
+with ``fast_engine=False`` byte for byte.
+"""
+
+import io
+
+import pytest
+
+from repro.analysis import evaluation_channels
+from repro.kernels import build_program
+from repro.kernels.suite import WITH_SYNC
+from repro.platform import Machine
+from repro.platform.vcd import VcdProbe, parse_vcd_signals
+
+N_SAMPLES = 8
+
+
+def vcd_text(bench: str, *, fast_engine: bool) -> str:
+    channels = evaluation_channels(N_SAMPLES)
+    program = build_program(bench, True)
+    machine = Machine(program, WITH_SYNC.platform_config(len(channels)),
+                      fast_engine=fast_engine)
+    for core, channel in enumerate(channels):
+        machine.dm.load(core * 2048, [v & 0xFFFF for v in channel])
+    from repro.kernels.sqrt32 import N_SAMPLES_ADDRESS
+
+    address = program.symbols.get("g_n_samples", N_SAMPLES_ADDRESS)
+    machine.dm.write(address, len(channels[0]))
+    sink = io.StringIO()
+    machine.attach_probe(VcdProbe(sink))
+    machine.run()
+    return sink.getvalue()
+
+
+@pytest.mark.parametrize("bench", ["MRPDLN", "MRPFLTR"])
+def test_vcd_bit_identical_fast_vs_slow(bench):
+    assert vcd_text(bench, fast_engine=True) == \
+        vcd_text(bench, fast_engine=False)
+
+
+def test_sync_wake_pulses_present():
+    """The event-driven sync_wake signal still pulses on barrier wakes."""
+    text = vcd_text("MRPDLN", fast_engine=False)
+    signals = parse_vcd_signals(text)
+    wake = signals["sync_wake"]
+    assert any(value == 1 for _, value in wake)
+    # every pulse is one cycle wide: a 1 is followed by a 0 change
+    values = [value for _, value in wake]
+    for i, value in enumerate(values[:-1]):
+        if value == 1:
+            assert values[i + 1] == 0
