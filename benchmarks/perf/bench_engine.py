@@ -2,9 +2,13 @@
 """Benchmark the fast simulation engine; write ``BENCH_engine.json``.
 
 Times the reference per-cycle engine against the fast engine
-(predecoded dispatch + lockstep bursts + sleep fast-forward) on the
-paper's Fig. 3 kernels and a duty-cycled streaming node, cross-checking
-trace bit-exactness on every pair.  Run from the repo root:
+(predecoded dispatch + fused superblocks + lockstep/divergent bursts +
+sleep fast-forward) on the paper's Fig. 3 kernels and a duty-cycled
+streaming node, cross-checking trace bit-exactness on every pair.  Every
+workload row records its superblock coverage (``fused_cycles`` /
+``block_coverage``); the process fails if any pair diverges, any
+workload runs slower than the reference, or fusion fails to engage on
+the lockstep-heavy kernels.  Run from the repo root:
 
     PYTHONPATH=src python benchmarks/perf/bench_engine.py
     PYTHONPATH=src python benchmarks/perf/bench_engine.py --quick
@@ -63,11 +67,29 @@ def main(argv=None) -> int:
           f"{summary['geomean_kernels']}x")
     print(f"streaming speedup:                   "
           f"{summary['streaming_speedup']}x")
+    print(f"slowest workload:                    "
+          f"{summary['min_speedup']}x")
     print(f"all pairs bit-exact:                 {summary['all_exact']}")
 
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output}")
-    return 0 if summary["all_exact"] else 1
+
+    failures = []
+    if not summary["all_exact"]:
+        failures.append("a fast/reference pair diverged (exact: false)")
+    for row in payload["workloads"]:
+        if row["speedup"] < 1.0:
+            failures.append(
+                f"{row['name']} {row['design']} ran slower than the "
+                f"reference ({row['speedup']}x)")
+        if (row["name"] in ("MRPFLTR", "MRPDLN")
+                and not row["fused_blocks"]):
+            failures.append(
+                f"superblock fusion never engaged on {row['name']} "
+                f"{row['design']}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

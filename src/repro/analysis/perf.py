@@ -82,10 +82,19 @@ class WorkloadResult:
     reference_seconds: float
     fast_seconds: float
     exact: bool
+    fast_cycles: int = 0
+    fused_blocks: int = 0
+    fused_cycles: int = 0
+    deopt_count: int = 0
 
     @property
     def speedup(self) -> float:
         return self.reference_seconds / self.fast_seconds
+
+    @property
+    def block_coverage(self) -> float:
+        """Fraction of simulated cycles retired through fused blocks."""
+        return self.fused_cycles / self.cycles if self.cycles else 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -96,6 +105,11 @@ class WorkloadResult:
             "fast_seconds": round(self.fast_seconds, 4),
             "speedup": round(self.speedup, 2),
             "exact": self.exact,
+            "fast_cycles": self.fast_cycles,
+            "fused_blocks": self.fused_blocks,
+            "fused_cycles": self.fused_cycles,
+            "deopt_count": self.deopt_count,
+            "block_coverage": round(self.block_coverage, 4),
         }
 
 
@@ -127,8 +141,13 @@ def _kernel_result(bench: str, design_name: str, channels,
         repeats)
     exact = (ref.trace.as_dict() == fast.trace.as_dict()
              and ref.outputs == fast.outputs)
+    stats = fast.machine.engine_stats
     return WorkloadResult(bench, design_name, fast.cycles,
-                          ref_s, fast_s, exact)
+                          ref_s, fast_s, exact,
+                          fast_cycles=stats.fast_cycles,
+                          fused_blocks=stats.fused_blocks,
+                          fused_cycles=stats.fused_cycles,
+                          deopt_count=stats.deopt_count)
 
 
 def run_streaming(n_samples: int, *, period: int = STREAMING_PERIOD,
@@ -154,8 +173,13 @@ def _streaming_result(n_samples: int, period: int,
         repeats)
     exact = (ref.trace.as_dict() == fast.trace.as_dict()
              and ref.dm.words == fast.dm.words)
+    stats = fast.engine_stats
     return WorkloadResult("STREAMING-EMA", "with-sync", fast.trace.cycles,
-                          ref_s, fast_s, exact)
+                          ref_s, fast_s, exact,
+                          fast_cycles=stats.fast_cycles,
+                          fused_blocks=stats.fused_blocks,
+                          fused_cycles=stats.fused_cycles,
+                          deopt_count=stats.deopt_count)
 
 
 def engine_benchmark(*, samples: int = 64, streaming_samples: int = 256,
@@ -179,7 +203,9 @@ def engine_benchmark(*, samples: int = 64, streaming_samples: int = 256,
                     f"{result.cycles:9d} cycles  "
                     f"ref {result.reference_seconds:6.2f}s  "
                     f"fast {result.fast_seconds:6.2f}s  "
-                    f"{result.speedup:5.2f}x  exact={result.exact}")
+                    f"{result.speedup:5.2f}x  "
+                    f"fused={result.block_coverage:4.0%}  "
+                    f"exact={result.exact}")
     streaming = _streaming_result(streaming_samples, streaming_period,
                                   repeats)
     results.append(streaming)
@@ -188,7 +214,9 @@ def engine_benchmark(*, samples: int = 64, streaming_samples: int = 256,
             f"{streaming.cycles:9d} cycles  "
             f"ref {streaming.reference_seconds:6.2f}s  "
             f"fast {streaming.fast_seconds:6.2f}s  "
-            f"{streaming.speedup:5.2f}x  exact={streaming.exact}")
+            f"{streaming.speedup:5.2f}x  "
+            f"fused={streaming.block_coverage:4.0%}  "
+            f"exact={streaming.exact}")
 
     with_sync = [r for r in results
                  if r.design == "with-sync" and r.name != "STREAMING-EMA"]
@@ -207,6 +235,7 @@ def engine_benchmark(*, samples: int = 64, streaming_samples: int = 256,
             "geomean_kernels": round(
                 geomean(r.speedup for r in kernels), 2),
             "streaming_speedup": round(streaming.speedup, 2),
+            "min_speedup": round(min(r.speedup for r in results), 2),
             "all_exact": all(r.exact for r in results),
         },
     }

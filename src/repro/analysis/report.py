@@ -49,6 +49,48 @@ def synclint_section() -> str:
     return "\n".join(lines)
 
 
+def engine_section(n_samples: int = 64) -> str:
+    """Fast-engine engagement for every reference simulation.
+
+    Re-issues the reference requests — cache hits after
+    :func:`~repro.analysis.experiments.reference_runs` — and digests the
+    ``engine`` counters each payload records: how much of the simulated
+    time ran on the lockstep/divergent/sleep fast paths, what fraction
+    was retired through fused superblocks, and how often a guard
+    deoptimized back to the reference ``step()``.
+    """
+    from ..exec import RunRequest
+    from ..kernels import WITH_SYNC, WITHOUT_SYNC
+    from .experiments import DEFAULT_SEED, default_executor
+
+    executor = default_executor()
+    requests = [
+        RunRequest(benchmark=name, design=design, n_samples=n_samples,
+                   seed=DEFAULT_SEED)
+        for name in ("MRPFLTR", "SQRT32", "MRPDLN")
+        for design in (WITH_SYNC, WITHOUT_SYNC)
+    ]
+    lines = [f"  {'benchmark':10s} {'design':14s} {'fast':>6s} "
+             f"{'fused':>6s} {'blocks':>7s} {'deopts':>7s}"]
+    for outcome in executor.run(requests):
+        payload = outcome.payload or {}
+        engine = payload.get("engine") or {}
+        trace = (payload.get("run") or {}).get("trace") or {}
+        cycles = trace.get("cycles") or 0
+        request = outcome.request
+
+        def pct(value):
+            return f"{value / cycles:6.1%}" if cycles else f"{'-':>6s}"
+
+        lines.append(
+            f"  {request.benchmark:10s} {request.design.name:14s} "
+            f"{pct(engine.get('fast_cycles', 0))} "
+            f"{pct(engine.get('fused_cycles', 0))} "
+            f"{engine.get('fused_blocks', 0):7d} "
+            f"{engine.get('deopt_count', 0):7d}")
+    return "\n".join(lines)
+
+
 def telemetry_section(n_samples: int = 64) -> str:
     """Barrier-span telemetry for every with-sync benchmark.
 
@@ -122,6 +164,8 @@ def full_report(n_samples: int = 64) -> str:
         ("E7 — savings without voltage scaling",
          format_novscale(models)),
         ("Energy per operation (derived)", format_energy(models)),
+        ("Fast-engine engagement (superblocks and burst regimes)",
+         engine_section(n_samples)),
         ("Sync-discipline verification (synclint)", synclint_section()),
         ("Barrier telemetry (per-checkpoint wait distribution)",
          telemetry_section(n_samples)),

@@ -204,8 +204,10 @@ def cmd_trace(args) -> int:
           f"{len(tracer.spans)} barrier spans over "
           f"{machine.trace.cycles} cycles")
     print(f"fast engine {'engaged' if stats.engaged else 'stood down'}: "
-          f"{stats.lockstep_cycles} lockstep + {stats.sleep_cycles} "
-          f"sleep cycles on fast paths")
+          f"{stats.lockstep_cycles} lockstep + {stats.divergent_cycles} "
+          f"divergent + {stats.sleep_cycles} sleep cycles on fast paths")
+    print(f"  superblocks: {stats.fused_cycles} cycles fused over "
+          f"{stats.fused_blocks} blocks, {stats.deopt_count} deopts")
     for index, row in sorted(snapshot["barriers"]["checkpoints"].items(),
                              key=lambda kv: int(kv[0])):
         print(f"  {row['label']:32s} {row['spans']:5d} spans  "

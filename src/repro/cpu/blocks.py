@@ -1,0 +1,440 @@
+"""Superblock fusion: straight-line runs compiled into single closures.
+
+The predecode layer (:mod:`repro.cpu.predecode`) removes per-instruction
+*discovery* cost, but the fast engine still pays one Python closure call
+— argument tuple, frame, attribute traffic on the ``CoreState`` — per
+instruction per core.  For a fixed image the *sequence* of instructions
+between control-flow/memory boundaries is just as invariant as each
+instruction, so this module compiles every maximal straight-line run
+into one **fused function** via ``compile()``/``exec`` codegen:
+
+- registers and flags the block touches are loaded into Python locals
+  once, updated locally by the inlined per-instruction statements, and
+  stored back once at the end;
+- the PC is written exactly once (the fall-through address for pure
+  sequential blocks, or by the inlined terminator);
+- the generated statements are literal transcriptions of the predecode
+  closures' semantics, so a fused call is bit-identical to running the
+  constituent closures back to back (guarded by
+  ``tests/cpu/test_blocks.py``, which checks every fusable opcode
+  differentially on randomized core states).
+
+**Block discovery rules** (following the ``KIND_*`` dispatch classes):
+a block is a maximal run of ``KIND_SEQ`` instructions, optionally ended
+by exactly one ``KIND_JUMP`` or ``KIND_DIVERGE`` terminator (JMP/CALL/
+BCC/JR/CALLR/RETI — inlined, since they only move the PC/LR).  A block
+*never* crosses ``KIND_MEM`` (needs D-Xbar arbitration), ``KIND_SYNC``
+(needs the synchronizer), ``KIND_STOP`` (changes the core's mode), or a
+``MFSR``/``MTSR`` with an invalid special-register index (must raise
+mid-stream exactly like the reference).  Blocks shorter than
+:data:`MIN_BLOCK` are not worth a guard check and stay on the
+per-instruction path; blocks are capped at :data:`MAX_BLOCK` to bound
+generated-source size.
+
+The **cycle cost** of a fused block equals its instruction count — the
+engine only calls one when that many lockstep broadcast cycles (or
+single-core fetch cycles) are provably uninterrupted, and bulk-credits
+the :class:`~repro.platform.trace.ActivityTrace` counters for the whole
+run; see ``FastEngine._lockstep_burst``.
+
+Compiled blocks are cached **per image digest** (:func:`table_for`,
+keyed on :meth:`Program.digest` — the same content hash the sweep
+result cache uses), so every machine running the same built image
+shares one :class:`BlockTable`, across sweeps and repeated benchmark
+constructions alike.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import NamedTuple
+
+from ..isa.spec import Cond, Opcode, ShiftOp, SpecialReg, SysOp
+from .predecode import KIND_DIVERGE, KIND_JUMP, KIND_SEQ, _SREG_ATTR
+
+MASK = 0xFFFF
+SIGN = 0x8000
+
+#: a fused block must cover at least this many instructions — a shorter
+#: run gains nothing over per-instruction closure dispatch.
+MIN_BLOCK = 2
+#: longest fused run (bounds generated-source size and compile latency).
+MAX_BLOCK = 64
+
+
+class FusedBlock(NamedTuple):
+    """One compiled superblock.
+
+    :param run: ``run(core)`` — applies the whole block to one core.
+    :param length: instructions covered == cycles the block consumes.
+    :param end_kind: ``KIND_SEQ`` (fell through), ``KIND_JUMP`` (uniform
+        target) or ``KIND_DIVERGE`` (per-core target) — what the engine
+        must re-check after calling ``run``.
+    :param source: the generated Python source (for tests/debugging).
+    """
+
+    run: object
+    length: int
+    end_kind: int
+    source: str
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+class _Writer:
+    """Accumulates the body statements and the touched-state sets."""
+
+    def __init__(self):
+        self.body: list[str] = []
+        self.regs: set[int] = set()      # loaded into locals
+        self.written: set[int] = set()   # stored back
+        self.flags: set[str] = set()     # loaded *and* stored back
+
+    def emit(self, line: str) -> None:
+        self.body.append("    " + line)
+
+    def reg(self, index: int, *, write: bool = False) -> str:
+        self.regs.add(index)
+        if write:
+            self.written.add(index)
+        return f"r{index}"
+
+    def zn(self) -> None:
+        """The shared Z/N update every ALU op performs on ``_v``."""
+        self.flags.update(("z", "n"))
+        self.emit("fz = 1 if _v == 0 else 0")
+        self.emit("fn = 1 if _v & 32768 else 0")
+
+
+def _emit_add(w: _Writer, rd: int, rs: int, b_expr: str, carry: bool) -> None:
+    w.flags.update(("z", "n", "c", "v"))
+    w.emit(f"_a = {w.reg(rs)}")
+    w.emit(f"_b = {b_expr}")
+    w.emit("_t = _a + _b + fc" if carry else "_t = _a + _b")
+    w.emit("_v = _t & 65535")
+    w.emit(f"{w.reg(rd, write=True)} = _v")
+    w.emit("fz = 1 if _v == 0 else 0")
+    w.emit("fn = 1 if _v & 32768 else 0")
+    w.emit("fc = 1 if _t > 65535 else 0")
+    w.emit("fv = 1 if not (_a ^ _b) & 32768 and (_a ^ _v) & 32768 else 0")
+
+
+def _emit_sub(w: _Writer, rd: int | None, rs_a: int, b_expr: str,
+              borrow: bool) -> None:
+    w.flags.update(("z", "n", "c", "v"))
+    w.emit(f"_a = {w.reg(rs_a)}")
+    w.emit(f"_b = {b_expr}")
+    w.emit("_t = _a - _b - 1 + fc" if borrow else "_t = _a - _b")
+    w.emit("_v = _t & 65535")
+    if rd is not None:
+        w.emit(f"{w.reg(rd, write=True)} = _v")
+    w.emit("fz = 1 if _v == 0 else 0")
+    w.emit("fn = 1 if _v & 32768 else 0")
+    w.emit("fc = 1 if _t >= 0 else 0")
+    w.emit("fv = 1 if (_a ^ _b) & 32768 and (_a ^ _v) & 32768 else 0")
+
+
+def _emit_logic(w: _Writer, rd: int, rs: int, rt: int, op: str) -> None:
+    w.emit(f"_v = {w.reg(rs)} {op} {w.reg(rt)}")
+    w.emit(f"{w.reg(rd, write=True)} = _v")
+    w.zn()
+
+
+def _emit_reg_shift(w: _Writer, ins, kind: ShiftOp) -> None:
+    # Register-amount shifts write C only when the amount is non-zero, so
+    # C is in the touched set as a *load* even when this block never
+    # takes the writing branch.
+    w.flags.add("c")
+    w.emit(f"_a = {w.reg(ins.rs)}")
+    w.emit(f"_n = {w.reg(ins.rt)} & 15")
+    w.emit("if _n:")
+    if kind is ShiftOp.SLLI:
+        w.emit("    _s = _a << _n")
+        w.emit("    _v = _s & 65535")
+        w.emit("    fc = 1 if _s & 65536 else 0")
+    elif kind is ShiftOp.SRLI:
+        w.emit("    _v = _a >> _n")
+        w.emit("    fc = (_a >> (_n - 1)) & 1")
+    else:
+        w.emit("    _s = _a - 65536 if _a & 32768 else _a")
+        w.emit("    _v = (_s >> _n) & 65535")
+        w.emit("    fc = (_s >> (_n - 1)) & 1")
+    w.emit("else:")
+    w.emit("    _v = _a")
+    w.emit(f"{w.reg(ins.rd, write=True)} = _v")
+    w.zn()
+
+
+def _emit_imm_shift(w: _Writer, ins) -> None:
+    kind = ShiftOp(ins.sub)
+    n = ins.imm & 0xF
+    rd = ins.rd
+    if n == 0:
+        # value = a, register unchanged, C untouched; only Z/N update.
+        w.emit(f"_v = {w.reg(rd)}")
+        w.zn()
+        return
+    w.flags.add("c")
+    if kind is ShiftOp.SLLI:
+        w.emit(f"_s = {w.reg(rd)} << {n}")
+        w.emit("_v = _s & 65535")
+        w.emit("fc = 1 if _s & 65536 else 0")
+    elif kind is ShiftOp.SRLI:
+        w.emit(f"_a = {w.reg(rd)}")
+        w.emit(f"_v = _a >> {n}")
+        w.emit(f"fc = (_a >> {n - 1}) & 1")
+    else:
+        w.emit(f"_a = {w.reg(rd)}")
+        w.emit("_s = _a - 65536 if _a & 32768 else _a")
+        w.emit(f"_v = (_s >> {n}) & 65535")
+        w.emit(f"fc = (_s >> {n - 1}) & 1")
+    w.emit(f"{w.reg(rd, write=True)} = _v")
+    w.zn()
+
+
+def _emit_seq(w: _Writer, ins) -> bool:
+    """Inline one ``KIND_SEQ`` instruction; False if it cannot be fused."""
+    op = ins.op
+    if op is Opcode.ADD:
+        _emit_add(w, ins.rd, ins.rs, w.reg(ins.rt), carry=False)
+    elif op is Opcode.ADC:
+        _emit_add(w, ins.rd, ins.rs, w.reg(ins.rt), carry=True)
+    elif op is Opcode.ADDI:
+        _emit_add(w, ins.rd, ins.rs, str(ins.imm & MASK), carry=False)
+    elif op is Opcode.SUB:
+        _emit_sub(w, ins.rd, ins.rs, w.reg(ins.rt), borrow=False)
+    elif op is Opcode.SBC:
+        _emit_sub(w, ins.rd, ins.rs, w.reg(ins.rt), borrow=True)
+    elif op is Opcode.CMP:
+        _emit_sub(w, None, ins.rd, w.reg(ins.rs), borrow=False)
+    elif op is Opcode.CMPI:
+        _emit_sub(w, None, ins.rd, str(ins.imm & MASK), borrow=False)
+    elif op is Opcode.AND:
+        _emit_logic(w, ins.rd, ins.rs, ins.rt, "&")
+    elif op is Opcode.OR:
+        _emit_logic(w, ins.rd, ins.rs, ins.rt, "|")
+    elif op is Opcode.XOR:
+        _emit_logic(w, ins.rd, ins.rs, ins.rt, "^")
+    elif op is Opcode.MUL:
+        w.emit(f"_v = ({w.reg(ins.rs)} * {w.reg(ins.rt)}) & 65535")
+        w.emit(f"{w.reg(ins.rd, write=True)} = _v")
+        w.zn()
+    elif op is Opcode.MULH:
+        w.emit(f"_a = {w.reg(ins.rs)}")
+        w.emit(f"_b = {w.reg(ins.rt)}")
+        w.emit("_a = _a - 65536 if _a & 32768 else _a")
+        w.emit("_b = _b - 65536 if _b & 32768 else _b")
+        w.emit("_v = ((_a * _b) >> 16) & 65535")
+        w.emit(f"{w.reg(ins.rd, write=True)} = _v")
+        w.zn()
+    elif op is Opcode.SLL:
+        _emit_reg_shift(w, ins, ShiftOp.SLLI)
+    elif op is Opcode.SRL:
+        _emit_reg_shift(w, ins, ShiftOp.SRLI)
+    elif op is Opcode.SRA:
+        _emit_reg_shift(w, ins, ShiftOp.SRAI)
+    elif op is Opcode.SHI:
+        _emit_imm_shift(w, ins)
+    elif op is Opcode.MOV:
+        w.emit(f"{w.reg(ins.rd, write=True)} = {w.reg(ins.rs)}")
+    elif op is Opcode.LDI:
+        w.emit(f"{w.reg(ins.rd, write=True)} = {ins.imm & MASK}")
+    elif op is Opcode.LUI:
+        w.emit(f"{w.reg(ins.rd, write=True)} = {(ins.imm << 8) & MASK}")
+    elif op is Opcode.ORI:
+        w.emit(f"{w.reg(ins.rd, write=True)} = "
+               f"{w.reg(ins.rd)} | {ins.imm & 0xFF}")
+    elif op is Opcode.MFSR:
+        try:
+            attr = _SREG_ATTR[SpecialReg(ins.imm)]
+        except ValueError:
+            return False    # raises mid-stream: must stay on step()
+        w.emit(f"{w.reg(ins.rd, write=True)} = core.{attr}")
+    elif op is Opcode.MTSR:
+        try:
+            sr = SpecialReg(ins.imm)
+        except ValueError:
+            return False    # raises mid-stream: must stay on step()
+        if sr not in (SpecialReg.COREID, SpecialReg.NCORES):
+            # hard-wired registers ignore writes (still costs the cycle)
+            w.emit(f"core.{_SREG_ATTR[sr]} = {w.reg(ins.rs)} & 65535")
+    elif op is Opcode.SYS:
+        sub = ins.sub
+        if sub == SysOp.NOP:
+            pass                                    # costs the cycle only
+        elif sub == SysOp.EI:
+            w.emit("core.status = core.status | 1")
+        elif sub == SysOp.DI:
+            w.emit("core.status = core.status & 65534")
+        else:
+            return False    # HALT/SLEEP/RETI/bad sub are not KIND_SEQ
+    else:
+        return False
+    return True
+
+
+#: branch-taken expressions over the flag locals, per condition
+_BCC_EXPR = {
+    Cond.EQ: "fz",
+    Cond.NE: "not fz",
+    Cond.LT: "fn != fv",
+    Cond.GE: "fn == fv",
+    Cond.LE: "fz or fn != fv",
+    Cond.GT: "not fz and fn == fv",
+    Cond.LTU: "not fc",
+    Cond.GEU: "fc",
+}
+
+_BCC_FLAGS = {
+    Cond.EQ: ("z",), Cond.NE: ("z",),
+    Cond.LT: ("n", "v"), Cond.GE: ("n", "v"),
+    Cond.LE: ("z", "n", "v"), Cond.GT: ("z", "n", "v"),
+    Cond.LTU: ("c",), Cond.GEU: ("c",),
+}
+
+
+def _emit_terminator(w: _Writer, ins, pc: int) -> None:
+    """Inline the block-ending control transfer at address ``pc``."""
+    op = ins.op
+    if op is Opcode.BCC:
+        w.flags.update(_BCC_FLAGS[ins.cond])
+        w.emit(f"core.pc = {pc + ins.imm + 1} "
+               f"if {_BCC_EXPR[ins.cond]} else {pc + 1}")
+    elif op is Opcode.JMP:
+        w.emit(f"core.pc = {ins.imm}")
+    elif op is Opcode.CALL:
+        w.emit(f"{w.reg(7, write=True)} = {(pc + 1) & MASK}")
+        w.emit(f"core.pc = {ins.imm}")
+    elif op is Opcode.JR:
+        w.emit(f"core.pc = {w.reg(ins.rs)}")
+    elif op is Opcode.CALLR:
+        # LR write happens *before* the target read, so CALLR R7 jumps
+        # to the new LR — the locals give the same order for free.
+        w.emit(f"{w.reg(7, write=True)} = {(pc + 1) & MASK}")
+        w.emit(f"core.pc = {w.reg(ins.rs)}")
+    else:                                           # SYS RETI
+        w.emit("core.pc = core.epc")
+        w.emit("core.status = core.status | 1")
+
+
+def _render(w: _Writer, start: int, length: int, end_kind: int) -> str:
+    lines = ["def run(core):"]
+    touched = sorted(w.regs)
+    if touched:
+        lines.append("    regs = core.regs")
+    for index in touched:
+        lines.append(f"    r{index} = regs[{index}]")
+    for flag in sorted(w.flags):
+        lines.append(f"    f{flag} = core.flag_{flag}")
+    lines.extend(w.body)
+    if end_kind == KIND_SEQ:
+        lines.append(f"    core.pc = {start + length}")
+    for index in sorted(w.written):
+        lines.append(f"    regs[{index}] = r{index}")
+    for flag in sorted(w.flags):
+        lines.append(f"    core.flag_{flag} = f{flag}")
+    return "\n".join(lines) + "\n"
+
+
+def compile_block(decoded: list, start: int) -> FusedBlock | None:
+    """Compile the superblock beginning at IM address ``start``.
+
+    ``decoded`` is the program's predecoded record list (index ==
+    address).  Returns ``None`` when no fusable run of at least
+    :data:`MIN_BLOCK` instructions begins there.
+    """
+    im_len = len(decoded)
+    if start >= im_len:
+        return None
+    w = _Writer()
+    length = 0
+    end_kind = KIND_SEQ
+    pc = start
+    while pc < im_len and length < MAX_BLOCK:
+        kind = decoded[pc][0]
+        ins = decoded[pc][2]
+        if kind == KIND_SEQ:
+            if not _emit_seq(w, ins):
+                break
+            length += 1
+            pc += 1
+            continue
+        if kind in (KIND_JUMP, KIND_DIVERGE) and length >= 1:
+            _emit_terminator(w, ins, pc)
+            length += 1
+            end_kind = kind
+        break
+    if length < MIN_BLOCK:
+        return None
+    source = _render(w, start, length, end_kind)
+    namespace: dict = {}
+    exec(compile(source, f"<fused@{start}+{length}>", "exec"), namespace)
+    return FusedBlock(namespace["run"], length, end_kind, source)
+
+
+# ---------------------------------------------------------------------------
+# Per-image block tables and the digest-keyed cache
+# ---------------------------------------------------------------------------
+
+class BlockTable:
+    """Lazily-compiled fused blocks for one program image.
+
+    Blocks are compiled on first request per start address (the engine
+    only ever asks for addresses it is about to execute, so cold code
+    costs nothing) and memoized in :attr:`blocks` — ``None`` entries
+    mean "no fusable block starts here", so the engine's dict probe is
+    a single lookup either way.
+    """
+
+    __slots__ = ("digest", "blocks", "_decoded")
+
+    def __init__(self, decoded: list, digest: str | None = None):
+        self.digest = digest
+        self._decoded = decoded
+        #: start address -> FusedBlock | None, filled lazily
+        self.blocks: dict[int, FusedBlock | None] = {}
+
+    def at(self, start: int) -> FusedBlock | None:
+        """The fused block starting at ``start`` (compiling if needed)."""
+        try:
+            return self.blocks[start]
+        except KeyError:
+            block = compile_block(self._decoded, start)
+            self.blocks[start] = block
+            return block
+
+    def compiled(self) -> int:
+        """Number of distinct fused blocks compiled so far."""
+        return sum(1 for block in self.blocks.values() if block is not None)
+
+
+#: digest -> BlockTable, LRU-bounded.  Sized for sweeps: one entry per
+#: distinct built image, and a whole ablation grid uses well under this.
+_TABLE_LIMIT = 64
+_tables: "OrderedDict[str, BlockTable]" = OrderedDict()
+
+
+def table_for(program) -> BlockTable:
+    """The shared :class:`BlockTable` for ``program``'s built image.
+
+    Keyed on :meth:`Program.digest`, so two independently-built but
+    bit-identical images (e.g. the same kernel compiled in two sweep
+    processes' requests) share one compiled table, and any image change
+    lands on a fresh key — the cache can never serve stale blocks.
+    Falls back to a private, unshared table if the image cannot be
+    encoded (synthetic test programs).
+    """
+    try:
+        digest = program.digest()
+    except Exception:
+        return BlockTable(program.predecoded(), None)
+    table = _tables.get(digest)
+    if table is None:
+        if len(_tables) >= _TABLE_LIMIT:
+            _tables.popitem(last=False)
+        table = _tables[digest] = BlockTable(program.predecoded(), digest)
+    else:
+        _tables.move_to_end(digest)
+    return table

@@ -36,7 +36,8 @@ from ..kernels.suite import build_program
 from ..platform import PlatformConfig
 
 #: cache-entry / payload schema; bump on incompatible layout changes
-SCHEMA = 1
+#: (2: added the ``engine`` fast-path engagement counters)
+SCHEMA = 2
 
 DEFAULT_SAMPLES = 64
 DEFAULT_SEED = 2013
@@ -213,16 +214,14 @@ def resolve_channels(request: RunRequest) -> list[list[int]]:
 # ---------------------------------------------------------------------------
 
 def program_digest(program: Program) -> str:
-    """Content hash of a built image: code, data, symbols, entry."""
-    h = hashlib.sha256()
-    h.update(program.to_binary())
-    h.update(f"entry={program.entry};".encode())
-    for block in program.data:
-        h.update(f"@{block.address}:".encode())
-        h.update(",".join(map(str, block.values)).encode())
-    for name, address in sorted(program.symbols.items()):
-        h.update(f"{name}={address};".encode())
-    return h.hexdigest()
+    """Content hash of a built image: code, data, symbols, entry.
+
+    Thin wrapper over :meth:`Program.digest` (which owns the hash and
+    caches it per image) — the same key the fused-superblock cache
+    (:mod:`repro.cpu.blocks`) uses, so one digest computation serves
+    both the result cache and the block cache.
+    """
+    return program.digest()
 
 
 def request_digest(request: RunRequest, *, version: str | None = None) -> str:
@@ -311,10 +310,14 @@ def execute_request(request: RunRequest, *,
         if request.verify:
             golden_match = (run.outputs
                             == golden_outputs(request.benchmark, channels))
+    engine = None
+    if run.machine is not None and request.fast_engine:
+        engine = run.machine.engine_stats.as_dict()
     return {
         "schema": SCHEMA,
         "version": __version__,
         "run": run.to_json(),
+        "engine": engine,
         "sync_points": sync_points,
         "golden_match": golden_match,
         "elapsed": round(time.perf_counter() - start, 6),

@@ -8,6 +8,7 @@ platform loader consumes them.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass, field
 
@@ -54,6 +55,9 @@ class Program:
     #: machine running this image shares one compilation.
     _decode_cache: list | None = field(default=None, repr=False,
                                        compare=False)
+    #: lazily-computed content digest (see :meth:`digest`)
+    _digest_cache: str | None = field(default=None, repr=False,
+                                      compare=False)
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -83,6 +87,27 @@ class Program:
 
             self._decode_cache = predecode(self.instructions)
         return self._decode_cache
+
+    def digest(self) -> str:
+        """Content hash of the built image: code bits, entry, data, symbols.
+
+        Two programs with equal digests load identically into platform
+        memories, so anything derived purely from the image — predecoded
+        records, fused superblocks, cached sweep results — may be shared
+        between them.  Cached after the first call (images are treated as
+        immutable once loaded).
+        """
+        if self._digest_cache is None:
+            h = hashlib.sha256()
+            h.update(self.to_binary())
+            h.update(f"entry={self.entry};".encode())
+            for block in self.data:
+                h.update(f"@{block.address}:".encode())
+                h.update(",".join(map(str, block.values)).encode())
+            for name, address in sorted(self.symbols.items()):
+                h.update(f"{name}={address};".encode())
+            self._digest_cache = h.hexdigest()
+        return self._digest_cache
 
     def to_binary(self) -> bytes:
         """Encode the instruction stream as little-endian 16-bit words."""

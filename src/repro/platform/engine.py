@@ -17,6 +17,27 @@ the entire run of such instructions in a tight loop and credits the
 activity counters in one batched update — the software mirror of a
 broadcast fetch serving all cores from a single IM bank read.
 
+**Superblock fusion** — inside a burst the engine still pays one closure
+call per instruction per core.  :mod:`repro.cpu.blocks` compiles every
+straight-line run (ending at jump/branch/memory boundaries) into one
+fused function, so a burst advances whole blocks at a time: one fused
+call per running core covers the block's cycles, with the activity
+counters bulk-credited for the run.  A fused call is only made when the
+burst has already proven that many uninterrupted cycles (PC uniform, no
+pending IRQ/sync/memory work, horizon clearance); any guard failure
+**deoptimizes** to the reference ``step()`` for that cycle, counted in
+:attr:`EngineStats.deopt_count`.
+
+**Divergent bursts** — when running cores sit at *different* PCs (or IM
+broadcast is off), the reference serializes fetches through per-bank
+rotating arbitration: one winner group per cycle, everyone else stalls.
+That regime is just as invariant as lockstep while nothing external is
+pending, so :meth:`FastEngine._divergent_burst` replays the I-Xbar
+arbitration cycle by cycle — winner pick, broadcast group, priority
+rotation, conflict/stall accounting — without the reference path's
+per-cycle scans.  This is what keeps fully-divergent workloads (SQRT32)
+*faster* than pure stepping instead of at parity.
+
 **Sleep fast-forward** — duty-cycled streaming nodes sleep for hundreds of
 cycles between ADC interrupts.  When no core is running and only a timer
 or a scheduled interrupt can change machine state, the engine jumps
@@ -24,13 +45,13 @@ or a scheduled interrupt can change machine state, the engine jumps
 bulk-credits the sleep/halt counters, instead of ticking the idle
 platform one cycle at a time.
 
-Both paths are cycle-exact: every counter in the
+All paths are cycle-exact: every counter in the
 :class:`~repro.platform.trace.ActivityTrace`, every register and every
 memory word ends up bit-for-bit identical to pure ``step()`` stepping
 (guarded by ``tests/platform/test_engine_differential.py``).  Whenever a
-precondition fails — probes attached, divergent PCs, outstanding memory
-or synchronizer work, pending interrupts, broadcast disabled — the engine
-degrades to the reference ``step()`` for that cycle.
+precondition fails — probes attached, outstanding memory or synchronizer
+work, pending interrupts, mode changes — the engine degrades to the
+reference ``step()`` for that cycle.
 """
 
 from __future__ import annotations
@@ -42,10 +63,13 @@ from ..cpu.state import CoreMode
 
 INFINITY = float("inf")
 
-#: after a failed fast-path probe, this many reference cycles are stepped
-#: before probing again (doubling per consecutive failure up to the cap).
-#: Keeps the probe overhead negligible on divergent workloads while
-#: re-engaging within a few cycles once lockstep re-forms.
+#: consecutive failed fast-path probes back off exponentially: the first
+#: failure is free (a probe is a handful of attribute checks — far
+#: cheaper than one reference cycle — and the cycle after a barrier RMW
+#: or IRQ delivery is usually burstable again), then 1, 2, 4, ...
+#: reference cycles are stepped between probes up to this cap.  The cap
+#: only matters in step()-owned stretches the bursts cannot enter at
+#: all (held memory conflicts, back-to-back IRQ delivery).
 _MAX_BACKOFF = 16
 
 
@@ -65,25 +89,45 @@ class EngineStats:
 
     lockstep_bursts: int = 0
     lockstep_cycles: int = 0
+    divergent_bursts: int = 0
+    divergent_cycles: int = 0
     sleep_skips: int = 0
     sleep_cycles: int = 0
+    #: fused superblock executions (one per block per burst engagement,
+    #: regardless of how many cores ran the fused call)
+    fused_blocks: int = 0
+    #: cycles covered by fused blocks (a subset of ``lockstep_cycles``)
+    fused_cycles: int = 0
+    #: bursts abandoned to the reference ``step()`` by a guard check —
+    #: a STOP/SYNC instruction, a memory pattern that may lose D-Xbar
+    #: arbitration, an off-image or multi-bank PC.  Burst endings that
+    #: need no reference fallback (horizon, convergence, divergence)
+    #: are not deopts.
+    deopt_count: int = 0
 
     @property
     def fast_cycles(self) -> int:
         """Cycles consumed by the fast paths (the rest were ``step()``)."""
-        return self.lockstep_cycles + self.sleep_cycles
+        return self.lockstep_cycles + self.divergent_cycles \
+            + self.sleep_cycles
 
     @property
     def engaged(self) -> bool:
         """True when at least one fast path fired during the run."""
-        return bool(self.lockstep_bursts or self.sleep_skips)
+        return bool(self.lockstep_bursts or self.divergent_bursts
+                    or self.sleep_skips)
 
     def as_dict(self) -> dict:
         return {
             "lockstep_bursts": self.lockstep_bursts,
             "lockstep_cycles": self.lockstep_cycles,
+            "divergent_bursts": self.divergent_bursts,
+            "divergent_cycles": self.divergent_cycles,
             "sleep_skips": self.sleep_skips,
             "sleep_cycles": self.sleep_cycles,
+            "fused_blocks": self.fused_blocks,
+            "fused_cycles": self.fused_cycles,
+            "deopt_count": self.deopt_count,
             "fast_cycles": self.fast_cycles,
             "engaged": self.engaged,
         }
@@ -114,7 +158,7 @@ class FastEngine:
         step = machine.step
         fast = machine.fast_engine and not machine._probes
         backoff = 0           # slow cycles left before the next probe
-        penalty = 1           # backoff charged by the next failed probe
+        penalty = 0           # backoff charged by the next failed probe
         while True:
             if fast:
                 if backoff:
@@ -123,10 +167,12 @@ class FastEngine:
                     before = trace.cycles
                     self._advance(limit)
                     if trace.cycles != before:
-                        penalty = 1
+                        penalty = 0
                     else:
                         backoff = penalty
-                        if penalty < _MAX_BACKOFF:
+                        if penalty == 0:
+                            penalty = 1
+                        elif penalty < _MAX_BACKOFF:
                             penalty += penalty
             if trace.cycles >= limit:
                 if not raise_on_limit:
@@ -166,14 +212,24 @@ class FastEngine:
             if not running:
                 self._sleep_fast_forward(limit)
                 return
-            if not machine.config.im_broadcast:
-                return
             pc = running[0].pc
+            uniform = True
             for core in running:
                 if core.pc != pc:
+                    uniform = False
+                    break
+            if uniform and (len(running) == 1
+                            or machine.config.im_broadcast):
+                # One PC through the broadcast I-Xbar — or a single
+                # requester, which wins its bank unconditionally even
+                # without broadcast.
+                if not self._lockstep_burst(running, pc, limit):
                     return
-            if not self._lockstep_burst(running, pc, limit):
-                return
+            else:
+                # Divergent PCs (or broadcast off): the reference
+                # serializes through rotating per-bank arbitration.
+                if not self._divergent_burst(running, limit):
+                    return
 
     def _next_event_cycle(self) -> float:
         """First future cycle at which a timer or scheduled IRQ fires."""
@@ -215,6 +271,13 @@ class FastEngine:
         PC divergence, bank conflicts — ends the burst, as does the
         cycle before the next timer/IRQ event.
 
+        Whole straight-line runs are advanced by **fused superblocks**
+        (:mod:`repro.cpu.blocks`): one fused call per running core
+        covers the block's cycles, provided the block fits under the
+        burst horizon.  Instructions without a fused block (short runs,
+        code adjacent to memory/sync boundaries) take the
+        per-instruction closure path.
+
         :returns: True if at least one cycle was consumed.
         """
         machine = self._machine
@@ -229,6 +292,12 @@ class FastEngine:
         if cycles >= horizon:
             return False
 
+        table = machine._blocks
+        if table is None:
+            table = machine._block_table()
+        blocks = table.blocks
+        block_at = table.at
+
         # The synchronizer is idle (precondition), so no checkpoint word
         # is locked and no conflict group is draining; inline memory
         # cycles stay valid for the whole burst because they can create
@@ -236,11 +305,57 @@ class FastEngine:
         dxbar = machine.dxbar
         mem_ok = not (dxbar.locked_addresses or dxbar._groups)
         executed = 0
+        fused_blocks = 0
+        fused_cycles = 0
+        deopt = False
         n = len(running)
         single = running[0] if n == 1 else None
+        # A single requester without IM broadcast is served through the
+        # per-bank arbitration path, which rotates the bank's priority
+        # to (winner + 1) on every fetch; track the banks it touches so
+        # the rotation can be replayed at flush time (idempotent — the
+        # winner never changes).
+        banks: set | None = None
+        if single is not None and not machine.config.im_broadcast:
+            banks = set()
+            bank_words = machine.config.im_bank_words
         while cycles < horizon:
             if pc >= im_len:
-                break                 # let step() raise the fetch error
+                deopt = True          # let step() raise the fetch error
+                break
+            blk = blocks.get(pc, False)
+            if blk is False:
+                blk = block_at(pc)
+            if blk is not None and cycles + blk[1] <= horizon:
+                run = blk[0]
+                length = blk[1]
+                end_kind = blk[2]
+                if single is not None:
+                    run(single)
+                else:
+                    for core in running:
+                        run(core)
+                cycles += length
+                executed += length
+                fused_blocks += 1
+                fused_cycles += length
+                if banks is not None:
+                    banks.add(pc // bank_words)
+                    banks.add((pc + length - 1) // bank_words)
+                if end_kind == KIND_SEQ:
+                    pc += length
+                    continue
+                pc = running[0].pc
+                if end_kind == KIND_JUMP or single is not None:
+                    continue
+                diverged = False
+                for core in running:
+                    if core.pc != pc:
+                        diverged = True
+                        break
+                if diverged:
+                    break
+                continue
             rec = decoded[pc]
             kind = rec[0]
             if kind <= BURSTABLE:
@@ -252,6 +367,8 @@ class FastEngine:
                         run(core)
                 cycles += 1
                 executed += 1
+                if banks is not None:
+                    banks.add(pc // bank_words)
                 if kind == KIND_SEQ:
                     pc += 1
                 else:
@@ -266,12 +383,18 @@ class FastEngine:
                             break
             elif kind == KIND_MEM and mem_ok:
                 if not self._mem_cycle(running, rec[1]):
-                    break             # possible conflict: slow path
+                    deopt = True      # possible conflict: slow path
+                    break
                 cycles += 1
                 executed += 1
+                if banks is not None:
+                    banks.add(pc // bank_words)
                 pc += 1
             else:
-                break                 # synchronizer / mode change: slow path
+                deopt = True          # synchronizer / mode change
+                break
+        if deopt:
+            self.stats.deopt_count += 1
         if not executed:
             return False
 
@@ -294,8 +417,145 @@ class FastEngine:
             trace.core_sleep_cycles += executed * sleeping
         if waiting:
             trace.sync_wait_cycles += executed * waiting
+        if banks is not None:
+            rotated = (single.coreid + 1) % machine.config.num_cores
+            priority = machine.ixbar._priority
+            for bank in banks:
+                priority[bank] = rotated
         self.stats.lockstep_bursts += 1
         self.stats.lockstep_cycles += executed
+        self.stats.fused_blocks += fused_blocks
+        self.stats.fused_cycles += fused_cycles
+        machine._quiet = False
+        return True
+
+    def _divergent_burst(self, running: list, limit: int) -> bool:
+        """Serialize divergent running cores through I-Xbar arbitration.
+
+        Replays, cycle for cycle, what the reference does when running
+        cores request *different* addresses in one IM bank (or IM
+        broadcast is disabled): the bank's rotating priority picks one
+        winner, the broadcast group sharing the winner's address (just
+        the winner without broadcast) fetches and executes, everyone
+        else stalls, and the priority rotates past the winner.  Memory
+        winners are served inline through :meth:`_mem_cycle`.
+
+        Deopts to ``step()`` — committing nothing for that cycle — when
+        the winner would stop/sync/fault, when a served memory pattern
+        may lose D-Xbar arbitration, and for the (never exercised by
+        the bundled kernels) multi-bank divergence case.  Exits cleanly
+        at the horizon or when broadcast cores re-converge, handing
+        back to the lockstep burst.
+
+        :returns: True if at least one cycle was consumed.
+        """
+        machine = self._machine
+        trace = machine.trace
+        decoded = machine._decoded
+        config = machine.config
+        im_len = len(decoded)
+        horizon = min(limit, self._next_event_cycle() - 1)
+        cycles = trace.cycles
+        if cycles >= horizon:
+            return False
+        bank_words = config.im_bank_words
+        bank = running[0].pc // bank_words
+        for core in running:
+            if core.pc // bank_words != bank:
+                self.stats.deopt_count += 1
+                return False
+        dxbar = machine.dxbar
+        mem_ok = not (dxbar.locked_addresses or dxbar._groups)
+        broadcast = config.im_broadcast
+        ncores = config.num_cores
+        priority = machine.ixbar._priority
+        n = len(running)
+        executed = 0
+        served_total = 0
+        conflicts = 0
+        histogram: dict[int, int] = {}
+        retired: dict[int, int] = {}
+        deopt = False
+        while cycles < horizon:
+            start = priority[bank]
+            winner = running[0]
+            best = (winner.coreid - start) % ncores
+            for core in running:
+                key = (core.coreid - start) % ncores
+                if key < best:
+                    winner = core
+                    best = key
+            wpc = winner.pc
+            if wpc >= im_len:
+                deopt = True          # let step() raise the fetch error
+                break
+            if broadcast:
+                served = [c for c in running if c.pc == wpc]
+                if len(served) == n:
+                    break             # converged: lockstep burst's regime
+            else:
+                served = [winner]
+            rec = decoded[wpc]
+            kind = rec[0]
+            if kind <= BURSTABLE:
+                run = rec[1]
+                for core in served:
+                    run(core)
+            elif kind == KIND_MEM and mem_ok:
+                if not self._mem_cycle(served, rec[1]):
+                    deopt = True      # possible D-Xbar conflict
+                    break
+            else:
+                deopt = True          # synchronizer / mode change
+                break
+            # Commit this cycle's arbitration bookkeeping (all guard
+            # checks passed — nothing above mutated state before here
+            # except the instruction effects themselves).
+            priority[bank] = (winner.coreid + 1) % ncores
+            ns = len(served)
+            served_total += ns
+            if ns < n:
+                conflicts += 1
+            histogram[ns] = histogram.get(ns, 0) + 1
+            for core in served:
+                cid = core.coreid
+                retired[cid] = retired.get(cid, 0) + 1
+            cycles += 1
+            executed += 1
+            moved = False
+            for core in served:
+                if core.pc // bank_words != bank:
+                    moved = True
+                    break
+            if moved:
+                break                 # next fetch is in another bank
+        if deopt:
+            self.stats.deopt_count += 1
+        if not executed:
+            return False
+
+        halted, sleeping, waiting = self._idle_census()
+        trace.cycles = cycles
+        trace.core_active_cycles += served_total
+        trace.core_stall_cycles += executed * n - served_total
+        trace.retired_ops += served_total
+        retired_per_core = trace.retired_per_core
+        for cid, count in retired.items():
+            retired_per_core[cid] += count
+        trace.im_bank_accesses += executed
+        trace.im_fetches_served += served_total
+        trace.im_conflict_cycles += conflicts
+        trace_histogram = trace.lockstep_histogram
+        for size, count in histogram.items():
+            trace_histogram[size] = trace_histogram.get(size, 0) + count
+        if halted:
+            trace.core_halted_cycles += executed * halted
+        if sleeping:
+            trace.core_sleep_cycles += executed * sleeping
+        if waiting:
+            trace.sync_wait_cycles += executed * waiting
+        self.stats.divergent_bursts += 1
+        self.stats.divergent_cycles += executed
         machine._quiet = False
         return True
 
@@ -306,64 +566,61 @@ class FastEngine:
         arbitration: every core hitting a distinct bank (the SPMD
         private-buffer pattern) and every core reading one shared
         address (one broadcast bank read serves all).  Reproduces the
-        counter updates, round-robin priority rotation, serve order and
-        error behaviour of ``DataCrossbar._serve_bank`` exactly.
-        Returns False — leaving all state untouched — on any other
-        pattern, so the reference ``step()`` arbitrates the conflict.
+        counter updates, round-robin priority rotation and serve order
+        of ``DataCrossbar._serve_bank`` exactly.  Returns False —
+        leaving all state untouched — on any other pattern (or any
+        out-of-range address), so the reference ``step()`` arbitrates
+        the conflict or raises the fault.
         """
         machine = self._machine
         config = machine.config
         is_write, rs, imm, rd = info
-        interleaved = config.dm_interleaved
-        banks = config.dm_banks
-        bank_words = config.dm_bank_words
-        plan = []
-        seen = set()
-        clash = False
-        for core in running:
-            addr = (core.regs[rs] + imm) & 0xFFFF
-            bank = addr % banks if interleaved else addr // bank_words
-            if bank in seen:
-                clash = True
-            else:
-                seen.add(bank)
-            plan.append((core, addr, bank))
+        words = machine.dm.words
+        addrs = [(core.regs[rs] + imm) & 0xFFFF for core in running]
+        if max(addrs) >= len(words):
+            return False    # out of range: let the reference step fault
+        if config.dm_interleaved:
+            nb = config.dm_banks
+            bankl = [addr % nb for addr in addrs]
+        else:
+            bank_words = config.dm_bank_words
+            bankl = [addr // bank_words for addr in addrs]
 
-        dm = machine.dm
+        n = len(running)
         trace = machine.trace
         priority = machine.dxbar._priority
         ncores = config.num_cores
-        if clash:
+        if len(set(bankl)) != n:
             if is_write or not config.dm_broadcast:
                 return False
-            addr = plan[0][1]
-            for entry in plan:
-                if entry[1] != addr:
+            addr = addrs[0]
+            for other in addrs:
+                if other != addr:
                     return False
-            bank = plan[0][2]
+            bank = bankl[0]
             winner = min((core.coreid for core in running),
                          key=lambda cid: (cid - priority[bank]) % ncores)
             priority[bank] = (winner + 1) % ncores
-            value = dm.read(addr)
+            value = words[addr]
             trace.dm_bank_reads += 1
             for core in running:
                 core.regs[rd] = value
                 core.pc += 1
-            trace.dm_served += len(plan)
+            trace.dm_served += n
             return True
         if is_write:
-            for core, addr, bank in plan:
+            for core, addr, bank in zip(running, addrs, bankl):
                 priority[bank] = (core.coreid + 1) % ncores
-                dm.write(addr, core.regs[rd])
+                words[addr] = core.regs[rd] & 0xFFFF
                 core.pc += 1
-            trace.dm_bank_writes += len(plan)
+            trace.dm_bank_writes += n
         else:
-            for core, addr, bank in plan:
+            for core, addr, bank in zip(running, addrs, bankl):
                 priority[bank] = (core.coreid + 1) % ncores
-                core.regs[rd] = dm.read(addr)
+                core.regs[rd] = words[addr]
                 core.pc += 1
-            trace.dm_bank_reads += len(plan)
-        trace.dm_served += len(plan)
+            trace.dm_bank_reads += n
+        trace.dm_served += n
         return True
 
     def _sleep_fast_forward(self, limit: int) -> bool:

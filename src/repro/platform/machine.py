@@ -98,6 +98,10 @@ class Machine:
         #: predecoded dispatch records, index == IM address (shared with
         #: other machines running the same Program instance)
         self._decoded = program.predecoded()
+        #: fused-superblock table (:class:`repro.cpu.blocks.BlockTable`),
+        #: bound lazily on first burst so reference-only machines never
+        #: pay for it; shared across machines via the image digest.
+        self._blocks = None
 
         self.cores = [CoreState(cid, config.num_cores)
                       for cid in range(config.num_cores)]
@@ -134,6 +138,20 @@ class Machine:
     def engine_stats(self):
         """Fast-engine engagement counters (:class:`EngineStats`)."""
         return self._engine.stats
+
+    def _block_table(self):
+        """Bind (and memoize) the fused-superblock table for this image.
+
+        Keyed on the image digest (:func:`repro.cpu.blocks.table_for`),
+        so every machine running the same built image — across sweep
+        requests and repeated benchmark constructions — shares one
+        compiled table.
+        """
+        if self._blocks is None:
+            from ..cpu.blocks import table_for
+
+            self._blocks = table_for(self.program)
+        return self._blocks
 
     @classmethod
     def from_assembly(cls, source: str,

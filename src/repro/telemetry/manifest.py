@@ -31,7 +31,9 @@ import os
 from pathlib import Path
 
 #: manifest / runs.jsonl schema; bump on incompatible layout changes
-MANIFEST_SCHEMA = 1
+#: (2: telemetry rows carry fast-engine counters — fused blocks/cycles,
+#: deopts — when the payload recorded them)
+MANIFEST_SCHEMA = 2
 
 
 def telemetry_summary(payload: dict | None) -> dict | None:
@@ -48,7 +50,7 @@ def telemetry_summary(payload: dict | None) -> dict | None:
     from ..platform.trace import ActivityTrace
 
     trace = ActivityTrace.from_dict(trace_dict)
-    return {
+    summary = {
         "cycles": trace.cycles,
         "retired_ops": trace.retired_ops,
         "ops_per_cycle": round(trace.retired_ops / trace.cycles, 6)
@@ -59,6 +61,14 @@ def telemetry_summary(payload: dict | None) -> dict | None:
         "im_bank_accesses": trace.im_bank_accesses,
         "dm_conflict_cycles": trace.dm_conflict_cycles,
     }
+    engine = (payload or {}).get("engine")
+    if engine:
+        # fast-engine engagement digest (schema 2 payloads onward)
+        summary["fast_cycles"] = engine.get("fast_cycles", 0)
+        summary["fused_blocks"] = engine.get("fused_blocks", 0)
+        summary["fused_cycles"] = engine.get("fused_cycles", 0)
+        summary["deopt_count"] = engine.get("deopt_count", 0)
+    return summary
 
 
 def outcome_record(outcome) -> dict:
@@ -152,7 +162,8 @@ def _aggregate_telemetry(summaries: list[dict]) -> dict | None:
     if not summaries:
         return None
     keys = ("cycles", "retired_ops", "sync_wait_cycles", "sync_wakeups",
-            "im_bank_accesses", "dm_conflict_cycles")
+            "im_bank_accesses", "dm_conflict_cycles", "fast_cycles",
+            "fused_blocks", "fused_cycles", "deopt_count")
     return {key: sum(s.get(key, 0) for s in summaries) for key in keys}
 
 
@@ -217,6 +228,12 @@ def summarize_manifest(path) -> str:
                 f"{totals['retired_ops']} ops, "
                 f"{totals['sync_wait_cycles']} sync-wait cycles, "
                 f"{totals['im_bank_accesses']} IM bank accesses")
+            if totals.get("fast_cycles"):
+                lines.append(
+                    f"  fast engine: {totals['fast_cycles']} fast cycles, "
+                    f"{totals['fused_cycles']} fused over "
+                    f"{totals['fused_blocks']} superblocks, "
+                    f"{totals['deopt_count']} deopts")
     else:
         lines.append(f"(no manifest.json — {len(rows)} rows from runs.jsonl)")
     if rows:

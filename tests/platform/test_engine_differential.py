@@ -14,6 +14,8 @@ interrupts, period-1/period-2 timer edges, incremental ``run_cycles``
 stepping, and the error paths (cycle limit, deadlock).
 """
 
+import random
+
 import pytest
 
 from repro.kernels.layout import BANK_WORDS
@@ -294,3 +296,179 @@ def test_probes_force_reference_stepping():
     setup(bare)
     bare.run(max_cycles=2_000_000)
     assert_equivalent(probed, bare)
+
+# ---------------------------------------------------------------------------
+# Superblock fusion: randomized programs, IRQs mid-block, engagement
+# ---------------------------------------------------------------------------
+
+_SEQ_OPS = [
+    "ADD R{a}, R{b}, R{c}", "SUB R{a}, R{b}, R{c}", "XOR R{a}, R{b}, R{c}",
+    "AND R{a}, R{b}, R{c}", "OR R{a}, R{b}, R{c}", "MUL R{a}, R{b}, R{c}",
+    "ADDI R{a}, R{b}, #{imm}", "MOV R{a}, R{b}",
+    "SLLI R{a}, #{sh}", "SRLI R{a}, #{sh}",
+]
+
+
+def random_fusable_program(seed, *, n_blocks=4, iters=6):
+    """A seeded random kernel exercising every fast-path regime.
+
+    Straight-line runs (fused blocks) separated by private-bank loads
+    and stores, data-dependent forward branches that jump into the
+    *middle* of would-be blocks (per-core, since the loaded data
+    differs per core — forcing divergence), all inside a counted loop
+    that always terminates.
+    """
+    rng = random.Random(seed)
+    lines = [".entry main", "main:",
+             " MFSR R6, COREID",
+             " LI R4, #2048",
+             " MUL R6, R6, R4        ; R6 = private bank base",
+             f" LI R5, #{iters}",
+             "loop:"]
+    for b in range(n_blocks):
+        for _ in range(rng.randint(3, 8)):
+            lines.append(" " + rng.choice(_SEQ_OPS).format(
+                a=rng.randint(0, 3), b=rng.randint(0, 3),
+                c=rng.randint(0, 3), imm=rng.randint(-16, 15),
+                sh=rng.randint(0, 15)))
+        if rng.random() < 0.7:
+            reg = rng.randint(0, 3)
+            off = rng.randint(0, 31)
+            if rng.random() < 0.5:
+                lines.append(f" ST R{reg}, [R6 + #{off}]")
+            else:
+                lines.append(f" LD R{reg}, [R6 + #{off}]")
+        if rng.random() < 0.6:
+            cond = rng.choice(["BEQ", "BNE", "BLT", "BGE"])
+            lines.append(f" CMPI R{rng.randint(0, 3)}, #{rng.randint(0, 4)}")
+            lines.append(f" {cond} skip_{b}")
+            lines.append(" ADDI R0, R0, #1")
+            lines.append(" ADDI R1, R1, #1")
+            lines.append(f"skip_{b}:")
+    lines += [" ADDI R5, R5, #-1",
+              " CMPI R5, #0",
+              " LBNE loop",
+              " HALT"]
+    return "\n".join(lines) + "\n"
+
+
+RANDOM_CONFIGS = {
+    "broadcast": PlatformConfig(num_cores=8),
+    "no-broadcast": PlatformConfig(num_cores=8, im_broadcast=False,
+                                   dm_broadcast=False),
+    "4-core": PlatformConfig(num_cores=4),
+}
+
+
+@pytest.mark.parametrize("config_name", sorted(RANDOM_CONFIGS))
+@pytest.mark.parametrize("seed", range(8))
+def test_random_program_differential(seed, config_name):
+    from repro.isa.assembler import assemble
+
+    config = RANDOM_CONFIGS[config_name]
+    program = assemble(random_fusable_program(seed))
+    data = channels(64, config.num_cores)
+
+    def setup(machine):
+        for core, channel in enumerate(data):
+            machine.dm.load(core * BANK_WORDS, channel)
+
+    fast, slow = run_pair(program, config, setup, max_cycles=100_000)
+    assert_equivalent(fast, slow)
+    assert fast.engine_stats.engaged
+
+
+# a long straight-line run the engine would fuse — interrupts must land
+# inside it with cycle-exact delivery on both engines
+IRQ_MID_BLOCK = """
+.entry main
+isr:
+    INC R1                  ; interrupts taken
+    CMP R1, R3
+    LBGE done
+    RETI
+done:
+    HALT
+main:
+    LI R2, #isr
+    MTSR IVEC, R2
+    CLR R1
+    LI R3, #{expected}
+    EI
+loop:
+{body}
+    JMP loop
+"""
+
+
+@pytest.mark.parametrize("cycles", [
+    (37, 38, 120),           # adjacent pair pends one IRQ inside the ISR
+    (100, 200, 300),         # spread out
+    (7, 61, 62),             # during the startup burst + adjacent pair
+])
+def test_irq_lands_inside_would_be_block(cycles):
+    from repro.isa.assembler import assemble
+
+    body = "\n".join(f"    ADDI R{n % 2 + 4}, R{n % 2 + 4}, #{n}"
+                     for n in range(20))
+    program = assemble(IRQ_MID_BLOCK.format(expected=len(cycles), body=body))
+
+    def setup(machine):
+        for cycle in cycles:
+            for core in range(machine.config.num_cores):
+                machine.schedule_interrupt(cycle, core)
+
+    fast, slow = run_pair(program, PlatformConfig(num_cores=8), setup,
+                          max_cycles=50_000)
+    assert_equivalent(fast, slow)
+    assert all(core.regs[1] == len(cycles) for core in fast.cores)
+
+
+def test_superblocks_engage_on_kernels():
+    """MRPFLTR must actually exercise the fused path, not just match."""
+    program = build_program("MRPFLTR", True)
+    config = DESIGNS["with-sync"].platform_config()
+    data = channels(N_SAMPLES)
+
+    def setup(machine):
+        for core, channel in enumerate(data):
+            machine.dm.load(core * BANK_WORDS, channel)
+        machine.dm.write(program.symbols["g_n_samples"], N_SAMPLES)
+
+    fast, slow = run_pair(program, config, setup, max_cycles=2_000_000)
+    assert_equivalent(fast, slow)
+    stats = fast.engine_stats
+    assert stats.fused_blocks > 0
+    assert stats.fused_cycles > 0
+    assert stats.fused_cycles <= stats.lockstep_cycles
+    assert stats.as_dict()["fused_blocks"] == stats.fused_blocks
+
+
+def test_single_core_fused_engagement():
+    """Fusion also rides the single-core (divergent-regime) burst."""
+    source = (".entry main\nmain:\n LI R5, #200\nloop:\n"
+              + " ADDI R0, R0, #1\n" * 6
+              + " ADDI R5, R5, #-1\n CMPI R5, #0\n LBNE loop\n HALT\n")
+    machines = []
+    for fast_engine in (True, False):
+        machine = Machine.from_assembly(source, PlatformConfig(num_cores=1),
+                                        fast_engine=fast_engine)
+        machine.run(max_cycles=10_000)
+        machines.append(machine)
+    assert_equivalent(*machines)
+    assert machines[0].engine_stats.fused_cycles > 0
+
+
+def test_divergent_burst_engagement():
+    """Per-core loop lengths force divergence; the burst must serve it."""
+    source = (".entry main\nmain:\n MFSR R0, COREID\n ADDI R0, R0, #5\n"
+              "spin:\n ADDI R0, R0, #-1\n CMPI R0, #0\n LBNE spin\n"
+              " ADDI R1, R1, #1\n HALT\n")
+    machines = []
+    for fast_engine in (True, False):
+        machine = Machine.from_assembly(source, PlatformConfig(num_cores=8),
+                                        fast_engine=fast_engine)
+        machine.run(max_cycles=10_000)
+        machines.append(machine)
+    assert_equivalent(*machines)
+    assert machines[0].engine_stats.divergent_bursts > 0
