@@ -8,7 +8,14 @@ streaming node, cross-checking trace bit-exactness on every pair.  Every
 workload row records its superblock coverage (``fused_cycles`` /
 ``block_coverage``); the process fails if any pair diverges, any
 workload runs slower than the reference, or fusion fails to engage on
-the lockstep-heavy kernels.  Run from the repo root:
+the lockstep-heavy kernels.
+
+A second section times batched throughput: a same-image family of runs
+dispatched as one array-of-machines batch (``repro.cpu.vec``) versus
+individually through the fast engine, every batched run cross-checked
+bit-for-bit against its serial twin.  The process fails if any batched
+run diverges, the reference anchor fails, or the batch runs slower than
+serial dispatch (3x is required at full size).  Run from the repo root:
 
     PYTHONPATH=src python benchmarks/perf/bench_engine.py
     PYTHONPATH=src python benchmarks/perf/bench_engine.py --quick
@@ -26,7 +33,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.analysis.perf import engine_benchmark  # noqa: E402
+from repro.analysis.perf import batched_benchmark, engine_benchmark  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -37,6 +44,11 @@ def main(argv=None) -> int:
                         help="ADC samples for the streaming workload")
     parser.add_argument("--repeats", type=int, default=2,
                         help="timed repetitions per engine (best-of)")
+    parser.add_argument("--batch-runs", type=int, default=64,
+                        help="same-image runs in the batched-throughput "
+                             "pass")
+    parser.add_argument("--batch-samples", type=int, default=32,
+                        help="per-channel samples per batched run")
     parser.add_argument("--quick", action="store_true",
                         help="small inputs, one repeat (CI smoke)")
     parser.add_argument("--output", type=Path,
@@ -48,19 +60,28 @@ def main(argv=None) -> int:
         args.samples = min(args.samples, 32)
         args.streaming_samples = min(args.streaming_samples, 64)
         args.repeats = 1
+        args.batch_runs = min(args.batch_runs, 16)
+        args.batch_samples = min(args.batch_samples, 16)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
+    if args.batch_runs < 2:
+        parser.error("--batch-runs must be at least 2")
 
     payload = engine_benchmark(
         samples=args.samples,
         streaming_samples=args.streaming_samples,
         repeats=args.repeats,
         log=print)
+    payload["batched"] = batched_benchmark(
+        runs=args.batch_runs,
+        samples=args.batch_samples,
+        log=print)
     payload["generated"] = datetime.now(timezone.utc).isoformat(
         timespec="seconds")
     payload["python"] = platform.python_version()
 
     summary = payload["summary"]
+    batched = payload["batched"]
     print(f"\ngeomean speedup (with-sync kernels): "
           f"{summary['geomean_with_sync']}x")
     print(f"geomean speedup (all kernels):       "
@@ -70,6 +91,11 @@ def main(argv=None) -> int:
     print(f"slowest workload:                    "
           f"{summary['min_speedup']}x")
     print(f"all pairs bit-exact:                 {summary['all_exact']}")
+    print(f"batched throughput:                  "
+          f"{batched['batched_runs_per_second']} runs/s vs "
+          f"{batched['serial_runs_per_second']} serial "
+          f"({batched['speedup']}x, {batched['runs']} runs, "
+          f"exact={batched['all_exact']})")
 
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output}")
@@ -87,6 +113,17 @@ def main(argv=None) -> int:
             failures.append(
                 f"superblock fusion never engaged on {row['name']} "
                 f"{row['design']}")
+    if not batched["all_exact"]:
+        failures.append("a batched run diverged from its serial twin")
+    if not batched["reference_exact"]:
+        failures.append("a batched run diverged from the reference engine")
+    # a small smoke batch only has to not lose; the full-size batch
+    # (>= 64 runs) must deliver the 3x the layered design promises
+    batch_floor = 1.0 if args.quick or args.batch_runs < 64 else 3.0
+    if batched["speedup"] < batch_floor:
+        failures.append(
+            f"batched throughput below {batch_floor}x serial dispatch "
+            f"({batched['speedup']}x)")
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0

@@ -21,14 +21,27 @@ import math
 import time
 from dataclasses import dataclass
 
+from ..cpu import vec
 from ..kernels.layout import BANK_WORDS, OUT_OFFSET
-from ..kernels.suite import DESIGNS, build_program, run_benchmark
+from ..kernels.suite import (
+    DESIGNS,
+    build_program,
+    collect_benchmark,
+    prepare_benchmark,
+    run_benchmark,
+)
 from ..platform import Machine, WITH_SYNCHRONIZER
 
 #: deterministic pseudo-signal, one list per core (no RNG dependency)
-def synthetic_channels(n_samples: int, num_cores: int = 8) -> list[list[int]]:
-    """Deterministic per-core sample streams in the ADC range."""
-    return [[(1000 + 37 * core + 13 * i) % 4096 for i in range(n_samples)]
+def synthetic_channels(n_samples: int, num_cores: int = 8,
+                       salt: int = 0) -> list[list[int]]:
+    """Deterministic per-core sample streams in the ADC range.
+
+    ``salt`` perturbs every sample, giving batched-throughput runs
+    distinct-but-deterministic inputs per run.
+    """
+    return [[(1000 + 37 * core + 13 * i + salt) % 4096
+             for i in range(n_samples)]
             for core in range(num_cores)]
 
 
@@ -238,4 +251,72 @@ def engine_benchmark(*, samples: int = 64, streaming_samples: int = 256,
             "min_speedup": round(min(r.speedup for r in results), 2),
             "all_exact": all(r.exact for r in results),
         },
+    }
+
+
+def batched_benchmark(*, runs: int = 64, samples: int = 32,
+                      bench: str = "MRPFLTR",
+                      design_name: str = "without-sync",
+                      reference_checks: int = 2, log=None) -> dict:
+    """Batched-throughput section of ``BENCH_engine.json``.
+
+    Times ``runs`` same-image simulations with per-run inputs two ways —
+    dispatched individually through the scalar fast engine, and as one
+    array-of-machines batch (:func:`repro.cpu.vec.run_batch` + scalar
+    finish) — and cross-checks **every** batched run bit-for-bit against
+    its serial twin (outputs and full activity trace).  The first
+    ``reference_checks`` runs are additionally checked against the
+    reference per-cycle engine, anchoring the whole chain to ``step()``.
+    """
+    design = DESIGNS[design_name]
+    build_program(bench, design.sync_enabled)   # compile outside the timer
+    per_run = [synthetic_channels(samples, salt=salt * 7)
+               for salt in range(runs)]
+    run_benchmark(bench, design, per_run[0])    # warm block/vec tables
+
+    t0 = time.perf_counter()
+    serial = [run_benchmark(bench, design, channels)
+              for channels in per_run]
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    prepared = [prepare_benchmark(bench, design, channels)
+                for channels in per_run]
+    stats = vec.run_batch([machine for machine, _ in prepared])
+    for machine, _ in prepared:
+        machine.run(max_cycles=50_000_000)
+    batched = [collect_benchmark(machine, bench, design, n_samples)
+               for machine, n_samples in prepared]
+    batched_seconds = time.perf_counter() - t0
+
+    all_exact = all(
+        s.outputs == b.outputs and s.trace.as_dict() == b.trace.as_dict()
+        for s, b in zip(serial, batched))
+    reference_exact = all(
+        run_benchmark(bench, design, per_run[i],
+                      fast_engine=False).outputs == batched[i].outputs
+        for i in range(min(reference_checks, runs)))
+    speedup = serial_seconds / batched_seconds if batched_seconds else 0.0
+    if log:
+        log(f"batched {bench} {design_name}: {runs} runs x "
+            f"{samples} samples  serial {serial_seconds:6.2f}s  "
+            f"batched {batched_seconds:6.2f}s  {speedup:5.2f}x  "
+            f"exact={all_exact} ref={reference_exact}  "
+            f"width={stats.max_width} peels={stats.early_peels}")
+    return {
+        "bench": bench,
+        "design": design_name,
+        "runs": runs,
+        "samples": samples,
+        "serial_seconds": round(serial_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "serial_runs_per_second": round(
+            runs / serial_seconds, 2) if serial_seconds else 0.0,
+        "batched_runs_per_second": round(
+            runs / batched_seconds, 2) if batched_seconds else 0.0,
+        "speedup": round(speedup, 2),
+        "all_exact": all_exact,
+        "reference_checked": min(reference_checks, runs),
+        "reference_exact": reference_exact,
+        "batch": stats.as_dict(),
     }

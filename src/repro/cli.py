@@ -368,7 +368,8 @@ def cmd_sweep(args) -> int:
         manifest = SweepManifestWriter(args.manifest, name=spec.name)
 
     with SweepExecutor(jobs=args.jobs, cache=cache, timeout=args.timeout,
-                       refresh=args.refresh, log=print) as executor:
+                       refresh=args.refresh, batch=args.batch,
+                       log=print) as executor:
         outcomes = executor.run(spec, manifest=manifest)
     metrics = executor.last_metrics
     if manifest is not None:
@@ -575,6 +576,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ignore cached entries but store fresh results")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-run wall-clock budget in seconds")
+    p.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="coalesce same-image runs into array-of-machines "
+                        "batches (bit-identical results; --no-batch "
+                        "forces per-run dispatch)")
     p.add_argument("--quick", action="store_true",
                    help="clamp windows to 16 samples (CI smoke)")
     p.add_argument("--expect-cached", action="store_true",

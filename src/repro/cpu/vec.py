@@ -1,0 +1,954 @@
+"""Array-of-machines: NumPy-vectorized lockstep execution.
+
+The scalar fast engine (:mod:`repro.platform.engine`) already collapses
+lockstep broadcast cycles into bursts and fuses straight-line runs into
+superblocks — but it still pays one Python closure call *per core* per
+block, and one independent engine *per sweep run*.  On the paper's
+workloads both axes are redundant: the cores execute the same
+instruction stream (that is what the broadcast I-Xbar and the
+synchronizer create), and a sweep dispatches many runs of the *same
+built image* that differ only in their input samples.
+
+This module vectorizes both axes at once.  Machine state is transposed
+into a structure-of-arrays layout (:class:`VecState`): one
+``(runs, cores, 8)`` register file, ``(runs, cores)`` flag and
+special-register planes, one ``(runs, words)`` data-memory plane.  Every
+straight-line block is compiled — by the same codegen discipline as
+:mod:`repro.cpu.blocks`, transcribed into NumPy expressions — into one
+**vectorized block** whose single call applies the block to *every core
+of every run* in the batch.  A batch of 64 runs on 8 cores advances 512
+lanes per block call.
+
+**Guarded deopt, end to end.**  The batch engine executes only regimes
+it can prove are in cross-run lockstep; everything else *peels* the
+affected runs out of the batch, bit-exactly, back to their reference
+:class:`~repro.platform.machine.Machine`:
+
+- machines with pending work (IRQ schedules, timers, outstanding memory
+  or synchronizer state, non-running cores) are refused at entry and
+  never touched;
+- a ``HALT``/``SLEEP``, a ``SINC``/``SDEC``, an unfusable instruction,
+  an off-image PC or an out-of-range address peels the whole group at
+  that PC (the scalar engine then raises or arbitrates exactly as it
+  would have);
+- a data-dependent branch that diverges *within* a run peels that run
+  (its cores now need per-core PCs); one that diverges *across* runs
+  splits the group — each subset keeps executing vectorized at its own
+  PC, and subsets that land on the same PC re-merge;
+- an LD/ST whose addresses differ across runs splits the group by
+  address pattern; a pattern that could lose D-Xbar arbitration peels.
+
+Peeled machines carry their exact mid-flight state: registers, flags,
+PCs, special registers, data memory, D-Xbar rotating priorities and all
+:class:`~repro.platform.trace.ActivityTrace` counters (credited with the
+same batched accounting the scalar lockstep burst uses).  Finishing a
+peeled machine with ``machine.run()`` therefore produces results
+bit-identical to never having batched it — the property
+``tests/cpu/test_vec.py`` proves differentially.
+
+NumPy is a declared runtime dependency, but the module degrades
+gracefully when it is absent: :data:`AVAILABLE` is False and
+:func:`run_batch` refuses every machine, so callers simply fall back to
+scalar dispatch.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+try:
+    import numpy as np
+except ImportError:                      # pragma: no cover - numpy is a
+    np = None                            # declared dependency; belt+braces
+
+from ..isa.spec import Cond, Opcode, ShiftOp, SpecialReg, SysOp
+from .predecode import (
+    KIND_DIVERGE,
+    KIND_JUMP,
+    KIND_MEM,
+    KIND_SEQ,
+    KIND_STOP,
+    KIND_SYNC,
+    _SREG_ATTR,
+)
+from .state import CoreMode
+
+#: True when the vectorized engine can run at all.
+AVAILABLE = np is not None
+
+MASK = 0xFFFF
+SIGN = 0x8000
+
+#: even a single vectorized instruction beats per-core closure calls
+#: once the batch is wider than a few lanes, so unlike the scalar
+#: superblocks every fusable instruction gets a block.
+MIN_BLOCK = 1
+MAX_BLOCK = 64
+
+
+class VecBlock(NamedTuple):
+    """One compiled vectorized block.
+
+    :param run: ``run(S, idx)`` — applies the block to every core of the
+        runs selected by ``idx`` (a row-index array into ``S``); returns
+        the per-lane PC array for ``KIND_DIVERGE`` endings, else None.
+    :param length: instructions covered == cycles per lane.
+    :param end_kind: ``KIND_SEQ`` (fall through ``length`` addresses),
+        ``KIND_JUMP`` (uniform :attr:`target`) or ``KIND_DIVERGE``.
+    :param target: static target for ``KIND_JUMP`` endings.
+    :param source: generated Python source (tests/debugging).
+    """
+
+    run: object
+    length: int
+    end_kind: int
+    target: int | None
+    source: str
+
+
+# ---------------------------------------------------------------------------
+# Code generation — NumPy transcription of the repro.cpu.blocks emitters.
+# The lane values live in int64 arrays, which is exact for every ulp16
+# operation (the widest intermediate, MULH's 32-bit product, fits with
+# room to spare), and flag writes produce 0/1 values just like the
+# scalar closures.  Comparisons are spelled ``!= 0`` so the expressions
+# stay correct whether a flag local is an array or a constant-folded
+# Python scalar.
+# ---------------------------------------------------------------------------
+
+class _VecWriter:
+    """Accumulates body statements and touched-state sets."""
+
+    def __init__(self):
+        self.body: list[str] = []
+        self.regs: set[int] = set()      # gathered into locals
+        self.written: set[int] = set()   # scattered back
+        self.flags: set[str] = set()     # gathered *and* scattered back
+
+    def emit(self, line: str) -> None:
+        self.body.append("    " + line)
+
+    def reg(self, index: int, *, write: bool = False) -> str:
+        self.regs.add(index)
+        if write:
+            self.written.add(index)
+        return f"r{index}"
+
+    def zn(self) -> None:
+        self.flags.update(("z", "n"))
+        self.emit("fz = _v == 0")
+        self.emit("fn = (_v & 32768) != 0")
+
+
+def _emit_add(w: _VecWriter, rd: int, rs: int, b_expr: str,
+              carry: bool) -> None:
+    w.flags.update(("z", "n", "c", "v"))
+    w.emit(f"_a = {w.reg(rs)}")
+    w.emit(f"_b = {b_expr}")
+    w.emit("_t = _a + _b + fc" if carry else "_t = _a + _b")
+    w.emit("_v = _t & 65535")
+    w.emit(f"{w.reg(rd, write=True)} = _v")
+    w.emit("fz = _v == 0")
+    w.emit("fn = (_v & 32768) != 0")
+    w.emit("fc = _t > 65535")
+    w.emit("fv = (((_a ^ _b) & 32768) == 0) & (((_a ^ _v) & 32768) != 0)")
+
+
+def _emit_sub(w: _VecWriter, rd: int | None, rs_a: int, b_expr: str,
+              borrow: bool) -> None:
+    w.flags.update(("z", "n", "c", "v"))
+    w.emit(f"_a = {w.reg(rs_a)}")
+    w.emit(f"_b = {b_expr}")
+    w.emit("_t = _a - _b - 1 + fc" if borrow else "_t = _a - _b")
+    w.emit("_v = _t & 65535")
+    if rd is not None:
+        w.emit(f"{w.reg(rd, write=True)} = _v")
+    w.emit("fz = _v == 0")
+    w.emit("fn = (_v & 32768) != 0")
+    w.emit("fc = _t >= 0")
+    w.emit("fv = (((_a ^ _b) & 32768) != 0) & (((_a ^ _v) & 32768) != 0)")
+
+
+def _emit_logic(w: _VecWriter, rd: int, rs: int, rt: int, op: str) -> None:
+    w.emit(f"_v = {w.reg(rs)} {op} {w.reg(rt)}")
+    w.emit(f"{w.reg(rd, write=True)} = _v")
+    w.zn()
+
+
+def _emit_reg_shift(w: _VecWriter, ins, kind: ShiftOp) -> None:
+    # A zero amount leaves the value and C untouched, so every lane goes
+    # through np.where with the amount clamped to keep shifts in range.
+    w.flags.add("c")
+    w.emit(f"_a = {w.reg(ins.rs)}")
+    w.emit(f"_n = {w.reg(ins.rt)} & 15")
+    w.emit("_nz = _n != 0")
+    w.emit("_m = np.maximum(_n - 1, 0)")
+    if kind is ShiftOp.SLLI:
+        w.emit("_s = _a << _n")
+        w.emit("_v = np.where(_nz, _s & 65535, _a)")
+        w.emit("fc = np.where(_nz, (_s >> 16) & 1, fc)")
+    elif kind is ShiftOp.SRLI:
+        w.emit("_v = np.where(_nz, _a >> _n, _a)")
+        w.emit("fc = np.where(_nz, (_a >> _m) & 1, fc)")
+    else:
+        w.emit("_s = _a - ((_a & 32768) << 1)")
+        w.emit("_v = np.where(_nz, (_s >> _n) & 65535, _a)")
+        w.emit("fc = np.where(_nz, (_s >> _m) & 1, fc)")
+    w.emit(f"{w.reg(ins.rd, write=True)} = _v")
+    w.zn()
+
+
+def _emit_imm_shift(w: _VecWriter, ins) -> None:
+    kind = ShiftOp(ins.sub)
+    n = ins.imm & 0xF
+    rd = ins.rd
+    if n == 0:
+        # value = a, register unchanged, C untouched; only Z/N update.
+        w.emit(f"_v = {w.reg(rd)}")
+        w.zn()
+        return
+    w.flags.add("c")
+    if kind is ShiftOp.SLLI:
+        w.emit(f"_s = {w.reg(rd)} << {n}")
+        w.emit("_v = _s & 65535")
+        w.emit("fc = (_s >> 16) & 1")
+    elif kind is ShiftOp.SRLI:
+        w.emit(f"_a = {w.reg(rd)}")
+        w.emit(f"_v = _a >> {n}")
+        w.emit(f"fc = (_a >> {n - 1}) & 1")
+    else:
+        w.emit(f"_a = {w.reg(rd)}")
+        w.emit("_s = _a - ((_a & 32768) << 1)")
+        w.emit(f"_v = (_s >> {n}) & 65535")
+        w.emit(f"fc = (_s >> {n - 1}) & 1")
+    w.emit(f"{w.reg(rd, write=True)} = _v")
+    w.zn()
+
+
+def _emit_seq(w: _VecWriter, ins) -> bool:
+    """Inline one ``KIND_SEQ`` instruction; False if it cannot be fused."""
+    op = ins.op
+    if op is Opcode.ADD:
+        _emit_add(w, ins.rd, ins.rs, w.reg(ins.rt), carry=False)
+    elif op is Opcode.ADC:
+        _emit_add(w, ins.rd, ins.rs, w.reg(ins.rt), carry=True)
+    elif op is Opcode.ADDI:
+        _emit_add(w, ins.rd, ins.rs, str(ins.imm & MASK), carry=False)
+    elif op is Opcode.SUB:
+        _emit_sub(w, ins.rd, ins.rs, w.reg(ins.rt), borrow=False)
+    elif op is Opcode.SBC:
+        _emit_sub(w, ins.rd, ins.rs, w.reg(ins.rt), borrow=True)
+    elif op is Opcode.CMP:
+        _emit_sub(w, None, ins.rd, w.reg(ins.rs), borrow=False)
+    elif op is Opcode.CMPI:
+        _emit_sub(w, None, ins.rd, str(ins.imm & MASK), borrow=False)
+    elif op is Opcode.AND:
+        _emit_logic(w, ins.rd, ins.rs, ins.rt, "&")
+    elif op is Opcode.OR:
+        _emit_logic(w, ins.rd, ins.rs, ins.rt, "|")
+    elif op is Opcode.XOR:
+        _emit_logic(w, ins.rd, ins.rs, ins.rt, "^")
+    elif op is Opcode.MUL:
+        w.emit(f"_v = ({w.reg(ins.rs)} * {w.reg(ins.rt)}) & 65535")
+        w.emit(f"{w.reg(ins.rd, write=True)} = _v")
+        w.zn()
+    elif op is Opcode.MULH:
+        w.emit(f"_a = {w.reg(ins.rs)}")
+        w.emit(f"_b = {w.reg(ins.rt)}")
+        w.emit("_a = _a - ((_a & 32768) << 1)")
+        w.emit("_b = _b - ((_b & 32768) << 1)")
+        w.emit("_v = ((_a * _b) >> 16) & 65535")
+        w.emit(f"{w.reg(ins.rd, write=True)} = _v")
+        w.zn()
+    elif op is Opcode.SLL:
+        _emit_reg_shift(w, ins, ShiftOp.SLLI)
+    elif op is Opcode.SRL:
+        _emit_reg_shift(w, ins, ShiftOp.SRLI)
+    elif op is Opcode.SRA:
+        _emit_reg_shift(w, ins, ShiftOp.SRAI)
+    elif op is Opcode.SHI:
+        _emit_imm_shift(w, ins)
+    elif op is Opcode.MOV:
+        w.emit(f"{w.reg(ins.rd, write=True)} = {w.reg(ins.rs)}")
+    elif op is Opcode.LDI:
+        w.emit(f"{w.reg(ins.rd, write=True)} = {ins.imm & MASK}")
+    elif op is Opcode.LUI:
+        w.emit(f"{w.reg(ins.rd, write=True)} = {(ins.imm << 8) & MASK}")
+    elif op is Opcode.ORI:
+        w.emit(f"{w.reg(ins.rd, write=True)} = "
+               f"{w.reg(ins.rd)} | {ins.imm & 0xFF}")
+    elif op is Opcode.MFSR:
+        try:
+            sr = SpecialReg(ins.imm)
+        except ValueError:
+            return False    # raises mid-stream: must stay on step()
+        if sr is SpecialReg.COREID:
+            w.emit(f"{w.reg(ins.rd, write=True)} = S.coreid_row")
+        elif sr is SpecialReg.NCORES:
+            w.emit(f"{w.reg(ins.rd, write=True)} = S.ncores")
+        else:
+            w.emit(f"{w.reg(ins.rd, write=True)} = "
+                   f"S.{_SREG_ATTR[sr]}[idx]")
+    elif op is Opcode.MTSR:
+        try:
+            sr = SpecialReg(ins.imm)
+        except ValueError:
+            return False    # raises mid-stream: must stay on step()
+        if sr not in (SpecialReg.COREID, SpecialReg.NCORES):
+            # hard-wired registers ignore writes (still costs the cycle)
+            w.emit(f"S.{_SREG_ATTR[sr]}[idx] = {w.reg(ins.rs)} & 65535")
+    elif op is Opcode.SYS:
+        sub = ins.sub
+        if sub == SysOp.NOP:
+            pass                                    # costs the cycle only
+        elif sub == SysOp.EI:
+            w.emit("S.status[idx] = S.status[idx] | 1")
+        elif sub == SysOp.DI:
+            w.emit("S.status[idx] = S.status[idx] & 65534")
+        else:
+            return False    # HALT/SLEEP/RETI/bad sub are not KIND_SEQ
+    else:
+        return False
+    return True
+
+
+#: branch-taken expressions over the flag locals; elementwise-safe for
+#: arrays, NumPy booleans and constant-folded Python scalars alike.
+_BCC_EXPR = {
+    Cond.EQ: "(fz != 0)",
+    Cond.NE: "(fz == 0)",
+    Cond.LT: "((fn != 0) != (fv != 0))",
+    Cond.GE: "((fn != 0) == (fv != 0))",
+    Cond.LE: "((fz != 0) | ((fn != 0) != (fv != 0)))",
+    Cond.GT: "((fz == 0) & ((fn != 0) == (fv != 0)))",
+    Cond.LTU: "(fc == 0)",
+    Cond.GEU: "(fc != 0)",
+}
+
+_BCC_FLAGS = {
+    Cond.EQ: ("z",), Cond.NE: ("z",),
+    Cond.LT: ("n", "v"), Cond.GE: ("n", "v"),
+    Cond.LE: ("z", "n", "v"), Cond.GT: ("z", "n", "v"),
+    Cond.LTU: ("c",), Cond.GEU: ("c",),
+}
+
+
+def _emit_terminator(w: _VecWriter, ins, pc: int) -> int | None:
+    """Inline the block-ending transfer; returns the static target for
+    ``KIND_JUMP`` endings (JMP/CALL), else None (``_pcs`` is emitted)."""
+    op = ins.op
+    if op is Opcode.BCC:
+        w.flags.update(_BCC_FLAGS[ins.cond])
+        w.emit(f"_pcs = np.where({_BCC_EXPR[ins.cond]}, "
+               f"{pc + ins.imm + 1}, {pc + 1})")
+        return None
+    if op is Opcode.JMP:
+        return ins.imm
+    if op is Opcode.CALL:
+        w.emit(f"{w.reg(7, write=True)} = {(pc + 1) & MASK}")
+        return ins.imm
+    if op is Opcode.JR:
+        w.emit(f"_pcs = {w.reg(ins.rs)}")
+        return None
+    if op is Opcode.CALLR:
+        # LR write happens *before* the target read, so CALLR R7 jumps
+        # to the new LR — the locals give the same order for free.
+        w.emit(f"{w.reg(7, write=True)} = {(pc + 1) & MASK}")
+        w.emit(f"_pcs = {w.reg(ins.rs)}")
+        return None
+    # SYS RETI
+    w.emit("_pcs = S.epc[idx]")
+    w.emit("S.status[idx] = S.status[idx] | 1")
+    return None
+
+
+def _render(w: _VecWriter, end_kind: int) -> str:
+    lines = ["def run(S, idx):"]
+    body: list[str] = []
+    for index in sorted(w.regs):
+        body.append(f"    r{index} = S.regs[idx, :, {index}]")
+    for flag in sorted(w.flags):
+        body.append(f"    f{flag} = S.f{flag}[idx]")
+    body.extend(w.body)
+    for index in sorted(w.written):
+        body.append(f"    S.regs[idx, :, {index}] = r{index}")
+    for flag in sorted(w.flags):
+        body.append(f"    S.f{flag}[idx] = f{flag}")
+    if end_kind == KIND_DIVERGE:
+        body.append("    return _pcs")
+    if not body:
+        body.append("    pass")
+    return "\n".join(lines + body) + "\n"
+
+
+def compile_block(decoded: list, start: int) -> VecBlock | None:
+    """Compile the vectorized block beginning at IM address ``start``.
+
+    Same discovery rules as :func:`repro.cpu.blocks.compile_block`,
+    except that a lone terminator compiles too and :data:`MIN_BLOCK`
+    is 1 — with hundreds of lanes per call even a singleton pays.
+    Returns ``None`` when the instruction at ``start`` cannot be
+    vectorized (memory/sync/stop boundary, invalid encodings).
+    """
+    im_len = len(decoded)
+    if start >= im_len or np is None:
+        return None
+    w = _VecWriter()
+    length = 0
+    end_kind = KIND_SEQ
+    target: int | None = None
+    pc = start
+    while pc < im_len and length < MAX_BLOCK:
+        kind = decoded[pc][0]
+        ins = decoded[pc][2]
+        if kind == KIND_SEQ:
+            if not _emit_seq(w, ins):
+                break
+            length += 1
+            pc += 1
+            continue
+        if kind in (KIND_JUMP, KIND_DIVERGE):
+            target = _emit_terminator(w, ins, pc)
+            length += 1
+            end_kind = kind
+        break
+    if length < MIN_BLOCK:
+        return None
+    source = _render(w, end_kind)
+    namespace: dict = {"np": np}
+    exec(compile(source, f"<vec@{start}+{length}>", "exec"), namespace)
+    return VecBlock(namespace["run"], length, end_kind, target, source)
+
+
+class VecTable:
+    """Lazily-compiled vectorized blocks for one program image."""
+
+    __slots__ = ("digest", "blocks", "_decoded")
+
+    def __init__(self, decoded: list, digest: str | None = None):
+        self.digest = digest
+        self._decoded = decoded
+        #: start address -> VecBlock | None, filled lazily
+        self.blocks: dict[int, VecBlock | None] = {}
+
+    def at(self, start: int) -> VecBlock | None:
+        try:
+            return self.blocks[start]
+        except KeyError:
+            block = compile_block(self._decoded, start)
+            self.blocks[start] = block
+            return block
+
+
+#: digest -> VecTable, LRU-bounded (mirrors repro.cpu.blocks.table_for).
+_TABLE_LIMIT = 64
+_tables: "OrderedDict[str, VecTable]" = OrderedDict()
+
+
+def table_for(program) -> VecTable:
+    """The shared :class:`VecTable` for ``program``'s built image."""
+    try:
+        digest = program.digest()
+    except Exception:
+        return VecTable(program.predecoded(), None)
+    table = _tables.get(digest)
+    if table is None:
+        if len(_tables) >= _TABLE_LIMIT:
+            _tables.popitem(last=False)
+        table = _tables[digest] = VecTable(program.predecoded(), digest)
+    else:
+        _tables.move_to_end(digest)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Batch state and statistics
+# ---------------------------------------------------------------------------
+
+class VecState:
+    """Structure-of-arrays snapshot of one family of machines.
+
+    Row ``i`` of every plane is machine ``i``'s state; the generated
+    block code indexes the planes with a run-index array, so one call
+    touches every lane of a whole group.  The ``d_*`` planes accumulate
+    per-run trace deltas that are credited back at peel time.
+    """
+
+    __slots__ = (
+        "machines", "C", "W", "ncores", "coreid_row",
+        "regs", "fz", "fn", "fc", "fv",
+        "rsync", "ivec", "epc", "status",
+        "dm", "prio",
+        "start_cycles", "d_cycles", "d_blocks",
+        "d_dm_reads", "d_dm_writes", "d_dm_served", "width",
+    )
+
+
+def _build_state(machines: list) -> VecState:
+    C = machines[0].config.num_cores
+    N = len(machines)
+    S = VecState()
+    S.machines = machines
+    S.C = C
+    S.ncores = C
+    S.W = len(machines[0].dm.words)
+    S.coreid_row = np.arange(C, dtype=np.int64)
+    S.regs = np.array([[core.regs for core in m.cores] for m in machines],
+                      dtype=np.int64)
+
+    def plane(attr):
+        return np.array([[getattr(core, attr) for core in m.cores]
+                         for m in machines], dtype=np.int64)
+
+    S.fz = plane("flag_z")
+    S.fn = plane("flag_n")
+    S.fc = plane("flag_c")
+    S.fv = plane("flag_v")
+    S.rsync = plane("rsync")
+    S.ivec = plane("ivec")
+    S.epc = plane("epc")
+    S.status = plane("status")
+    S.dm = np.array([m.dm.words for m in machines], dtype=np.int64)
+    S.prio = np.array([m.dxbar._priority for m in machines], dtype=np.int64)
+    S.start_cycles = np.array([m.trace.cycles for m in machines],
+                              dtype=np.int64)
+    S.d_cycles = np.zeros(N, dtype=np.int64)
+    S.d_blocks = np.zeros(N, dtype=np.int64)
+    S.d_dm_reads = np.zeros(N, dtype=np.int64)
+    S.d_dm_writes = np.zeros(N, dtype=np.int64)
+    S.d_dm_served = np.zeros(N, dtype=np.int64)
+    S.width = np.zeros(N, dtype=np.int64)
+    return S
+
+
+@dataclass
+class BatchStats:
+    """What one :func:`run_batch` call did, for telemetry and tests.
+
+    :ivar requested: machines offered to the batch.
+    :ivar batched: machines that entered the vector phase.
+    :ivar rejected: machines refused by an entry guard (pending IRQs,
+        non-running cores, busy synchronizer, ...), left untouched.
+    :ivar families: distinct (image, config, entry PC) groups executed.
+    :ivar vector_cycles: per-run cycles advanced vectorized, summed.
+    :ivar vector_blocks: per-run vectorized block executions, summed.
+    :ivar max_width: widest ``runs x cores`` lane count executed.
+    :ivar peels: peel-out counts by reason; ``"stop"`` is the natural
+        end-of-program exit, everything else is an early peel.
+    """
+
+    requested: int = 0
+    batched: int = 0
+    rejected: int = 0
+    families: int = 0
+    vector_cycles: int = 0
+    vector_blocks: int = 0
+    max_width: int = 0
+    peels: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def early_peels(self) -> int:
+        return sum(count for reason, count in self.peels.items()
+                   if reason != "stop")
+
+    def as_dict(self) -> dict:
+        return {
+            "requested": self.requested,
+            "batched": self.batched,
+            "rejected": self.rejected,
+            "families": self.families,
+            "vector_cycles": self.vector_cycles,
+            "vector_blocks": self.vector_blocks,
+            "max_width": self.max_width,
+            "early_peels": self.early_peels,
+            "peels": dict(sorted(self.peels.items())),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Entry guards
+# ---------------------------------------------------------------------------
+
+def batch_entry_guard(machine, limit: int) -> str | None:
+    """Why ``machine`` cannot enter a batch right now (None = it can).
+
+    The guards are the batch-engine analogue of the scalar burst
+    preconditions, plus the structural ones the batch cannot peel its
+    way out of mid-flight (timers and scheduled IRQs fire at absolute
+    cycles, which the group-scheduled batch cannot honour).
+    """
+    if np is None:
+        return "numpy"
+    if not machine.fast_engine or machine._probes:
+        return "engine"
+    if (machine._outstanding_count or machine._pending_irq_count
+            or machine._wake_next):
+        return "inflight"
+    sync = machine.synchronizer
+    if sync is not None and sync.busy:
+        return "sync-busy"
+    if machine._timers or machine._irq_schedule:
+        return "irq"
+    if not machine.config.im_broadcast:
+        return "no-broadcast"
+    dxbar = machine.dxbar
+    if dxbar.locked_addresses or dxbar._groups:
+        return "dxbar"
+    cores = machine.cores
+    pc0 = cores[0].pc
+    for core in cores:
+        if core.mode is not CoreMode.RUNNING:
+            return "mode"
+        if core.pc != pc0:
+            return "pc"
+    if machine.trace.cycles >= limit:
+        return "limit"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The batch engine
+# ---------------------------------------------------------------------------
+
+class _Group:
+    """Runs sharing one PC; counters are group-uniform deltas that are
+    flushed to the per-run planes whenever membership changes."""
+
+    __slots__ = ("idx", "pc", "executed", "blocks",
+                 "dm_reads", "dm_writes", "dm_served")
+
+    def __init__(self, idx, pc: int):
+        self.idx = idx
+        self.pc = pc
+        self.executed = 0
+        self.blocks = 0
+        self.dm_reads = 0
+        self.dm_writes = 0
+        self.dm_served = 0
+
+
+class _FamilyRunner:
+    """Advances one same-image family of machines in lockstep."""
+
+    def __init__(self, machines: list, limit: int, stats: BatchStats):
+        self.machines = machines
+        self.limit = limit
+        self.stats = stats
+        self.N = len(machines)
+        machine = machines[0]
+        self.config = machine.config
+        self.decoded = machine._decoded
+        self.im_len = len(self.decoded)
+        self.table = table_for(machine.program)
+        self.S = _build_state(machines)
+        self.worklist: list[_Group] = [
+            _Group(np.arange(self.N, dtype=np.int64), machine.cores[0].pc)]
+
+    def run(self) -> None:
+        while self.worklist:
+            self._advance(self.worklist.pop())
+
+    # -- group stepping --------------------------------------------------
+
+    def _advance(self, g: _Group) -> None:
+        S = self.S
+        idx = g.idx
+        k = len(idx)
+        C = S.C
+        limit = self.limit
+        blocks = self.table.blocks
+        block_at = self.table.at
+        decoded = self.decoded
+        im_len = self.im_len
+        base = int((S.start_cycles[idx] + S.d_cycles[idx]).max())
+        while True:
+            pc = g.pc
+            if pc >= im_len:
+                self._peel(g, None, "fault")
+                return
+            blk = blocks.get(pc, False)
+            if blk is False:
+                blk = block_at(pc)
+            if blk is not None:
+                if base + g.executed + blk.length > limit:
+                    self._peel(g, None, "horizon")
+                    return
+                pcs = blk.run(S, idx)
+                g.executed += blk.length
+                g.blocks += 1
+                end = blk.end_kind
+                if end == KIND_SEQ:
+                    g.pc = pc + blk.length
+                    continue
+                if end == KIND_JUMP:
+                    g.pc = blk.target
+                    continue
+                # KIND_DIVERGE: targets may differ per lane
+                pcs = np.asarray(pcs)
+                if pcs.ndim == 0:
+                    g.pc = int(pcs)
+                    continue
+                if pcs.ndim < 2:
+                    # (C,)-shaped: uniform across runs, maybe not cores
+                    pcs = np.broadcast_to(pcs, (k, C))
+                first = int(pcs[0, 0])
+                if np.all(pcs == first):
+                    g.pc = first
+                    continue
+                self._diverge(g, pcs)
+                return
+            rec = decoded[pc]
+            kind = rec[0]
+            if kind == KIND_MEM:
+                if base + g.executed + 1 > limit:
+                    self._peel(g, None, "horizon")
+                    return
+                if self._mem(g, rec[1]):
+                    g.pc = pc + 1
+                    continue
+                return          # peeled or split inside _mem
+            if kind == KIND_STOP:
+                self._peel(g, None, "stop")
+            elif kind == KIND_SYNC:
+                self._peel(g, None, "sync")
+            else:
+                self._peel(g, None, "deopt")    # unfusable encoding
+            return
+
+    def _diverge(self, g: _Group, pcs) -> None:
+        """Split a group on a data-dependent branch outcome.
+
+        Runs whose cores disagree *internally* leave lockstep entirely
+        and peel with per-core PCs; runs that stay internally uniform
+        regroup by target PC and keep executing vectorized.
+        """
+        self._flush(g)
+        idx = g.idx
+        first = pcs[:, 0]
+        uniform = (pcs == first[:, None]).all(axis=1)
+        if not uniform.all():
+            bad = np.flatnonzero(~uniform)
+            self._writeback(idx[bad], pcs[bad], "diverge")
+        good = np.flatnonzero(uniform)
+        if not good.size:
+            return
+        good_idx = idx[good]
+        good_pc = first[good]
+        for target in np.unique(good_pc):
+            self._enqueue(good_idx[good_pc == target], int(target))
+
+    def _enqueue(self, idx, pc: int) -> None:
+        """Queue a (flushed) sub-group, re-merging at equal PCs."""
+        for other in self.worklist:
+            if other.pc == pc:
+                other.idx = np.concatenate([other.idx, idx])
+                return
+        self.worklist.append(_Group(idx, pc))
+
+    def _mem(self, g: _Group, info: tuple) -> bool:
+        """One vectorized lockstep LD/ST cycle; mirrors the scalar
+        engine's ``_mem_cycle`` patterns across every run of the group.
+
+        :returns: True when the cycle was served (the caller advances
+            the PC); False when the group was split or peeled instead.
+        """
+        S = self.S
+        config = self.config
+        is_write, rs, imm, rd = info
+        idx = g.idx
+        C = S.C
+        addrs = (S.regs[idx, :, rs] + imm) & 0xFFFF
+        row0 = addrs[0]
+        if len(idx) > 1 and not (addrs == row0).all():
+            # input-dependent addresses: the subset matching run 0's
+            # pattern stays together, the rest re-splits on its own
+            # pattern next time around.  No merge — both children sit
+            # at this PC on purpose.
+            self._flush(g)
+            same = (addrs == row0).all(axis=1)
+            self.worklist.append(_Group(idx[same], g.pc))
+            self.worklist.append(_Group(idx[~same], g.pc))
+            return False
+        lanes = row0.tolist()
+        if max(lanes) >= S.W:
+            self._peel(g, None, "fault")    # reference step() raises
+            return False
+        if config.dm_interleaved:
+            nb = config.dm_banks
+            banks = [a % nb for a in lanes]
+        else:
+            bank_words = config.dm_bank_words
+            banks = [a // bank_words for a in lanes]
+        if len(set(banks)) != C:
+            if is_write or not config.dm_broadcast:
+                self._peel(g, None, "mem")  # may lose arbitration
+                return False
+            addr = lanes[0]
+            for other in lanes:
+                if other != addr:
+                    self._peel(g, None, "mem")
+                    return False
+            # broadcast read: with every core requesting, the rotating
+            # priority's winner is the priority holder itself.
+            bank = banks[0]
+            winner = S.prio[idx, bank]
+            S.prio[idx, bank] = (winner + 1) % C
+            S.regs[idx, :, rd] = S.dm[idx, addr][:, None]
+            g.dm_reads += 1
+            g.dm_served += C
+            g.executed += 1
+            return True
+        # distinct banks: every request wins; rotate each bank past its
+        # core and serve the whole plane with one 2-D scatter/gather.
+        bank_row = np.asarray(banks, dtype=np.int64)
+        S.prio[idx[:, None], bank_row[None, :]] = \
+            ((S.coreid_row + 1) % C)[None, :]
+        if is_write:
+            S.dm[idx[:, None], row0[None, :]] = S.regs[idx, :, rd] & 0xFFFF
+            g.dm_writes += C
+        else:
+            S.regs[idx, :, rd] = S.dm[idx[:, None], row0[None, :]]
+            g.dm_reads += C
+        g.dm_served += C
+        g.executed += 1
+        return True
+
+    # -- commit and peel -------------------------------------------------
+
+    def _flush(self, g: _Group) -> None:
+        """Credit the group-uniform deltas to the per-run planes."""
+        if not g.executed:
+            return
+        S = self.S
+        idx = g.idx
+        S.d_cycles[idx] += g.executed
+        S.d_blocks[idx] += g.blocks
+        if g.dm_reads:
+            S.d_dm_reads[idx] += g.dm_reads
+        if g.dm_writes:
+            S.d_dm_writes[idx] += g.dm_writes
+        if g.dm_served:
+            S.d_dm_served[idx] += g.dm_served
+        S.width[idx] = np.maximum(S.width[idx], len(idx) * S.C)
+        g.executed = 0
+        g.blocks = 0
+        g.dm_reads = 0
+        g.dm_writes = 0
+        g.dm_served = 0
+
+    def _peel(self, g: _Group, pcs, reason: str) -> None:
+        self._flush(g)
+        self._writeback(g.idx, g.pc if pcs is None else pcs, reason)
+
+    def _writeback(self, rows, pcs, reason: str) -> None:
+        """Peel runs out of the batch: restore scalar machine state and
+        credit the trace with the same batched accounting the scalar
+        lockstep burst uses (every vectorized cycle had all ``C`` cores
+        active on one broadcast fetch — no stalls, no idle cores)."""
+        S = self.S
+        C = S.C
+        stats = self.stats
+        stats.peels[reason] = stats.peels.get(reason, 0) + len(rows)
+        uniform = isinstance(pcs, int)
+        for row, i in enumerate(rows):
+            i = int(i)
+            machine = S.machines[i]
+            regs = S.regs[i]
+            fz, fn = S.fz[i], S.fn[i]
+            fc, fv = S.fc[i], S.fv[i]
+            rsync, ivec = S.rsync[i], S.ivec[i]
+            epc, status = S.epc[i], S.status[i]
+            lane_pcs = None if uniform else pcs[row]
+            for c, core in enumerate(machine.cores):
+                core.regs = regs[c].tolist()
+                core.pc = pcs if uniform else int(lane_pcs[c])
+                core.flag_z = int(fz[c])
+                core.flag_n = int(fn[c])
+                core.flag_c = int(fc[c])
+                core.flag_v = int(fv[c])
+                core.rsync = int(rsync[c])
+                core.ivec = int(ivec[c])
+                core.epc = int(epc[c])
+                core.status = int(status[c])
+            machine.dm.words[:] = S.dm[i].tolist()
+            machine.dxbar._priority[:] = S.prio[i].tolist()
+            engine_stats = machine._engine.stats
+            engine_stats.batched_runs = max(engine_stats.batched_runs,
+                                            self.N)
+            width = int(S.width[i])
+            engine_stats.vector_width = max(engine_stats.vector_width,
+                                            width)
+            stats.max_width = max(stats.max_width, width)
+            if reason != "stop":
+                engine_stats.peel_count += 1
+            cycles = int(S.d_cycles[i])
+            if not cycles:
+                continue
+            vec_blocks = int(S.d_blocks[i])
+            engine_stats.vector_blocks += vec_blocks
+            engine_stats.vector_cycles += cycles
+            stats.vector_cycles += cycles
+            stats.vector_blocks += vec_blocks
+            trace = machine.trace
+            trace.cycles += cycles
+            trace.core_active_cycles += cycles * C
+            trace.retired_ops += cycles * C
+            retired = trace.retired_per_core
+            for c in range(C):
+                retired[c] += cycles
+            trace.im_bank_accesses += cycles
+            trace.im_fetches_served += cycles * C
+            histogram = trace.lockstep_histogram
+            histogram[C] = histogram.get(C, 0) + cycles
+            reads = int(S.d_dm_reads[i])
+            writes = int(S.d_dm_writes[i])
+            served = int(S.d_dm_served[i])
+            if reads:
+                trace.dm_bank_reads += reads
+            if writes:
+                trace.dm_bank_writes += writes
+            if served:
+                trace.dm_served += served
+            machine._quiet = False
+
+
+def run_batch(machines, *, limit: int | None = None) -> BatchStats:
+    """Advance a batch of machines in vectorized lockstep, then peel.
+
+    Every machine that passes :func:`batch_entry_guard` joins a family
+    of same-image, same-config, same-entry-PC peers and executes as far
+    as the vectorized engine can prove lockstep; at its peel boundary
+    its full state is written back, bit-exactly.  Callers finish each
+    machine with ``machine.run(max_cycles=...)`` — results (including
+    raised errors) are identical to never having batched.
+
+    Rejected machines are untouched.  ``limit`` defaults to the
+    smallest ``config.max_cycles`` across the batch and must equal the
+    bound the caller will pass to ``machine.run`` for cycle-limit
+    errors to surface identically.
+
+    :returns: a :class:`BatchStats` describing what happened.
+    """
+    stats = BatchStats(requested=len(machines))
+    if not machines:
+        return stats
+    if limit is None:
+        limit = min(machine.config.max_cycles for machine in machines)
+    families: dict[tuple, list] = {}
+    for machine in machines:
+        if batch_entry_guard(machine, limit) is not None:
+            stats.rejected += 1
+            continue
+        try:
+            image = machine.program.digest()
+        except Exception:
+            image = id(machine._decoded)
+        key = (image, machine.config.to_key(), machine.cores[0].pc)
+        families.setdefault(key, []).append(machine)
+    for family in families.values():
+        stats.families += 1
+        stats.batched += len(family)
+        _FamilyRunner(family, limit, stats).run()
+    return stats

@@ -24,6 +24,8 @@ from .job import (
     RunRequest,
     RunTimeout,
     SweepSpec,
+    batch_key,
+    execute_batch,
     execute_request,
     program_digest,
     request_digest,
@@ -42,7 +44,9 @@ __all__ = [
     "SweepMetrics",
     "SweepSpec",
     "TieredCache",
+    "batch_key",
     "default_cache_dir",
+    "execute_batch",
     "execute_request",
     "program_digest",
     "request_digest",

@@ -28,16 +28,20 @@ from functools import lru_cache
 
 from .. import __version__
 from ..compiler import compile_source
+from ..cpu import vec
 from ..dsp import generate_ecg
 from ..dsp.ecg import EcgConfig
 from ..isa.program import Program
 from ..kernels import BENCHMARKS, Design, golden_outputs, run_benchmark
-from ..kernels.suite import build_program
+from ..kernels.suite import build_program, collect_benchmark, \
+    prepare_benchmark
 from ..platform import PlatformConfig
 
 #: cache-entry / payload schema; bump on incompatible layout changes
 #: (2: added the ``engine`` fast-path engagement counters)
-SCHEMA = 2
+#: (3: ``engine`` gained the batched-vector counters and batched
+#: payloads carry ``batch_size``)
+SCHEMA = 3
 
 DEFAULT_SAMPLES = 64
 DEFAULT_SEED = 2013
@@ -323,3 +327,107 @@ def execute_request(request: RunRequest, *,
         "elapsed": round(time.perf_counter() - start, 6),
         "worker": os.getpid(),
     }
+
+
+# ---------------------------------------------------------------------------
+# Batched execution (array-of-machines, repro.cpu.vec)
+# ---------------------------------------------------------------------------
+
+def batch_key(request: RunRequest):
+    """Coalescing key: requests with equal keys may run as one batch.
+
+    Two requests can share an array-of-machines batch when they run the
+    *same built image* on the *same platform* with the same cycle bound
+    — their inputs (channels, ``n_samples``, seed) are free to differ,
+    that is the batch axis.  Returns ``None`` when the request cannot be
+    batched at all (reference engine requested, or NumPy unavailable),
+    in which case the scheduler dispatches it individually.
+    """
+    if not request.fast_engine or not vec.AVAILABLE:
+        return None
+    try:
+        program, _ = resolve_program(request)
+    except Exception:
+        return None             # the individual run will report the error
+    return (program_digest(program), request.platform_config().to_key(),
+            request.max_cycles)
+
+
+def _isolated(request: RunRequest,
+              timeout: float | None) -> tuple[dict | None, str | None]:
+    try:
+        return execute_request(request, timeout=timeout), None
+    except Exception as exc:
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def execute_batch(requests, *, timeout: float | None = None
+                  ) -> list[tuple[dict | None, str | None]]:
+    """Run a family of same-:func:`batch_key` requests as one batch.
+
+    The machines are prepared together, advanced in vectorized lockstep
+    by :func:`repro.cpu.vec.run_batch`, then finished and verified
+    individually — each with its own error isolation, so one bad run
+    (cycle limit, timeout) never sinks its batch-mates.  Results are
+    bit-identical to :func:`execute_request` per request; the payloads
+    additionally carry ``batch_size`` and split the shared vector-phase
+    wall time evenly across ``elapsed`` fields.
+
+    The vector phase runs under a pooled deadline of ``timeout x N``; if
+    it raises *anything*, the partially-advanced machines are discarded
+    and every request re-executes individually from scratch — the batch
+    layer can fail, the results cannot.
+
+    :returns: one ``(payload, error)`` pair per request, in order.
+    """
+    batch = list(requests)
+    if len(batch) == 1:
+        return [_isolated(batch[0], timeout)]
+    start = time.perf_counter()
+    try:
+        prepared = []
+        with _deadline(timeout * len(batch) if timeout else None):
+            for request in batch:
+                program, sync_points = resolve_program(request)
+                channels = resolve_channels(request)
+                machine, n_samples = prepare_benchmark(
+                    request.benchmark, request.design, channels,
+                    fast_engine=request.fast_engine,
+                    config=request.platform_config(), program=program)
+                prepared.append((request, channels, machine, n_samples,
+                                 sync_points))
+            vec.run_batch([entry[2] for entry in prepared],
+                          limit=min(r.max_cycles for r in batch))
+    except Exception:
+        # mid-batch state is not trustworthy after an arbitrary failure
+        # (e.g. a timeout signal between two vector ops) — rerun scalar.
+        return [_isolated(request, timeout) for request in batch]
+    share = (time.perf_counter() - start) / len(batch)
+    results: list[tuple[dict | None, str | None]] = []
+    for request, channels, machine, n_samples, sync_points in prepared:
+        own = time.perf_counter()
+        try:
+            with _deadline(timeout):
+                machine.run(max_cycles=request.max_cycles)
+                run = collect_benchmark(machine, request.benchmark,
+                                        request.design, n_samples)
+                golden_match = None
+                if request.verify:
+                    golden_match = (
+                        run.outputs
+                        == golden_outputs(request.benchmark, channels))
+        except Exception as exc:
+            results.append((None, f"{type(exc).__name__}: {exc}"))
+            continue
+        results.append(({
+            "schema": SCHEMA,
+            "version": __version__,
+            "run": run.to_json(),
+            "engine": machine.engine_stats.as_dict(),
+            "sync_points": sync_points,
+            "golden_match": golden_match,
+            "batch_size": len(batch),
+            "elapsed": round(share + time.perf_counter() - own, 6),
+            "worker": os.getpid(),
+        }, None))
+    return results

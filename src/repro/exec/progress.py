@@ -15,7 +15,13 @@ from dataclasses import dataclass, field
 
 @dataclass
 class RunRecord:
-    """One completed run, as the metrics see it."""
+    """One completed run, as the metrics see it.
+
+    :ivar batch: size of the array-of-machines batch the run was
+        dispatched in (0 = individual dispatch).
+    :ivar peeled: the run peeled out of its batch at a guard boundary
+        before the natural end of program.
+    """
 
     index: int
     label: str
@@ -23,6 +29,8 @@ class RunRecord:
     failed: bool
     elapsed: float
     worker: int | None
+    batch: int = 0
+    peeled: bool = False
 
 
 @dataclass
@@ -42,8 +50,10 @@ class SweepMetrics:
     _finished: float | None = None
 
     def note(self, index: int, label: str, *, cached: bool, failed: bool,
-             elapsed: float, worker: int | None) -> RunRecord:
-        record = RunRecord(index, label, cached, failed, elapsed, worker)
+             elapsed: float, worker: int | None, batch: int = 0,
+             peeled: bool = False) -> RunRecord:
+        record = RunRecord(index, label, cached, failed, elapsed, worker,
+                           batch, peeled)
         self.records.append(record)
         return record
 
@@ -85,6 +95,25 @@ class SweepMetrics:
             return 0.0
         return self.completed / self.wall_seconds
 
+    @property
+    def batched(self) -> int:
+        """Runs dispatched inside an array-of-machines batch."""
+        return sum(r.batch >= 2 for r in self.records)
+
+    @property
+    def peeled(self) -> int:
+        """Batched runs that peeled out early at a guard boundary."""
+        return sum(r.peeled for r in self.records if r.batch >= 2)
+
+    @property
+    def peel_rate(self) -> float:
+        batched = self.batched
+        return self.peeled / batched if batched else 0.0
+
+    @property
+    def largest_batch(self) -> int:
+        return max((r.batch for r in self.records), default=0)
+
     def worker_utilization(self) -> dict[int, float]:
         """Per-worker busy fraction: executed seconds / sweep wall-clock."""
         if self.wall_seconds <= 0:
@@ -107,6 +136,9 @@ class SweepMetrics:
             "hit_rate": round(self.hit_rate, 4),
             "wall_seconds": round(self.wall_seconds, 4),
             "runs_per_second": round(self.runs_per_second, 3),
+            "batched_runs": self.batched,
+            "largest_batch": self.largest_batch,
+            "peel_rate": round(self.peel_rate, 4),
             "worker_utilization": {
                 str(pid): round(fraction, 3)
                 for pid, fraction in self.worker_utilization().items()
@@ -121,6 +153,11 @@ class SweepMetrics:
             f"— {self.cache_hits} cached, {self.executed} executed, "
             f"{self.failures} failed",
         ]
+        if self.batched:
+            lines.append(
+                f"batched: {self.batched} runs coalesced "
+                f"(largest batch {self.largest_batch}), "
+                f"peel rate {self.peel_rate:.0%}")
         utilization = self.worker_utilization()
         if utilization:
             cells = [f"pid {pid} {fraction:.0%}"
@@ -137,4 +174,7 @@ def progress_line(record: RunRecord, done: int, total: int, *,
             f"{record.elapsed:7.2f}s")
     if hit_rate is not None:
         line += f"  cache {hit_rate:4.0%}"
+    if record.batch >= 2:
+        # '*' marks a run that peeled out of its batch before the end
+        line += f"  batch {record.batch}{'*' if record.peeled else ''}"
     return line

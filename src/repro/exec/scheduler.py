@@ -28,7 +28,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..kernels import BenchmarkRun
-from .job import RunRequest, SweepSpec, execute_request, request_digest
+from .job import (
+    RunRequest,
+    SweepSpec,
+    batch_key,
+    execute_batch,
+    execute_request,
+    request_digest,
+)
 from .progress import SweepMetrics, progress_line
 
 
@@ -82,6 +89,16 @@ def _pool_task(request: RunRequest,
         return None, f"{type(exc).__name__}: {exc}"
 
 
+def _pool_batch(requests: list, timeout: float | None
+                ) -> list[tuple[dict | None, str | None]]:
+    """Worker entry point for one coalesced batch (aligned results)."""
+    try:
+        return execute_batch(requests, timeout=timeout)
+    except BaseException as exc:                  # noqa: BLE001 — isolate
+        error = f"{type(exc).__name__}: {exc}"
+        return [(None, error)] * len(requests)
+
+
 class SweepExecutor:
     """Schedules sweeps over a cache and (optionally) a process pool.
 
@@ -92,19 +109,24 @@ class SweepExecutor:
         unbounded; the request's ``max_cycles`` still applies).
     :param refresh: ignore existing cache entries but store fresh ones
         (``--refresh``).
+    :param batch: coalesce same-image requests into array-of-machines
+        batches (:func:`~repro.exec.job.execute_batch`).  Results are
+        bit-identical either way; disable to force per-run dispatch
+        (``--no-batch``).
     :param log: callable for progress lines (e.g. ``print``); ``None``
         runs quietly.
     """
 
     def __init__(self, jobs: int = 0, cache=None, *,
                  timeout: float | None = None, refresh: bool = False,
-                 log=None):
+                 batch: bool = True, log=None):
         if jobs < 0:
             raise ValueError("jobs must be >= 0")
         self.jobs = jobs
         self.cache = cache
         self.timeout = timeout
         self.refresh = refresh
+        self.batch = batch
         self.log = log
         self.last_metrics: SweepMetrics | None = None
         self._pool: ProcessPoolExecutor | None = None
@@ -180,12 +202,15 @@ class SweepExecutor:
                 done += 1
                 # duplicates share the payload but only the first one
                 # carries the execution time (metrics honesty)
+                engine = (payload or {}).get("engine") or {}
                 record = metrics.note(
                     index, requests[index].label, cached=False,
                     failed=error is not None,
                     elapsed=((payload or {}).get("elapsed", 0.0)
                              if position == 0 else 0.0),
-                    worker=(payload or {}).get("worker"))
+                    worker=(payload or {}).get("worker"),
+                    batch=(payload or {}).get("batch_size", 0),
+                    peeled=bool(engine.get("peel_count")))
                 if manifest is not None:
                     manifest.note_outcome(outcomes[index], record)
                 if self.log:
@@ -199,37 +224,94 @@ class SweepExecutor:
             manifest.finalize(metrics=metrics, cache=self.cache, spec=spec)
         return [outcome for outcome in outcomes if outcome is not None]
 
+    def _coalesce(self, unique):
+        """Partition unique pending runs into singles and batch groups.
+
+        Requests sharing a :func:`~repro.exec.job.batch_key` (same built
+        image, platform and cycle bound — only the inputs differ) form
+        one array-of-machines batch; families of one, and requests that
+        cannot batch at all, dispatch individually.  Deterministic in
+        request order, so batched and pooled sweeps stay reproducible.
+        """
+        if not self.batch or len(unique) < 2:
+            return list(unique), []
+        singles, families, order = [], {}, []
+        for digest, request in unique:
+            key = batch_key(request)
+            if key is None:
+                singles.append((digest, request))
+                continue
+            if key not in families:
+                families[key] = []
+                order.append(key)
+            families[key].append((digest, request))
+        batches = []
+        for key in order:
+            group = families[key]
+            if len(group) >= 2:
+                batches.append(group)
+            else:
+                singles.append(group[0])
+        return singles, batches
+
     def _execute(self, unique):
         """Yield ``(digest, payload, error)`` for each unique pending run."""
+        singles, batches = self._coalesce(unique)
+        if self.log:
+            for group in batches:
+                head = group[0][1]
+                self.log(f"batch: {len(group)} runs coalesced "
+                         f"({head.benchmark} {head.design.name} "
+                         f"c{head.platform_config().num_cores})")
         if self.jobs > 1 and len(unique) > 1:
-            yield from self._execute_pool(unique)
-        else:
-            for digest, request in unique:
-                payload, error = _pool_task(request, self.timeout)
+            yield from self._execute_pool(singles, batches)
+            return
+        for digest, request in singles:
+            payload, error = _pool_task(request, self.timeout)
+            yield digest, payload, error
+        for group in batches:
+            results = _pool_batch([request for _, request in group],
+                                  self.timeout)
+            for (digest, _), (payload, error) in zip(group, results):
                 yield digest, payload, error
 
-    def _execute_pool(self, unique):
+    def _execute_pool(self, singles, batches):
         pool = self._pool_instance()
-        futures = {}
+        futures = []
         try:
-            for digest, request in unique:
-                futures[digest] = (pool.submit(_pool_task, request,
-                                               self.timeout), request)
+            for digest, request in singles:
+                futures.append((pool.submit(_pool_task, request,
+                                            self.timeout),
+                                [(digest, request)], False))
+            for group in batches:
+                futures.append((pool.submit(
+                    _pool_batch, [request for _, request in group],
+                    self.timeout), group, True))
         except BaseException:
             self.close()
             raise
-        broken: list[tuple[str, RunRequest]] = []
-        for digest, (future, request) in futures.items():
+        broken: list[tuple[list, bool]] = []
+        for future, group, is_batch in futures:
             try:
-                payload, error = future.result()
+                result = future.result()
             except Exception:
                 # pool-level failure (e.g. a worker died hard and broke
-                # the pool): salvage this run in-process and rebuild the
-                # pool lazily on the next sweep.
-                broken.append((digest, request))
+                # the pool): salvage this work in-process and rebuild
+                # the pool lazily on the next sweep.
+                broken.append((group, is_batch))
                 self.close()
                 continue
-            yield digest, payload, error
-        for digest, request in broken:
-            payload, error = _pool_task(request, self.timeout)
-            yield digest, payload, error
+            if is_batch:
+                for (digest, _), (payload, error) in zip(group, result):
+                    yield digest, payload, error
+            else:
+                payload, error = result
+                yield group[0][0], payload, error
+        for group, is_batch in broken:
+            if is_batch:
+                results = _pool_batch([request for _, request in group],
+                                      self.timeout)
+            else:
+                results = [_pool_task(group[0][1], self.timeout)]
+            for (digest, _), (payload, error) in zip(group, results):
+                yield digest, payload, error

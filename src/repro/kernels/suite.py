@@ -183,24 +183,22 @@ class BenchmarkRun:
         )
 
 
-def run_benchmark(bench_name: str, design: Design,
-                  channels: list[list[int]],
-                  *, max_cycles: int = 50_000_000,
-                  fast_engine: bool = True,
-                  config: PlatformConfig | None = None,
-                  program: Program | None = None) -> BenchmarkRun:
-    """Run one benchmark over per-core channels; returns outputs + trace.
+def prepare_benchmark(bench_name: str, design: Design,
+                      channels: list[list[int]],
+                      *, fast_engine: bool = True,
+                      config: PlatformConfig | None = None,
+                      program: Program | None = None
+                      ) -> tuple[Machine, int]:
+    """Build and load a benchmark machine without running it.
 
-    :param channels: one sample list per core (all equal length).
-    :param fast_engine: forward to :class:`Machine` — disable to force
-        the reference per-cycle engine (differential tests, perf bench).
-    :param config: platform override for ablations (banking, broadcast,
-        custom policy); defaults to ``design.platform_config``.  Its core
-        count must match ``len(channels)``.
-    :param program: image override (e.g. built with non-default compile
-        options); defaults to the cached :func:`build_program` image.
+    Everything :func:`run_benchmark` does *before* ``machine.run`` —
+    split out so batched dispatch (:mod:`repro.cpu.vec`) can prepare a
+    whole family of same-image machines, advance them together, and
+    :func:`collect_benchmark` each one afterwards.
+
+    :returns: ``(machine, n_samples)`` — the machine is loaded and at
+        its entry point, not yet run.
     """
-    bench = BENCHMARKS[bench_name]
     num_cores = len(channels)
     n_samples = check_samples(len(channels[0]))
     if any(len(c) != n_samples for c in channels):
@@ -221,19 +219,47 @@ def run_benchmark(bench_name: str, design: Design,
                         [v & 0xFFFF for v in channel])
     n_address = program.symbols.get("g_n_samples", sqrt32.N_SAMPLES_ADDRESS)
     machine.dm.write(n_address, n_samples)
+    return machine, n_samples
 
-    machine.run(max_cycles=max_cycles)
 
+def collect_benchmark(machine: Machine, bench_name: str, design: Design,
+                      n_samples: int) -> BenchmarkRun:
+    """Harvest outputs + trace from a machine that has finished running."""
+    bench = BENCHMARKS[bench_name]
     run = BenchmarkRun(bench_name, design, n_samples, machine=machine,
                        trace=machine.trace)
     words = bench.out_words(n_samples)
-    for core in range(num_cores):
+    for core in range(machine.config.num_cores):
         raw = machine.dm.dump(core * BANK_WORDS + OUT_OFFSET, words)
         if bench.signed_output:
             run.outputs.append([to_signed16(v) for v in raw])
         else:
             run.outputs.append(list(raw))
     return run
+
+
+def run_benchmark(bench_name: str, design: Design,
+                  channels: list[list[int]],
+                  *, max_cycles: int = 50_000_000,
+                  fast_engine: bool = True,
+                  config: PlatformConfig | None = None,
+                  program: Program | None = None) -> BenchmarkRun:
+    """Run one benchmark over per-core channels; returns outputs + trace.
+
+    :param channels: one sample list per core (all equal length).
+    :param fast_engine: forward to :class:`Machine` — disable to force
+        the reference per-cycle engine (differential tests, perf bench).
+    :param config: platform override for ablations (banking, broadcast,
+        custom policy); defaults to ``design.platform_config``.  Its core
+        count must match ``len(channels)``.
+    :param program: image override (e.g. built with non-default compile
+        options); defaults to the cached :func:`build_program` image.
+    """
+    machine, n_samples = prepare_benchmark(
+        bench_name, design, channels, fast_engine=fast_engine,
+        config=config, program=program)
+    machine.run(max_cycles=max_cycles)
+    return collect_benchmark(machine, bench_name, design, n_samples)
 
 
 def golden_outputs(bench_name: str,

@@ -104,18 +104,31 @@ class EngineStats:
     #: need no reference fallback (horizon, convergence, divergence)
     #: are not deopts.
     deopt_count: int = 0
+    #: size of the largest array-of-machines batch this run was part of
+    #: (:func:`repro.cpu.vec.run_batch`); 0 when never batched
+    batched_runs: int = 0
+    #: widest runs x cores lane count this run executed vectorized in
+    vector_width: int = 0
+    #: vectorized block executions credited to this run
+    vector_blocks: int = 0
+    #: cycles advanced by the vectorized batch engine (disjoint from
+    #: ``lockstep_cycles`` — a cycle is counted where it was executed)
+    vector_cycles: int = 0
+    #: times this run peeled out of a batch early (guard boundary hit
+    #: before the natural end of program)
+    peel_count: int = 0
 
     @property
     def fast_cycles(self) -> int:
         """Cycles consumed by the fast paths (the rest were ``step()``)."""
         return self.lockstep_cycles + self.divergent_cycles \
-            + self.sleep_cycles
+            + self.sleep_cycles + self.vector_cycles
 
     @property
     def engaged(self) -> bool:
         """True when at least one fast path fired during the run."""
         return bool(self.lockstep_bursts or self.divergent_bursts
-                    or self.sleep_skips)
+                    or self.sleep_skips or self.vector_cycles)
 
     def as_dict(self) -> dict:
         return {
@@ -128,6 +141,11 @@ class EngineStats:
             "fused_blocks": self.fused_blocks,
             "fused_cycles": self.fused_cycles,
             "deopt_count": self.deopt_count,
+            "batched_runs": self.batched_runs,
+            "vector_width": self.vector_width,
+            "vector_blocks": self.vector_blocks,
+            "vector_cycles": self.vector_cycles,
+            "peel_count": self.peel_count,
             "fast_cycles": self.fast_cycles,
             "engaged": self.engaged,
         }

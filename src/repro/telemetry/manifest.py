@@ -33,7 +33,10 @@ from pathlib import Path
 #: manifest / runs.jsonl schema; bump on incompatible layout changes
 #: (2: telemetry rows carry fast-engine counters — fused blocks/cycles,
 #: deopts — when the payload recorded them)
-MANIFEST_SCHEMA = 2
+#: (3: telemetry rows carry the array-of-machines batch counters —
+#: batched_runs, vector width/cycles, peels — when the payload recorded
+#: them)
+MANIFEST_SCHEMA = 3
 
 
 def telemetry_summary(payload: dict | None) -> dict | None:
@@ -68,6 +71,11 @@ def telemetry_summary(payload: dict | None) -> dict | None:
         summary["fused_blocks"] = engine.get("fused_blocks", 0)
         summary["fused_cycles"] = engine.get("fused_cycles", 0)
         summary["deopt_count"] = engine.get("deopt_count", 0)
+        # array-of-machines batch digest (schema 3 payloads onward)
+        summary["batched_runs"] = engine.get("batched_runs", 0)
+        summary["vector_width"] = engine.get("vector_width", 0)
+        summary["vector_cycles"] = engine.get("vector_cycles", 0)
+        summary["peel_count"] = engine.get("peel_count", 0)
     return summary
 
 
@@ -163,7 +171,8 @@ def _aggregate_telemetry(summaries: list[dict]) -> dict | None:
         return None
     keys = ("cycles", "retired_ops", "sync_wait_cycles", "sync_wakeups",
             "im_bank_accesses", "dm_conflict_cycles", "fast_cycles",
-            "fused_blocks", "fused_cycles", "deopt_count")
+            "fused_blocks", "fused_cycles", "deopt_count",
+            "vector_cycles", "peel_count")
     return {key: sum(s.get(key, 0) for s in summaries) for key in keys}
 
 
@@ -234,6 +243,10 @@ def summarize_manifest(path) -> str:
                     f"{totals['fused_cycles']} fused over "
                     f"{totals['fused_blocks']} superblocks, "
                     f"{totals['deopt_count']} deopts")
+            if totals.get("vector_cycles"):
+                lines.append(
+                    f"  vectorized: {totals['vector_cycles']} batched "
+                    f"cycles, {totals['peel_count']} peels")
     else:
         lines.append(f"(no manifest.json — {len(rows)} rows from runs.jsonl)")
     if rows:

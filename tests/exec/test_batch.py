@@ -1,0 +1,169 @@
+"""Sweep-level batching: coalescing, bit-identity, caching, metrics."""
+
+from repro.exec import (
+    DiskCache,
+    RunRequest,
+    SweepExecutor,
+    batch_key,
+    execute_batch,
+    execute_request,
+    request_digest,
+)
+from repro.kernels import WITH_SYNC, WITHOUT_SYNC
+
+SMALL = dict(n_samples=8, num_cores=2)
+
+
+def synthetic(n_samples, num_cores=2, salt=0):
+    """Lockstep-friendly explicit channels (no per-sample branches)."""
+    return tuple(tuple((1000 + 37 * core + 13 * i + salt) % 4096
+                       for i in range(n_samples))
+                 for core in range(num_cores))
+
+
+def family(runs=4, bench="MRPFLTR", design=WITHOUT_SYNC, **overrides):
+    """Same-image requests that differ only in their inputs."""
+    options = dict(SMALL)
+    options.update(overrides)
+    return [RunRequest(bench, design,
+                       channels=synthetic(options["n_samples"],
+                                          options["num_cores"],
+                                          salt=salt * 7),
+                       **options)
+            for salt in range(runs)]
+
+
+def content(outcome):
+    return {k: v for k, v in outcome.payload.items()
+            if k not in ("elapsed", "worker")}
+
+
+class TestBatchKey:
+    def test_same_image_families_share_a_key(self):
+        requests = family(3)
+        keys = {batch_key(r) for r in requests}
+        assert len(keys) == 1
+        assert None not in keys
+        # the inputs differ, so the result digests must still differ
+        assert len({request_digest(r) for r in requests}) == 3
+
+    def test_different_images_do_not_coalesce(self):
+        a = RunRequest("MRPFLTR", WITHOUT_SYNC, **SMALL)
+        b = RunRequest("MRPDLN", WITHOUT_SYNC, **SMALL)
+        c = RunRequest("MRPFLTR", WITH_SYNC, **SMALL)
+        d = RunRequest("MRPFLTR", WITHOUT_SYNC, **SMALL,
+                       max_cycles=1_000_000)
+        assert len({batch_key(r) for r in (a, b, c, d)}) == 4
+
+    def test_reference_engine_requests_never_batch(self):
+        request = RunRequest("MRPFLTR", WITHOUT_SYNC, **SMALL,
+                             fast_engine=False)
+        assert batch_key(request) is None
+
+
+class TestExecuteBatch:
+    def test_batched_payloads_match_individual_execution(self):
+        requests = family(4)
+        individual = [execute_request(r) for r in requests]
+        batched = execute_batch(requests)
+        assert all(error is None for _, error in batched)
+        for (payload, _), reference in zip(batched, individual):
+            assert payload["batch_size"] == 4
+            for key in ("run", "sync_points", "golden_match", "schema"):
+                assert payload[key] == reference[key]
+            assert payload["engine"]["batched_runs"] == 4
+
+    def test_bad_run_does_not_sink_its_batch_mates(self):
+        requests = family(3)
+        requests[1] = RunRequest(requests[1].benchmark, requests[1].design,
+                                 channels=requests[1].channels,
+                                 max_cycles=10, **SMALL)
+        # the scheduler would give the doomed run its own batch_key, but
+        # execute_batch must isolate a mid-batch failure regardless
+        results = execute_batch(requests)
+        assert results[0][1] is None
+        assert "SimulationLimitError" in results[1][1]
+        assert results[2][1] is None
+
+    def test_single_request_falls_back_to_scalar_dispatch(self):
+        request = family(1)[0]
+        (payload, error), = execute_batch([request])
+        assert error is None
+        assert "batch_size" not in payload
+
+
+class TestSchedulerCoalescing:
+    def test_family_is_coalesced_and_bit_exact(self):
+        requests = family(4)
+        lines = []
+        with SweepExecutor(jobs=0, log=lines.append) as executor:
+            outcomes = executor.run(requests)
+        with SweepExecutor(jobs=0, batch=False) as executor:
+            unbatched = executor.run(requests)
+        assert all(o.ok and o.golden_match for o in outcomes)
+        for batched, single in zip(outcomes, unbatched):
+            assert batched.payload["run"] == single.payload["run"]
+            assert batched.payload["batch_size"] == 4
+            assert "batch_size" not in single.payload
+        assert any("batch: 4 runs coalesced" in line for line in lines)
+
+    def test_metrics_report_batching(self):
+        with SweepExecutor(jobs=0) as executor:
+            executor.run(family(4))
+        metrics = executor.last_metrics
+        assert metrics.batched == 4
+        assert metrics.largest_batch == 4
+        summary = metrics.as_dict()
+        assert summary["batched_runs"] == 4
+        assert summary["largest_batch"] == 4
+        assert "peel_rate" in summary
+        assert "batched: 4 runs coalesced" in metrics.report()
+
+    def test_progress_lines_carry_batch_width(self):
+        lines = []
+        with SweepExecutor(jobs=0, log=lines.append) as executor:
+            executor.run(family(3))
+        assert any("batch 3" in line for line in lines)
+
+    def test_mixed_sweep_batches_only_the_family(self):
+        requests = family(3) + [
+            RunRequest("SQRT32", WITH_SYNC, **SMALL),
+            RunRequest("MRPFLTR", WITHOUT_SYNC, **SMALL,
+                       fast_engine=False),
+        ]
+        with SweepExecutor(jobs=0) as executor:
+            outcomes = executor.run(requests)
+        assert all(o.ok for o in outcomes)
+        assert [o.payload.get("batch_size") for o in outcomes] \
+            == [3, 3, 3, None, None]
+        assert executor.last_metrics.batched == 3
+
+    def test_pool_dispatch_matches_serial_bit_for_bit(self):
+        requests = family(4) + [RunRequest("SQRT32", WITH_SYNC, **SMALL)]
+        with SweepExecutor(jobs=0) as executor:
+            serial = executor.run(requests)
+        with SweepExecutor(jobs=2) as executor:
+            pooled = executor.run(requests)
+        assert [content(o) for o in serial] == [content(o) for o in pooled]
+
+    def test_batched_results_cache_per_request(self, tmp_path):
+        requests = family(4)
+        cache = DiskCache(tmp_path)
+        with SweepExecutor(jobs=0, cache=cache) as executor:
+            first = executor.run(requests)
+            assert executor.last_metrics.executed == 4
+            second = executor.run(requests)
+        assert len(cache) == 4                  # one entry per digest
+        assert all(o.cached for o in second)
+        assert executor.last_metrics.cache_hits == 4
+        assert [content(a) for a in first] == [content(b) for b in second]
+
+    def test_cached_flags_skip_the_batch(self, tmp_path):
+        requests = family(4)
+        cache = DiskCache(tmp_path)
+        with SweepExecutor(jobs=0, cache=cache) as executor:
+            executor.run(requests[:2])
+            outcomes = executor.run(requests)
+        # two hits, and the remaining two still coalesce with each other
+        assert [o.cached for o in outcomes] == [True, True, False, False]
+        assert outcomes[2].payload["batch_size"] == 2
