@@ -14,6 +14,8 @@ Usage::
     python -m repro sweep --jobs 8      # parallel cached design-space sweep
     python -m repro trace MRPDLN        # Perfetto trace of barrier spans
     python -m repro stats sweep-out     # summarize a sweep run manifest
+    python -m repro serve --port 8642   # simulation-as-a-service HTTP API
+    python -m repro client --quick      # submit a sweep to a running server
 """
 
 from __future__ import annotations
@@ -341,22 +343,38 @@ def cmd_synclint(args) -> int:
     return status
 
 
+def _sweep_spec(args, name: str):
+    """Build the grid `SweepSpec` shared by ``sweep`` and ``client``.
+
+    :returns: ``(spec, benchmarks, design_names, samples)``.
+    """
+    from .exec import SweepSpec
+
+    benchmarks = args.benchmarks or list(BENCHMARKS)
+    designs = [DESIGNS[key]
+               for key in (args.designs or ("with-sync", "without-sync"))]
+    samples = list(args.samples or [64])
+    if args.quick:
+        samples = [min(n, 16) for n in samples]
+    spec = SweepSpec.grid(name, benchmarks, designs,
+                          samples=tuple(samples), seed=args.seed)
+    return spec, benchmarks, [design.name for design in designs], samples
+
+
 def cmd_sweep(args) -> int:
     import json as _json
 
-    from .exec import DiskCache, SweepExecutor, SweepSpec
+    from .exec import DiskCache, SweepExecutor
 
-    benchmarks = args.benchmarks or list(BENCHMARKS)
-    designs = [DESIGNS[name]
-               for name in (args.designs or ("with-sync", "without-sync"))]
-    samples = args.samples or [64]
-    if args.quick:
-        samples = [min(n, 16) for n in samples]
-
-    spec = SweepSpec.grid("cli-sweep", benchmarks, designs,
-                          samples=tuple(samples), seed=args.seed)
+    spec, benchmarks, designs, samples = _sweep_spec(args, "cli-sweep")
     cache = None if args.no_cache else DiskCache(args.cache_dir)
     cache_label = "off" if cache is None else str(cache.root)
+    if cache is not None and args.remote_cache:
+        from .exec import HttpPeerCache, MemoryCache, TieredCache
+
+        cache = TieredCache(MemoryCache(max_entries=256), cache,
+                            remote=HttpPeerCache(args.remote_cache))
+        cache_label += f" + peer {args.remote_cache}"
     print(f"sweep: {len(spec)} runs, jobs={args.jobs}, "
           f"cache={cache_label}"
           f"{' (refresh)' if args.refresh else ''}")
@@ -400,8 +418,7 @@ def cmd_sweep(args) -> int:
 
     if args.json:
         payload = {
-            "spec": {"benchmarks": benchmarks,
-                     "designs": [d.name for d in designs],
+            "spec": {"benchmarks": benchmarks, "designs": designs,
                      "samples": samples, "seed": args.seed,
                      "jobs": args.jobs},
             "metrics": metrics.as_dict(),
@@ -422,6 +439,113 @@ def cmd_sweep(args) -> int:
     if args.expect_cached and metrics.executed:
         print(f"expected an all-cached sweep but {metrics.executed} runs "
               "executed")
+        return 2
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .exec import WIRE_SCHEMA, HttpPeerCache, MemoryCache
+    from .serve import SweepService, default_service_cache, serve_forever
+
+    if args.no_cache and args.peer:
+        print("serve: --no-cache and --peer are mutually exclusive "
+              "(the peer tier lives inside the cache)", file=sys.stderr)
+        return 2
+    if args.no_cache:
+        cache = MemoryCache(max_entries=512)
+        cache_label = "memory only"
+    else:
+        remote = HttpPeerCache(args.peer) if args.peer else None
+        cache = default_service_cache(args.cache_dir, remote=remote)
+        cache_label = str(cache.disk.root)
+        if args.peer:
+            cache_label += f" + peer {args.peer}"
+
+    service = SweepService(cache=cache, state_dir=args.state_dir,
+                           jobs=args.jobs, batch=args.batch,
+                           timeout=args.timeout,
+                           concurrency=args.concurrency)
+
+    def ready(address):
+        host, port = address
+        print(f"repro-serve listening on http://{host}:{port} "
+              f"(wire schema {WIRE_SCHEMA}, cache: {cache_label}, "
+              f"state: {service.state_dir})", flush=True)
+
+    try:
+        asyncio.run(serve_forever(service, args.host, args.port,
+                                  ready=ready))
+    except KeyboardInterrupt:
+        print("serve: shutting down")
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_client(args) -> int:
+    import json as _json
+
+    from .serve import ServeClient, ServiceError
+
+    client = ServeClient(args.server, timeout=args.timeout)
+    spec, _, _, _ = _sweep_spec(args, args.name)
+    try:
+        health = client.healthz()
+    except (ServiceError, OSError) as exc:
+        print(f"client: cannot reach {client.base_url}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"client: {client.base_url} (repro {health.get('version')}, "
+          f"wire schema {health.get('wire_schema')}); "
+          f"submitting {len(spec)} runs")
+
+    try:
+        job = client.submit(spec)
+    except ServiceError as exc:
+        print(f"client: submission rejected: {exc}", file=sys.stderr)
+        return 2
+    job_id = job["id"]
+    print(f"job {job_id} accepted")
+
+    seen = 0
+    for event in client.events(job_id):
+        if event.get("event") == "end":
+            break
+        seen += 1
+        origin = ("FAIL" if event.get("error") else
+                  "hit " if event.get("cached") else
+                  "join" if event.get("coalesced") else
+                  "dup " if event.get("deduped") else "run ")
+        line = f"  [{seen}/{len(spec)}] {origin} {event.get('label', '?')}"
+        if event.get("error"):
+            line += f"  ({event['error']})"
+        print(line, flush=True)
+
+    final = client.wait(job_id, timeout=args.timeout)
+    runs = final.get("runs") or []
+    counts = {key: sum(1 for row in runs if row["source"] == key)
+              for key in ("executed", "cache", "coalesced", "deduped",
+                          "error")}
+    mismatches = sum(1 for row in runs if row["golden_match"] is False)
+    print(f"job {job_id} {final['status']}: {len(runs)} runs — "
+          f"{counts['executed']} executed, {counts['cache']} cached, "
+          f"{counts['coalesced']} coalesced, {counts['deduped']} deduped, "
+          f"{counts['error']} failed, {mismatches} golden mismatches")
+    if final.get("error"):
+        print(f"  server error: {final['error']}")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as sink:
+            _json.dump(final, sink, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    if final["status"] != "done" or counts["error"] or mismatches:
+        return 1
+    if args.expect_cached and counts["executed"]:
+        print(f"expected an all-cached sweep but {counts['executed']} "
+              "runs executed on the server")
         return 2
     return 0
 
@@ -547,6 +671,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_samples(p)
     p.set_defaults(func=cmd_synclint)
 
+    def add_sweep_grid(q):
+        """The spec-grid flags shared by `sweep` and `client`."""
+        q.add_argument("--benchmarks", nargs="+",
+                       choices=list(BENCHMARKS), default=None,
+                       help="kernels to sweep (default: all)")
+        q.add_argument("--designs", nargs="+", choices=list(DESIGNS),
+                       default=None,
+                       help="designs to sweep (default: with-sync "
+                            "without-sync)")
+        q.add_argument("--samples", nargs="+", type=int, default=None,
+                       metavar="N",
+                       help="per-channel window sizes (default: 64)")
+        q.add_argument("--seed", type=int, default=2013,
+                       help="ECG generator seed")
+        q.add_argument("--quick", action="store_true",
+                       help="clamp windows to 16 samples (CI smoke)")
+
     p = sub.add_parser(
         "sweep",
         help="run a benchmark x design sweep in parallel, with caching",
@@ -554,17 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "simulations across worker processes and serves "
                     "unchanged runs from a content-addressed result "
                     "cache (see docs/performance.md).")
-    p.add_argument("--benchmarks", nargs="+", choices=list(BENCHMARKS),
-                   default=None, help="kernels to sweep (default: all)")
-    p.add_argument("--designs", nargs="+", choices=list(DESIGNS),
-                   default=None,
-                   help="designs to sweep (default: with-sync "
-                        "without-sync)")
-    p.add_argument("--samples", nargs="+", type=int, default=None,
-                   metavar="N",
-                   help="per-channel window sizes (default: 64)")
-    p.add_argument("--seed", type=int, default=2013,
-                   help="ECG generator seed")
+    add_sweep_grid(p)
     p.add_argument("-j", "--jobs", type=int, default=0,
                    help="worker processes (0 = in-process serial)")
     p.add_argument("--cache-dir", default=None,
@@ -581,8 +712,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="coalesce same-image runs into array-of-machines "
                         "batches (bit-identical results; --no-batch "
                         "forces per-run dispatch)")
-    p.add_argument("--quick", action="store_true",
-                   help="clamp windows to 16 samples (CI smoke)")
+    p.add_argument("--remote-cache", default=None, metavar="URL",
+                   help="read/write-through peer cache tier: the base "
+                        "URL of a running `repro serve` "
+                        "(see docs/service.md)")
     p.add_argument("--expect-cached", action="store_true",
                    help="exit 2 unless every run was a cache hit "
                         "(CI warm-cache assertion)")
@@ -594,6 +727,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-manifest", action="store_true",
                    help="skip writing the run manifest")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP API",
+        description="Long-lived async sweep service: accepts wire-format "
+                    "SweepSpec documents over HTTP, coalesces identical "
+                    "in-flight runs across submissions, and serves "
+                    "results from a shared memory/disk/peer cache tier "
+                    "(see docs/service.md).")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8642,
+                   help="TCP port (default: 8642; 0 = ephemeral)")
+    p.add_argument("-j", "--jobs", type=int, default=0,
+                   help="executor worker processes "
+                        "(0 = in-process serial)")
+    p.add_argument("--concurrency", type=int, default=2,
+                   help="sweep worker threads (min 2 so concurrent "
+                        "submissions coalesce; default: 2)")
+    p.add_argument("--cache-dir", default=None,
+                   help="disk-cache tier directory "
+                        "(default: ~/.cache/repro or $REPRO_CACHE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="keep results in memory only (nothing persists)")
+    p.add_argument("--peer", default=None, metavar="URL",
+                   help="peer cache tier: the base URL of another "
+                        "`repro serve` to read/write through")
+    p.add_argument("--state-dir", default="serve-state",
+                   help="root for per-job manifest directories "
+                        "(default: serve-state)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-run wall-clock budget in seconds")
+    p.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="array-of-machines batching in the executor")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="submit a sweep to a running `repro serve`",
+        description="Blocking client for the sweep service: builds the "
+                    "same grid spec as `repro sweep`, submits it over "
+                    "the wire protocol, streams per-run progress events "
+                    "and verifies the outcome (see docs/service.md).")
+    p.add_argument("--server", default="http://127.0.0.1:8642",
+                   help="service base URL "
+                        "(default: http://127.0.0.1:8642)")
+    add_sweep_grid(p)
+    p.add_argument("--name", default="cli-client",
+                   help="sweep name recorded in the job manifest")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="socket/wait timeout in seconds (default: 300)")
+    p.add_argument("--expect-cached", action="store_true",
+                   help="exit 2 if the server executed any run afresh "
+                        "(CI warm-cache assertion; coalesced and cached "
+                        "sources both count as warm)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the final job resource as JSON")
+    p.set_defaults(func=cmd_client)
 
     p = sub.add_parser(
         "trace",

@@ -16,7 +16,9 @@ Entry points: ``python -m repro sweep`` on the command line,
 from .cache import (
     CacheStats,
     DiskCache,
+    HttpPeerCache,
     MemoryCache,
+    RemoteCache,
     TieredCache,
     default_cache_dir,
 )
@@ -32,11 +34,23 @@ from .job import (
 )
 from .progress import SweepMetrics
 from .scheduler import RunOutcome, SweepExecutor
+from .wire import (
+    WIRE_SCHEMA,
+    WireError,
+    payload_from_wire,
+    payload_to_wire,
+    request_from_wire,
+    request_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
 
 __all__ = [
     "CacheStats",
     "DiskCache",
+    "HttpPeerCache",
     "MemoryCache",
+    "RemoteCache",
     "RunOutcome",
     "RunRequest",
     "RunTimeout",
@@ -44,10 +58,18 @@ __all__ = [
     "SweepMetrics",
     "SweepSpec",
     "TieredCache",
+    "WIRE_SCHEMA",
+    "WireError",
     "batch_key",
     "default_cache_dir",
     "execute_batch",
     "execute_request",
+    "payload_from_wire",
+    "payload_to_wire",
     "program_digest",
     "request_digest",
+    "request_to_wire",
+    "request_from_wire",
+    "spec_from_wire",
+    "spec_to_wire",
 ]

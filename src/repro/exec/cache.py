@@ -6,7 +6,7 @@ Because the digest covers every input of the run — program image bits,
 platform configuration, channel samples, package version — entries never
 need invalidation: any change to the inputs lands on a different key.
 
-Three implementations share the ``get``/``put``/``clear`` protocol:
+Four implementations share the ``get``/``put``/``clear`` protocol:
 
 - :class:`MemoryCache` — bounded in-process LRU; the replacement for the
   old unbounded ``analysis.experiments._cache`` module global.
@@ -14,13 +14,19 @@ Three implementations share the ``get``/``put``/``clear`` protocol:
   (or ``$REPRO_CACHE_DIR`` / an explicit root), written atomically,
   shared between processes and sessions.  Corrupt entries are dropped
   and recomputed, never trusted.
-- :class:`TieredCache` — memory in front of disk, promoting disk hits.
+- :class:`RemoteCache` — the interface shared network backends (a
+  ``repro serve`` peer, Redis, S3) implement; :class:`HttpPeerCache` is
+  the bundled reference implementation over the service wire protocol.
+- :class:`TieredCache` — memory in front of disk (in front of an
+  optional remote tier), promoting lower-tier hits upward.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import urllib.error
+import urllib.request
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -183,17 +189,158 @@ class DiskCache:
         return len(self._entry_files())
 
 
-class TieredCache:
-    """Memory cache in front of a disk cache.
+class RemoteCache:
+    """Interface for shared network-backed result-cache tiers.
 
-    Lookups hit memory first and promote disk hits into memory; stores
-    write through to both layers.  ``stats`` aggregates the tiers so the
-    executor's hit-rate report counts each logical lookup once.
+    A remote tier lets a fleet of workers (or several ``repro serve``
+    instances) share one content-addressed result pool: any member that
+    simulated a design point once serves it to every other member.
+    Implementations adapt a backend — an HTTP peer
+    (:class:`HttpPeerCache`), Redis, S3 — to the same
+    ``get``/``put``/``clear`` protocol the local caches speak, with two
+    extra obligations:
+
+    - **failures are misses**: a network error must never raise out of
+      ``get``/``put``; count it, report a miss, move on (the local
+      tiers keep the sweep correct on their own);
+    - **payloads travel in wire form** (``run_payload`` documents,
+      :mod:`repro.exec.wire`), so a peer on an incompatible build is
+      detected by schema validation rather than trusted blindly.
+
+    Subclasses implement :meth:`_fetch` and :meth:`_store`; the base
+    class owns stats, error counting and the circuit breaker
+    (``max_errors`` consecutive transport failures disable the tier for
+    the rest of the process — one dead peer must not add a timeout to
+    every lookup of a long sweep).
     """
 
-    def __init__(self, memory: MemoryCache, disk: DiskCache):
+    def __init__(self, *, max_errors: int = 5):
+        self.stats = CacheStats()
+        self.max_errors = max_errors
+        self.errors = 0
+        self._disabled = False
+
+    @property
+    def disabled(self) -> bool:
+        """True once the error budget is exhausted (tier offline)."""
+        return self._disabled
+
+    def _fetch(self, digest: str) -> dict | None:
+        """Backend read: payload dict, ``None`` for not-found, raise on
+        transport/validation trouble."""
+        raise NotImplementedError
+
+    def _store(self, digest: str, payload: dict) -> None:
+        """Backend write; raise on transport trouble."""
+        raise NotImplementedError
+
+    def _note_error(self) -> None:
+        self.errors += 1
+        if self.errors >= self.max_errors:
+            self._disabled = True
+
+    def get(self, digest: str) -> dict | None:
+        if self._disabled:
+            self.stats.misses += 1
+            return None
+        try:
+            payload = self._fetch(digest)
+        except Exception:
+            self._note_error()
+            self.stats.misses += 1
+            return None
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, digest: str, payload: dict) -> None:
+        if self._disabled:
+            return
+        try:
+            self._store(digest, payload)
+        except Exception:
+            self._note_error()
+            return
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        """Remote pools are shared; clearing them is a backend decision."""
+
+
+class HttpPeerCache(RemoteCache):
+    """Reference :class:`RemoteCache` over the ``repro serve`` wire API.
+
+    Reads ``GET {base_url}/v1/runs/{digest}`` and (when ``store`` is
+    true) writes ``PUT {base_url}/v1/runs/{digest}``, both carrying
+    ``run_payload`` wire documents (``docs/wire_schema.md``).  Any
+    ``repro serve`` instance is a valid peer, so two servers pointed at
+    each other form a shared cache pair; the same two calls are the
+    entire surface a Redis or S3 adapter would map onto its backend.
+
+    :param base_url: peer root, e.g. ``http://cache-peer:8642``.
+    :param store: also push locally-computed results to the peer.
+    :param timeout: per-call transport budget in seconds.
+    """
+
+    def __init__(self, base_url: str, *, store: bool = True,
+                 timeout: float = 5.0, max_errors: int = 5):
+        super().__init__(max_errors=max_errors)
+        self.base_url = base_url.rstrip("/")
+        self.store = store
+        self.timeout = timeout
+
+    def _url(self, digest: str) -> str:
+        return f"{self.base_url}/v1/runs/{digest}"
+
+    def _fetch(self, digest: str) -> dict | None:
+        from .wire import payload_from_wire
+
+        request = urllib.request.Request(
+            self._url(digest), headers={"Accept": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                doc = json.load(response)
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return None
+            raise
+        fetched, payload = payload_from_wire(doc)
+        if fetched != digest:
+            raise ValueError(f"peer returned digest {fetched}, "
+                             f"wanted {digest}")
+        return payload
+
+    def _store(self, digest: str, payload: dict) -> None:
+        if not self.store:
+            return
+        from .wire import payload_to_wire
+
+        blob = json.dumps(payload_to_wire(digest, payload)).encode()
+        request = urllib.request.Request(
+            self._url(digest), data=blob, method="PUT",
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=self.timeout):
+            pass
+
+
+class TieredCache:
+    """Memory cache in front of a disk cache (and an optional remote).
+
+    Lookups walk memory -> disk -> remote and promote hits into every
+    faster tier; stores write through to all tiers.  ``stats``
+    aggregates the tiers so the executor's hit-rate report counts each
+    logical lookup once; a miss is only a miss once the *last* tier has
+    said so.
+    """
+
+    def __init__(self, memory: MemoryCache, disk: DiskCache,
+                 remote: RemoteCache | None = None):
         self.memory = memory
         self.disk = disk
+        self.remote = remote
 
     @property
     def stats(self) -> CacheStats:
@@ -204,6 +351,9 @@ class TieredCache:
         merged.corrupt = self.disk.stats.corrupt
         merged.evictions = (self.memory.stats.evictions
                             + self.disk.stats.evictions)
+        if self.remote is not None:
+            merged.hits += self.remote.stats.hits
+            merged.misses = self.remote.stats.misses
         return merged
 
     def get(self, digest: str) -> dict | None:
@@ -214,13 +364,26 @@ class TieredCache:
         if payload is not None:
             self.memory.put(digest, payload)
             self.memory.stats.stores -= 1   # promotion, not a new store
+            return payload
+        if self.remote is None:
+            return None
+        payload = self.remote.get(digest)
+        if payload is not None:
+            self.memory.put(digest, payload)
+            self.memory.stats.stores -= 1
+            self.disk.put(digest, payload)
+            self.disk.stats.stores -= 1
         return payload
 
     def put(self, digest: str, payload: dict) -> None:
         self.memory.put(digest, payload)
         self.memory.stats.stores -= 1
         self.disk.put(digest, payload)
+        if self.remote is not None:
+            self.remote.put(digest, payload)
 
     def clear(self) -> None:
         self.memory.clear()
         self.disk.clear()
+        if self.remote is not None:
+            self.remote.clear()

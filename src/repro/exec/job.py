@@ -123,6 +123,20 @@ class RunRequest:
                 self.channels, self.sync_mode, self.sync_min_statements,
                 self.fast_engine, self.max_cycles, self.verify)
 
+    def to_wire(self) -> dict:
+        """Versioned JSON wire document (see ``docs/wire_schema.md``)."""
+        from .wire import request_to_wire
+
+        return request_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, doc: dict) -> "RunRequest":
+        """Inverse of :meth:`to_wire`; raises
+        :class:`~repro.exec.wire.WireError` on malformed documents."""
+        from .wire import request_from_wire
+
+        return request_from_wire(doc)
+
 
 @dataclass(frozen=True)
 class SweepSpec:
@@ -136,6 +150,20 @@ class SweepSpec:
 
     def __len__(self) -> int:
         return len(self.requests)
+
+    def to_wire(self) -> dict:
+        """Versioned JSON wire document (see ``docs/wire_schema.md``)."""
+        from .wire import spec_to_wire
+
+        return spec_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, doc: dict) -> "SweepSpec":
+        """Inverse of :meth:`to_wire`; raises
+        :class:`~repro.exec.wire.WireError` on malformed documents."""
+        from .wire import spec_from_wire
+
+        return spec_from_wire(doc)
 
     @classmethod
     def grid(cls, name: str, benchmarks, designs, *,

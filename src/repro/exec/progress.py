@@ -21,6 +21,11 @@ class RunRecord:
         dispatched in (0 = individual dispatch).
     :ivar peeled: the run peeled out of its batch at a guard boundary
         before the natural end of program.
+    :ivar deduped: the run shared a digest with an earlier request in
+        the *same* sweep and rode its simulation (in-sweep dedup).
+    :ivar coalesced: the run shared a digest with a run already in
+        flight for *another* submission and waited on it instead of
+        executing (service-level coalescing, ``repro serve``).
     """
 
     index: int
@@ -31,6 +36,8 @@ class RunRecord:
     worker: int | None
     batch: int = 0
     peeled: bool = False
+    deduped: bool = False
+    coalesced: bool = False
 
 
 @dataclass
@@ -51,9 +58,10 @@ class SweepMetrics:
 
     def note(self, index: int, label: str, *, cached: bool, failed: bool,
              elapsed: float, worker: int | None, batch: int = 0,
-             peeled: bool = False) -> RunRecord:
+             peeled: bool = False, deduped: bool = False,
+             coalesced: bool = False) -> RunRecord:
         record = RunRecord(index, label, cached, failed, elapsed, worker,
-                           batch, peeled)
+                           batch, peeled, deduped, coalesced)
         self.records.append(record)
         return record
 
@@ -84,6 +92,21 @@ class SweepMetrics:
     @property
     def failures(self) -> int:
         return sum(r.failed for r in self.records)
+
+    @property
+    def dedup_hits(self) -> int:
+        """Runs that rode an identical in-sweep request's simulation.
+
+        Distinct from :attr:`cache_hits` (served from a stored result)
+        and counted inside :attr:`executed` — a deduped slot reports as
+        executed but carries no execution time of its own.
+        """
+        return sum(r.deduped for r in self.records)
+
+    @property
+    def coalesced_hits(self) -> int:
+        """Runs served by another submission's in-flight simulation."""
+        return sum(r.coalesced for r in self.records)
 
     @property
     def hit_rate(self) -> float:
@@ -133,6 +156,8 @@ class SweepMetrics:
             "cache_hits": self.cache_hits,
             "executed": self.executed,
             "failures": self.failures,
+            "dedup_hits": self.dedup_hits,
+            "coalesced_hits": self.coalesced_hits,
             "hit_rate": round(self.hit_rate, 4),
             "wall_seconds": round(self.wall_seconds, 4),
             "runs_per_second": round(self.runs_per_second, 3),
@@ -153,6 +178,10 @@ class SweepMetrics:
             f"— {self.cache_hits} cached, {self.executed} executed, "
             f"{self.failures} failed",
         ]
+        if self.dedup_hits or self.coalesced_hits:
+            lines.append(
+                f"coalescing: {self.dedup_hits} deduped in-sweep, "
+                f"{self.coalesced_hits} joined in-flight runs")
         if self.batched:
             lines.append(
                 f"batched: {self.batched} runs coalesced "
@@ -169,7 +198,16 @@ class SweepMetrics:
 def progress_line(record: RunRecord, done: int, total: int, *,
                   hit_rate: float | None = None) -> str:
     """One status line per completed run, for `--progress` style logs."""
-    origin = "hit " if record.cached else ("FAIL" if record.failed else "run ")
+    if record.failed:
+        origin = "FAIL"
+    elif record.cached:
+        origin = "hit "
+    elif record.coalesced:
+        origin = "join"         # waited on another submission's run
+    elif record.deduped:
+        origin = "dup "         # rode an identical in-sweep request
+    else:
+        origin = "run "
     line = (f"[{done:3d}/{total}] {origin} {record.label:44s} "
             f"{record.elapsed:7.2f}s")
     if hit_rate is not None:

@@ -49,6 +49,12 @@ class RunOutcome:
     payload: dict | None = None
     error: str | None = None
     cached: bool = False
+    #: shared a digest with an earlier request in the same sweep and
+    #: rode its simulation (in-sweep dedup)
+    deduped: bool = False
+    #: served by another submission's in-flight run (``repro serve``
+    #: coalescing; never set by :class:`SweepExecutor` itself)
+    coalesced: bool = False
 
     @property
     def ok(self) -> bool:
@@ -198,7 +204,8 @@ class SweepExecutor:
         for digest, payload, error in self._execute(unique):
             for position, index in enumerate(pending[digest]):
                 outcomes[index] = RunOutcome(index, requests[index], digest,
-                                             payload=payload, error=error)
+                                             payload=payload, error=error,
+                                             deduped=position > 0)
                 done += 1
                 # duplicates share the payload but only the first one
                 # carries the execution time (metrics honesty)
@@ -210,7 +217,8 @@ class SweepExecutor:
                              if position == 0 else 0.0),
                     worker=(payload or {}).get("worker"),
                     batch=(payload or {}).get("batch_size", 0),
-                    peeled=bool(engine.get("peel_count")))
+                    peeled=bool(engine.get("peel_count")),
+                    deduped=position > 0)
                 if manifest is not None:
                     manifest.note_outcome(outcomes[index], record)
                 if self.log:

@@ -1,0 +1,277 @@
+"""Versioned JSON wire schema for the job model (the service contract).
+
+The pickle form of :class:`~repro.exec.job.RunRequest` is an
+implementation detail: it ties both ends of a connection to the same
+Python build.  The *wire* form defined here is the public contract the
+``repro serve`` HTTP API speaks — plain JSON, versioned the same way the
+cache-entry ``SCHEMA`` and manifest ``MANIFEST_SCHEMA`` are, and
+documented field by field in ``docs/wire_schema.md``.
+
+Every wire document is a JSON object carrying two envelope fields:
+
+``wire_schema``
+    The integer schema version (:data:`WIRE_SCHEMA`).  Readers *reject*
+    documents whose version differs from their own — an incompatible
+    change bumps the number, so a version match is a compatibility
+    proof, exactly like the ``SCHEMA`` field on cache entries.
+
+``kind``
+    The document type: ``"run_request"``, ``"sweep_spec"`` or
+    ``"run_payload"``.
+
+Within a version, readers **ignore unknown fields** (additive optional
+fields do not bump the version) and reject missing *required* ones.
+Round-trip stability is the load-bearing property: for any request,
+``request_digest(from_wire(to_wire(r))) == request_digest(r)`` — the
+wire form addresses exactly the same simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..dsp.ecg import EcgConfig
+from ..kernels.suite import Design
+from ..platform import PlatformConfig
+from .job import SCHEMA, RunRequest, SweepSpec
+
+#: wire-document schema; bump on incompatible layout changes (renamed /
+#: removed fields, changed semantics).  Additive optional fields do not
+#: bump — readers ignore what they don't know.
+WIRE_SCHEMA = 1
+
+_KINDS = ("run_request", "sweep_spec", "run_payload")
+
+
+class WireError(ValueError):
+    """A document failed wire-schema validation."""
+
+
+def check_envelope(doc, kind: str) -> None:
+    """Validate the two envelope fields of one wire document.
+
+    :raises WireError: when ``doc`` is not an object, carries no or an
+        unsupported ``wire_schema``, or is of a different ``kind``.
+    """
+    if not isinstance(doc, dict):
+        raise WireError(
+            f"wire document must be a JSON object, got "
+            f"{type(doc).__name__}")
+    version = doc.get("wire_schema")
+    if version is None:
+        raise WireError("wire document is missing 'wire_schema'")
+    if version != WIRE_SCHEMA:
+        raise WireError(
+            f"unsupported wire_schema {version!r} "
+            f"(this build speaks {WIRE_SCHEMA})")
+    actual = doc.get("kind")
+    if actual != kind:
+        raise WireError(f"expected kind {kind!r}, got {actual!r}")
+
+
+def _require(doc: dict, kind: str, field: str):
+    if field not in doc or doc[field] is None:
+        raise WireError(f"{kind} is missing required field {field!r}")
+    return doc[field]
+
+
+# ---------------------------------------------------------------------------
+# Nested value codecs (tolerant: unknown keys are dropped, not fatal)
+# ---------------------------------------------------------------------------
+
+def _design_from_wire(doc) -> Design:
+    if not isinstance(doc, dict):
+        raise WireError("'design' must be an object")
+    for field in ("name", "policy", "sync_enabled"):
+        _require(doc, "design", field)
+    try:
+        return Design.from_json(doc)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise WireError(f"bad design document: {exc}") from exc
+
+
+def _config_from_wire(doc) -> PlatformConfig:
+    if not isinstance(doc, dict):
+        raise WireError("'config' must be an object")
+    known = {field.name for field in dataclasses.fields(PlatformConfig)}
+    try:
+        return PlatformConfig.from_json(
+            {key: value for key, value in doc.items() if key in known})
+    except (KeyError, ValueError, TypeError) as exc:
+        raise WireError(f"bad config document: {exc}") from exc
+
+
+def _ecg_from_wire(doc) -> EcgConfig:
+    if not isinstance(doc, dict):
+        raise WireError("'ecg' must be an object")
+    known = {field.name for field in dataclasses.fields(EcgConfig)}
+    try:
+        return EcgConfig(
+            **{key: value for key, value in doc.items() if key in known})
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"bad ecg document: {exc}") from exc
+
+
+def _channels_from_wire(doc) -> tuple[tuple[int, ...], ...]:
+    try:
+        return tuple(tuple(int(value) for value in channel)
+                     for channel in doc)
+    except (TypeError, ValueError) as exc:
+        raise WireError(
+            f"'channels' must be an array of integer arrays: {exc}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# RunRequest
+# ---------------------------------------------------------------------------
+
+def request_to_wire(request: RunRequest) -> dict:
+    """The wire document of one request (see ``docs/wire_schema.md``)."""
+    return {
+        "wire_schema": WIRE_SCHEMA,
+        "kind": "run_request",
+        "benchmark": request.benchmark,
+        "design": request.design.to_json(),
+        "config": (None if request.config is None
+                   else request.config.to_json()),
+        "n_samples": request.n_samples,
+        "num_cores": request.num_cores,
+        "seed": request.seed,
+        "ecg": (None if request.ecg is None
+                else dataclasses.asdict(request.ecg)),
+        "channels": (None if request.channels is None
+                     else [list(channel) for channel in request.channels]),
+        "sync_mode": request.sync_mode,
+        "sync_min_statements": request.sync_min_statements,
+        "fast_engine": request.fast_engine,
+        "max_cycles": request.max_cycles,
+        "verify": request.verify,
+    }
+
+
+_REQUEST_DEFAULTS = {
+    field.name: field.default for field in dataclasses.fields(RunRequest)
+    if field.default is not dataclasses.MISSING
+}
+
+
+def request_from_wire(doc: dict) -> RunRequest:
+    """Inverse of :func:`request_to_wire`; digest-stable.
+
+    Optional fields fall back to the :class:`RunRequest` defaults;
+    unknown fields are ignored.
+
+    :raises WireError: on envelope mismatch or malformed fields.
+    """
+    check_envelope(doc, "run_request")
+    benchmark = _require(doc, "run_request", "benchmark")
+    if not isinstance(benchmark, str):
+        raise WireError("'benchmark' must be a string")
+    design = _design_from_wire(_require(doc, "run_request", "design"))
+
+    def get(name):
+        value = doc.get(name)
+        return _REQUEST_DEFAULTS[name] if value is None else value
+
+    config = doc.get("config")
+    ecg = doc.get("ecg")
+    channels = doc.get("channels")
+    try:
+        return RunRequest(
+            benchmark=benchmark,
+            design=design,
+            config=None if config is None else _config_from_wire(config),
+            n_samples=int(get("n_samples")),
+            num_cores=int(get("num_cores")),
+            seed=int(get("seed")),
+            ecg=None if ecg is None else _ecg_from_wire(ecg),
+            channels=(None if channels is None
+                      else _channels_from_wire(channels)),
+            sync_mode=doc.get("sync_mode"),
+            sync_min_statements=int(get("sync_min_statements")),
+            fast_engine=bool(get("fast_engine")),
+            max_cycles=int(get("max_cycles")),
+            verify=bool(get("verify")),
+        )
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, WireError):
+            raise
+        raise WireError(f"bad run_request document: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# SweepSpec
+# ---------------------------------------------------------------------------
+
+def spec_to_wire(spec: SweepSpec) -> dict:
+    """The wire document of one sweep: a name plus nested requests.
+
+    Each element of ``requests`` is a complete, self-describing
+    ``run_request`` document (envelope included), so individual entries
+    can be lifted out of a sweep and submitted alone.
+    """
+    return {
+        "wire_schema": WIRE_SCHEMA,
+        "kind": "sweep_spec",
+        "name": spec.name,
+        "requests": [request_to_wire(request) for request in spec.requests],
+    }
+
+
+def spec_from_wire(doc: dict) -> SweepSpec:
+    """Inverse of :func:`spec_to_wire`.
+
+    :raises WireError: on envelope mismatch, a non-string name, an empty
+        or missing request list, or any malformed nested request.
+    """
+    check_envelope(doc, "sweep_spec")
+    name = _require(doc, "sweep_spec", "name")
+    if not isinstance(name, str):
+        raise WireError("'name' must be a string")
+    requests = _require(doc, "sweep_spec", "requests")
+    if not isinstance(requests, list) or not requests:
+        raise WireError("'requests' must be a non-empty array")
+    return SweepSpec(name, tuple(request_from_wire(request)
+                                 for request in requests))
+
+
+# ---------------------------------------------------------------------------
+# Run payloads (execution results)
+# ---------------------------------------------------------------------------
+
+def payload_to_wire(digest: str, payload: dict) -> dict:
+    """Wrap one execution payload for the wire, addressed by its digest.
+
+    The inner ``payload`` is exactly what
+    :func:`~repro.exec.job.execute_request` produced (and the caches
+    store) — already JSON, already carrying its own cache-entry
+    ``schema`` — so the envelope only adds addressing and versioning.
+    """
+    return {
+        "wire_schema": WIRE_SCHEMA,
+        "kind": "run_payload",
+        "digest": digest,
+        "payload": payload,
+    }
+
+
+def payload_from_wire(doc: dict) -> tuple[str, dict]:
+    """Inverse of :func:`payload_to_wire`; returns ``(digest, payload)``.
+
+    :raises WireError: on envelope mismatch, a malformed digest, or an
+        inner payload whose cache-entry ``schema`` differs from this
+        build's (payloads are not portable across payload-schema bumps).
+    """
+    check_envelope(doc, "run_payload")
+    digest = _require(doc, "run_payload", "digest")
+    if not isinstance(digest, str) or len(digest) != 64:
+        raise WireError("'digest' must be a 64-character hex string")
+    payload = _require(doc, "run_payload", "payload")
+    if not isinstance(payload, dict):
+        raise WireError("'payload' must be an object")
+    if payload.get("schema") != SCHEMA:
+        raise WireError(
+            f"payload schema {payload.get('schema')!r} does not match "
+            f"this build's {SCHEMA}")
+    return digest, payload

@@ -1,0 +1,367 @@
+"""The sweep service: jobs, worker threads, and the shared cache tier.
+
+:class:`SweepService` is the long-lived object behind ``repro serve``.
+It owns one :class:`~repro.exec.scheduler.SweepExecutor` (process pool,
+result cache, array-of-machines batching), a job table, and the
+cross-submission :class:`~repro.serve.coalescer.InflightCoalescer`.
+Each submitted :class:`~repro.exec.job.SweepSpec` becomes a
+:class:`Job` executed on a worker thread:
+
+1. every request is content-addressed with
+   :func:`~repro.exec.job.request_digest`;
+2. each unique digest is claimed in the coalescer — digests another
+   job is already simulating are *followed*, not re-executed;
+3. the owned remainder runs through the shared executor (which applies
+   its own cache lookup, in-sweep dedup and batch coalescing);
+4. outcomes stream into the job's manifest directory
+   (``runs.jsonl`` + ``manifest.json``, the same artifacts
+   ``repro sweep`` writes), which also backs the
+   ``GET /v1/sweeps/{id}/events`` stream.
+
+The HTTP front end lives in :mod:`repro.serve.routes`; this module is
+HTTP-free and directly usable in-process (the end-to-end tests do).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+
+from .. import __version__
+from ..exec import (
+    DiskCache,
+    MemoryCache,
+    SweepExecutor,
+    SweepSpec,
+    TieredCache,
+    request_digest,
+)
+from ..exec.progress import SweepMetrics
+from ..exec.scheduler import RunOutcome
+from ..exec.wire import WIRE_SCHEMA
+from ..telemetry import MetricsRegistry, SweepManifestWriter
+from .coalescer import InflightCoalescer
+
+#: job lifecycle states
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+TERMINAL = (DONE, FAILED)
+
+
+class Job:
+    """One submitted sweep and everything the API reports about it."""
+
+    def __init__(self, job_id: str, spec: SweepSpec, directory: Path):
+        self.id = job_id
+        self.spec = spec
+        self.directory = directory
+        self.status = QUEUED
+        self.error: str | None = None
+        self.submitted = time.time()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self.completed = 0
+        self.outcomes: list[RunOutcome] | None = None
+        self.metrics: SweepMetrics | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL
+
+    @staticmethod
+    def _source(outcome: RunOutcome) -> str:
+        if outcome.error is not None:
+            return "error"
+        if outcome.cached:
+            return "cache"
+        if outcome.coalesced:
+            return "coalesced"
+        if outcome.deduped:
+            return "deduped"
+        return "executed"
+
+    def to_json(self, *, runs: bool = False) -> dict:
+        """The job resource of ``GET /v1/sweeps/{id}``."""
+        doc = {
+            "id": self.id,
+            "name": self.spec.name,
+            "status": self.status,
+            "error": self.error,
+            "total": len(self.spec),
+            "completed": self.completed,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "metrics": (self.metrics.as_dict()
+                        if self.metrics is not None else None),
+        }
+        outcomes = self.outcomes
+        if runs and outcomes is not None:
+            doc["runs"] = [
+                {
+                    "index": outcome.index,
+                    "label": outcome.request.label,
+                    "digest": outcome.digest,
+                    "source": self._source(outcome),
+                    "error": outcome.error,
+                    "golden_match": outcome.golden_match,
+                    "elapsed": outcome.elapsed,
+                }
+                for outcome in outcomes
+            ]
+        return doc
+
+
+class _ManifestProxy:
+    """Adapter the shared executor streams owned-run rows through.
+
+    The executor numbers outcomes within the subset it was handed;
+    the proxy remaps them to job-level indices before they reach the
+    job's :class:`~repro.telemetry.manifest.SweepManifestWriter`, and
+    swallows ``finalize`` — the service finalizes once the coalesced
+    and duplicate rows are in too.
+    """
+
+    def __init__(self, job: Job, writer: SweepManifestWriter,
+                 index_map: list[int]):
+        self._job = job
+        self._writer = writer
+        self._index_map = index_map
+
+    def note_outcome(self, outcome, record=None) -> None:
+        remapped = replace(outcome, index=self._index_map[outcome.index])
+        self._writer.note_outcome(remapped)
+        self._job.completed += 1
+
+    def finalize(self, **kwargs) -> None:
+        pass
+
+
+def default_service_cache(cache_dir=None, *, remote=None) -> TieredCache:
+    """The service's standard tier stack: memory -> disk [-> peer]."""
+    return TieredCache(MemoryCache(max_entries=512), DiskCache(cache_dir),
+                       remote=remote)
+
+
+class SweepService:
+    """Job orchestration behind the HTTP API (and for direct embedding).
+
+    :param cache: any object speaking the cache protocol; ``None``
+        builds :func:`default_service_cache`.
+    :param state_dir: root for per-job manifest directories
+        (``<state_dir>/jobs/<id>/runs.jsonl``).
+    :param jobs: executor worker processes (``0`` = in-process serial).
+    :param concurrency: worker *threads* driving sweeps; at least 2 so
+        concurrent submissions can coalesce instead of queueing.
+    :param coalesce_timeout: seconds a follower waits on an in-flight
+        owner before reporting an error (safety valve, not a tuning
+        knob — owners resolve their claims even when they fail).
+    """
+
+    def __init__(self, *, cache=None, state_dir="serve-state", jobs: int = 0,
+                 batch: bool = True, timeout: float | None = None,
+                 concurrency: int = 2, coalesce_timeout: float = 600.0):
+        self.cache = cache if cache is not None else default_service_cache()
+        self.state_dir = Path(state_dir)
+        self.executor = SweepExecutor(jobs=jobs, cache=self.cache,
+                                      timeout=timeout, batch=batch)
+        self.coalesce_timeout = coalesce_timeout
+        self.coalescer = InflightCoalescer()
+        self.jobs: dict[str, Job] = {}
+        self.started_at = time.time()
+        self._monotonic_start = time.monotonic()
+        self._lock = threading.Lock()
+        self._exec_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, concurrency),
+            thread_name_prefix="repro-serve")
+        self._runs_total: dict[str, int] = {
+            "total": 0, "executed": 0, "cached": 0, "deduped": 0,
+            "coalesced": 0, "failed": 0}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        self.executor.close()
+
+    def __enter__(self) -> "SweepService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._monotonic_start
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, spec: SweepSpec) -> Job:
+        """Accept a sweep; returns the queued :class:`Job` immediately."""
+        job_id = uuid.uuid4().hex[:12]
+        job = Job(job_id, spec, self.state_dir / "jobs" / job_id)
+        with self._lock:
+            self.jobs[job_id] = job
+        self._pool.submit(self._run_job, job)
+        return job
+
+    def job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    def run_payload(self, digest: str) -> dict | None:
+        """Cache lookup for ``GET /v1/runs/{digest}``."""
+        return self.cache.get(digest)
+
+    def store_payload(self, digest: str, payload: dict) -> None:
+        """Peer write-through for ``PUT /v1/runs/{digest}``."""
+        self.cache.put(digest, payload)
+
+    # -- execution (worker thread) ---------------------------------------
+
+    def _run_job(self, job: Job) -> None:
+        try:
+            self._execute_job(job)
+        except Exception as exc:    # noqa: BLE001 — job-level isolation
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.status = FAILED
+            job.finished = time.time()
+
+    def _execute_job(self, job: Job) -> None:
+        job.status = RUNNING
+        job.started = time.time()
+        metrics = SweepMetrics(total=len(job.spec))
+        requests = list(job.spec.requests)
+        digests = [request_digest(request) for request in requests]
+        writer = SweepManifestWriter(job.directory, name=job.spec.name)
+
+        # claim each unique digest once, preserving first-seen order
+        claims = {}
+        owned_here = {}
+        first_index = {}
+        for index, digest in enumerate(digests):
+            if digest not in claims:
+                claims[digest], owned_here[digest] = \
+                    self.coalescer.claim(digest)
+                first_index[digest] = index
+        owned = [digest for digest in claims if owned_here[digest]]
+
+        executed: dict[str, RunOutcome] = {}
+        try:
+            if owned:
+                proxy = _ManifestProxy(job, writer,
+                                       [first_index[d] for d in owned])
+                with self._exec_lock:
+                    for outcome in self.executor.run(
+                            [requests[first_index[d]] for d in owned],
+                            manifest=proxy):
+                        executed[outcome.digest] = outcome
+        finally:
+            # resolve every owned claim, crash or not — followers must
+            # receive *something*, even if it is the failure itself
+            for digest in owned:
+                outcome = executed.get(digest)
+                self.coalescer.resolve(
+                    digest,
+                    outcome.payload if outcome is not None else None,
+                    outcome.error if outcome is not None
+                    else "in-flight owner failed before producing a result")
+
+        # join the digests another submission owns
+        followed: dict[str, tuple[dict | None, str | None]] = {}
+        for digest, claim in claims.items():
+            if not owned_here[digest]:
+                followed[digest] = claim.wait(self.coalesce_timeout)
+
+        # assemble outcomes in request order; stream the rows the
+        # executor did not write (followers + in-job duplicates)
+        outcomes: list[RunOutcome] = []
+        for index, (request, digest) in enumerate(zip(requests, digests)):
+            base = executed.get(digest)
+            if base is not None:
+                if index == first_index[digest]:
+                    outcome = base
+                else:
+                    outcome = replace(base, index=index, deduped=True)
+                    writer.note_outcome(outcome)
+                    job.completed += 1
+            else:
+                payload, error = followed[digest]
+                outcome = RunOutcome(
+                    index, request, digest, payload=payload, error=error,
+                    coalesced=True, deduped=index != first_index[digest])
+                writer.note_outcome(outcome)
+                job.completed += 1
+            outcomes.append(outcome)
+            metrics.note(
+                index, request.label, cached=outcome.cached,
+                failed=outcome.error is not None,
+                elapsed=(outcome.elapsed
+                         if index == first_index[digest]
+                         and not outcome.coalesced else 0.0),
+                worker=outcome.worker,
+                batch=(outcome.payload or {}).get("batch_size", 0),
+                deduped=outcome.deduped, coalesced=outcome.coalesced)
+
+        metrics.finish()
+        writer.finalize(metrics=metrics, cache=self.cache, spec=job.spec)
+        job.metrics = metrics
+        job.outcomes = outcomes
+        job.completed = len(outcomes)
+        job.status = DONE
+        job.finished = time.time()
+        with self._lock:
+            totals = self._runs_total
+            totals["total"] += len(outcomes)
+            totals["executed"] += (metrics.executed - metrics.dedup_hits
+                                   - metrics.coalesced_hits)
+            totals["cached"] += metrics.cache_hits
+            totals["deduped"] += metrics.dedup_hits
+            totals["coalesced"] += metrics.coalesced_hits
+            totals["failed"] += metrics.failures
+
+    # -- observability ---------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "ok": True,
+            "service": "repro-serve",
+            "version": __version__,
+            "wire_schema": WIRE_SCHEMA,
+            "uptime_seconds": round(self.uptime_seconds, 3),
+        }
+
+    def _service_metrics(self) -> dict:
+        with self._lock:
+            jobs = list(self.jobs.values())
+            runs = dict(self._runs_total)
+        by_status = {status: sum(1 for job in jobs if job.status == status)
+                     for status in (QUEUED, RUNNING, DONE, FAILED)}
+        return {
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "jobs": {"submitted": len(jobs), **by_status},
+            "runs": runs,
+        }
+
+    def _cache_metrics(self) -> dict:
+        doc = {"backend": type(self.cache).__name__,
+               **self.cache.stats.as_dict()}
+        remote = getattr(self.cache, "remote", None)
+        if remote is not None:
+            doc["remote"] = {"backend": type(remote).__name__,
+                             "disabled": remote.disabled,
+                             "errors": remote.errors,
+                             **remote.stats.as_dict()}
+        return doc
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The ``/v1/metrics`` sources: service, coalescer, cache."""
+        registry = MetricsRegistry()
+        registry.add_source("service", self._service_metrics)
+        registry.add_source("coalescer", self.coalescer.as_dict)
+        registry.add_source("cache", self._cache_metrics)
+        return registry

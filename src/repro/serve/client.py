@@ -1,0 +1,150 @@
+"""Blocking client for the sweep service (the ``repro client`` CLI).
+
+:class:`ServeClient` speaks the documented ``/v1`` wire protocol over
+stdlib ``http.client`` — one connection per call, JSON in, JSON out,
+with the service's error envelope surfaced as :class:`ServiceError`.
+It is deliberately synchronous: callers are scripts, tests and the CLI,
+where "submit, stream events, fetch results" reads best as straight-line
+code.  (The *server* is the async side; see :mod:`repro.serve.app`.)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlsplit
+
+from ..exec import SweepSpec
+from ..exec.wire import payload_from_wire
+
+
+class ServiceError(Exception):
+    """An error envelope returned by the service (or transport trouble)."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """Thin, connection-per-call client for one server.
+
+    :param base_url: server root, e.g. ``http://127.0.0.1:8642``.
+    :param timeout: socket timeout per call, in seconds.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0):
+        parts = urlsplit(base_url if "//" in base_url
+                         else f"http://{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {parts.scheme!r} "
+                             "(the service speaks plain http)")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8642
+        self.timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- transport -------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    @staticmethod
+    def _raise_envelope(status: int, body: bytes) -> None:
+        try:
+            envelope = json.loads(body)["error"]
+            raise ServiceError(envelope.get("status", status),
+                               envelope.get("code", "unknown"),
+                               envelope.get("message", ""))
+        except (ValueError, KeyError, TypeError):
+            raise ServiceError(status, "unknown",
+                               body.decode(errors="replace")[:200])
+
+    def _request(self, method: str, path: str, payload=None):
+        connection = self._connect()
+        try:
+            body = None
+            headers = {"Accept": "application/json"}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                self._raise_envelope(response.status, data)
+            return json.loads(data) if data else None
+        finally:
+            connection.close()
+
+    # -- API surface -----------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def submit(self, spec) -> dict:
+        """POST a sweep; accepts a :class:`SweepSpec` or a wire doc.
+
+        :returns: the job resource (``{"id": ..., "status": ...}``).
+        """
+        doc = spec.to_wire() if isinstance(spec, SweepSpec) else spec
+        return self._request("POST", "/v1/sweeps", payload=doc)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/sweeps/{job_id}")
+
+    def events(self, job_id: str):
+        """Stream the job's run rows as parsed dicts, live.
+
+        Yields one dict per ``runs.jsonl`` row as the server writes it,
+        then the terminal ``{"event": "end", "status": ...}`` marker.
+        The generator owns its connection; closing it mid-stream is
+        fine.
+        """
+        connection = self._connect()
+        try:
+            connection.request("GET", f"/v1/sweeps/{job_id}/events",
+                               headers={"Accept": "application/x-ndjson"})
+            response = connection.getresponse()
+            if response.status >= 400:
+                self._raise_envelope(response.status, response.read())
+            for raw in response:       # http.client decodes the chunking
+                line = raw.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, *, poll: float = 0.1,
+             timeout: float | None = 120.0) -> dict:
+        """Poll until the job is terminal; returns the final resource."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("done", "failed"):
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['status']} after {timeout}s")
+            time.sleep(poll)
+
+    def run_payload(self, digest: str) -> dict | None:
+        """Fetch one cached result by digest; ``None`` when absent."""
+        try:
+            doc = self._request("GET", f"/v1/runs/{digest}")
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+        _, payload = payload_from_wire(doc)
+        return payload

@@ -1,0 +1,113 @@
+"""In-flight request coalescing for the sweep service.
+
+The result cache already makes *completed* work free to re-serve; the
+coalescer does the same for work that is still running.  Every run the
+service executes first **claims** its content digest here.  The first
+claimant becomes the *owner* and actually simulates; every concurrent
+submission that lands on the same digest while the owner is in flight
+gets a *follower* claim and simply waits for the owner's result — a
+thousand identical design-point queries become one simulation plus 999
+notifications.
+
+This layers on top of (not instead of) the two coalescing stages the
+executor already performs per sweep: in-sweep digest dedup and
+array-of-machines ``batch_key()`` batching.  The coalescer is the
+cross-submission stage; it is digest-keyed, so "identical" means what
+:func:`~repro.exec.job.request_digest` means — same resolved program
+bits, same inputs, same platform, same package.
+
+Claims are thread-primitive based (jobs execute on worker threads, not
+on the event loop) and crash-safe: the owner resolves its claims in a
+``finally`` block, so followers are never stranded by a failed owner —
+they receive the error instead.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Claim:
+    """One digest's slot in the in-flight table.
+
+    Followers share the owner's claim object and block in :meth:`wait`
+    until the owner calls :meth:`resolve`; ownership itself is decided
+    by :meth:`InflightCoalescer.claim`, which tells each claimant
+    separately whether it won the slot.
+    """
+
+    def __init__(self, digest: str):
+        self.digest = digest
+        self._event = threading.Event()
+        self._payload: dict | None = None
+        self._error: str | None = None
+
+    def resolve(self, payload: dict | None, error: str | None) -> None:
+        """Publish the owner's result and wake every follower."""
+        self._payload = payload
+        self._error = error
+        self._event.set()
+
+    def wait(self, timeout: float | None = None
+             ) -> tuple[dict | None, str | None]:
+        """Block until resolved; ``(None, error)`` on timeout."""
+        if not self._event.wait(timeout):
+            return None, (f"coalesced run {self.digest[:12]} timed out "
+                          "waiting for its in-flight owner")
+        return self._payload, self._error
+
+
+class InflightCoalescer:
+    """Digest-keyed table of in-flight executions.
+
+    ``owned`` / ``coalesced`` count claims handed out since startup;
+    ``inflight`` is the current table size.  All three feed the
+    service's ``/v1/metrics`` snapshot.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Claim] = {}
+        self.owned = 0
+        self.coalesced = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def claim(self, digest: str) -> tuple[Claim, bool]:
+        """Claim a digest; returns ``(claim, owned)``.
+
+        Exactly one claimant per in-flight cycle sees ``owned=True``
+        and **must** eventually call :meth:`resolve` for the digest
+        (normally via ``try/finally``), or followers block until their
+        wait timeout.  Everyone else shares the owner's claim and just
+        waits on it.
+        """
+        with self._lock:
+            claim = self._inflight.get(digest)
+            if claim is None:
+                claim = Claim(digest)
+                self._inflight[digest] = claim
+                self.owned += 1
+                return claim, True
+            self.coalesced += 1
+            return claim, False
+
+    def resolve(self, digest: str, payload: dict | None,
+                error: str | None) -> None:
+        """Owner hand-off: publish the result, retire the in-flight slot.
+
+        New claims for the digest after this point start a fresh cycle
+        (they will normally be served by the result cache instead).
+        """
+        with self._lock:
+            claim = self._inflight.pop(digest, None)
+        if claim is not None:
+            claim.resolve(payload, error)
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {"owned": self.owned, "coalesced": self.coalesced,
+                    "inflight": len(self._inflight)}

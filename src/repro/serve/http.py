@@ -1,0 +1,229 @@
+"""Minimal asyncio HTTP/1.1 layer for the sweep service.
+
+The service speaks a deliberately small slice of HTTP — JSON request
+bodies, JSON responses, one streamed (chunked) endpoint — so instead of
+pulling in a framework it runs on ``asyncio.start_server`` plus the
+~200 lines here: a request parser, a path-pattern router and a response
+writer.  Connections are one-shot (``Connection: close``), which every
+stdlib client handles and which keeps the state machine trivial.
+
+Handlers are ``async`` callables taking a :class:`Request` (plus named
+path parameters) and returning a :class:`Response`; raising
+:class:`ApiError` anywhere produces the documented JSON error envelope
+(``docs/service.md``)::
+
+    {"error": {"status": 404, "code": "not_found", "message": "..."}}
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: request bodies beyond this are rejected with 413 (a full 8-channel
+#: explicit-input sweep spec is ~1 MB; 64 MB is generous headroom)
+MAX_BODY_BYTES = 64 * 1024 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large", 422: "Unprocessable Entity",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class ApiError(Exception):
+    """An error the handler wants rendered as the JSON error envelope."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def envelope(self) -> dict:
+        return {"error": {"status": self.status, "code": self.code,
+                          "message": self.message}}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]            # keys lower-cased
+    body: bytes = b""
+
+    def json(self):
+        """The body parsed as JSON; 400 ``bad_json`` when it isn't."""
+        if not self.body:
+            raise ApiError(400, "bad_json", "request body is empty")
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise ApiError(400, "bad_json",
+                           f"request body is not valid JSON: {exc}")
+
+
+@dataclass
+class Response:
+    """One response: a JSON document, raw bytes, or a chunked stream.
+
+    :ivar payload: JSON-shaped object (serialized with sorted keys);
+        ignored when ``stream`` is set.
+    :ivar stream: async iterator of ``bytes`` chunks; sent with
+        ``Transfer-Encoding: chunked``.
+    """
+
+    payload: object = None
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+    stream: object = None
+    content_type: str = "application/json"
+
+    def body_bytes(self) -> bytes:
+        if self.payload is None:
+            return b""
+        return (json.dumps(self.payload, sort_keys=True) + "\n").encode()
+
+
+class Router:
+    """Method + path-pattern dispatch with ``{name}`` captures.
+
+    Patterns are segment-wise: ``/v1/sweeps/{job_id}/events`` matches
+    exactly four segments and hands ``job_id`` to the handler as a
+    keyword argument (URL-unquoted).
+    """
+
+    def __init__(self):
+        self._routes: list[tuple[str, re.Pattern, object]] = []
+
+    def add(self, method: str, pattern: str, handler) -> None:
+        regex = re.compile(
+            "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern) + "$")
+        self._routes.append((method.upper(), regex, handler))
+
+    async def dispatch(self, request: Request) -> Response:
+        allowed: list[str] = []
+        for method, regex, handler in self._routes:
+            match = regex.match(request.path)
+            if match is None:
+                continue
+            if method != request.method:
+                allowed.append(method)
+                continue
+            params = {key: unquote(value)
+                      for key, value in match.groupdict().items()}
+            return await handler(request, **params)
+        if allowed:
+            raise ApiError(405, "method_not_allowed",
+                           f"{request.path} supports {sorted(set(allowed))}, "
+                           f"not {request.method}")
+        raise ApiError(404, "not_found", f"no route for {request.path}")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request:
+    """Parse one request off the stream; :class:`ApiError` on bad input."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        raise ApiError(400, "bad_request", "truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ApiError(413, "headers_too_large",
+                       "request headers exceed the size limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ApiError(413, "headers_too_large",
+                       "request headers exceed the size limit")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError as exc:
+        raise ApiError(400, "bad_request",
+                       f"malformed request line {lines[0]!r}") from exc
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query))
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            length = int(length)
+        except ValueError as exc:
+            raise ApiError(400, "bad_request",
+                           "malformed Content-Length") from exc
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, "body_too_large",
+                           f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length)
+    return Request(method.upper(), parts.path or "/", query, headers, body)
+
+
+async def write_response(writer: asyncio.StreamWriter,
+                         response: Response) -> None:
+    """Serialize one response (fixed-length or chunked) and flush it."""
+    status = response.status
+    reason = _REASONS.get(status, "Unknown")
+    headers = {"Connection": "close",
+               "Content-Type": response.content_type}
+    headers.update(response.headers)
+    if response.stream is None:
+        body = response.body_bytes()
+        headers["Content-Length"] = str(len(body))
+        writer.write(_head(status, reason, headers) + body)
+        await writer.drain()
+        return
+    headers["Transfer-Encoding"] = "chunked"
+    writer.write(_head(status, reason, headers))
+    await writer.drain()
+    async for chunk in response.stream:
+        if not chunk:
+            continue
+        writer.write(f"{len(chunk):x}\r\n".encode() + chunk + b"\r\n")
+        await writer.drain()
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+def _head(status: int, reason: str, headers: dict[str, str]) -> bytes:
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def make_handler(router: Router):
+    """The ``asyncio.start_server`` connection callback for a router."""
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+                response = await router.dispatch(request)
+            except ApiError as exc:
+                response = Response(exc.envelope(), status=exc.status)
+            except Exception as exc:   # noqa: BLE001 — never kill the server
+                error = ApiError(500, "internal_error",
+                                 f"{type(exc).__name__}: {exc}")
+                response = Response(error.envelope(), status=500)
+            await write_response(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass                       # client went away mid-response
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return handle

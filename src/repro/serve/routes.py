@@ -1,0 +1,136 @@
+"""HTTP endpoint handlers: the ``/v1`` API surface.
+
+Every route is documented request-by-request in ``docs/service.md``;
+this module only translates between HTTP and the
+:class:`~repro.serve.app.SweepService` — validation errors become the
+standard error envelope via :class:`~repro.serve.http.ApiError`, wire
+documents are checked with :mod:`repro.exec.wire` before anything
+touches the job table.
+
+========  ==========================  ==================================
+method    path                        purpose
+========  ==========================  ==================================
+GET       ``/v1/healthz``             liveness + build/wire versions
+GET       ``/v1/metrics``             metrics-registry snapshot
+POST      ``/v1/sweeps``              submit a ``sweep_spec`` document
+GET       ``/v1/sweeps/{id}``         job status, counts, per-run rows
+GET       ``/v1/sweeps/{id}/events``  chunked stream of run-row lines
+GET       ``/v1/runs/{digest}``       one cached result, by digest
+PUT       ``/v1/runs/{digest}``       peer write-through into the cache
+========  ==========================  ==================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..exec.wire import WireError, payload_from_wire, spec_from_wire
+from ..kernels import BENCHMARKS
+from .app import SweepService
+from .http import ApiError, Request, Response, Router
+
+#: polling cadence of the events stream (the manifest writer flushes
+#: every row, so this bounds added latency, not correctness)
+EVENTS_POLL_SECONDS = 0.05
+
+_DIGEST_CHARS = set("0123456789abcdef")
+
+
+def _check_digest(digest: str) -> str:
+    if len(digest) != 64 or not set(digest) <= _DIGEST_CHARS:
+        raise ApiError(400, "bad_digest",
+                       "digest must be 64 lowercase hex characters")
+    return digest
+
+
+def build_router(service: SweepService) -> Router:
+    """Wire every ``/v1`` route onto a service instance."""
+    router = Router()
+
+    async def healthz(request: Request) -> Response:
+        return Response(service.health())
+
+    async def metrics(request: Request) -> Response:
+        return Response(service.metrics_registry().snapshot())
+
+    async def submit_sweep(request: Request) -> Response:
+        doc = request.json()
+        try:
+            spec = spec_from_wire(doc)
+        except WireError as exc:
+            raise ApiError(400, "bad_wire_document", str(exc))
+        for index, run in enumerate(spec.requests):
+            if run.benchmark not in BENCHMARKS:
+                raise ApiError(
+                    422, "unknown_benchmark",
+                    f"requests[{index}]: unknown benchmark "
+                    f"{run.benchmark!r} (have {sorted(BENCHMARKS)})")
+        job = service.submit(spec)
+        return Response(job.to_json(), status=202,
+                        headers={"Location": f"/v1/sweeps/{job.id}"})
+
+    def _job(job_id: str):
+        job = service.job(job_id)
+        if job is None:
+            raise ApiError(404, "not_found", f"no sweep job {job_id!r}")
+        return job
+
+    async def sweep_status(request: Request, job_id: str) -> Response:
+        return Response(_job(job_id).to_json(runs=True))
+
+    async def sweep_events(request: Request, job_id: str) -> Response:
+        job = _job(job_id)
+
+        async def stream():
+            runs_path = job.directory / "runs.jsonl"
+            offset = 0
+            while True:
+                terminal = job.terminal    # read *before* draining rows
+                if runs_path.is_file():
+                    with open(runs_path, "rb") as handle:
+                        handle.seek(offset)
+                        fresh = handle.read()
+                    if fresh:
+                        complete = fresh[:fresh.rfind(b"\n") + 1]
+                        offset += len(complete)
+                        if complete:
+                            yield complete
+                if terminal:
+                    break
+                await asyncio.sleep(EVENTS_POLL_SECONDS)
+            end = {"event": "end", "status": job.status, "error": job.error}
+            yield (json.dumps(end, sort_keys=True) + "\n").encode()
+
+        return Response(stream=stream(),
+                        content_type="application/x-ndjson")
+
+    async def get_run(request: Request, digest: str) -> Response:
+        payload = service.run_payload(_check_digest(digest))
+        if payload is None:
+            raise ApiError(404, "not_found",
+                           f"no cached result for digest {digest[:12]}…")
+        from ..exec.wire import payload_to_wire
+
+        return Response(payload_to_wire(digest, payload))
+
+    async def put_run(request: Request, digest: str) -> Response:
+        _check_digest(digest)
+        try:
+            sent, payload = payload_from_wire(request.json())
+        except WireError as exc:
+            raise ApiError(400, "bad_wire_document", str(exc))
+        if sent != digest:
+            raise ApiError(409, "digest_mismatch",
+                           "document digest does not match the URL")
+        service.store_payload(digest, payload)
+        return Response(status=204, payload=None)
+
+    router.add("GET", "/v1/healthz", healthz)
+    router.add("GET", "/v1/metrics", metrics)
+    router.add("POST", "/v1/sweeps", submit_sweep)
+    router.add("GET", "/v1/sweeps/{job_id}", sweep_status)
+    router.add("GET", "/v1/sweeps/{job_id}/events", sweep_events)
+    router.add("GET", "/v1/runs/{digest}", get_run)
+    router.add("PUT", "/v1/runs/{digest}", put_run)
+    return router

@@ -36,7 +36,10 @@ from pathlib import Path
 #: (3: telemetry rows carry the array-of-machines batch counters —
 #: batched_runs, vector width/cycles, peels — when the payload recorded
 #: them)
-MANIFEST_SCHEMA = 3
+#: (4: rows carry ``deduped``/``coalesced`` origin flags and the
+#: manifest counts them, so in-sweep dedup and service-level in-flight
+#: coalescing are distinguishable from cache hits)
+MANIFEST_SCHEMA = 4
 
 
 def telemetry_summary(payload: dict | None) -> dict | None:
@@ -90,6 +93,8 @@ def outcome_record(outcome) -> dict:
         "n_samples": request.n_samples,
         "digest": outcome.digest,
         "cached": outcome.cached,
+        "deduped": getattr(outcome, "deduped", False),
+        "coalesced": getattr(outcome, "coalesced", False),
         "error": outcome.error,
         "elapsed": outcome.elapsed,
         "worker": outcome.worker,
@@ -143,6 +148,8 @@ class SweepManifestWriter:
             "ok": sum(1 for row in rows if row["error"] is None),
             "failed": sum(1 for row in rows if row["error"] is not None),
             "cached": sum(1 for row in rows if row["cached"]),
+            "deduped": sum(1 for row in rows if row.get("deduped")),
+            "coalesced": sum(1 for row in rows if row.get("coalesced")),
             "golden_mismatches": sum(
                 1 for row in rows if row["golden_match"] is False),
             "metrics": metrics.as_dict() if metrics is not None else None,
@@ -224,6 +231,11 @@ def summarize_manifest(path) -> str:
             f"sweep {manifest['name']!r}: {manifest['runs']} runs — "
             f"{manifest['ok']} ok, {manifest['failed']} failed, "
             f"{manifest['cached']} cached")
+        if manifest.get("deduped") or manifest.get("coalesced"):
+            lines.append(
+                f"  coalescing: {manifest.get('deduped', 0)} deduped "
+                f"in-sweep, {manifest.get('coalesced', 0)} joined "
+                "in-flight runs")
         metrics = manifest.get("metrics") or {}
         if metrics:
             lines.append(
@@ -256,7 +268,9 @@ def summarize_manifest(path) -> str:
                      "label")
         for row in rows:
             outcome = ("FAIL" if row["error"] else
-                       "hit" if row["cached"] else "run")
+                       "hit" if row["cached"] else
+                       "join" if row.get("coalesced") else
+                       "dup" if row.get("deduped") else "run")
             telemetry = row.get("telemetry") or {}
             cycles = telemetry.get("cycles")
             lines.append(

@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.exec import DiskCache, MemoryCache, TieredCache, default_cache_dir
+from repro.exec import (
+    DiskCache,
+    MemoryCache,
+    RemoteCache,
+    TieredCache,
+    default_cache_dir,
+)
 from repro.exec.job import SCHEMA
 
 DIGESTS = [f"{i:02x}" + "0" * 62 for i in range(8)]
@@ -129,3 +135,94 @@ class TestDefaultCacheDir:
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
         assert default_cache_dir() == tmp_path / "xdg" / "repro"
+
+
+class FakeRemote(RemoteCache):
+    """In-memory RemoteCache backend with scriptable failures."""
+
+    def __init__(self, *, max_errors=5, failing=False):
+        super().__init__(max_errors=max_errors)
+        self.entries = {}
+        self.failing = failing
+
+    def _fetch(self, digest):
+        if self.failing:
+            raise ConnectionError("peer down")
+        return self.entries.get(digest)
+
+    def _store(self, digest, payload):
+        if self.failing:
+            raise ConnectionError("peer down")
+        self.entries[digest] = payload
+
+
+class TestRemoteCache:
+    def test_hit_miss_and_store(self):
+        remote = FakeRemote()
+        assert remote.get(DIGESTS[0]) is None
+        remote.put(DIGESTS[0], PAYLOAD)
+        assert remote.get(DIGESTS[0]) == PAYLOAD
+        assert remote.stats.hits == 1 and remote.stats.misses == 1
+        assert remote.stats.stores == 1
+
+    def test_transport_failures_are_misses_not_raises(self):
+        remote = FakeRemote(failing=True)
+        assert remote.get(DIGESTS[0]) is None       # no exception escapes
+        remote.put(DIGESTS[0], PAYLOAD)             # swallowed too
+        assert remote.errors == 2
+        assert remote.stats.misses == 1
+
+    def test_circuit_breaker_disables_after_error_budget(self):
+        remote = FakeRemote(max_errors=2, failing=True)
+        remote.get(DIGESTS[0])
+        remote.get(DIGESTS[1])
+        assert remote.disabled
+        remote.failing = False                      # peer recovers...
+        remote.entries[DIGESTS[2]] = PAYLOAD
+        assert remote.get(DIGESTS[2]) is None       # ...but tier stays off
+        remote.put(DIGESTS[3], PAYLOAD)
+        assert DIGESTS[3] not in remote.entries
+        assert remote.errors == 2                   # no further attempts
+
+    def test_clear_is_a_no_op_on_the_shared_pool(self):
+        remote = FakeRemote()
+        remote.put(DIGESTS[0], PAYLOAD)
+        remote.clear()
+        assert remote.get(DIGESTS[0]) == PAYLOAD
+
+
+class TestRemoteTier:
+    def test_remote_hits_promote_to_memory_and_disk(self, tmp_path):
+        remote = FakeRemote()
+        remote.entries[DIGESTS[0]] = PAYLOAD
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path),
+                             remote=remote)
+        assert tiered.get(DIGESTS[0]) == PAYLOAD
+        assert tiered.memory.get(DIGESTS[0]) == PAYLOAD
+        assert DiskCache(tmp_path).get(DIGESTS[0]) == PAYLOAD
+
+    def test_put_writes_through_to_the_peer(self, tmp_path):
+        remote = FakeRemote()
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path),
+                             remote=remote)
+        tiered.put(DIGESTS[0], PAYLOAD)
+        assert remote.entries[DIGESTS[0]] == PAYLOAD
+
+    def test_merged_stats_count_each_lookup_once(self, tmp_path):
+        remote = FakeRemote()
+        remote.entries[DIGESTS[1]] = PAYLOAD
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path),
+                             remote=remote)
+        tiered.put(DIGESTS[0], PAYLOAD)
+        tiered.get(DIGESTS[0])                      # memory hit
+        tiered.get(DIGESTS[1])                      # remote hit
+        tiered.get(DIGESTS[2])                      # full miss
+        stats = tiered.stats
+        assert stats.hits == 2 and stats.misses == 1
+
+    def test_dead_peer_never_breaks_the_sweep(self, tmp_path):
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path),
+                             remote=FakeRemote(failing=True))
+        tiered.put(DIGESTS[0], PAYLOAD)             # store still succeeds
+        assert tiered.get(DIGESTS[0]) == PAYLOAD    # memory serves it
+        assert tiered.get(DIGESTS[1]) is None       # miss, no exception

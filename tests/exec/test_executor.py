@@ -150,3 +150,13 @@ class TestMetrics:
             executor.run(small_spec())
         for busy in executor.last_metrics.worker_utilization().values():
             assert 0.0 <= busy <= 1.0
+
+
+def test_duplicate_outcomes_are_flagged_deduped():
+    request = RunRequest("SQRT32", WITH_SYNC, **SMALL)
+    with SweepExecutor(jobs=0, cache=MemoryCache()) as executor:
+        outcomes = executor.run([request, request, request])
+    assert [o.deduped for o in outcomes] == [False, True, True]
+    assert executor.last_metrics.dedup_hits == 2
+    # the executor never coalesces across submissions itself
+    assert all(not o.coalesced for o in outcomes)

@@ -38,3 +38,42 @@ def test_progress_line_includes_hit_rate():
     line = progress_line(record, 1, 2, hit_rate=1.0)
     assert "cache 100%" in line
     assert "cache" not in progress_line(record, 1, 2)
+
+
+def test_dedup_and_coalesced_are_counted_inside_executed():
+    metrics = SweepMetrics(total=4)
+    metrics.note(0, "a", cached=False, failed=False, elapsed=0.4, worker=1)
+    metrics.note(1, "a", cached=False, failed=False, elapsed=0.0,
+                 worker=None, deduped=True)
+    metrics.note(2, "a", cached=False, failed=False, elapsed=0.0,
+                 worker=None, coalesced=True)
+    metrics.note(3, "b", cached=True, failed=False, elapsed=0.0,
+                 worker=None)
+    assert metrics.executed == 3          # dedup slots still count here
+    assert metrics.dedup_hits == 1
+    assert metrics.coalesced_hits == 1
+    assert metrics.cache_hits == 1
+    doc = metrics.as_dict()
+    assert doc["dedup_hits"] == 1 and doc["coalesced_hits"] == 1
+    assert "1 deduped in-sweep, 1 joined in-flight" in metrics.report()
+
+
+def test_report_omits_coalescing_line_when_nothing_coalesced():
+    metrics = SweepMetrics(total=1)
+    metrics.note(0, "a", cached=False, failed=False, elapsed=0.1, worker=1)
+    assert "coalescing" not in metrics.report()
+
+
+def test_progress_line_origin_precedence():
+    def line(**kwargs):
+        record = RunRecord(0, "X", cached=False, failed=False, elapsed=0.0,
+                           worker=None, **kwargs)
+        return progress_line(record, 1, 1)
+
+    assert "dup " in line(deduped=True)
+    assert "join" in line(coalesced=True)
+    # coalesced wins over deduped; failure wins over everything
+    assert "join" in line(deduped=True, coalesced=True)
+    record = RunRecord(0, "X", cached=False, failed=True, elapsed=0.0,
+                       worker=None, deduped=True)
+    assert "FAIL" in progress_line(record, 1, 1)

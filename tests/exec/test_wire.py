@@ -1,0 +1,175 @@
+"""Wire schema: round-trip stability, tolerance, version rejection."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.ecg import EcgConfig
+from repro.exec import (
+    RunRequest,
+    SweepSpec,
+    WIRE_SCHEMA,
+    WireError,
+    payload_from_wire,
+    payload_to_wire,
+    request_from_wire,
+    request_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.exec.job import SCHEMA, request_digest
+from repro.kernels import DESIGNS
+
+DESIGN_NAMES = sorted(DESIGNS)
+DIGEST = "ab" * 32
+PAYLOAD = {"schema": SCHEMA, "run": {"cycles": 11}, "golden_match": True}
+
+
+def make_request(**overrides) -> RunRequest:
+    base = dict(benchmark="MRPFLTR", design=DESIGNS["with-sync"],
+                n_samples=16, seed=7)
+    base.update(overrides)
+    return RunRequest(**base)
+
+
+_COMMON = dict(
+    design=st.sampled_from([DESIGNS[name] for name in DESIGN_NAMES]),
+    n_samples=st.integers(min_value=1, max_value=256),
+    num_cores=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    fast_engine=st.booleans(),
+    max_cycles=st.integers(min_value=1_000, max_value=10_000_000),
+    verify=st.booleans(),
+    ecg=st.one_of(st.none(), st.builds(
+        EcgConfig,
+        heart_rate_bpm=st.floats(40.0, 180.0, allow_nan=False),
+        noise_rms=st.floats(0.0, 0.25, allow_nan=False))),
+    # explicit channels must cover the core count (capped at 8), so
+    # always supply a full 8-lead recording
+    channels=st.one_of(st.none(), st.lists(
+        st.lists(st.integers(0, 0xFFFF), min_size=4, max_size=8)
+        .map(tuple),
+        min_size=8, max_size=8).map(tuple)),
+)
+
+# the sync knobs only apply to minic kernels — assembly requests must
+# leave them at their defaults
+requests = st.one_of(
+    st.builds(make_request,
+              benchmark=st.sampled_from(["MRPFLTR", "MRPDLN"]),
+              sync_mode=st.sampled_from([None, "auto", "all", "none"]),
+              sync_min_statements=st.integers(min_value=0, max_value=8),
+              **_COMMON),
+    st.builds(make_request, benchmark=st.just("SQRT32"), **_COMMON),
+)
+
+
+class TestRequestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(request=requests)
+    def test_round_trip_is_digest_stable(self, request):
+        doc = request_to_wire(request)
+        # the document must actually be JSON-serializable
+        recovered = request_from_wire(json.loads(json.dumps(doc)))
+        assert recovered == request
+        assert request_digest(recovered) == request_digest(request)
+
+    @settings(max_examples=30, deadline=None)
+    @given(request=requests)
+    def test_method_form_matches_function_form(self, request):
+        assert request.to_wire() == request_to_wire(request)
+        assert RunRequest.from_wire(request.to_wire()) == request
+
+    def test_unknown_fields_are_ignored(self):
+        doc = request_to_wire(make_request())
+        doc["future_extension"] = {"anything": [1, 2, 3]}
+        doc["design"]["future_knob"] = True
+        assert request_from_wire(doc) == make_request()
+
+    def test_omitted_optional_fields_take_defaults(self):
+        doc = request_to_wire(make_request())
+        for optional in ("config", "ecg", "channels", "sync_mode",
+                         "fast_engine", "verify", "max_cycles"):
+            doc.pop(optional, None)
+        assert request_from_wire(doc) == make_request()
+
+
+class TestEnvelopeRejection:
+    def test_version_mismatch_is_rejected(self):
+        doc = request_to_wire(make_request())
+        doc["wire_schema"] = WIRE_SCHEMA + 1
+        with pytest.raises(WireError, match="unsupported wire_schema"):
+            request_from_wire(doc)
+
+    def test_missing_version_is_rejected(self):
+        doc = request_to_wire(make_request())
+        del doc["wire_schema"]
+        with pytest.raises(WireError, match="missing 'wire_schema'"):
+            request_from_wire(doc)
+
+    def test_kind_mismatch_is_rejected(self):
+        doc = request_to_wire(make_request())
+        with pytest.raises(WireError, match="expected kind 'sweep_spec'"):
+            spec_from_wire(doc)
+
+    def test_non_object_is_rejected(self):
+        with pytest.raises(WireError, match="JSON object"):
+            request_from_wire(["not", "a", "document"])
+
+    def test_missing_required_field_is_rejected(self):
+        doc = request_to_wire(make_request())
+        del doc["benchmark"]
+        with pytest.raises(WireError, match="benchmark"):
+            request_from_wire(doc)
+
+    def test_malformed_design_is_rejected(self):
+        doc = request_to_wire(make_request())
+        doc["design"] = {"name": "x"}       # policy/sync_enabled missing
+        with pytest.raises(WireError, match="design"):
+            request_from_wire(doc)
+
+    def test_malformed_channels_are_rejected(self):
+        doc = request_to_wire(make_request())
+        doc["channels"] = [["not-an-int"]]
+        with pytest.raises(WireError, match="channels"):
+            request_from_wire(doc)
+
+
+class TestSweepSpec:
+    def test_round_trip(self):
+        spec = SweepSpec.grid("wire-test", ["MRPFLTR", "SQRT32"],
+                              [DESIGNS["with-sync"],
+                               DESIGNS["without-sync"]],
+                              samples=(8, 16), seed=3)
+        recovered = spec_from_wire(json.loads(json.dumps(spec.to_wire())))
+        assert recovered == spec
+        assert [request_digest(r) for r in recovered.requests] == \
+            [request_digest(r) for r in spec.requests]
+
+    def test_nested_requests_are_self_describing(self):
+        spec = SweepSpec("one", (make_request(),))
+        doc = spec_to_wire(spec)
+        # any element can be lifted out and parsed on its own
+        assert request_from_wire(doc["requests"][0]) == make_request()
+
+    def test_empty_request_list_is_rejected(self):
+        doc = spec_to_wire(SweepSpec("one", (make_request(),)))
+        doc["requests"] = []
+        with pytest.raises(WireError, match="non-empty"):
+            spec_from_wire(doc)
+
+
+class TestRunPayload:
+    def test_round_trip(self):
+        doc = json.loads(json.dumps(payload_to_wire(DIGEST, PAYLOAD)))
+        assert payload_from_wire(doc) == (DIGEST, PAYLOAD)
+
+    def test_bad_digest_is_rejected(self):
+        with pytest.raises(WireError, match="digest"):
+            payload_from_wire(payload_to_wire("tooshort", PAYLOAD))
+
+    def test_payload_schema_mismatch_is_rejected(self):
+        stale = dict(PAYLOAD, schema=SCHEMA - 1)
+        with pytest.raises(WireError, match="schema"):
+            payload_from_wire(payload_to_wire(DIGEST, stale))

@@ -1,0 +1,246 @@
+"""End-to-end service tests: bit-identity, coalescing, the API surface.
+
+One module-scoped server backs every test; specs use distinct seeds so
+tests only share cache entries when they mean to.
+"""
+
+import http.client
+import json
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.exec import (
+    RunRequest,
+    SweepExecutor,
+    SweepSpec,
+    WIRE_SCHEMA,
+    payload_to_wire,
+    request_digest,
+)
+from repro.kernels import WITH_SYNC, WITHOUT_SYNC
+from repro.serve import (
+    ServeClient,
+    ServiceError,
+    SweepService,
+    default_service_cache,
+    start_server,
+)
+
+SMALL = dict(n_samples=8, num_cores=2)
+
+
+def spec_for(seed: int, benchmarks=("SQRT32",), name=None) -> SweepSpec:
+    return SweepSpec.grid(name or f"e2e-{seed}", benchmarks,
+                          (WITH_SYNC,), samples=(8,), seed=seed,
+                          num_cores=2)
+
+
+def deterministic(payload: dict) -> dict:
+    """Strip per-execution bookkeeping, keep the simulated bits."""
+    return {k: v for k, v in payload.items()
+            if k not in ("elapsed", "worker")}
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-e2e")
+    service = SweepService(cache=default_service_cache(root / "cache"),
+                           state_dir=root / "state", concurrency=4)
+    with service, start_server(service) as handle:
+        yield SimpleNamespace(service=service, handle=handle,
+                              client=ServeClient(handle.base_url))
+
+
+def raw_request(served, method, path, body=None, content_type=None):
+    """Bypass ServeClient to exercise raw HTTP error paths."""
+    connection = http.client.HTTPConnection(served.handle.host,
+                                            served.handle.port, timeout=30)
+    try:
+        headers = {}
+        if content_type:
+            headers["Content-Type"] = content_type
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read() or b"null")
+    finally:
+        connection.close()
+
+
+class TestEndToEnd:
+    def test_served_result_bit_identical_to_direct_execution(self, served):
+        spec = spec_for(seed=101)
+        job = served.client.submit(spec)
+        final = served.client.wait(job["id"])
+        assert final["status"] == "done"
+        digest = final["runs"][0]["digest"]
+
+        served_payload = served.client.run_payload(digest)
+        with SweepExecutor(jobs=0, cache=None) as direct:
+            (outcome,) = direct.run(spec)
+        assert outcome.digest == digest
+        assert deterministic(served_payload) == \
+            deterministic(outcome.payload)
+        assert final["runs"][0]["golden_match"] is True
+
+    def test_concurrent_identical_submissions_simulate_once(self, served):
+        spec = spec_for(seed=202)
+        before = served.client.metrics()["service"]["runs"]
+        ids, errors = [], []
+
+        def submit():
+            try:
+                ids.append(served.client.submit(spec)["id"])
+            except Exception as exc:  # noqa: BLE001 — report in-test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        finals = [served.client.wait(job_id) for job_id in ids]
+        assert all(final["status"] == "done" for final in finals)
+
+        after = served.client.metrics()["service"]["runs"]
+        # the load-bearing invariant: four submissions, ONE simulation
+        assert after["executed"] - before["executed"] == 1
+        # the rest were coalesced in flight or served from cache
+        warm = ((after["coalesced"] - before["coalesced"])
+                + (after["cached"] - before["cached"]))
+        assert warm == 3
+        digests = {final["runs"][0]["digest"] for final in finals}
+        assert len(digests) == 1
+
+    def test_warm_second_pass_is_fully_cached(self, served):
+        spec = spec_for(seed=303)
+        first = served.client.wait(served.client.submit(spec)["id"])
+        second = served.client.wait(served.client.submit(spec)["id"])
+        assert first["runs"][0]["source"] in ("executed", "cache")
+        assert second["runs"][0]["source"] == "cache"
+        assert second["metrics"]["executed"] == 0
+        assert second["metrics"]["cache_hits"] == len(spec)
+
+    def test_in_sweep_duplicates_are_deduped_and_reported(self, served):
+        request = RunRequest("SQRT32", WITH_SYNC, seed=404, **SMALL)
+        spec = SweepSpec("dup-spec", (request, request, request))
+        final = served.client.wait(served.client.submit(spec)["id"])
+        sources = [run["source"] for run in final["runs"]]
+        assert sources[0] in ("executed", "cache")
+        assert sources[1:] == ["deduped", "deduped"]
+        assert final["metrics"]["dedup_hits"] == 2
+
+    def test_events_stream_rows_then_end_marker(self, served):
+        spec = spec_for(seed=505, benchmarks=("SQRT32", "MRPDLN"))
+        job = served.client.submit(spec)
+        events = list(served.client.events(job["id"]))
+        assert events[-1]["event"] == "end"
+        assert events[-1]["status"] == "done"
+        rows = events[:-1]
+        assert len(rows) == len(spec)
+        assert sorted(row["index"] for row in rows) == [0, 1]
+        assert all(len(row["digest"]) == 64 for row in rows)
+
+
+class TestRunsEndpoints:
+    def test_put_then_get_round_trip(self, served):
+        request = RunRequest("SQRT32", WITH_SYNC, seed=606, **SMALL)
+        with SweepExecutor(jobs=0, cache=None) as direct:
+            (outcome,) = direct.run([request])
+        digest = request_digest(request)
+        status, _ = raw_request(
+            served, "PUT", f"/v1/runs/{digest}",
+            body=json.dumps(payload_to_wire(digest, outcome.payload)),
+            content_type="application/json")
+        assert status == 204
+        assert served.client.run_payload(digest) == outcome.payload
+
+    def test_unknown_digest_is_404_and_none_from_client(self, served):
+        absent = "0" * 64
+        assert served.client.run_payload(absent) is None
+        status, doc = raw_request(served, "GET", f"/v1/runs/{absent}")
+        assert status == 404 and doc["error"]["code"] == "not_found"
+
+    def test_digest_mismatch_on_put_is_409(self, served):
+        from repro.exec.job import SCHEMA
+
+        doc = payload_to_wire("1" * 64, {"schema": SCHEMA, "run": {}})
+        status, body = raw_request(
+            served, "PUT", "/v1/runs/" + "2" * 64,
+            body=json.dumps(doc), content_type="application/json")
+        assert status == 409
+        assert body["error"]["code"] == "digest_mismatch"
+
+    def test_malformed_digest_is_400(self, served):
+        status, doc = raw_request(served, "GET", "/v1/runs/xyz")
+        assert status == 400 and doc["error"]["code"] == "bad_digest"
+
+
+class TestErrorEnvelopes:
+    def test_unknown_job_is_404(self, served):
+        status, doc = raw_request(served, "GET", "/v1/sweeps/nope")
+        assert status == 404 and doc["error"]["code"] == "not_found"
+
+    def test_invalid_json_submission_is_400(self, served):
+        status, doc = raw_request(served, "POST", "/v1/sweeps",
+                                  body="{nope", content_type="application/json")
+        assert status == 400 and doc["error"]["code"] == "bad_json"
+
+    def test_wire_version_mismatch_is_400(self, served):
+        doc = spec_for(seed=707).to_wire()
+        doc["wire_schema"] = WIRE_SCHEMA + 1
+        with pytest.raises(ServiceError) as excinfo:
+            served.client.submit(doc)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_wire_document"
+
+    def test_unknown_benchmark_is_422(self, served):
+        doc = spec_for(seed=808).to_wire()
+        doc["requests"][0]["benchmark"] = "NOPE"
+        with pytest.raises(ServiceError) as excinfo:
+            served.client.submit(doc)
+        assert excinfo.value.status == 422
+        assert excinfo.value.code == "unknown_benchmark"
+
+    def test_wrong_method_is_405(self, served):
+        status, doc = raw_request(served, "DELETE", "/v1/healthz")
+        assert status == 405
+        assert doc["error"]["code"] == "method_not_allowed"
+
+
+class TestObservability:
+    def test_healthz_reports_versions(self, served):
+        health = served.client.healthz()
+        assert health["ok"] is True
+        assert health["service"] == "repro-serve"
+        assert health["wire_schema"] == WIRE_SCHEMA
+        assert health["uptime_seconds"] >= 0
+
+    def test_metrics_snapshot_shape(self, served):
+        snapshot = served.client.metrics()
+        assert set(snapshot) >= {"service", "coalescer", "cache"}
+        runs = snapshot["service"]["runs"]
+        assert set(runs) == {"total", "executed", "cached", "deduped",
+                             "coalesced", "failed"}
+        assert set(snapshot["coalescer"]) == {"owned", "coalesced",
+                                              "inflight"}
+        assert snapshot["cache"]["backend"] == "TieredCache"
+        jobs = snapshot["service"]["jobs"]
+        assert jobs["submitted"] == jobs["queued"] + jobs["running"] + \
+            jobs["done"] + jobs["failed"]
+
+    def test_job_resource_counts_match_runs(self, served):
+        spec = spec_for(seed=909)
+        final = served.client.wait(served.client.submit(spec)["id"])
+        assert final["total"] == len(spec)
+        assert final["completed"] == len(final["runs"]) == len(spec)
+        assert final["submitted"] <= final["started"] <= final["finished"]
+
+
+def test_client_cli_reports_unreachable_server():
+    from repro import cli
+
+    assert cli.main(["client", "--server", "http://127.0.0.1:9",
+                     "--quick", "--benchmarks", "SQRT32"]) == 2

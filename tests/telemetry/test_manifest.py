@@ -99,3 +99,25 @@ class TestLoadAndSummarize:
         assert "cache hit rate" in text
         for outcome in outcomes:
             assert outcome.request.label in text
+
+
+class TestCoalescingColumns:
+    def test_rows_and_counts_carry_dedup_and_coalesced(self, tmp_path):
+        from repro.exec import RunRequest
+
+        request = RunRequest("SQRT32", WITH_SYNC, n_samples=8, num_cores=2)
+        spec = SweepSpec("dups", (request, request, request))
+        writer = SweepManifestWriter(tmp_path / "out", name=spec.name)
+        with SweepExecutor(jobs=0, cache=MemoryCache()) as executor:
+            executor.run(spec, manifest=writer)
+        rows = [json.loads(line) for line in
+                (tmp_path / "out" / "runs.jsonl").read_text().splitlines()]
+        assert [row["deduped"] for row in rows] == [False, True, True]
+        assert all(row["coalesced"] is False for row in rows)
+        manifest = json.loads(
+            (tmp_path / "out" / "manifest.json").read_text())
+        assert manifest["deduped"] == 2
+        assert manifest["coalesced"] == 0
+        summary = summarize_manifest(tmp_path / "out")
+        assert "dup" in summary
+        assert "2 deduped" in summary
