@@ -6,9 +6,13 @@ Times the reference per-cycle engine against the fast engine
 sleep fast-forward) on the paper's Fig. 3 kernels and a duty-cycled
 streaming node, cross-checking trace bit-exactness on every pair.  Every
 workload row records its superblock coverage (``fused_cycles`` /
-``block_coverage``); the process fails if any pair diverges, any
-workload runs slower than the reference, or fusion fails to engage on
-the lockstep-heavy kernels.
+``block_coverage``, measured over *awake* cycles) and memory-fusion
+counters; the process fails if any pair diverges, any workload runs
+slower than the reference, fusion fails to engage on the
+lockstep-heavy kernels, full-size coverage drops below the committed
+floors (0.45 on the with-sync MRP kernels, 0.25 on the streaming
+node), or any workload's ``deopt_count`` regresses against the
+committed ``BENCH_engine.json``.
 
 A second section times batched throughput: a same-image family of runs
 dispatched as one array-of-machines batch (``repro.cpu.vec``) versus
@@ -97,6 +101,17 @@ def main(argv=None) -> int:
           f"({batched['speedup']}x, {batched['runs']} runs, "
           f"exact={batched['all_exact']})")
 
+    # snapshot the committed baseline before overwriting it, so the
+    # deopt-regression gate compares against what was checked in
+    baseline = {}
+    if args.output.exists():
+        try:
+            previous = json.loads(args.output.read_text())
+            baseline = {(row["name"], row["design"]): row
+                        for row in previous.get("workloads", [])}
+        except (json.JSONDecodeError, KeyError, TypeError):
+            baseline = {}
+
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output}")
 
@@ -113,6 +128,32 @@ def main(argv=None) -> int:
             failures.append(
                 f"superblock fusion never engaged on {row['name']} "
                 f"{row['design']}")
+        if (row["name"] in ("MRPFLTR", "MRPDLN")
+                and not row["mem_fused_blocks"]):
+            failures.append(
+                f"memory fusion never engaged on {row['name']} "
+                f"{row['design']}")
+    # coverage floors and deopt regressions are only meaningful at the
+    # committed full-size workloads (--quick shrinks every input)
+    if not args.quick:
+        floors = {("MRPFLTR", "with-sync"): 0.45,
+                  ("MRPDLN", "with-sync"): 0.45,
+                  ("STREAMING-EMA", "with-sync"): 0.25}
+        for row in payload["workloads"]:
+            key = (row["name"], row["design"])
+            floor = floors.get(key)
+            if floor is not None and row["block_coverage"] < floor:
+                failures.append(
+                    f"{row['name']} {row['design']} block coverage "
+                    f"{row['block_coverage']} below the {floor} floor")
+            previous = baseline.get(key)
+            if (previous is not None
+                    and row["deopt_count"] > previous.get(
+                        "deopt_count", float("inf"))):
+                failures.append(
+                    f"{row['name']} {row['design']} deopt_count "
+                    f"regressed: {row['deopt_count']} > committed "
+                    f"{previous['deopt_count']}")
     if not batched["all_exact"]:
         failures.append("a batched run diverged from its serial twin")
     if not batched["reference_exact"]:

@@ -55,11 +55,11 @@ STREAMING_PROGRAM = """
 .entry main
 
 isr:
-    LD R5, [R1]             ; x = next input sample
+    LD R5, [R1]             ; x = next input sample ;@mem=A2048
     SUB R5, R5, R4
     SRAI R5, #2
     ADD R4, R4, R5          ; ema += (x - ema) >> 2
-    ST R4, [R2]
+    ST R4, [R2]             ;@mem=A2048
     INC R1
     INC R2
     INC R3                  ; samples processed
@@ -99,6 +99,9 @@ class WorkloadResult:
     fused_blocks: int = 0
     fused_cycles: int = 0
     deopt_count: int = 0
+    sleep_cycles: int = 0
+    mem_fused_blocks: int = 0
+    mem_fused_ops: int = 0
 
     @property
     def speedup(self) -> float:
@@ -106,8 +109,17 @@ class WorkloadResult:
 
     @property
     def block_coverage(self) -> float:
-        """Fraction of simulated cycles retired through fused blocks."""
-        return self.fused_cycles / self.cycles if self.cycles else 0.0
+        """Fraction of *awake* simulated cycles retired through fused
+        blocks.
+
+        Sleep cycles are excluded from the denominator: duty-cycled
+        workloads spend most of their time fast-forwarded through
+        SLEEP, and counting those cycles would make coverage measure
+        the duty cycle rather than how much of the executed code the
+        superblock layer captured.
+        """
+        awake = self.cycles - self.sleep_cycles
+        return self.fused_cycles / awake if awake else 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -122,6 +134,9 @@ class WorkloadResult:
             "fused_blocks": self.fused_blocks,
             "fused_cycles": self.fused_cycles,
             "deopt_count": self.deopt_count,
+            "sleep_cycles": self.sleep_cycles,
+            "mem_fused_blocks": self.mem_fused_blocks,
+            "mem_fused_ops": self.mem_fused_ops,
             "block_coverage": round(self.block_coverage, 4),
         }
 
@@ -160,7 +175,10 @@ def _kernel_result(bench: str, design_name: str, channels,
                           fast_cycles=stats.fast_cycles,
                           fused_blocks=stats.fused_blocks,
                           fused_cycles=stats.fused_cycles,
-                          deopt_count=stats.deopt_count)
+                          deopt_count=stats.deopt_count,
+                          sleep_cycles=stats.sleep_cycles,
+                          mem_fused_blocks=stats.mem_fused_blocks,
+                          mem_fused_ops=stats.mem_fused_ops)
 
 
 def run_streaming(n_samples: int, *, period: int = STREAMING_PERIOD,
@@ -192,7 +210,10 @@ def _streaming_result(n_samples: int, period: int,
                           fast_cycles=stats.fast_cycles,
                           fused_blocks=stats.fused_blocks,
                           fused_cycles=stats.fused_cycles,
-                          deopt_count=stats.deopt_count)
+                          deopt_count=stats.deopt_count,
+                          sleep_cycles=stats.sleep_cycles,
+                          mem_fused_blocks=stats.mem_fused_blocks,
+                          mem_fused_ops=stats.mem_fused_ops)
 
 
 def engine_benchmark(*, samples: int = 64, streaming_samples: int = 256,

@@ -210,6 +210,17 @@ def cmd_trace(args) -> int:
           f"divergent + {stats.sleep_cycles} sleep cycles on fast paths")
     print(f"  superblocks: {stats.fused_cycles} cycles fused over "
           f"{stats.fused_blocks} blocks, {stats.deopt_count} deopts")
+    print(f"  memory fusion: {stats.mem_fused_ops} LD/ST fused inside "
+          f"{stats.mem_fused_blocks} blocks, {stats.term_guard} guard "
+          f"deopts")
+    terms = [(reason, getattr(stats, "term_" + reason))
+             for reason in ("mem", "sync", "stop", "diverge", "cap",
+                            "guard")]
+    census = ", ".join(f"{reason}={count}" for reason, count in terms
+                       if count)
+    print(f"  block terminations: {census or 'none'}")
+    print(f"  barrier fast path: {stats.sync_fused_rmws} merged "
+          f"checkpoint RMWs replayed without step()")
     for index, row in sorted(snapshot["barriers"]["checkpoints"].items(),
                              key=lambda kv: int(kv[0])):
         print(f"  {row['label']:32s} {row['spans']:5d} spans  "

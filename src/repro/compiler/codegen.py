@@ -51,6 +51,7 @@ from .ast_nodes import (
     WhileStmt,
 )
 from .lexer import CompileError
+from .runtime import STACK_BANK_WORDS
 
 _CMP_BRANCH = {"==": "EQ", "!=": "NE", "<": "LT", "<=": "LE",
                ">": "GT", ">=": "GE"}
@@ -61,6 +62,26 @@ _SIMPLE_BINOPS = {"+": "ADD", "-": "SUB", "&": "AND", "|": "OR",
 
 MAX_CALL_ARGS = 5
 SCRATCH = "R7"
+
+#: marker for frame/stack accesses: effective address is coreid-affine
+#: with the private-bank stride, so each core hits its own D-bank
+_STACK_TAG = f"  ;@mem=A{STACK_BANK_WORDS}"
+#: marker for accesses at a core-invariant (broadcastable) address
+_UNIFORM_TAG = "  ;@mem=U"
+
+
+def _mem_tag(stride) -> str:
+    """The ``;@mem=`` marker suffix for an access with this address stride.
+
+    Strides come from :mod:`repro.compiler.addrshape` annotations; anything
+    unknown (or a degenerate stride of 0 mod 2**16 claiming affinity) gets
+    no marker and the access stays a superblock boundary.
+    """
+    if stride == 0:
+        return _UNIFORM_TAG
+    if isinstance(stride, int) and stride & 0xFFFF:
+        return f"  ;@mem=A{stride & 0xFFFF}"
+    return ""
 
 
 @dataclass
@@ -147,10 +168,10 @@ class FunctionCodegen:
 
     def _push_reg(self, reg: int) -> None:
         self.emit("ADDI SP, SP, #-1")
-        self.emit(f"ST R{reg}, [SP]")
+        self.emit(f"ST R{reg}, [SP]{_STACK_TAG}")
 
     def _pop_reg(self, reg: int) -> None:
-        self.emit(f"LD R{reg}, [SP]")
+        self.emit(f"LD R{reg}, [SP]{_STACK_TAG}")
         self.emit("ADDI SP, SP, #1")
 
     def spill_all(self) -> None:
@@ -193,10 +214,10 @@ class FunctionCodegen:
 
     def _push_named(self, reg: str) -> None:
         self.emit("ADDI SP, SP, #-1")
-        self.emit(f"ST {reg}, [SP]")
+        self.emit(f"ST {reg}, [SP]{_STACK_TAG}")
 
     def _pop_named(self, reg: str) -> None:
-        self.emit(f"LD {reg}, [SP]")
+        self.emit(f"LD {reg}, [SP]{_STACK_TAG}")
         self.emit("ADDI SP, SP, #1")
 
     def _adjust_sp(self, delta: int) -> None:
@@ -428,7 +449,7 @@ class FunctionCodegen:
         if symbol.kind == "global":
             self.emit(f"LI {reg}, #{symbol.label}")
             if not symbol.is_array:
-                self.emit(f"LD {reg}, [{reg}]")
+                self.emit(f"LD {reg}, [{reg}]{_UNIFORM_TAG}")
             return
         offset = self._frame_offset(symbol)
         if symbol.is_array:
@@ -439,24 +460,24 @@ class FunctionCodegen:
                 self.emit(f"ADD {reg}, R5, {reg}")
             return
         if -16 <= offset <= 15:
-            self.emit(f"LD {reg}, [R5 + #{offset}]")
+            self.emit(f"LD {reg}, [R5 + #{offset}]{_STACK_TAG}")
         else:
             self.emit(f"LI {reg}, #{offset}")
             self.emit(f"ADD {reg}, R5, {reg}")
-            self.emit(f"LD {reg}, [{reg}]")
+            self.emit(f"LD {reg}, [{reg}]{_STACK_TAG}")
 
     def _store_symbol(self, symbol: Symbol, reg: str) -> None:
         if symbol.kind == "global":
             self.emit(f"LI {SCRATCH}, #{symbol.label}")
-            self.emit(f"ST {reg}, [{SCRATCH}]")
+            self.emit(f"ST {reg}, [{SCRATCH}]{_UNIFORM_TAG}")
             return
         offset = self._frame_offset(symbol)
         if -16 <= offset <= 15:
-            self.emit(f"ST {reg}, [R5 + #{offset}]")
+            self.emit(f"ST {reg}, [R5 + #{offset}]{_STACK_TAG}")
         else:
             self.emit(f"LI {SCRATCH}, #{offset}")
             self.emit(f"ADD {SCRATCH}, R5, {SCRATCH}")
-            self.emit(f"ST {reg}, [{SCRATCH}]")
+            self.emit(f"ST {reg}, [{SCRATCH}]{_STACK_TAG}")
 
     def _gen_addr(self, node: Expr) -> None:
         """Evaluate the address of an lvalue onto the virtual stack."""
@@ -494,22 +515,24 @@ class FunctionCodegen:
         raise CompileError("expression is not addressable", node.line)
 
     def _gen_index_load(self, node: IndexExpr) -> None:
+        tag = _mem_tag(getattr(node, "addr_stride", None))
         self.gen_expr(node.base)
         if isinstance(node.index, NumberExpr) and 0 <= node.index.value <= 15:
             reg = self.vtop()
-            self.emit(f"LD {reg}, [{reg} + #{node.index.value}]")
+            self.emit(f"LD {reg}, [{reg} + #{node.index.value}]{tag}")
             return
         self.gen_expr(node.index)
         base, index = self.vpop2()
         self.vpush_reg(base)
         self.emit(f"ADD {base}, {base}, {index}")
-        self.emit(f"LD {base}, [{base}]")
+        self.emit(f"LD {base}, [{base}]{tag}")
 
     def _gen_unary(self, node: UnaryExpr) -> None:
         if node.op == "*":
+            tag = _mem_tag(getattr(node, "addr_stride", None))
             self.gen_expr(node.operand)
             reg = self.vtop()
-            self.emit(f"LD {reg}, [{reg}]")
+            self.emit(f"LD {reg}, [{reg}]{tag}")
             return
         self.gen_expr(node.operand)
         reg = self.vtop()
@@ -607,11 +630,12 @@ class FunctionCodegen:
             self._store_symbol(target.symbol, reg)
             return
         # element or deref target: value first, then address
+        tag = _mem_tag(getattr(target, "addr_stride", None))
         self.gen_expr(node.value)
         self._gen_addr(target)
         value, addr = self.vpop2()
         self.vpush_reg(value)
-        self.emit(f"ST {value}, [{addr}]")
+        self.emit(f"ST {value}, [{addr}]{tag}")
 
     # ------------------------------------------------------------------
     # Calls

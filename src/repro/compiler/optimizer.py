@@ -33,8 +33,12 @@ def peephole(lines: list[str]) -> list[str]:
 
 
 def _parse_mem(line: str) -> tuple[str, str, str] | None:
-    """Parse ``LD/ST reg, [base + #off]`` into (mnemonic, reg, operand)."""
-    stripped = line.strip()
+    """Parse ``LD/ST reg, [base + #off]`` into (mnemonic, reg, operand).
+
+    Comment suffixes (including ``;@mem=`` access-shape markers) are
+    stripped first so marker-bearing operands still compare equal.
+    """
+    stripped = line.split(";", 1)[0].split("//", 1)[0].strip()
     if not stripped.startswith(("LD ", "ST ")):
         return None
     mnemonic, rest = stripped.split(None, 1)

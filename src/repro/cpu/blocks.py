@@ -23,13 +23,33 @@ into one **fused function** via ``compile()``/``exec`` codegen:
 a block is a maximal run of ``KIND_SEQ`` instructions, optionally ended
 by exactly one ``KIND_JUMP`` or ``KIND_DIVERGE`` terminator (JMP/CALL/
 BCC/JR/CALLR/RETI — inlined, since they only move the PC/LR).  A block
-*never* crosses ``KIND_MEM`` (needs D-Xbar arbitration), ``KIND_SYNC``
-(needs the synchronizer), ``KIND_STOP`` (changes the core's mode), or a
-``MFSR``/``MTSR`` with an invalid special-register index (must raise
-mid-stream exactly like the reference).  Blocks shorter than
-:data:`MIN_BLOCK` are not worth a guard check and stay on the
-per-instruction path; blocks are capped at :data:`MAX_BLOCK` to bound
-generated-source size.
+*never* crosses ``KIND_SYNC`` (needs the synchronizer), ``KIND_STOP``
+(changes the core's mode), or a ``MFSR``/``MTSR`` with an invalid
+special-register index (must raise mid-stream exactly like the
+reference).  Blocks shorter than :data:`MIN_BLOCK` are not worth a
+guard check and stay on the per-instruction path; blocks are capped at
+:data:`MAX_BLOCK` to bound generated-source size.
+
+**Memory fusion** — a ``KIND_MEM`` LD/ST normally ends the block
+because its D-Xbar outcome depends on the *runtime* cross-core address
+pattern.  When the toolchain proved an access shape statically
+(:attr:`Program.mem_facts`: ``0`` = core-uniform effective address,
+``k`` = coreid-affine with stride ``k``) *and* the platform
+configuration makes that shape conflict-free (distinct private banks
+per core, or a broadcast read), the access is inlined into the fused
+block instead.  The facts are **hints, not trusted proofs**: a fused
+memory block is compiled in two phases — a pure ``run(core, words)``
+that computes everything (including every effective address) into
+Python locals without touching shared state, and a ``commit(core,
+out)`` that applies the results — so the engine can re-verify the
+actual cross-core address pattern between the phases and abandon the
+whole block (committing *nothing*) if a fact turns out wrong at
+runtime.  A wrong fact therefore costs a deopt, never exactness.
+Blocks that write core-level state mid-body (``MTSR``/``EI``/``DI``)
+are never memory-fused: those writes would land during the pure phase
+and break the nothing-committed rollback guarantee.  A load is never
+fused after a fused store (stores are deferred to commit, so the load
+would read stale memory); uniform stores are only fused single-core.
 
 The **cycle cost** of a fused block equals its instruction count — the
 engine only calls one when that many lockstep broadcast cycles (or
@@ -41,7 +61,10 @@ Compiled blocks are cached **per image digest** (:func:`table_for`,
 keyed on :meth:`Program.digest` — the same content hash the sweep
 result cache uses), so every machine running the same built image
 shares one :class:`BlockTable`, across sweeps and repeated benchmark
-constructions alike.
+constructions alike.  Memory fusion additionally depends on the
+platform's memory geometry, so tables built with a config are keyed on
+``(digest, memory-geometry)``; fact-free images share one table across
+all configs.
 """
 
 from __future__ import annotations
@@ -50,7 +73,8 @@ from collections import OrderedDict
 from typing import NamedTuple
 
 from ..isa.spec import Cond, Opcode, ShiftOp, SpecialReg, SysOp
-from .predecode import KIND_DIVERGE, KIND_JUMP, KIND_SEQ, _SREG_ATTR
+from .predecode import KIND_DIVERGE, KIND_JUMP, KIND_MEM, KIND_SEQ, \
+    KIND_STOP, KIND_SYNC, _SREG_ATTR
 
 MASK = 0xFFFF
 SIGN = 0x8000
@@ -66,17 +90,109 @@ class FusedBlock(NamedTuple):
     """One compiled superblock.
 
     :param run: ``run(core)`` — applies the whole block to one core.
+        Memory-fused blocks (``mem`` non-empty) instead expose the pure
+        phase ``run(core, words)``: it mutates nothing, computes the
+        whole block into locals and returns the out tuple ``commit``
+        consumes.  The first ``len(mem)`` entries of that tuple are the
+        effective addresses of the fused memory ops, in program order,
+        for the engine's cross-core re-verification.
     :param length: instructions covered == cycles the block consumes.
     :param end_kind: ``KIND_SEQ`` (fell through), ``KIND_JUMP`` (uniform
         target) or ``KIND_DIVERGE`` (per-core target) — what the engine
         must re-check after calling ``run``.
     :param source: the generated Python source (for tests/debugging).
+    :param term: why discovery ended this block — ``'mem'`` (unfusable
+        memory op), ``'sync'`` (synchronizer op), ``'stop'`` (mode
+        change / unfusable / end of image), ``'diverge'`` (control-flow
+        terminator), ``'cap'`` (:data:`MAX_BLOCK`).  The engine
+        aggregates these per execution into ``EngineStats.term_*``.
+    :param mem: per fused memory op, in program order:
+        ``(uniform, is_write)`` — ``uniform`` means the fact claimed a
+        core-uniform address, else coreid-affine (distinct banks).
+    :param stores: per fused store, in program order:
+        ``(addr_index, value_index)`` into the out tuple.  The engine
+        applies stores op-major across cores (matching the reference's
+        cycle order) before calling ``commit``.
+    :param commit: ``commit(core, out)`` — applies registers, flags and
+        the PC from the out tuple (memory-fused blocks only).
     """
 
     run: object
     length: int
     end_kind: int
     source: str
+    term: str = "stop"
+    mem: tuple = ()
+    stores: tuple = ()
+    commit: object = None
+
+
+class MemEnv(NamedTuple):
+    """Everything block compilation needs to fuse memory accesses.
+
+    Bundles the image's static address-shape facts with the platform's
+    memory geometry.  Only the geometry participates in cache keys
+    (:func:`table_for`) — the facts are part of the image digest.
+    """
+
+    facts: dict
+    num_cores: int
+    dm_banks: int
+    dm_bank_words: int
+    dm_interleaved: bool
+    dm_broadcast: bool
+
+    @property
+    def dm_words(self) -> int:
+        return self.dm_banks * self.dm_bank_words
+
+    @classmethod
+    def from_config(cls, facts: dict, config) -> "MemEnv":
+        return cls(facts, config.num_cores, config.dm_banks,
+                   config.dm_bank_words, config.dm_interleaved,
+                   config.dm_broadcast)
+
+
+def _servable(stride: int, is_write: bool, env: MemEnv) -> bool:
+    """Can this access shape be served conflict-free under ``env``?
+
+    A *static* screen only — the engine re-checks the actual addresses
+    at every execution, so this gate trades fusion opportunity for
+    deopt risk, never exactness.
+    """
+    cores = env.num_cores
+    if stride == 0:
+        # Core-uniform address: single-core it is a private access; on
+        # multi-core only a broadcast read is conflict-free.
+        if cores == 1:
+            return True
+        return not is_write and env.dm_broadcast
+    if cores == 1:
+        return True
+    if env.dm_interleaved:
+        banks = {(cid * stride) % env.dm_banks for cid in range(cores)}
+        return len(banks) == cores
+    # Contiguous mapping: coreid-affine addresses land in distinct banks
+    # for every base iff the stride is a non-zero whole number of banks.
+    return stride % env.dm_bank_words == 0 and stride >= env.dm_bank_words
+
+
+def _writes_core_state(ins) -> bool:
+    """Does this ``KIND_SEQ`` instruction write core-level state?
+
+    Such writes land during the pure phase of a memory-fused block and
+    would survive a guard-fail rollback, so they exclude memory fusion.
+    """
+    op = ins.op
+    if op is Opcode.MTSR:
+        try:
+            sr = SpecialReg(ins.imm)
+        except ValueError:
+            return False                  # unfusable anyway
+        return sr not in (SpecialReg.COREID, SpecialReg.NCORES)
+    if op is Opcode.SYS:
+        return ins.sub in (SysOp.EI, SysOp.DI)
+    return False
 
 
 # ---------------------------------------------------------------------------
@@ -91,6 +207,9 @@ class _Writer:
         self.regs: set[int] = set()      # loaded into locals
         self.written: set[int] = set()   # stored back
         self.flags: set[str] = set()     # loaded *and* stored back
+        #: lines a memory-fused block must defer to ``commit`` (core
+        #: state the terminator writes, e.g. RETI's interrupt re-enable)
+        self.commit_extra: list[str] = []
 
     def emit(self, line: str) -> None:
         self.body.append("    " + line)
@@ -295,28 +414,37 @@ _BCC_FLAGS = {
 }
 
 
-def _emit_terminator(w: _Writer, ins, pc: int) -> None:
-    """Inline the block-ending control transfer at address ``pc``."""
+def _emit_terminator(w: _Writer, ins, pc: int,
+                     target: str = "core.pc") -> None:
+    """Inline the block-ending control transfer at address ``pc``.
+
+    ``target`` is where the next PC lands: ``core.pc`` directly for
+    plain blocks, the local ``_pc`` for memory-fused blocks (whose pure
+    phase must not touch the core — ``commit`` applies it).
+    """
     op = ins.op
     if op is Opcode.BCC:
         w.flags.update(_BCC_FLAGS[ins.cond])
-        w.emit(f"core.pc = {pc + ins.imm + 1} "
+        w.emit(f"{target} = {pc + ins.imm + 1} "
                f"if {_BCC_EXPR[ins.cond]} else {pc + 1}")
     elif op is Opcode.JMP:
-        w.emit(f"core.pc = {ins.imm}")
+        w.emit(f"{target} = {ins.imm}")
     elif op is Opcode.CALL:
         w.emit(f"{w.reg(7, write=True)} = {(pc + 1) & MASK}")
-        w.emit(f"core.pc = {ins.imm}")
+        w.emit(f"{target} = {ins.imm}")
     elif op is Opcode.JR:
-        w.emit(f"core.pc = {w.reg(ins.rs)}")
+        w.emit(f"{target} = {w.reg(ins.rs)}")
     elif op is Opcode.CALLR:
         # LR write happens *before* the target read, so CALLR R7 jumps
         # to the new LR — the locals give the same order for free.
         w.emit(f"{w.reg(7, write=True)} = {(pc + 1) & MASK}")
-        w.emit(f"core.pc = {w.reg(ins.rs)}")
+        w.emit(f"{target} = {w.reg(ins.rs)}")
     else:                                           # SYS RETI
-        w.emit("core.pc = core.epc")
-        w.emit("core.status = core.status | 1")
+        w.emit(f"{target} = core.epc")
+        if target == "core.pc":
+            w.emit("core.status = core.status | 1")
+        else:
+            w.commit_extra.append("core.status = core.status | 1")
 
 
 def _render(w: _Writer, start: int, length: int, end_kind: int) -> str:
@@ -338,40 +466,157 @@ def _render(w: _Writer, start: int, length: int, end_kind: int) -> str:
     return "\n".join(lines) + "\n"
 
 
-def compile_block(decoded: list, start: int) -> FusedBlock | None:
+def _render_mem(w: _Writer, start: int, length: int, end_kind: int,
+                n_mem: int, store_js: list) -> str:
+    """Render the two-phase ``run``/``commit`` pair of a memory block.
+
+    Out-tuple layout (positions are compile-time constants): the
+    ``n_mem`` effective addresses in op order (the engine's guard reads
+    these), the deferred store values in op order, ``_pc`` for
+    terminator-ended blocks, then written registers and flags.
+    """
+    lines = ["def run(core, words):"]
+    touched = sorted(w.regs)
+    if touched:
+        lines.append("    regs = core.regs")
+    for index in touched:
+        lines.append(f"    r{index} = regs[{index}]")
+    for flag in sorted(w.flags):
+        lines.append(f"    f{flag} = core.flag_{flag}")
+    lines.extend(w.body)
+    written = sorted(w.written)
+    flags = sorted(w.flags)
+    out = [f"_a{j}" for j in range(n_mem)]
+    out += [f"_s{j}" for j in store_js]
+    if end_kind != KIND_SEQ:
+        out.append("_pc")
+    out += [f"r{index}" for index in written]
+    out += [f"f{flag}" for flag in flags]
+    tail = "," if len(out) == 1 else ""
+    lines.append("    return (" + ", ".join(out) + tail + ")")
+    lines.append("")
+    lines.append("def commit(core, out):")
+    pos = n_mem + len(store_js)
+    if end_kind != KIND_SEQ:
+        pc_pos = pos
+        pos += 1
+    if written:
+        lines.append("    regs = core.regs")
+    for index in written:
+        lines.append(f"    regs[{index}] = out[{pos}]")
+        pos += 1
+    for flag in flags:
+        lines.append(f"    core.flag_{flag} = out[{pos}]")
+        pos += 1
+    if end_kind == KIND_SEQ:
+        lines.append(f"    core.pc = {start + length}")
+    else:
+        lines.append(f"    core.pc = out[{pc_pos}]")
+    for line in w.commit_extra:
+        lines.append("    " + line)
+    return "\n".join(lines) + "\n"
+
+
+def compile_block(decoded: list, start: int,
+                  env: MemEnv | None = None) -> FusedBlock | None:
     """Compile the superblock beginning at IM address ``start``.
 
     ``decoded`` is the program's predecoded record list (index ==
-    address).  Returns ``None`` when no fusable run of at least
-    :data:`MIN_BLOCK` instructions begins there.
+    address).  ``env`` supplies the static address-shape facts and the
+    memory geometry; without it (or without a fact for an address) a
+    ``KIND_MEM`` instruction ends the block exactly as before.  Returns
+    ``None`` when no fusable run of at least :data:`MIN_BLOCK`
+    instructions begins there.
     """
     im_len = len(decoded)
     if start >= im_len:
         return None
+    facts = env.facts if env is not None else None
     w = _Writer()
     length = 0
     end_kind = KIND_SEQ
+    term = "stop"
+    mem_specs: list[tuple[bool, bool]] = []
+    store_js: list[int] = []
+    core_writes = False
     pc = start
-    while pc < im_len and length < MAX_BLOCK:
-        kind = decoded[pc][0]
-        ins = decoded[pc][2]
+    while pc < im_len:
+        if length >= MAX_BLOCK:
+            term = "cap"
+            break
+        rec = decoded[pc]
+        kind = rec[0]
+        ins = rec[2]
         if kind == KIND_SEQ:
+            writes_core = _writes_core_state(ins)
+            if writes_core and mem_specs:
+                # Core-state writes cannot follow fused memory ops —
+                # they would escape the pure phase's rollback.
+                break
             if not _emit_seq(w, ins):
                 break
+            if writes_core:
+                core_writes = True
+            length += 1
+            pc += 1
+            continue
+        if kind == KIND_MEM:
+            term = "mem"
+            if facts is None:
+                break
+            fact = facts.get(pc)
+            if fact is None:
+                break
+            is_write, rs, imm, rd = rec[1]
+            if (core_writes
+                    or (store_js and not is_write)
+                    or not _servable(fact, is_write, env)):
+                break
+            j = len(mem_specs)
+            w.emit(f"_a{j} = ({w.reg(rs)} + {imm & MASK}) & 65535")
+            if is_write:
+                # Deferred store: snapshot the value; probe the range
+                # here so the reference replays the fault, exactly like
+                # an out-of-range load.
+                w.emit(f"if _a{j} >= {env.dm_words}: raise IndexError")
+                w.emit(f"_s{j} = {w.reg(rd)} & 65535")
+                store_js.append(j)
+            else:
+                # words is never mutated during the pure phase, so the
+                # natural IndexError doubles as the range guard.
+                w.emit(f"{w.reg(rd, write=True)} = words[_a{j}]")
+            mem_specs.append((fact == 0, is_write))
+            term = "stop"
             length += 1
             pc += 1
             continue
         if kind in (KIND_JUMP, KIND_DIVERGE) and length >= 1:
-            _emit_terminator(w, ins, pc)
+            _emit_terminator(w, ins, pc,
+                             "_pc" if mem_specs else "core.pc")
             length += 1
             end_kind = kind
+            term = "diverge"
+        elif kind == KIND_SYNC:
+            term = "sync"
+        elif kind == KIND_STOP:
+            term = "stop"
         break
     if length < MIN_BLOCK:
         return None
-    source = _render(w, start, length, end_kind)
+    if mem_specs:
+        source = _render_mem(w, start, length, end_kind,
+                             len(mem_specs), store_js)
+    else:
+        source = _render(w, start, length, end_kind)
     namespace: dict = {}
     exec(compile(source, f"<fused@{start}+{length}>", "exec"), namespace)
-    return FusedBlock(namespace["run"], length, end_kind, source)
+    if not mem_specs:
+        return FusedBlock(namespace["run"], length, end_kind, source,
+                          term)
+    stores = tuple((j, len(mem_specs) + position)
+                   for position, j in enumerate(store_js))
+    return FusedBlock(namespace["run"], length, end_kind, source, term,
+                      tuple(mem_specs), stores, namespace["commit"])
 
 
 # ---------------------------------------------------------------------------
@@ -388,11 +633,13 @@ class BlockTable:
     a single lookup either way.
     """
 
-    __slots__ = ("digest", "blocks", "_decoded")
+    __slots__ = ("digest", "blocks", "_decoded", "_env")
 
-    def __init__(self, decoded: list, digest: str | None = None):
+    def __init__(self, decoded: list, digest: str | None = None,
+                 env: MemEnv | None = None):
         self.digest = digest
         self._decoded = decoded
+        self._env = env
         #: start address -> FusedBlock | None, filled lazily
         self.blocks: dict[int, FusedBlock | None] = {}
 
@@ -401,7 +648,7 @@ class BlockTable:
         try:
             return self.blocks[start]
         except KeyError:
-            block = compile_block(self._decoded, start)
+            block = compile_block(self._decoded, start, self._env)
             self.blocks[start] = block
             return block
 
@@ -410,31 +657,45 @@ class BlockTable:
         return sum(1 for block in self.blocks.values() if block is not None)
 
 
-#: digest -> BlockTable, LRU-bounded.  Sized for sweeps: one entry per
-#: distinct built image, and a whole ablation grid uses well under this.
+#: cache key -> BlockTable, LRU-bounded.  Sized for sweeps: one entry
+#: per distinct built image (x memory geometry for fact-carrying
+#: images), and a whole ablation grid uses well under this.
 _TABLE_LIMIT = 64
-_tables: "OrderedDict[str, BlockTable]" = OrderedDict()
+_tables: "OrderedDict[tuple, BlockTable]" = OrderedDict()
 
 
-def table_for(program) -> BlockTable:
+def table_for(program, config=None) -> BlockTable:
     """The shared :class:`BlockTable` for ``program``'s built image.
 
     Keyed on :meth:`Program.digest`, so two independently-built but
     bit-identical images (e.g. the same kernel compiled in two sweep
     processes' requests) share one compiled table, and any image change
     lands on a fresh key — the cache can never serve stale blocks.
-    Falls back to a private, unshared table if the image cannot be
-    encoded (synthetic test programs).
+
+    ``config`` (a :class:`~repro.platform.config.PlatformConfig`)
+    enables memory fusion for images carrying ``mem_facts``: whether a
+    proven access shape is conflict-free depends on the memory
+    geometry, so such tables are keyed on ``(digest, geometry)``.
+    Without a config — or for fact-free images, whose blocks cannot
+    differ across geometries — one table per digest is shared by all
+    callers.  Falls back to a private, unshared table if the image
+    cannot be encoded (synthetic test programs).
     """
+    env = None
+    facts = getattr(program, "mem_facts", None)
+    if config is not None and facts:
+        env = MemEnv.from_config(facts, config)
     try:
         digest = program.digest()
     except Exception:
-        return BlockTable(program.predecoded(), None)
-    table = _tables.get(digest)
+        return BlockTable(program.predecoded(), None, env)
+    key = (digest,) if env is None else (digest,) + tuple(env[1:])
+    table = _tables.get(key)
     if table is None:
         if len(_tables) >= _TABLE_LIMIT:
             _tables.popitem(last=False)
-        table = _tables[digest] = BlockTable(program.predecoded(), digest)
+        table = _tables[key] = BlockTable(program.predecoded(), digest,
+                                          env)
     else:
-        _tables.move_to_end(digest)
+        _tables.move_to_end(key)
     return table

@@ -64,6 +64,7 @@ except ImportError:                      # pragma: no cover - numpy is a
     np = None                            # declared dependency; belt+braces
 
 from ..isa.spec import Cond, Opcode, ShiftOp, SpecialReg, SysOp
+from .blocks import MemEnv, _servable, _writes_core_state
 from .predecode import (
     KIND_DIVERGE,
     KIND_JUMP,
@@ -88,17 +89,31 @@ MIN_BLOCK = 1
 MAX_BLOCK = 64
 
 
+class MemGuardError(Exception):
+    """A memory-fused vec block's runtime address re-check failed.
+
+    Raised by generated code *before* any state plane is mutated, so
+    the caller peels the whole group bit-exactly and the scalar engine
+    re-arbitrates the access from the block's start PC.
+    """
+
+
 class VecBlock(NamedTuple):
     """One compiled vectorized block.
 
     :param run: ``run(S, idx)`` — applies the block to every core of the
         runs selected by ``idx`` (a row-index array into ``S``); returns
         the per-lane PC array for ``KIND_DIVERGE`` endings, else None.
+        May raise :class:`MemGuardError` (before mutating anything)
+        when a fused memory op's address pattern fails its re-check.
     :param length: instructions covered == cycles per lane.
     :param end_kind: ``KIND_SEQ`` (fall through ``length`` addresses),
         ``KIND_JUMP`` (uniform :attr:`target`) or ``KIND_DIVERGE``.
     :param target: static target for ``KIND_JUMP`` endings.
     :param source: generated Python source (tests/debugging).
+    :param mem: ``()`` for memory-free blocks, else the per-run
+        ``(dm_reads, dm_writes, dm_served)`` D-Xbar counter deltas one
+        execution credits (group-uniform, like the group's cycle count).
     """
 
     run: object
@@ -106,6 +121,7 @@ class VecBlock(NamedTuple):
     end_kind: int
     target: int | None
     source: str
+    mem: tuple = ()
 
 
 # ---------------------------------------------------------------------------
@@ -126,9 +142,17 @@ class _VecWriter:
         self.regs: set[int] = set()      # gathered into locals
         self.written: set[int] = set()   # scattered back
         self.flags: set[str] = set()     # gathered *and* scattered back
+        #: state-plane mutations a memory-fused block defers until every
+        #: guard in the body has passed (D-memory scatters, priority
+        #: rotations, RETI's interrupt re-enable) — rendered between the
+        #: body and the register/flag scatter-back
+        self.deferred: list[str] = []
 
     def emit(self, line: str) -> None:
         self.body.append("    " + line)
+
+    def defer(self, line: str) -> None:
+        self.deferred.append("    " + line)
 
     def reg(self, index: int, *, write: bool = False) -> str:
         self.regs.add(index)
@@ -335,9 +359,15 @@ _BCC_FLAGS = {
 }
 
 
-def _emit_terminator(w: _VecWriter, ins, pc: int) -> int | None:
+def _emit_terminator(w: _VecWriter, ins, pc: int,
+                     defer_state: bool = False) -> int | None:
     """Inline the block-ending transfer; returns the static target for
-    ``KIND_JUMP`` endings (JMP/CALL), else None (``_pcs`` is emitted)."""
+    ``KIND_JUMP`` endings (JMP/CALL), else None (``_pcs`` is emitted).
+
+    ``defer_state`` routes state-plane writes (RETI's interrupt
+    re-enable) through :meth:`_VecWriter.defer` — required in
+    memory-fused blocks, whose body must stay mutation-free.
+    """
     op = ins.op
     if op is Opcode.BCC:
         w.flags.update(_BCC_FLAGS[ins.cond])
@@ -360,8 +390,66 @@ def _emit_terminator(w: _VecWriter, ins, pc: int) -> int | None:
         return None
     # SYS RETI
     w.emit("_pcs = S.epc[idx]")
-    w.emit("S.status[idx] = S.status[idx] | 1")
+    if defer_state:
+        w.defer("S.status[idx] = S.status[idx] | 1")
+    else:
+        w.emit("S.status[idx] = S.status[idx] | 1")
     return None
+
+
+def _emit_mem(w: _VecWriter, j: int, info: tuple, fact: int,
+              env: MemEnv) -> tuple[int, int, int]:
+    """Inline fused memory op ``j``; returns its per-run D-Xbar counter
+    deltas ``(dm_reads, dm_writes, dm_served)``.
+
+    The body computes the ``(runs, cores)`` effective-address matrix,
+    re-checks the pattern the fact promised (raising
+    :class:`MemGuardError` before anything is mutated if it lied) and
+    gathers loads; scatters and priority rotations are deferred past
+    every guard.  Mirrors the arbitration outcomes of the scalar
+    engine's ``_mem_cycle`` exactly.
+    """
+    is_write, rs, imm, rd = info
+    cores = env.num_cores
+    # Normalize to a (runs, cores) matrix whatever the operand local is
+    # — a gathered plane, a (runs, 1) broadcast-load result, or a
+    # constant-folded Python int — so the pattern checks below see the
+    # true per-core addresses.
+    w.emit(f"_a{j} = np.broadcast_to(np.asarray("
+           f"({w.reg(rs)} + {imm & MASK}) & 65535), (len(idx), {cores}))")
+    w.emit(f"if (_a{j} >= {env.dm_words}).any(): raise MemGuard")
+    if fact == 0 and cores > 1:
+        # Shared broadcast read (uniform writes are never fused
+        # multi-core): one bank read serves all cores of each run, and
+        # with every core requesting, the rotating priority's winner is
+        # the priority holder itself.
+        w.emit(f"_u{j} = _a{j}[:, 0]")
+        w.emit(f"if not (_a{j} == _u{j}[:, None]).all(): raise MemGuard")
+        if env.dm_interleaved:
+            w.emit(f"_b{j} = _u{j} % {env.dm_banks}")
+        else:
+            w.emit(f"_b{j} = _u{j} // {env.dm_bank_words}")
+        w.emit(f"{w.reg(rd, write=True)} = S.dm[idx, _u{j}][:, None]")
+        w.defer(f"S.prio[idx, _b{j}] = (S.prio[idx, _b{j}] + 1) % {cores}")
+        return 1, 0, cores
+    # Private-bank pattern: every core must win its own bank.
+    if env.dm_interleaved:
+        w.emit(f"_b{j} = _a{j} % {env.dm_banks}")
+    else:
+        w.emit(f"_b{j} = _a{j} // {env.dm_bank_words}")
+    if cores > 1:
+        w.emit(f"if not (np.diff(np.sort(_b{j}, axis=1), axis=1) != 0)"
+               f".all(): raise MemGuard")
+    if is_write:
+        w.emit(f"_s{j} = {w.reg(rd)} & 65535")
+        w.defer(f"S.dm[idx[:, None], _a{j}] = _s{j}")
+    else:
+        w.emit(f"{w.reg(rd, write=True)} = S.dm[idx[:, None], _a{j}]")
+    w.defer(f"S.prio[idx[:, None], _b{j}] = "
+            f"((S.coreid_row + 1) % {cores})[None, :]")
+    if is_write:
+        return 0, cores, cores
+    return cores, 0, cores
 
 
 def _render(w: _VecWriter, end_kind: int) -> str:
@@ -372,6 +460,7 @@ def _render(w: _VecWriter, end_kind: int) -> str:
     for flag in sorted(w.flags):
         body.append(f"    f{flag} = S.f{flag}[idx]")
     body.extend(w.body)
+    body.extend(w.deferred)
     for index in sorted(w.written):
         body.append(f"    S.regs[idx, :, {index}] = r{index}")
     for flag in sorted(w.flags):
@@ -383,14 +472,17 @@ def _render(w: _VecWriter, end_kind: int) -> str:
     return "\n".join(lines + body) + "\n"
 
 
-def compile_block(decoded: list, start: int) -> VecBlock | None:
+def compile_block(decoded: list, start: int,
+                  env: MemEnv | None = None) -> VecBlock | None:
     """Compile the vectorized block beginning at IM address ``start``.
 
-    Same discovery rules as :func:`repro.cpu.blocks.compile_block`,
+    Same discovery rules as :func:`repro.cpu.blocks.compile_block` —
+    including memory fusion when ``env`` carries address-shape facts —
     except that a lone terminator compiles too and :data:`MIN_BLOCK`
     is 1 — with hundreds of lanes per call even a singleton pays.
     Returns ``None`` when the instruction at ``start`` cannot be
-    vectorized (memory/sync/stop boundary, invalid encodings).
+    vectorized (unfusable memory/sync/stop boundary, invalid
+    encodings).
     """
     im_len = len(decoded)
     if start >= im_len or np is None:
@@ -399,37 +491,72 @@ def compile_block(decoded: list, start: int) -> VecBlock | None:
     length = 0
     end_kind = KIND_SEQ
     target: int | None = None
+    n_mem = 0
+    mem_reads = mem_writes = mem_served = 0
+    has_store = False
+    core_writes = False
     pc = start
     while pc < im_len and length < MAX_BLOCK:
-        kind = decoded[pc][0]
-        ins = decoded[pc][2]
+        rec = decoded[pc]
+        kind = rec[0]
+        ins = rec[2]
         if kind == KIND_SEQ:
+            writes_core = _writes_core_state(ins)
+            if writes_core and n_mem:
+                # Core-state writes cannot follow fused memory ops —
+                # the body must stay pure up to the last guard.
+                break
             if not _emit_seq(w, ins):
                 break
+            if writes_core:
+                core_writes = True
+            length += 1
+            pc += 1
+            continue
+        if kind == KIND_MEM and env is not None:
+            fact = env.facts.get(pc)
+            if fact is None:
+                break
+            is_write = rec[1][0]
+            if (core_writes
+                    or (has_store and not is_write)
+                    or not _servable(fact, is_write, env)):
+                break
+            reads, writes, served = _emit_mem(w, n_mem, rec[1], fact, env)
+            mem_reads += reads
+            mem_writes += writes
+            mem_served += served
+            n_mem += 1
+            if is_write:
+                has_store = True
             length += 1
             pc += 1
             continue
         if kind in (KIND_JUMP, KIND_DIVERGE):
-            target = _emit_terminator(w, ins, pc)
+            target = _emit_terminator(w, ins, pc, defer_state=bool(n_mem))
             length += 1
             end_kind = kind
         break
     if length < MIN_BLOCK:
         return None
     source = _render(w, end_kind)
-    namespace: dict = {"np": np}
+    namespace: dict = {"np": np, "MemGuard": MemGuardError}
     exec(compile(source, f"<vec@{start}+{length}>", "exec"), namespace)
-    return VecBlock(namespace["run"], length, end_kind, target, source)
+    mem = (mem_reads, mem_writes, mem_served) if n_mem else ()
+    return VecBlock(namespace["run"], length, end_kind, target, source,
+                    mem)
 
 
 class VecTable:
     """Lazily-compiled vectorized blocks for one program image."""
 
-    __slots__ = ("digest", "blocks", "_decoded")
+    __slots__ = ("digest", "blocks", "_decoded", "_env")
 
-    def __init__(self, decoded: list, digest: str | None = None):
+    def __init__(self, decoded: list, digest: str | None = None,
+                 env: MemEnv | None = None):
         self.digest = digest
         self._decoded = decoded
+        self._env = env
         #: start address -> VecBlock | None, filled lazily
         self.blocks: dict[int, VecBlock | None] = {}
 
@@ -437,29 +564,40 @@ class VecTable:
         try:
             return self.blocks[start]
         except KeyError:
-            block = compile_block(self._decoded, start)
+            block = compile_block(self._decoded, start, self._env)
             self.blocks[start] = block
             return block
 
 
-#: digest -> VecTable, LRU-bounded (mirrors repro.cpu.blocks.table_for).
+#: cache key -> VecTable, LRU-bounded (mirrors repro.cpu.blocks).
 _TABLE_LIMIT = 64
-_tables: "OrderedDict[str, VecTable]" = OrderedDict()
+_tables: "OrderedDict[tuple, VecTable]" = OrderedDict()
 
 
-def table_for(program) -> VecTable:
-    """The shared :class:`VecTable` for ``program``'s built image."""
+def table_for(program, config=None) -> VecTable:
+    """The shared :class:`VecTable` for ``program``'s built image.
+
+    Mirrors :func:`repro.cpu.blocks.table_for`: fact-free images share
+    one table per digest; fact-carrying images compiled with a config
+    are additionally keyed on the memory geometry their fused blocks
+    were proven against.
+    """
+    env = None
+    facts = getattr(program, "mem_facts", None)
+    if config is not None and facts:
+        env = MemEnv.from_config(facts, config)
     try:
         digest = program.digest()
     except Exception:
-        return VecTable(program.predecoded(), None)
-    table = _tables.get(digest)
+        return VecTable(program.predecoded(), None, env)
+    key = (digest,) if env is None else (digest,) + tuple(env[1:])
+    table = _tables.get(key)
     if table is None:
         if len(_tables) >= _TABLE_LIMIT:
             _tables.popitem(last=False)
-        table = _tables[digest] = VecTable(program.predecoded(), digest)
+        table = _tables[key] = VecTable(program.predecoded(), digest, env)
     else:
-        _tables.move_to_end(digest)
+        _tables.move_to_end(key)
     return table
 
 
@@ -641,7 +779,7 @@ class _FamilyRunner:
         self.config = machine.config
         self.decoded = machine._decoded
         self.im_len = len(self.decoded)
-        self.table = table_for(machine.program)
+        self.table = table_for(machine.program, machine.config)
         self.S = _build_state(machines)
         self.worklist: list[_Group] = [
             _Group(np.arange(self.N, dtype=np.int64), machine.cores[0].pc)]
@@ -675,9 +813,20 @@ class _FamilyRunner:
                 if base + g.executed + blk.length > limit:
                     self._peel(g, None, "horizon")
                     return
-                pcs = blk.run(S, idx)
+                try:
+                    pcs = blk.run(S, idx)
+                except MemGuardError:
+                    # A fused memory op's address re-check failed before
+                    # anything was mutated: the scalar engine (or the
+                    # reference) re-arbitrates from this PC.
+                    self._peel(g, None, "mem")
+                    return
                 g.executed += blk.length
                 g.blocks += 1
+                if blk.mem:
+                    g.dm_reads += blk.mem[0]
+                    g.dm_writes += blk.mem[1]
+                    g.dm_served += blk.mem[2]
                 end = blk.end_kind
                 if end == KIND_SEQ:
                     g.pc = pc + blk.length

@@ -41,7 +41,9 @@ from ..platform import PlatformConfig
 #: (2: added the ``engine`` fast-path engagement counters)
 #: (3: ``engine`` gained the batched-vector counters and batched
 #: payloads carry ``batch_size``)
-SCHEMA = 3
+#: (4: ``engine`` gained the memory-fusion counters — ``mem_fused_blocks``
+#: / ``mem_fused_ops`` — and the block-termination census ``term_*``)
+SCHEMA = 4
 
 DEFAULT_SAMPLES = 64
 DEFAULT_SEED = 2013

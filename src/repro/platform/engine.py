@@ -38,6 +38,15 @@ rotation, conflict/stall accounting — without the reference path's
 per-cycle scans.  This is what keeps fully-divergent workloads (SQRT32)
 *faster* than pure stepping instead of at parity.
 
+**Merged-barrier replay** — a lockstep ``SINC``/``SDEC`` collapses, in
+the reference, to one merged two-cycle checkpoint read-modify-write
+that touches nothing but the checkpoint word.
+:meth:`FastEngine._lockstep_sync` replays both cycles in one batched
+update (flags/counter arithmetic, release/wake latching, every trace
+and per-checkpoint counter, listener callbacks) instead of handing the
+window to ``step()`` — the dominant leftover cost in barrier-dense
+kernels.
+
 **Sleep fast-forward** — duty-cycled streaming nodes sleep for hundreds of
 cycles between ADC interrupts.  When no core is running and only a timer
 or a scheduled interrupt can change machine state, the engine jumps
@@ -58,8 +67,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..cpu.predecode import BURSTABLE, KIND_JUMP, KIND_MEM, KIND_SEQ
+from ..cpu.executor import checkpoint_address
+from ..cpu.predecode import BURSTABLE, KIND_JUMP, KIND_MEM, KIND_SEQ, \
+    KIND_SYNC
 from ..cpu.state import CoreMode
+from ..isa.spec import Opcode
+from .synchronizer import CheckpointStats, SyncCompletion, \
+    pack_checkpoint, unpack_checkpoint
 
 INFINITY = float("inf")
 
@@ -98,12 +112,36 @@ class EngineStats:
     fused_blocks: int = 0
     #: cycles covered by fused blocks (a subset of ``lockstep_cycles``)
     fused_cycles: int = 0
-    #: bursts abandoned to the reference ``step()`` by a guard check —
-    #: a STOP/SYNC instruction, a memory pattern that may lose D-Xbar
-    #: arbitration, an off-image or multi-bank PC.  Burst endings that
-    #: need no reference fallback (horizon, convergence, divergence)
-    #: are not deopts.
+    #: bursts abandoned by a guard check — a STOP/SYNC instruction, a
+    #: memory pattern that may lose D-Xbar arbitration, an off-image or
+    #: multi-bank PC.  The abandoned cycle is replayed by the reference
+    #: ``step()`` (or, for a lockstep checkpoint RMW, by the barrier
+    #: fast path).  Burst endings that need no fallback (horizon,
+    #: convergence, divergence) are not deopts.
     deopt_count: int = 0
+    #: executions of fused blocks containing inlined memory ops, and
+    #: the fused LD/STs those executions served (per block execution,
+    #: not per core — mirrors ``fused_blocks``)
+    mem_fused_blocks: int = 0
+    mem_fused_ops: int = 0
+    #: block-termination census: every fused-block execution credits
+    #: the reason its block stopped fusing further instructions —
+    #: an unfusable memory op (``term_mem``), a synchronizer op
+    #: (``term_sync``), a mode change / unfusable instruction / end of
+    #: image (``term_stop``), a control-flow terminator
+    #: (``term_diverge``), or the MAX_BLOCK cap (``term_cap``).
+    #: ``term_guard`` instead counts *runtime* aborts: a memory-fused
+    #: block whose cross-core address re-check failed (wrong or
+    #: config-defeated fact) and was rolled back before committing.
+    term_mem: int = 0
+    term_sync: int = 0
+    term_stop: int = 0
+    term_diverge: int = 0
+    term_cap: int = 0
+    term_guard: int = 0
+    #: merged lockstep SINC/SDEC read-modify-writes replayed by the
+    #: fast path (two cycles each) instead of the reference ``step()``
+    sync_fused_rmws: int = 0
     #: size of the largest array-of-machines batch this run was part of
     #: (:func:`repro.cpu.vec.run_batch`); 0 when never batched
     batched_runs: int = 0
@@ -128,7 +166,8 @@ class EngineStats:
     def engaged(self) -> bool:
         """True when at least one fast path fired during the run."""
         return bool(self.lockstep_bursts or self.divergent_bursts
-                    or self.sleep_skips or self.vector_cycles)
+                    or self.sleep_skips or self.vector_cycles
+                    or self.sync_fused_rmws)
 
     def as_dict(self) -> dict:
         return {
@@ -141,6 +180,15 @@ class EngineStats:
             "fused_blocks": self.fused_blocks,
             "fused_cycles": self.fused_cycles,
             "deopt_count": self.deopt_count,
+            "mem_fused_blocks": self.mem_fused_blocks,
+            "mem_fused_ops": self.mem_fused_ops,
+            "term_mem": self.term_mem,
+            "term_sync": self.term_sync,
+            "term_stop": self.term_stop,
+            "term_diverge": self.term_diverge,
+            "term_cap": self.term_cap,
+            "term_guard": self.term_guard,
+            "sync_fused_rmws": self.sync_fused_rmws,
             "batched_runs": self.batched_runs,
             "vector_width": self.vector_width,
             "vector_blocks": self.vector_blocks,
@@ -241,6 +289,15 @@ class FastEngine:
                 # One PC through the broadcast I-Xbar — or a single
                 # requester, which wins its bank unconditionally even
                 # without broadcast.
+                decoded = machine._decoded
+                if (pc < len(decoded)
+                        and decoded[pc][0] == KIND_SYNC):
+                    # A lockstep SINC/SDEC merges into one two-cycle
+                    # checkpoint RMW — replay it without step().
+                    if not self._lockstep_sync(running, pc,
+                                               decoded[pc][2], limit):
+                        return
+                    continue
                 if not self._lockstep_burst(running, pc, limit):
                     return
             else:
@@ -322,6 +379,17 @@ class FastEngine:
         # neither.
         dxbar = machine.dxbar
         mem_ok = not (dxbar.locked_addresses or dxbar._groups)
+        config = machine.config
+        words = machine.dm.words
+        dm_priority = dxbar._priority
+        ncores = config.num_cores
+        interleaved = config.dm_interleaved
+        nb = config.dm_banks
+        bw = config.dm_bank_words
+        dm_reads = dm_writes = dm_served = 0
+        mem_blocks = 0
+        mem_ops = 0
+        terms: dict = {}
         executed = 0
         fused_blocks = 0
         fused_cycles = 0
@@ -344,15 +412,79 @@ class FastEngine:
             blk = blocks.get(pc, False)
             if blk is False:
                 blk = block_at(pc)
-            if blk is not None and cycles + blk[1] <= horizon:
+            if (blk is not None and cycles + blk[1] <= horizon
+                    and (mem_ok or not blk[5])):
                 run = blk[0]
                 length = blk[1]
                 end_kind = blk[2]
-                if single is not None:
+                memspec = blk[5]
+                if memspec:
+                    # Memory-fused block: pure phase per core, re-check
+                    # the actual cross-core address pattern (the static
+                    # facts are hints, not trusted proofs), then commit.
+                    # Any failure aborts with *nothing* committed, so
+                    # the reference step() replays from the block start
+                    # bit-exactly.
+                    try:
+                        if single is not None:
+                            outs = (run(single, words),)
+                        else:
+                            outs = [run(core, words) for core in running]
+                    except IndexError:
+                        self.stats.term_guard += 1
+                        deopt = True      # out-of-range: step() faults
+                        break
+                    if n > 1 and not self._mem_guard(memspec, outs, n):
+                        self.stats.term_guard += 1
+                        deopt = True      # fact wrong: step() arbitrates
+                        break
+                    # Deferred stores land op-major across cores — the
+                    # reference's cycle order (all cores serve op j
+                    # before any core reaches op j+1).
+                    for j, value_at in blk[6]:
+                        for out in outs:
+                            words[out[j]] = out[value_at]
+                    commit = blk[7]
+                    for core, out in zip(running, outs):
+                        commit(core, out)
+                    # Replay DataCrossbar priority rotation and bulk-
+                    # credit its counters, op by op in program order.
+                    for j, (uniform, is_write) in enumerate(memspec):
+                        if uniform and n > 1:
+                            addr = outs[0][j]
+                            bank = (addr % nb if interleaved
+                                    else addr // bw)
+                            base = dm_priority[bank]
+                            winner = running[0].coreid
+                            best = (winner - base) % ncores
+                            for core in running:
+                                key = (core.coreid - base) % ncores
+                                if key < best:
+                                    winner = core.coreid
+                                    best = key
+                            dm_priority[bank] = (winner + 1) % ncores
+                            dm_reads += 1
+                        else:
+                            for core, out in zip(running, outs):
+                                addr = out[j]
+                                bank = (addr % nb if interleaved
+                                        else addr // bw)
+                                dm_priority[bank] = \
+                                    (core.coreid + 1) % ncores
+                            if is_write:
+                                dm_writes += n
+                            else:
+                                dm_reads += n
+                        dm_served += n
+                    mem_blocks += 1
+                    mem_ops += len(memspec)
+                elif single is not None:
                     run(single)
                 else:
                     for core in running:
                         run(core)
+                term = blk[4]
+                terms[term] = terms.get(term, 0) + 1
                 cycles += length
                 executed += length
                 fused_blocks += 1
@@ -440,10 +572,182 @@ class FastEngine:
             priority = machine.ixbar._priority
             for bank in banks:
                 priority[bank] = rotated
-        self.stats.lockstep_bursts += 1
-        self.stats.lockstep_cycles += executed
-        self.stats.fused_blocks += fused_blocks
-        self.stats.fused_cycles += fused_cycles
+        if dm_served:
+            trace.dm_bank_reads += dm_reads
+            trace.dm_bank_writes += dm_writes
+            trace.dm_served += dm_served
+        stats = self.stats
+        stats.lockstep_bursts += 1
+        stats.lockstep_cycles += executed
+        stats.fused_blocks += fused_blocks
+        stats.fused_cycles += fused_cycles
+        stats.mem_fused_blocks += mem_blocks
+        stats.mem_fused_ops += mem_ops
+        for reason, count in terms.items():
+            attr = "term_" + reason
+            setattr(stats, attr, getattr(stats, attr) + count)
+        machine._quiet = False
+        return True
+
+    def _mem_guard(self, memspec, outs, n: int) -> bool:
+        """Verify the actual cross-core address pattern of a memory block.
+
+        ``outs[c][j]`` is core ``c``'s effective address for fused op
+        ``j``.  A uniform op must see one shared address (the broadcast
+        read the block was compiled for); an affine op must see pairwise
+        distinct banks (every core wins its private bank).  Anything
+        else could lose D-Xbar arbitration, so the block is abandoned —
+        the compile-time facts were hints, this is the proof.
+        """
+        config = self._machine.config
+        interleaved = config.dm_interleaved
+        nb = config.dm_banks
+        bw = config.dm_bank_words
+        for j, (uniform, _is_write) in enumerate(memspec):
+            if uniform:
+                addr = outs[0][j]
+                for out in outs:
+                    if out[j] != addr:
+                        return False
+            else:
+                if interleaved:
+                    banks = {out[j] % nb for out in outs}
+                else:
+                    banks = {out[j] // bw for out in outs}
+                if len(banks) != n:
+                    return False
+        return True
+
+    def _lockstep_sync(self, running: list, pc: int, ins,
+                       limit: int) -> bool:
+        """Replay one merged lockstep SINC/SDEC read-modify-write.
+
+        When every running core executes the same checkpoint
+        instruction through the broadcast I-Xbar, the reference
+        collapses the requests into a *single* two-cycle RMW: broadcast
+        fetch and synchronizer read phase in cycle T, write phase /
+        retire / wake latching in cycle T+1.  Neither cycle touches
+        anything but the checkpoint word, so both are replayed here in
+        one batched update — in barrier-dense kernels these two-step
+        windows are most of what ``step()`` is left with.
+
+        Anything unusual defers to the reference untouched: a split
+        checkpoint address (per-core ``Rsync``), a locked or
+        out-of-range word, a protocol violation about to raise, a
+        timer/IRQ event inside the window, or a missing synchronizer.
+
+        :returns: True if the two cycles were consumed.
+        """
+        machine = self._machine
+        sync = machine.synchronizer
+        if sync is None:
+            return False          # step() raises ExecutionError
+        trace = machine.trace
+        cycles = trace.cycles
+        if cycles + 2 > min(limit, self._next_event_cycle() - 1):
+            return False          # an event lands inside the window
+        address = checkpoint_address(running[0], ins)
+        for core in running:
+            if checkpoint_address(core, ins) != address:
+                return False      # split addresses: step() merges groups
+        if address in machine.dxbar.locked_addresses:
+            return False          # refused request: step() replays retry
+        words = machine.dm.words
+        if address >= len(words):
+            return False          # step() raises MemoryError_
+        n = len(running)
+        config = machine.config
+        is_checkout = ins.op is Opcode.SDEC
+        flags, count = unpack_checkpoint(words[address])
+        count_after = count + (-n if is_checkout else n)
+        if count_after < 0 or count_after > config.num_cores:
+            return False          # protocol violation: step() raises
+
+        # -- cycle T: broadcast fetch + synchronizer read phase --------
+        if n == 1 and not config.im_broadcast:
+            # single requester through per-bank arbitration: it wins its
+            # bank unconditionally, rotating the bank's priority
+            bank = pc // config.im_bank_words
+            machine.ixbar._priority[bank] = \
+                (running[0].coreid + 1) % config.num_cores
+        trace.im_bank_accesses += 1
+        trace.im_fetches_served += n
+        trace.note_lockstep(n)
+        checkpoint = sync.stats.get(address)
+        if checkpoint is None:
+            checkpoint = sync.stats[address] = CheckpointStats()
+        trace.dm_bank_reads += 1
+        trace.sync_rmw_ops += 1
+        checkpoint.rmws += 1
+
+        # -- cycle T+1: write phase, retire, wake latching -------------
+        trace.dm_bank_writes += 1
+        coreids = tuple(core.coreid for core in running)
+        if is_checkout:
+            checkins: tuple = ()
+            checkouts = coreids
+            trace.sync_checkouts += n
+            checkpoint.checkouts += n
+        else:
+            for cid in coreids:
+                flags |= 1 << cid
+            checkins = coreids
+            checkouts = ()
+            trace.sync_checkins += n
+            checkpoint.checkins += n
+        if count_after > checkpoint.max_counter:
+            checkpoint.max_counter = count_after
+        woken: tuple = ()
+        released = False
+        if count_after == 0 and is_checkout:
+            # barrier release: wake every flagged core (latched to the
+            # start of cycle T+2) and reinitialize the word
+            woken = tuple(cid for cid in range(config.num_cores)
+                          if flags & (1 << cid))
+            words[address] = 0
+            trace.sync_wakeups += 1
+            checkpoint.wakeups += 1
+            released = True
+        else:
+            words[address] = pack_checkpoint(flags, count_after)
+
+        # Batched accounting of both cycles.  The idle census runs
+        # before any mode change: a non-released checkout core is
+        # *active* on its write cycle and only sleeps from T+2, and a
+        # woken core stays a barrier sleeper through T+1.
+        halted, sleeping, waiting = self._idle_census()
+        trace.cycles = cycles + 2
+        trace.core_active_cycles += 2 * n
+        trace.retired_ops += n
+        retired = trace.retired_per_core
+        for core in running:
+            retired[core.coreid] += 1
+            core.pc = pc + 1
+        if halted:
+            trace.core_halted_cycles += 2 * halted
+        if sleeping:
+            trace.core_sleep_cycles += 2 * sleeping
+        if waiting:
+            trace.sync_wait_cycles += 2 * waiting
+        if is_checkout and not released:
+            barrier_sleeper = machine._barrier_sleeper
+            for core in running:
+                core.mode = CoreMode.SLEEPING
+                barrier_sleeper[core.coreid] = True
+        if woken:
+            cores = machine.cores
+            wake_next = machine._wake_next
+            for cid in woken:
+                if cores[cid].mode is CoreMode.SLEEPING:
+                    wake_next.add(cid)
+        if sync.listeners:
+            completion = SyncCompletion(address, checkins, checkouts,
+                                        woken, released, count_after)
+            for listener in sync.listeners:
+                listener(trace.cycles, completion)
+        stats = self.stats
+        stats.lockstep_cycles += 2
+        stats.sync_fused_rmws += 1
         machine._quiet = False
         return True
 

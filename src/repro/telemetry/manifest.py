@@ -39,7 +39,11 @@ from pathlib import Path
 #: (4: rows carry ``deduped``/``coalesced`` origin flags and the
 #: manifest counts them, so in-sweep dedup and service-level in-flight
 #: coalescing are distinguishable from cache hits)
-MANIFEST_SCHEMA = 4
+#: (5: rows and totals carry the memory-fusion counters —
+#: ``mem_fused_blocks``/``mem_fused_ops`` — the block-termination
+#: census ``term_*``, and the barrier fast-path count
+#: ``sync_fused_rmws`` when the payload recorded them)
+MANIFEST_SCHEMA = 5
 
 
 def telemetry_summary(payload: dict | None) -> dict | None:
@@ -79,6 +83,13 @@ def telemetry_summary(payload: dict | None) -> dict | None:
         summary["vector_width"] = engine.get("vector_width", 0)
         summary["vector_cycles"] = engine.get("vector_cycles", 0)
         summary["peel_count"] = engine.get("peel_count", 0)
+        # memory-fusion digest (schema 4 payloads onward)
+        summary["mem_fused_blocks"] = engine.get("mem_fused_blocks", 0)
+        summary["mem_fused_ops"] = engine.get("mem_fused_ops", 0)
+        summary["sync_fused_rmws"] = engine.get("sync_fused_rmws", 0)
+        for reason in ("mem", "sync", "stop", "diverge", "cap", "guard"):
+            key = "term_" + reason
+            summary[key] = engine.get(key, 0)
     return summary
 
 
@@ -179,7 +190,10 @@ def _aggregate_telemetry(summaries: list[dict]) -> dict | None:
     keys = ("cycles", "retired_ops", "sync_wait_cycles", "sync_wakeups",
             "im_bank_accesses", "dm_conflict_cycles", "fast_cycles",
             "fused_blocks", "fused_cycles", "deopt_count",
-            "vector_cycles", "peel_count")
+            "vector_cycles", "peel_count",
+            "mem_fused_blocks", "mem_fused_ops", "sync_fused_rmws",
+            "term_mem", "term_sync", "term_stop", "term_diverge",
+            "term_cap", "term_guard")
     return {key: sum(s.get(key, 0) for s in summaries) for key in keys}
 
 
@@ -255,6 +269,15 @@ def summarize_manifest(path) -> str:
                     f"{totals['fused_cycles']} fused over "
                     f"{totals['fused_blocks']} superblocks, "
                     f"{totals['deopt_count']} deopts")
+            if totals.get("mem_fused_blocks"):
+                lines.append(
+                    f"  memory fusion: {totals['mem_fused_ops']} LD/ST "
+                    f"fused inside {totals['mem_fused_blocks']} blocks, "
+                    f"{totals['term_guard']} guard deopts")
+            if totals.get("sync_fused_rmws"):
+                lines.append(
+                    f"  barrier fast path: {totals['sync_fused_rmws']} "
+                    "merged checkpoint RMWs replayed without step()")
             if totals.get("vector_cycles"):
                 lines.append(
                     f"  vectorized: {totals['vector_cycles']} batched "

@@ -101,6 +101,25 @@ class TestLoadAndSummarize:
             assert outcome.request.label in text
 
 
+class TestMemoryFusionColumns:
+    def test_totals_and_summary_carry_mem_fusion(self, sweep_dir):
+        directory, _ = sweep_dir
+        manifest = json.loads((directory / "manifest.json").read_text())
+        totals = manifest["telemetry_totals"]
+        for key in ("mem_fused_blocks", "mem_fused_ops",
+                    "sync_fused_rmws", "term_mem", "term_sync",
+                    "term_stop", "term_diverge", "term_cap",
+                    "term_guard"):
+            assert key in totals
+        # the bundled kernels carry compiler uniformity facts, so the
+        # sweep must have committed at least one statically-fused LD/ST
+        assert totals["mem_fused_blocks"] > 0
+        assert totals["mem_fused_ops"] >= totals["mem_fused_blocks"]
+        assert totals["term_stop"] + totals["term_diverge"] > 0
+        text = summarize_manifest(directory)
+        assert "memory fusion:" in text
+
+
 class TestCoalescingColumns:
     def test_rows_and_counts_carry_dedup_and_coalesced(self, tmp_path):
         from repro.exec import RunRequest
