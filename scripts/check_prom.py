@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Prometheus text-exposition validator (the CI obs-smoke job).
+
+Parses a Prometheus 0.0.4 text-format document (a file, or stdin with
+``-``) and checks it structurally:
+
+- every sample line parses (``name{labels} value`` with well-formed
+  label quoting and a float-parseable value);
+- every sample's family carries ``# HELP`` and ``# TYPE`` comments that
+  precede its first sample, with a known type
+  (counter/gauge/histogram/summary/untyped);
+- histogram families are complete and coherent: ``_bucket`` samples
+  carry an ``le`` label, bucket ``le`` bounds are sorted and end at
+  ``+Inf``, bucket counts are monotonically non-decreasing, the
+  ``+Inf`` bucket equals ``_count``, and ``_sum``/``_count`` exist;
+- counter values are non-negative and finite;
+- no duplicate ``name{labelset}`` sample within the document.
+
+``--require FAMILY`` (repeatable) additionally asserts the named metric
+families are present — the CI job uses it to pin the serve instrument
+set.  Exit status is non-zero on any problem, one line per problem:
+
+    repro client --quick >/dev/null
+    curl -s "$URL/v1/metrics?format=prometheus" | \
+        python scripts/check_prom.py - --require repro_http_requests_total
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: one sample line: name, optional {labels}, value, optional timestamp
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$")
+#: one label within the braces: name="escaped value"
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+#: suffixes that belong to the base family of a histogram/summary
+_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def base_family(name: str, types: dict) -> str:
+    """The family a sample belongs to (strips histogram suffixes)."""
+    for suffix in _SUFFIXES:
+        if name.endswith(suffix):
+            base = name[:-len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return name
+
+
+def parse_labels(raw: str, line_no: int, errors: list) -> dict | None:
+    """Parse the inside of ``{...}``; None on malformed syntax."""
+    labels = {}
+    rest = raw.strip()
+    if rest.endswith(","):
+        rest = rest[:-1]
+    while rest:
+        match = _LABEL.match(rest)
+        if match is None:
+            errors.append(f"line {line_no}: malformed label syntax "
+                          f"near {rest[:40]!r}")
+            return None
+        name, value = match.groups()
+        if name in labels:
+            errors.append(f"line {line_no}: duplicate label {name!r}")
+            return None
+        labels[name] = (value.replace(r"\"", '"').replace(r"\n", "\n")
+                        .replace("\\\\", "\\"))
+        rest = rest[match.end():].lstrip()
+        if rest.startswith(","):
+            rest = rest[1:].lstrip()
+    return labels
+
+
+def parse_value(raw: str) -> float | None:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def check_exposition(text: str, require: list[str] | None = None
+                     ) -> list[str]:
+    """All structural problems of one exposition document (empty = ok)."""
+    errors: list[str] = []
+    helps: dict[str, int] = {}
+    types: dict[str, str] = {}
+    first_sample: dict[str, int] = {}
+    seen: set[tuple[str, tuple]] = set()
+    samples: list[tuple[int, str, dict, float]] = []
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _METRIC_NAME.match(parts[2]):
+                errors.append(f"line {line_no}: malformed # HELP")
+                continue
+            helps[parts[2]] = line_no
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _METRIC_NAME.match(parts[2]):
+                errors.append(f"line {line_no}: malformed # TYPE")
+                continue
+            if parts[3].strip() not in _TYPES:
+                errors.append(f"line {line_no}: unknown type "
+                              f"{parts[3].strip()!r} for {parts[2]}")
+            if parts[2] in first_sample:
+                errors.append(f"line {line_no}: # TYPE {parts[2]} after "
+                              "its first sample")
+            types[parts[2]] = parts[3].strip()
+            continue
+        if line.startswith("#"):
+            continue                       # free-form comment
+        match = _SAMPLE.match(line.strip())
+        if match is None:
+            errors.append(f"line {line_no}: unparseable sample "
+                          f"{line.strip()[:60]!r}")
+            continue
+        name = match.group("name")
+        labels = parse_labels(match.group("labels") or "", line_no, errors)
+        if labels is None:
+            continue
+        value = parse_value(match.group("value"))
+        if value is None:
+            errors.append(f"line {line_no}: bad value "
+                          f"{match.group('value')!r} for {name}")
+            continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen:
+            errors.append(f"line {line_no}: duplicate sample {name}"
+                          f"{dict(labels)}")
+        seen.add(key)
+        family = base_family(name, types)
+        first_sample.setdefault(family, line_no)
+        samples.append((line_no, name, labels, value))
+
+    families = {base_family(name, types) for _, name, _, _ in samples}
+    for family in sorted(families):
+        if family not in types:
+            errors.append(f"family {family}: missing # TYPE")
+        if family not in helps:
+            errors.append(f"family {family}: missing # HELP")
+
+    # counters: non-negative, finite
+    for line_no, name, labels, value in samples:
+        family = base_family(name, types)
+        if types.get(family) == "counter" and not (
+                value >= 0 and not math.isinf(value)):
+            errors.append(f"line {line_no}: counter {name} has "
+                          f"non-monotone-compatible value {value}")
+
+    # histograms: bucket ordering, +Inf, _sum/_count presence
+    for family, kind in sorted(types.items()):
+        if kind != "histogram":
+            continue
+        buckets: dict[tuple, list[tuple[float, float]]] = {}
+        sums, counts = {}, {}
+        for _, name, labels, value in samples:
+            group = tuple(sorted((k, v) for k, v in labels.items()
+                                 if k != "le"))
+            if name == family + "_bucket":
+                bound = parse_value(labels.get("le", ""))
+                if bound is None:
+                    errors.append(f"histogram {family}: bucket without "
+                                  f"a parseable le label ({labels})")
+                    continue
+                buckets.setdefault(group, []).append((bound, value))
+            elif name == family + "_sum":
+                sums[group] = value
+            elif name == family + "_count":
+                counts[group] = value
+        if not buckets and family in {base_family(n, types)
+                                      for _, n, _, _ in samples}:
+            errors.append(f"histogram {family}: no _bucket samples")
+        for group, rows in sorted(buckets.items()):
+            ordered = sorted(rows)
+            if rows != ordered:
+                errors.append(f"histogram {family}{dict(group)}: "
+                              "le bounds out of order")
+            bounds = [bound for bound, _ in ordered]
+            if not bounds or not math.isinf(bounds[-1]):
+                errors.append(f"histogram {family}{dict(group)}: "
+                              "missing the +Inf bucket")
+            values = [count for _, count in ordered]
+            if any(b > a for a, b in zip(values[1:], values)):
+                errors.append(f"histogram {family}{dict(group)}: "
+                              "bucket counts decrease")
+            if group not in counts:
+                errors.append(f"histogram {family}{dict(group)}: "
+                              "missing _count")
+            elif bounds and math.isinf(bounds[-1]) \
+                    and values[-1] != counts[group]:
+                errors.append(f"histogram {family}{dict(group)}: +Inf "
+                              f"bucket {values[-1]} != _count "
+                              f"{counts[group]}")
+            if group not in sums:
+                errors.append(f"histogram {family}{dict(group)}: "
+                              "missing _sum")
+
+    for family in require or []:
+        if family not in families and family not in types:
+            errors.append(f"required family {family} is absent")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
+    parser.add_argument("source",
+                        help="exposition file path, or - for stdin")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="assert this metric family is present "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    if args.source == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.source, encoding="utf-8") as handle:
+            text = handle.read()
+
+    errors = check_exposition(text, require=args.require)
+    for error in errors:
+        print(f"check_prom: {error}")
+    if errors:
+        print(f"check_prom: {len(errors)} problem(s)")
+        return 1
+    families = {line.split(" ", 3)[2] for line in text.splitlines()
+                if line.startswith("# TYPE ")}
+    samples = sum(1 for line in text.splitlines()
+                  if line.strip() and not line.startswith("#"))
+    print(f"check_prom: ok — {len(families)} families, "
+          f"{samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ Usage::
     python -m repro stats sweep-out     # summarize a sweep run manifest
     python -m repro serve --port 8642   # simulation-as-a-service HTTP API
     python -m repro client --quick      # submit a sweep to a running server
+    python -m repro obs sweep-out       # profile/trace/metrics summary
 """
 
 from __future__ import annotations
@@ -398,7 +399,7 @@ def cmd_sweep(args) -> int:
 
     with SweepExecutor(jobs=args.jobs, cache=cache, timeout=args.timeout,
                        refresh=args.refresh, batch=args.batch,
-                       log=print) as executor:
+                       log=print, profile=args.profile) as executor:
         outcomes = executor.run(spec, manifest=manifest)
     metrics = executor.last_metrics
     if manifest is not None:
@@ -426,6 +427,9 @@ def cmd_sweep(args) -> int:
     print(metrics.report())
     if cache is not None:
         print(f"cache: {cache.stats.summary()}")
+    if args.profile and executor.last_profile is not None:
+        print()
+        print(executor.last_profile.report())
 
     if args.json:
         payload = {
@@ -458,8 +462,10 @@ def cmd_serve(args) -> int:
     import asyncio
 
     from .exec import WIRE_SCHEMA, HttpPeerCache, MemoryCache
+    from .obs.log import configure_logging
     from .serve import SweepService, default_service_cache, serve_forever
 
+    configure_logging(json_output=args.log_json, level=args.log_level)
     if args.no_cache and args.peer:
         print("serve: --no-cache and --peer are mutually exclusive "
               "(the peer tier lives inside the cache)", file=sys.stderr)
@@ -477,7 +483,8 @@ def cmd_serve(args) -> int:
     service = SweepService(cache=cache, state_dir=args.state_dir,
                            jobs=args.jobs, batch=args.batch,
                            timeout=args.timeout,
-                           concurrency=args.concurrency)
+                           concurrency=args.concurrency,
+                           profile=args.profile)
 
     def ready(address):
         host, port = address
@@ -518,7 +525,9 @@ def cmd_client(args) -> int:
         print(f"client: submission rejected: {exc}", file=sys.stderr)
         return 2
     job_id = job["id"]
-    print(f"job {job_id} accepted")
+    trace_id = job.get("trace_id") or (client.last_trace.trace_id
+                                       if client.last_trace else "?")
+    print(f"job {job_id} accepted (trace {trace_id})")
 
     seen = 0
     for event in client.events(job_id):
@@ -558,6 +567,99 @@ def cmd_client(args) -> int:
         print(f"expected an all-cached sweep but {counts['executed']} "
               "runs executed on the server")
         return 2
+    return 0
+
+
+#: the curated metric families ``repro obs --server`` summarizes
+_OBS_FAMILIES = (
+    "repro_uptime_seconds",
+    "repro_build_info",
+    "repro_http_requests_total",
+    "repro_http_requests_in_flight",
+    "repro_jobs_submitted_total",
+    "repro_jobs",
+    "repro_jobs_in_flight",
+    "repro_sweep_request_latency_seconds_count",
+    "repro_sweep_request_latency_seconds_sum",
+    "repro_sweep_queue_wait_seconds_count",
+    "repro_runs_total",
+    "repro_coalescer_claims_total",
+    "repro_coalescer_handoffs_total",
+    "repro_coalescer_inflight",
+    "repro_cache_requests_total",
+    "repro_cache_stores_total",
+    "repro_cache_promotions_total",
+    "repro_cache_evictions_total",
+    "repro_worker_utilization",
+)
+
+
+def _obs_scrape(args) -> int:
+    from .serve import ServeClient, ServiceError
+
+    client = ServeClient(args.server, timeout=args.timeout)
+    try:
+        text = client.metrics_prometheus()
+    except (ServiceError, OSError) as exc:
+        print(f"obs: cannot reach {client.base_url}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.raw:
+        print(text, end="")
+        return 0
+    print(f"obs: {client.base_url} (curated families; --raw for the "
+          "full exposition)")
+    for line in text.splitlines():
+        if line.startswith("#") or not line:
+            continue
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        if name in _OBS_FAMILIES:
+            print(f"  {line}")
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """Observability summary: live-server scrape or manifest breakdown."""
+    import json as _json
+    from pathlib import Path
+
+    from .obs.profile import profile_from_dict
+
+    if args.server:
+        return _obs_scrape(args)
+
+    path = Path(args.manifest)
+    if path.is_dir():
+        path = path / "manifest.json"
+    try:
+        doc = _json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"obs: no manifest at {path} "
+              "(run `repro sweep --profile` first, or pass --server URL)",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"obs: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"obs: {path} — sweep {doc.get('name', '?')!r} "
+          f"(schema {doc.get('schema', '?')})")
+    print(f"  runs: {doc.get('runs', 0)} total, {doc.get('ok', 0)} ok, "
+          f"{doc.get('failed', 0)} failed, {doc.get('cached', 0)} cached")
+    tiers = doc.get("cache_tiers") or {}
+    if tiers:
+        cells = [f"{tier} {count}" for tier, count in sorted(tiers.items())]
+        print("  cache tiers: " + ", ".join(cells))
+    if doc.get("trace_id"):
+        print(f"  trace_id: {doc['trace_id']} "
+              "(GET /v1/sweeps/{id}/trace on the serving instance)")
+    profile = profile_from_dict(doc.get("profile"))
+    if profile is not None:
+        for line in profile.report().splitlines():
+            print(f"  {line}")
+    else:
+        print("  no profile section (re-run with --profile to collect "
+              "per-phase timings)")
     return 0
 
 
@@ -737,6 +839,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(manifest.json + runs.jsonl; default: sweep-out)")
     p.add_argument("--no-manifest", action="store_true",
                    help="skip writing the run manifest")
+    p.add_argument("--profile", action="store_true",
+                   help="collect per-phase and per-run timings "
+                        "(printed and folded into the manifest; "
+                        "see `repro obs`)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -773,6 +879,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", action=argparse.BooleanOptionalAction,
                    default=True,
                    help="array-of-machines batching in the executor")
+    p.add_argument("--log-json", action="store_true",
+                   help="structured JSON log lines on stderr "
+                        "(default: human-readable key=value text)")
+    p.add_argument("--log-level", default="info",
+                   choices=("debug", "info", "warning", "error"),
+                   help="log verbosity (default: info)")
+    p.add_argument("--profile", action="store_true",
+                   help="profile every executed sweep (per-phase "
+                        "timings folded into job manifests)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -823,6 +938,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sweep directory, manifest.json or runs.jsonl "
                         "(default: sweep-out)")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "obs",
+        help="observability summary: manifest profile or live metrics",
+        description="Two modes: summarize a sweep manifest's profile / "
+                    "trace / cache-tier sections, or (with --server) "
+                    "scrape a running `repro serve`'s Prometheus "
+                    "metrics (see docs/observability.md).")
+    p.add_argument("manifest", nargs="?", default="sweep-out",
+                   help="sweep directory or manifest.json "
+                        "(default: sweep-out)")
+    p.add_argument("--server", default=None, metavar="URL",
+                   help="scrape a running service instead of reading "
+                        "a manifest")
+    p.add_argument("--raw", action="store_true",
+                   help="with --server: print the full Prometheus "
+                        "exposition instead of the curated summary")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="scrape socket timeout in seconds (default: 10)")
+    p.set_defaults(func=cmd_obs)
 
     p = sub.add_parser("energy", help="energy-per-op table")
     _add_samples(p)

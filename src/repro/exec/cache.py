@@ -47,13 +47,25 @@ def default_cache_dir() -> Path:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store/corruption/eviction counters for one cache."""
+    """Hit/miss/store/corruption/eviction counters for one cache.
+
+    ``promotions`` counts entries copied *into* this tier because a
+    slower tier hit (:class:`TieredCache` promotion) — distinct from
+    ``stores``, which counts logical write-throughs of fresh results.
+
+    Counters are cumulative for the cache's lifetime.  For a *per-pass*
+    rate (e.g. "was the warm pass fully warm?") take a
+    :meth:`snapshot` before the pass and diff with :meth:`since` —
+    a blended lifetime ``hit_rate`` over a cold+warm benchmark reads
+    50% even when the warm pass hit every lookup.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
     evictions: int = 0
+    promotions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -63,21 +75,43 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def snapshot(self) -> "CacheStats":
+        """An immutable copy of the current counters."""
+        return CacheStats(self.hits, self.misses, self.stores,
+                          self.corrupt, self.evictions, self.promotions)
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """The delta between this state and an earlier snapshot —
+        the per-pass counters (and per-pass ``hit_rate``)."""
+        return CacheStats(self.hits - earlier.hits,
+                          self.misses - earlier.misses,
+                          self.stores - earlier.stores,
+                          self.corrupt - earlier.corrupt,
+                          self.evictions - earlier.evictions,
+                          self.promotions - earlier.promotions)
+
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "corrupt": self.corrupt,
                 "evictions": self.evictions,
+                "promotions": self.promotions,
                 "hit_rate": round(self.hit_rate, 4)}
 
     def summary(self) -> str:
-        return (f"{self.hits} hits, {self.misses} misses, "
+        text = (f"{self.hits} hits, {self.misses} misses, "
                 f"{self.stores} stores, {self.corrupt} corrupt, "
                 f"{self.evictions} evicted "
                 f"(hit rate {self.hit_rate:.0%})")
+        if self.promotions:
+            text += f", {self.promotions} promoted"
+        return text
 
 
 class MemoryCache:
     """Bounded in-process LRU over payload dicts."""
+
+    #: tier name in per-tier stats and metrics labels
+    tier = "memory"
 
     def __init__(self, max_entries: int = 128):
         if max_entries < 1:
@@ -123,6 +157,9 @@ class DiskCache:
     :param max_entries: optional eviction bound; when exceeded after a
         store, the oldest entries (by mtime) are removed.
     """
+
+    #: tier name in per-tier stats and metrics labels
+    tier = "disk"
 
     def __init__(self, root: Path | str | None = None, *,
                  max_entries: int | None = None):
@@ -213,6 +250,9 @@ class RemoteCache:
     the rest of the process — one dead peer must not add a timeout to
     every lookup of a long sweep).
     """
+
+    #: tier name in per-tier stats and metrics labels
+    tier = "peer"
 
     def __init__(self, *, max_errors: int = 5):
         self.stats = CacheStats()
@@ -333,14 +373,23 @@ class TieredCache:
     faster tier; stores write through to all tiers.  ``stats``
     aggregates the tiers so the executor's hit-rate report counts each
     logical lookup once; a miss is only a miss once the *last* tier has
-    said so.
+    said so.  :meth:`tier_stats` breaks the same counters out per tier
+    (promotions included), and :attr:`last_hit_tier` names the tier
+    that served the most recent :meth:`get` — the executor stamps it
+    onto outcomes so manifests and metrics can tell a memory hit from
+    a disk or peer hit.
     """
+
+    #: tier name in per-tier stats and metrics labels
+    tier = "tiered"
 
     def __init__(self, memory: MemoryCache, disk: DiskCache,
                  remote: RemoteCache | None = None):
         self.memory = memory
         self.disk = disk
         self.remote = remote
+        #: tier that served the most recent ``get`` (``None`` = miss)
+        self.last_hit_tier: str | None = None
 
     @property
     def stats(self) -> CacheStats:
@@ -351,28 +400,52 @@ class TieredCache:
         merged.corrupt = self.disk.stats.corrupt
         merged.evictions = (self.memory.stats.evictions
                             + self.disk.stats.evictions)
+        merged.promotions = (self.memory.stats.promotions
+                             + self.disk.stats.promotions)
         if self.remote is not None:
             merged.hits += self.remote.stats.hits
             merged.misses = self.remote.stats.misses
         return merged
 
+    def tier_stats(self) -> dict[str, CacheStats]:
+        """Per-tier counters, keyed by tier name (peer when wired)."""
+        tiers = {self.memory.tier: self.memory.stats,
+                 self.disk.tier: self.disk.stats}
+        if self.remote is not None:
+            tiers[self.remote.tier] = self.remote.stats
+        return tiers
+
+    @staticmethod
+    def _promote(tier, digest: str, payload: dict) -> None:
+        """Copy a slower tier's hit into a faster tier.
+
+        Counted as a *promotion* on the receiving tier, not a logical
+        store — stores keep meaning "fresh result written through".
+        """
+        tier.put(digest, payload)
+        tier.stats.stores -= 1
+        tier.stats.promotions += 1
+
     def get(self, digest: str) -> dict | None:
         payload = self.memory.get(digest)
         if payload is not None:
+            self.last_hit_tier = self.memory.tier
             return payload
         payload = self.disk.get(digest)
         if payload is not None:
-            self.memory.put(digest, payload)
-            self.memory.stats.stores -= 1   # promotion, not a new store
+            self._promote(self.memory, digest, payload)
+            self.last_hit_tier = self.disk.tier
             return payload
         if self.remote is None:
+            self.last_hit_tier = None
             return None
         payload = self.remote.get(digest)
         if payload is not None:
-            self.memory.put(digest, payload)
-            self.memory.stats.stores -= 1
-            self.disk.put(digest, payload)
-            self.disk.stats.stores -= 1
+            self._promote(self.memory, digest, payload)
+            self._promote(self.disk, digest, payload)
+            self.last_hit_tier = self.remote.tier
+            return payload
+        self.last_hit_tier = None
         return payload
 
     def put(self, digest: str, payload: dict) -> None:

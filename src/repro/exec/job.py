@@ -153,11 +153,15 @@ class SweepSpec:
     def __len__(self) -> int:
         return len(self.requests)
 
-    def to_wire(self) -> dict:
-        """Versioned JSON wire document (see ``docs/wire_schema.md``)."""
+    def to_wire(self, *, trace=None) -> dict:
+        """Versioned JSON wire document (see ``docs/wire_schema.md``).
+
+        :param trace: optional trace context to embed (see
+            :func:`~repro.exec.wire.spec_to_wire`).
+        """
         from .wire import spec_to_wire
 
-        return spec_to_wire(self)
+        return spec_to_wire(self, trace=trace)
 
     @classmethod
     def from_wire(cls, doc: dict) -> "SweepSpec":

@@ -26,6 +26,8 @@ class RunRecord:
     :ivar coalesced: the run shared a digest with a run already in
         flight for *another* submission and waited on it instead of
         executing (service-level coalescing, ``repro serve``).
+    :ivar cache_tier: which cache tier served a hit (``memory`` /
+        ``disk`` / ``peer``); ``None`` for executed runs.
     """
 
     index: int
@@ -38,6 +40,7 @@ class RunRecord:
     peeled: bool = False
     deduped: bool = False
     coalesced: bool = False
+    cache_tier: str | None = None
 
 
 @dataclass
@@ -59,9 +62,10 @@ class SweepMetrics:
     def note(self, index: int, label: str, *, cached: bool, failed: bool,
              elapsed: float, worker: int | None, batch: int = 0,
              peeled: bool = False, deduped: bool = False,
-             coalesced: bool = False) -> RunRecord:
+             coalesced: bool = False,
+             cache_tier: str | None = None) -> RunRecord:
         record = RunRecord(index, label, cached, failed, elapsed, worker,
-                           batch, peeled, deduped, coalesced)
+                           batch, peeled, deduped, coalesced, cache_tier)
         self.records.append(record)
         return record
 
@@ -112,6 +116,21 @@ class SweepMetrics:
     def hit_rate(self) -> float:
         return self.cache_hits / self.completed if self.completed else 0.0
 
+    def cache_tiers(self) -> dict[str, int]:
+        """Cache hits broken out by the tier that served them.
+
+        Unnamed tiers (plain caches predating tier labels) count under
+        ``"unknown"`` so the totals still reconcile with
+        :attr:`cache_hits`.
+        """
+        tiers: dict[str, int] = {}
+        for record in self.records:
+            if not record.cached:
+                continue
+            tier = record.cache_tier or "unknown"
+            tiers[tier] = tiers.get(tier, 0) + 1
+        return dict(sorted(tiers.items()))
+
     @property
     def runs_per_second(self) -> float:
         if self.wall_seconds <= 0:
@@ -159,6 +178,7 @@ class SweepMetrics:
             "dedup_hits": self.dedup_hits,
             "coalesced_hits": self.coalesced_hits,
             "hit_rate": round(self.hit_rate, 4),
+            "cache_tiers": self.cache_tiers(),
             "wall_seconds": round(self.wall_seconds, 4),
             "runs_per_second": round(self.runs_per_second, 3),
             "batched_runs": self.batched,
@@ -182,6 +202,10 @@ class SweepMetrics:
             lines.append(
                 f"coalescing: {self.dedup_hits} deduped in-sweep, "
                 f"{self.coalesced_hits} joined in-flight runs")
+        tiers = self.cache_tiers()
+        if tiers and set(tiers) != {"unknown"}:
+            cells = [f"{tier} {count}" for tier, count in tiers.items()]
+            lines.append("cache tiers: " + ", ".join(cells))
         if self.batched:
             lines.append(
                 f"batched: {self.batched} runs coalesced "

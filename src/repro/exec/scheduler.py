@@ -24,10 +24,13 @@ the work was scheduled:
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from ..kernels import BenchmarkRun
+from ..obs.profile import ExecProfile
 from .job import (
     RunRequest,
     SweepSpec,
@@ -49,6 +52,9 @@ class RunOutcome:
     payload: dict | None = None
     error: str | None = None
     cached: bool = False
+    #: cache tier that served a hit (``memory`` / ``disk`` / ``peer``;
+    #: ``None`` for executed runs and single-tier caches without names)
+    cache_tier: str | None = None
     #: shared a digest with an earlier request in the same sweep and
     #: rode its simulation (in-sweep dedup)
     deduped: bool = False
@@ -121,11 +127,16 @@ class SweepExecutor:
         (``--no-batch``).
     :param log: callable for progress lines (e.g. ``print``); ``None``
         runs quietly.
+    :param profile: collect an :class:`~repro.obs.profile.ExecProfile`
+        per sweep (``--profile``): per-phase wall/CPU timings and
+        per-run self-time, exposed as :attr:`last_profile` and folded
+        into the manifest.  Off by default — profiling is opt-in and
+        otherwise completely off-path.
     """
 
     def __init__(self, jobs: int = 0, cache=None, *,
                  timeout: float | None = None, refresh: bool = False,
-                 batch: bool = True, log=None):
+                 batch: bool = True, log=None, profile: bool = False):
         if jobs < 0:
             raise ValueError("jobs must be >= 0")
         self.jobs = jobs
@@ -134,7 +145,9 @@ class SweepExecutor:
         self.refresh = refresh
         self.batch = batch
         self.log = log
+        self.profile = profile
         self.last_metrics: SweepMetrics | None = None
+        self.last_profile: ExecProfile | None = None
         self._pool: ProcessPoolExecutor | None = None
 
     # -- lifecycle -------------------------------------------------------
@@ -157,13 +170,27 @@ class SweepExecutor:
 
     # -- execution -------------------------------------------------------
 
-    def run(self, requests, manifest=None) -> list[RunOutcome]:
+    def _hit_tier(self) -> str | None:
+        """Which tier served the last cache hit (``None`` if unnamed)."""
+        tier = getattr(self.cache, "last_hit_tier", None)
+        if tier is None:
+            tier = getattr(self.cache, "tier", None)
+        return tier
+
+    def run(self, requests, manifest=None, observer=None
+            ) -> list[RunOutcome]:
         """Execute a :class:`SweepSpec` or request sequence.
 
         :param manifest: optional
             :class:`~repro.telemetry.manifest.SweepManifestWriter`; each
             outcome is appended to its run log as it lands (cache hits
             included) and the manifest is finalized when the sweep ends.
+        :param observer: optional observability hook — duck-typed with
+            ``on_phase(name, started, ended, **info)`` called after the
+            cache and execute phases (epoch-second boundaries) and
+            ``on_outcome(outcome, record)`` called per outcome as it
+            lands.  The service uses this to grow the request's span
+            tree; observer errors are the caller's problem by design.
         :returns: outcomes in request order (deterministic regardless of
             worker completion order).
         """
@@ -173,63 +200,89 @@ class SweepExecutor:
         requests = list(requests)
         metrics = SweepMetrics(total=len(requests))
         self.last_metrics = metrics
+        profile = ExecProfile() if self.profile else None
+        self.last_profile = profile
 
-        digests = [request_digest(request) for request in requests]
+        with profile.phase("digest") if profile else nullcontext():
+            digests = [request_digest(request) for request in requests]
         outcomes: list[RunOutcome | None] = [None] * len(requests)
 
         # cache phase — identical digests collapse onto one slot
         pending: dict[str, list[int]] = {}
         done = 0
-        for index, (request, digest) in enumerate(zip(requests, digests)):
-            payload = None
-            if self.cache is not None and not self.refresh:
-                payload = self.cache.get(digest)
-            if payload is not None:
-                outcomes[index] = RunOutcome(index, request, digest,
-                                             payload=payload, cached=True)
-                done += 1
-                record = metrics.note(index, request.label, cached=True,
-                                      failed=False, elapsed=0.0, worker=None)
-                if manifest is not None:
-                    manifest.note_outcome(outcomes[index], record)
-                if self.log:
-                    self.log(progress_line(record, done, metrics.total,
-                                           hit_rate=metrics.hit_rate))
-            else:
-                pending.setdefault(digest, []).append(index)
+        phase_started = time.time()
+        with profile.phase("cache") if profile else nullcontext():
+            for index, (request, digest) in enumerate(zip(requests,
+                                                          digests)):
+                payload = None
+                if self.cache is not None and not self.refresh:
+                    payload = self.cache.get(digest)
+                if payload is not None:
+                    tier = self._hit_tier()
+                    outcomes[index] = RunOutcome(index, request, digest,
+                                                 payload=payload,
+                                                 cached=True,
+                                                 cache_tier=tier)
+                    done += 1
+                    record = metrics.note(index, request.label, cached=True,
+                                          failed=False, elapsed=0.0,
+                                          worker=None, cache_tier=tier)
+                    if manifest is not None:
+                        manifest.note_outcome(outcomes[index], record)
+                    if observer is not None:
+                        observer.on_outcome(outcomes[index], record)
+                    if self.log:
+                        self.log(progress_line(record, done, metrics.total,
+                                               hit_rate=metrics.hit_rate))
+                else:
+                    pending.setdefault(digest, []).append(index)
+        if observer is not None:
+            observer.on_phase("cache", phase_started, time.time(),
+                              hits=done, misses=len(pending))
 
         # execute phase
         unique = [(digest, requests[indices[0]])
                   for digest, indices in pending.items()]
-        for digest, payload, error in self._execute(unique):
-            for position, index in enumerate(pending[digest]):
-                outcomes[index] = RunOutcome(index, requests[index], digest,
-                                             payload=payload, error=error,
-                                             deduped=position > 0)
-                done += 1
-                # duplicates share the payload but only the first one
-                # carries the execution time (metrics honesty)
-                engine = (payload or {}).get("engine") or {}
-                record = metrics.note(
-                    index, requests[index].label, cached=False,
-                    failed=error is not None,
-                    elapsed=((payload or {}).get("elapsed", 0.0)
-                             if position == 0 else 0.0),
-                    worker=(payload or {}).get("worker"),
-                    batch=(payload or {}).get("batch_size", 0),
-                    peeled=bool(engine.get("peel_count")),
-                    deduped=position > 0)
-                if manifest is not None:
-                    manifest.note_outcome(outcomes[index], record)
-                if self.log:
-                    self.log(progress_line(record, done, metrics.total,
-                                           hit_rate=metrics.hit_rate))
-            if error is None and self.cache is not None:
-                self.cache.put(digest, payload)
+        phase_started = time.time()
+        with profile.phase("execute") if profile else nullcontext():
+            for digest, payload, error in self._execute(unique):
+                for position, index in enumerate(pending[digest]):
+                    outcomes[index] = RunOutcome(index, requests[index],
+                                                 digest, payload=payload,
+                                                 error=error,
+                                                 deduped=position > 0)
+                    done += 1
+                    # duplicates share the payload but only the first one
+                    # carries the execution time (metrics honesty)
+                    engine = (payload or {}).get("engine") or {}
+                    record = metrics.note(
+                        index, requests[index].label, cached=False,
+                        failed=error is not None,
+                        elapsed=((payload or {}).get("elapsed", 0.0)
+                                 if position == 0 else 0.0),
+                        worker=(payload or {}).get("worker"),
+                        batch=(payload or {}).get("batch_size", 0),
+                        peeled=bool(engine.get("peel_count")),
+                        deduped=position > 0)
+                    if position == 0 and profile is not None:
+                        profile.note_run(requests[index].label, payload)
+                    if manifest is not None:
+                        manifest.note_outcome(outcomes[index], record)
+                    if observer is not None:
+                        observer.on_outcome(outcomes[index], record)
+                    if self.log:
+                        self.log(progress_line(record, done, metrics.total,
+                                               hit_rate=metrics.hit_rate))
+                if error is None and self.cache is not None:
+                    self.cache.put(digest, payload)
+        if observer is not None:
+            observer.on_phase("execute", phase_started, time.time(),
+                              executed=len(unique))
 
         metrics.finish()
         if manifest is not None:
-            manifest.finalize(metrics=metrics, cache=self.cache, spec=spec)
+            manifest.finalize(metrics=metrics, cache=self.cache, spec=spec,
+                              profile=profile)
         return [outcome for outcome in outcomes if outcome is not None]
 
     def _coalesce(self, unique):

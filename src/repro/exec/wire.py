@@ -38,7 +38,11 @@ from .job import SCHEMA, RunRequest, SweepSpec
 #: wire-document schema; bump on incompatible layout changes (renamed /
 #: removed fields, changed semantics).  Additive optional fields do not
 #: bump — readers ignore what they don't know.
-WIRE_SCHEMA = 1
+#: (2: ``sweep_spec`` documents may carry an optional ``trace`` object
+#: — ``{"trace_id", "span_id"}`` — propagating the client's trace
+#: context; the version bump marks the observability contract, the
+#: field itself stays optional)
+WIRE_SCHEMA = 2
 
 _KINDS = ("run_request", "sweep_spec", "run_payload")
 
@@ -204,19 +208,27 @@ def request_from_wire(doc: dict) -> RunRequest:
 # SweepSpec
 # ---------------------------------------------------------------------------
 
-def spec_to_wire(spec: SweepSpec) -> dict:
+def spec_to_wire(spec: SweepSpec, *, trace=None) -> dict:
     """The wire document of one sweep: a name plus nested requests.
 
     Each element of ``requests`` is a complete, self-describing
     ``run_request`` document (envelope included), so individual entries
     can be lifted out of a sweep and submitted alone.
+
+    :param trace: optional :class:`~repro.obs.context.TraceContext`
+        (or its wire dict) to embed as the document's ``trace`` field —
+        the fallback propagation path for transports that strip the
+        ``traceparent`` header.
     """
-    return {
+    doc = {
         "wire_schema": WIRE_SCHEMA,
         "kind": "sweep_spec",
         "name": spec.name,
         "requests": [request_to_wire(request) for request in spec.requests],
     }
+    if trace is not None:
+        doc["trace"] = trace if isinstance(trace, dict) else trace.to_wire()
+    return doc
 
 
 def spec_from_wire(doc: dict) -> SweepSpec:
@@ -234,6 +246,21 @@ def spec_from_wire(doc: dict) -> SweepSpec:
         raise WireError("'requests' must be a non-empty array")
     return SweepSpec(name, tuple(request_from_wire(request)
                                  for request in requests))
+
+
+def trace_from_wire(doc: dict) -> "object | None":
+    """The optional trace context of a ``sweep_spec`` document.
+
+    Returns a :class:`~repro.obs.context.TraceContext` when the
+    document carries a well-formed ``trace`` field, else ``None`` —
+    absent and malformed contexts both mean "start a fresh trace",
+    never an error (observability must not fail a submission).
+    """
+    from ..obs.context import TraceContext
+
+    if not isinstance(doc, dict):
+        return None
+    return TraceContext.from_wire(doc.get("trace"))
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,104 @@
+"""Trace identity: W3C ``traceparent``-style contexts.
+
+A :class:`TraceContext` is the identity one request carries across
+every hop of the sweep stack: 32 hex chars of ``trace_id`` naming the
+whole request, 16 hex chars of ``span_id`` naming one operation within
+it.  The header form is the W3C Trace Context ``traceparent`` layout
+(``00-{trace_id}-{span_id}-{flags}``), so any W3C-speaking proxy or
+collector can join the propagation chain; the wire form is a small JSON
+object embedded in ``sweep_spec`` documents for clients whose transport
+strips headers.
+
+Contexts are immutable; :meth:`TraceContext.child` derives the context
+of a sub-operation (fresh ``span_id``, same ``trace_id``, parent link
+preserved), which is how the service grows one span tree per request.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+_TRACEPARENT = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$")
+_TRACE_ID = re.compile(r"^[0-9a-f]{32}$")
+_SPAN_ID = re.compile(r"^[0-9a-f]{16}$")
+
+
+def _random_hex(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One trace/span identity (immutable).
+
+    :ivar trace_id: 32 lowercase hex chars naming the whole request.
+    :ivar span_id: 16 lowercase hex chars naming this operation.
+    :ivar parent_id: the ``span_id`` of the operation that spawned this
+        one (``None`` for a root or a remote parent).
+    :ivar sampled: the W3C ``sampled`` flag; carried, never interpreted
+        (the service records every request).
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    sampled: bool = True
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """A fresh root context (random trace and span ids)."""
+        return cls(_random_hex(16), _random_hex(8))
+
+    def child(self) -> "TraceContext":
+        """The context of a sub-operation: new span, same trace."""
+        return TraceContext(self.trace_id, _random_hex(8),
+                            parent_id=self.span_id, sampled=self.sampled)
+
+    # -- header form (W3C traceparent) -----------------------------------
+
+    def traceparent(self) -> str:
+        """The ``traceparent`` header value for this context."""
+        return (f"00-{self.trace_id}-{self.span_id}-"
+                f"{'01' if self.sampled else '00'}")
+
+    @classmethod
+    def from_traceparent(cls, header: str | None) -> "TraceContext | None":
+        """Parse a ``traceparent`` header; ``None`` on anything bogus.
+
+        Tolerant by design — a malformed header means "no propagated
+        context", never an error, per the W3C processing rules.
+        """
+        if not header:
+            return None
+        match = _TRACEPARENT.match(header.strip().lower())
+        if match is None:
+            return None
+        version, trace_id, span_id, flags = match.groups()
+        if version == "ff":
+            return None                      # forbidden version value
+        if trace_id == "0" * 32 or span_id == "0" * 16:
+            return None                      # all-zero ids are invalid
+        return cls(trace_id, span_id, sampled=bool(int(flags, 16) & 0x01))
+
+    # -- wire form (sweep_spec "trace" field) ----------------------------
+
+    def to_wire(self) -> dict:
+        """The optional ``trace`` field of a ``sweep_spec`` document."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, doc) -> "TraceContext | None":
+        """Parse the wire form; ``None`` when absent or malformed."""
+        if not isinstance(doc, dict):
+            return None
+        trace_id = doc.get("trace_id")
+        span_id = doc.get("span_id")
+        if (not isinstance(trace_id, str)
+                or _TRACE_ID.match(trace_id) is None):
+            return None
+        if not isinstance(span_id, str) or _SPAN_ID.match(span_id) is None:
+            return None
+        return cls(trace_id, span_id)

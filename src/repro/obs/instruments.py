@@ -1,0 +1,203 @@
+"""The sweep service's Prometheus instrument set.
+
+:class:`ServiceInstruments` owns the event-driven instruments the
+service updates on its hot path (HTTP request counts and latency,
+in-flight gauges, sweep request-latency and queue-wait histograms) and
+a battery of :class:`~repro.obs.prom.CallbackFamily` families that read
+the counters the serve stack *already* maintains — job table, run
+provenance totals, coalescer claims, per-tier cache stats, worker
+utilization — at render time, so nothing is double-counted.
+
+``GET /v1/metrics?format=prometheus`` renders this registry followed by
+a generic flattening of the legacy JSON snapshot
+(:func:`~repro.obs.prom.render_snapshot`), so both the curated
+instruments and every historical metric stay scrapeable.  Metric names
+and labels are documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from .prom import (
+    DEFAULT_LATENCY_BUCKETS,
+    CallbackFamily,
+    Histogram,
+    PromRegistry,
+    render_snapshot,
+)
+
+#: queue-wait buckets (seconds) — lighter tail than request latency:
+#: waits beyond a few seconds mean the worker pool is saturated
+QUEUE_WAIT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0)
+
+
+class ServiceInstruments:
+    """Every Prometheus family of one :class:`SweepService`.
+
+    :param service: duck-typed service — needs ``uptime_seconds``,
+        ``_service_metrics()``, ``coalescer.as_dict()``, ``cache`` and
+        ``executor.last_metrics``.
+    :param version: build version for ``repro_build_info``.
+    :param wire_schema: wire-schema number for ``repro_build_info``.
+    """
+
+    def __init__(self, service, *, version: str = "",
+                 wire_schema: int = 0):
+        self._service = service
+        self.registry = PromRegistry()
+        reg = self.registry
+
+        # -- event-driven (hot path) ---------------------------------
+        self.http_requests = reg.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method/route/status")
+        self.http_latency = reg.histogram(
+            "repro_http_request_duration_seconds",
+            "HTTP request handling latency, by method/route")
+        self.http_inflight = reg.gauge(
+            "repro_http_requests_in_flight",
+            "HTTP requests currently being handled")
+        self.request_latency = reg.register(Histogram(
+            "repro_sweep_request_latency_seconds",
+            "sweep request latency: submission to terminal status",
+            buckets=DEFAULT_LATENCY_BUCKETS))
+        self.queue_wait = reg.register(Histogram(
+            "repro_sweep_queue_wait_seconds",
+            "sweep queue wait: submission to first execution",
+            buckets=QUEUE_WAIT_BUCKETS))
+
+        # -- callback families (read existing counters) --------------
+        reg.gauge("repro_uptime_seconds",
+                  "seconds since the service started",
+                  callback=lambda: service.uptime_seconds)
+        reg.register(CallbackFamily(
+            "repro_jobs_submitted_total", "sweep jobs ever submitted",
+            "counter", self._jobs_submitted))
+        reg.register(CallbackFamily(
+            "repro_jobs", "sweep jobs by lifecycle status",
+            "gauge", self._jobs_by_status))
+        reg.gauge("repro_jobs_in_flight",
+                  "sweep jobs queued or running",
+                  callback=self._jobs_in_flight)
+        reg.register(CallbackFamily(
+            "repro_runs_total", "run outcomes by provenance source",
+            "counter", self._runs_by_source))
+        reg.register(CallbackFamily(
+            "repro_coalescer_claims_total",
+            "in-flight coalescer claims by kind",
+            "counter", self._coalescer_claims))
+        reg.gauge("repro_coalescer_inflight",
+                  "digests currently being simulated",
+                  callback=lambda: service.coalescer.inflight)
+        reg.register(CallbackFamily(
+            "repro_coalescer_handoffs_total",
+            "crashed-owner claims inherited by a follower",
+            "counter", self._coalescer_handoffs))
+        reg.register(CallbackFamily(
+            "repro_cache_requests_total",
+            "cache lookups by tier and result",
+            "counter", self._cache_requests))
+        reg.register(CallbackFamily(
+            "repro_cache_stores_total", "cache stores by tier",
+            "counter", self._cache_stores))
+        reg.register(CallbackFamily(
+            "repro_cache_promotions_total",
+            "lower-tier hits promoted into this tier",
+            "counter", self._cache_promotions))
+        reg.register(CallbackFamily(
+            "repro_cache_evictions_total", "cache evictions by tier",
+            "counter", self._cache_evictions))
+        reg.register(CallbackFamily(
+            "repro_worker_utilization",
+            "per-worker busy fraction of the last sweep",
+            "gauge", self._worker_utilization))
+        reg.register(CallbackFamily(
+            "repro_build_info", "build metadata (always 1)", "gauge",
+            lambda: [({"version": version,
+                       "wire_schema": str(wire_schema)}, 1.0)]))
+
+    # -- hot-path hooks --------------------------------------------------
+
+    def observe_http(self, method: str, route: str, status: int,
+                     seconds: float) -> None:
+        self.http_requests.inc(method=method, route=route,
+                               status=str(status))
+        self.http_latency.observe(seconds, method=method, route=route)
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        self.queue_wait.observe(seconds)
+
+    def observe_request_latency(self, seconds: float) -> None:
+        self.request_latency.observe(seconds)
+
+    # -- callbacks -------------------------------------------------------
+
+    def _jobs_submitted(self):
+        jobs = self._service._service_metrics()["jobs"]
+        yield {}, jobs["submitted"]
+
+    def _jobs_by_status(self):
+        jobs = self._service._service_metrics()["jobs"]
+        for status, count in sorted(jobs.items()):
+            if status != "submitted":
+                yield {"status": status}, count
+
+    def _jobs_in_flight(self):
+        jobs = self._service._service_metrics()["jobs"]
+        return jobs.get("queued", 0) + jobs.get("running", 0)
+
+    def _runs_by_source(self):
+        runs = self._service._service_metrics()["runs"]
+        for source, count in sorted(runs.items()):
+            if source != "total":
+                yield {"source": source}, count
+
+    def _coalescer_claims(self):
+        doc = self._service.coalescer.as_dict()
+        yield {"kind": "owned"}, doc.get("owned", 0)
+        yield {"kind": "coalesced"}, doc.get("coalesced", 0)
+
+    def _coalescer_handoffs(self):
+        yield {}, getattr(self._service.coalescer, "handoffs", 0)
+
+    def _tier_stats(self) -> dict:
+        cache = self._service.cache
+        if cache is None:
+            return {}
+        tiers = getattr(cache, "tier_stats", None)
+        if callable(tiers):
+            return tiers()
+        tier = getattr(cache, "tier", None) or type(cache).__name__.lower()
+        return {tier: cache.stats}
+
+    def _cache_requests(self):
+        for tier, stats in sorted(self._tier_stats().items()):
+            yield {"tier": tier, "result": "hit"}, stats.hits
+            yield {"tier": tier, "result": "miss"}, stats.misses
+
+    def _cache_stores(self):
+        for tier, stats in sorted(self._tier_stats().items()):
+            yield {"tier": tier}, stats.stores
+
+    def _cache_promotions(self):
+        for tier, stats in sorted(self._tier_stats().items()):
+            yield {"tier": tier}, getattr(stats, "promotions", 0)
+
+    def _cache_evictions(self):
+        for tier, stats in sorted(self._tier_stats().items()):
+            yield {"tier": tier}, stats.evictions
+
+    def _worker_utilization(self):
+        metrics = getattr(self._service.executor, "last_metrics", None)
+        if metrics is None:
+            return
+        for pid, fraction in metrics.worker_utilization().items():
+            yield {"worker": str(pid)}, round(fraction, 4)
+
+    # -- rendering -------------------------------------------------------
+
+    def render(self, *, snapshot: dict | None = None) -> str:
+        """The full exposition document (instruments + legacy snapshot)."""
+        text = self.registry.render()
+        if snapshot is not None:
+            text += render_snapshot(snapshot)
+        return text

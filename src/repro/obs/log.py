@@ -1,0 +1,123 @@
+"""Structured, event-keyed logging for the sweep stack.
+
+One logger (``repro``), one emission API: :func:`emit` takes an event
+name (``"http.request"``, ``"job.done"``, ``"coalesce.handoff"``) plus
+keyword fields — trace_id, digest, cache tier, outcome — and hands them
+to stdlib :mod:`logging` with the fields attached to the record.  Two
+formatters render the records:
+
+- :class:`JsonFormatter` — one JSON object per line (``--log-json``),
+  stable keys (``ts``/``level``/``event`` + the fields), machine-first;
+- :class:`TextFormatter` — ``HH:MM:SS level event key=value ...`` for
+  humans watching a terminal.
+
+The logger is **silent by default**: importing this module attaches no
+handler (only a :class:`logging.NullHandler`), so library users, tests
+and the CLI subcommands that never call :func:`configure_logging` pay
+nothing and print nothing.  ``repro serve`` configures it from
+``--log-json`` / ``--log-level``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+#: the one logger every repro component emits through
+LOGGER_NAME = "repro"
+
+_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
+           "warning": logging.WARNING, "error": logging.ERROR}
+
+#: attribute the structured fields travel under on the LogRecord
+_FIELDS_ATTR = "event_fields"
+
+
+def get_logger() -> logging.Logger:
+    """The shared ``repro`` logger (handler-free until configured)."""
+    logger = logging.getLogger(LOGGER_NAME)
+    if not any(isinstance(h, logging.NullHandler) for h in logger.handlers):
+        logger.addHandler(logging.NullHandler())
+    return logger
+
+
+def emit(event: str, *, level: int = logging.INFO, exc_info=None,
+         **fields) -> None:
+    """Emit one structured record.
+
+    :param event: dotted event name — the stable key log consumers
+        filter on (``http.request``, ``job.start``, ``run.outcome``...).
+    :param fields: arbitrary JSON-shaped context (trace_id, digest,
+        cache_tier, status...); ``None`` values are dropped so callers
+        can pass optionals unconditionally.
+    :param exc_info: pass ``True`` (or an exception tuple) inside an
+        ``except`` block to attach the traceback.
+    """
+    logger = get_logger()
+    if not logger.isEnabledFor(level):
+        return
+    payload = {key: value for key, value in fields.items()
+               if value is not None}
+    logger.log(level, event, extra={_FIELDS_ATTR: payload},
+               exc_info=exc_info)
+
+
+def record_fields(record: logging.LogRecord) -> dict:
+    """The structured fields of one record (empty dict when plain)."""
+    return getattr(record, _FIELDS_ATTR, None) or {}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ``ts``, ``level``, ``event``, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "event": record.getMessage(),
+        }
+        doc.update(record_fields(record))
+        if record.exc_info:
+            doc["traceback"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """``HH:MM:SS level event key=value ...`` — the human rendering."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        clock = time.strftime("%H:%M:%S", time.localtime(record.created))
+        cells = [f"{clock}", f"{record.levelname.lower():7s}",
+                 record.getMessage()]
+        for key, value in record_fields(record).items():
+            cells.append(f"{key}={value}")
+        line = " ".join(cells)
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def configure_logging(*, json_output: bool = False, level: str = "info",
+                      stream=None) -> logging.Handler:
+    """Attach one stream handler to the ``repro`` logger.
+
+    Idempotent per process in spirit: any previously attached stream
+    handlers are removed first, so reconfiguring (tests, embedders)
+    never double-prints.
+
+    :param json_output: JSON lines instead of ``key=value`` text.
+    :param level: ``debug`` / ``info`` / ``warning`` / ``error``.
+    :param stream: target stream (default ``sys.stderr``).
+    :returns: the attached handler (tests capture through it).
+    """
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter() if json_output
+                         else TextFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(_LEVELS.get(level.lower(), logging.INFO))
+    return handler

@@ -1,0 +1,315 @@
+"""Prometheus text exposition (format 0.0.4), stdlib-only.
+
+The service's ``/v1/metrics`` JSON snapshot is good for humans with
+``curl`` but invisible to the standard scrape ecosystem.  This module
+is the missing renderer plus the three instrument kinds the snapshot
+lacks:
+
+- :class:`Counter` — monotone event counts, optionally labeled;
+- :class:`Gauge` — set/inc/dec point-in-time values, or *callback*
+  gauges sampled at render time (in-flight counts, utilization);
+- :class:`Histogram` — explicit-bucket latency distributions with the
+  canonical ``_bucket{le=...}`` / ``_sum`` / ``_count`` series;
+- :class:`CallbackFamily` — counters/gauges whose values live in an
+  existing monotone source (cache-tier stats, coalescer totals), read
+  at render time instead of double-counted.
+
+:class:`PromRegistry` collects families and renders the exposition
+text; :func:`render_snapshot` flattens any nested-dict metrics snapshot
+(e.g. :meth:`MetricsRegistry.snapshot
+<repro.telemetry.metrics.MetricsRegistry.snapshot>`) into one generic
+gauge family so every legacy number stays scrapeable.  Everything here
+is validated in CI by ``scripts/check_prom.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: request/queue latency buckets (seconds): sub-millisecond HTTP chatter
+#: through multi-second cold simulations
+DEFAULT_LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                           0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def escape_label_value(value) -> str:
+    """Escape one label value per the exposition-format rules."""
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def format_value(value) -> str:
+    """Render one sample value (Go-style: ``1``, ``0.25``, ``+Inf``)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if math.isnan(number):
+        return "NaN"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _label_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    cells = [f'{key}="{escape_label_value(value)}"'
+             for key, value in sorted(labels.items())]
+    return "{" + ",".join(cells) + "}"
+
+
+def _check_labels(labels: dict) -> tuple:
+    for key in labels:
+        if _LABEL_OK.match(key) is None:
+            raise ValueError(f"invalid label name {key!r}")
+    return tuple(sorted(labels.items()))
+
+
+class Family:
+    """One metric family: a name, a HELP line, a TYPE, and samples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str):
+        if _NAME_OK.match(name) is None:
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help_text = help_text
+
+    def samples(self):
+        """Yield ``(suffix, labels_dict, value)`` tuples."""
+        raise NotImplementedError
+
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help_text}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for suffix, labels, value in self.samples():
+            lines.append(f"{self.name}{suffix}{_label_text(labels)} "
+                         f"{format_value(value)}")
+        return lines
+
+
+class Counter(Family):
+    """Monotone event counter, one series per label combination."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str):
+        super().__init__(name, help_text)
+        self._lock = threading.Lock()
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _check_labels(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(tuple(sorted(labels.items())), 0.0)
+
+    def samples(self):
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            yield "", dict(key), value
+
+
+class Gauge(Family):
+    """Point-in-time value: set/inc/dec, or sampled via ``callback``.
+
+    :param callback: sampled at render time; may return a number (one
+        unlabeled sample) or an iterable of ``(labels_dict, value)``.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, *, callback=None):
+        super().__init__(name, help_text)
+        self._lock = threading.Lock()
+        self._values: dict[tuple, float] = {}
+        self._callback = callback
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._values[_check_labels(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _check_labels(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(tuple(sorted(labels.items())), 0.0)
+
+    def samples(self):
+        if self._callback is not None:
+            result = self._callback()
+            if isinstance(result, (int, float)):
+                yield "", {}, result
+            else:
+                for labels, value in result:
+                    yield "", dict(labels), value
+            return
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            yield "", dict(key), value
+
+
+class Histogram(Family):
+    """Explicit-bucket histogram with cumulative ``le`` series."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, *,
+                 buckets=DEFAULT_LATENCY_BUCKETS):
+        super().__init__(name, help_text)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        #: label key -> (per-bucket counts, +Inf count, sum)
+        self._series: dict[tuple, list] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _check_labels(labels)
+        value = float(value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = [[0] * len(self.buckets), 0, 0.0]
+                self._series[key] = series
+            counts, _, _ = series
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[position] += 1
+            series[1] += 1
+            series[2] += value
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            series = self._series.get(tuple(sorted(labels.items())))
+            return 0 if series is None else series[1]
+
+    def samples(self):
+        with self._lock:
+            items = [(key, (list(counts), total, acc))
+                     for key, (counts, total, acc)
+                     in sorted(self._series.items())]
+        for key, (counts, total, acc) in items:
+            labels = dict(key)
+            # observe() increments every bucket the value fits, so the
+            # stored counts are already cumulative, as `le` requires
+            for bound, count in zip(self.buckets, counts):
+                yield "_bucket", {**labels, "le": format_value(bound)}, count
+            yield "_bucket", {**labels, "le": "+Inf"}, total
+            yield "_sum", labels, acc
+            yield "_count", labels, total
+
+
+class CallbackFamily(Family):
+    """A counter/gauge family whose samples come from existing state.
+
+    The serve stack already keeps monotone counters (cache-tier stats,
+    coalescer totals, run provenance); re-counting them into separate
+    instruments would invite drift.  A callback family reads them at
+    render time: ``callback`` returns an iterable of
+    ``(labels_dict, value)``.
+    """
+
+    def __init__(self, name: str, help_text: str, kind: str, callback):
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}")
+        super().__init__(name, help_text)
+        self.kind = kind
+        self._callback = callback
+
+    def samples(self):
+        for labels, value in self._callback():
+            yield "", dict(labels), value
+
+
+class PromRegistry:
+    """A set of metric families rendered as one exposition document."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, Family] = {}
+
+    def register(self, family: Family) -> Family:
+        with self._lock:
+            if family.name in self._families:
+                raise ValueError(
+                    f"metric family {family.name!r} already registered")
+            self._families[family.name] = family
+        return family
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self.register(Counter(name, help_text))
+
+    def gauge(self, name: str, help_text: str, *, callback=None) -> Gauge:
+        return self.register(Gauge(name, help_text, callback=callback))
+
+    def histogram(self, name: str, help_text: str, *,
+                  buckets=DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        return self.register(Histogram(name, help_text, buckets=buckets))
+
+    def family(self, name: str) -> Family | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def render(self) -> str:
+        with self._lock:
+            families = [self._families[name]
+                        for name in sorted(self._families)]
+        lines: list[str] = []
+        for family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n"
+
+
+def _flatten(prefix: str, value, out: list) -> None:
+    if isinstance(value, dict):
+        for key in sorted(value, key=str):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            _flatten(path, value[key], out)
+    elif isinstance(value, bool):
+        out.append((prefix, 1.0 if value else 0.0))
+    elif isinstance(value, (int, float)):
+        out.append((prefix, float(value)))
+
+
+def render_snapshot(snapshot: dict, *, name: str = "repro_snapshot",
+                    help_text: str = "flattened metrics-registry "
+                                     "snapshot values") -> str:
+    """Flatten a nested snapshot dict into one labeled gauge family.
+
+    Every numeric (or boolean) leaf becomes one sample with its dotted
+    path as the ``path`` label, so the whole legacy ``/v1/metrics``
+    JSON surface stays reachable from a Prometheus scrape without
+    bespoke instruments.  Non-numeric leaves are skipped.
+    """
+    leaves: list[tuple[str, float]] = []
+    _flatten("", snapshot, leaves)
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} gauge"]
+    for path, value in leaves:
+        lines.append(f'{name}{{path="{escape_label_value(path)}"}} '
+                     f"{format_value(value)}")
+    return "\n".join(lines) + "\n"

@@ -53,7 +53,8 @@ async def serve_forever(service: SweepService, host: str = "127.0.0.1",
         ``(host, port)`` once the socket is listening (the CLI prints
         the URL; tests grab the ephemeral port).
     """
-    handler = make_handler(build_router(service))
+    handler = make_handler(build_router(service),
+                           observer=getattr(service, "instruments", None))
     server = await asyncio.start_server(handler, host, port)
     bound = server.sockets[0].getsockname()[:2]
     if ready is not None:

@@ -17,6 +17,7 @@ from urllib.parse import urlsplit
 
 from ..exec import SweepSpec
 from ..exec.wire import payload_from_wire
+from ..obs.context import TraceContext
 
 
 class ServiceError(Exception):
@@ -45,6 +46,10 @@ class ServeClient:
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or 8642
         self.timeout = timeout
+        #: the trace context of the most recent :meth:`submit` — its
+        #: ``trace_id`` names the request end-to-end (server logs, span
+        #: tree, ``x-trace-id`` response headers)
+        self.last_trace: TraceContext | None = None
 
     @property
     def base_url(self) -> str:
@@ -67,15 +72,18 @@ class ServeClient:
             raise ServiceError(status, "unknown",
                                body.decode(errors="replace")[:200])
 
-    def _request(self, method: str, path: str, payload=None):
+    def _request(self, method: str, path: str, payload=None, *,
+                 headers: dict | None = None):
         connection = self._connect()
         try:
             body = None
-            headers = {"Accept": "application/json"}
+            merged = {"Accept": "application/json"}
+            if headers:
+                merged.update(headers)
             if payload is not None:
                 body = json.dumps(payload).encode()
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=body, headers=headers)
+                merged["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=merged)
             response = connection.getresponse()
             data = response.read()
             if response.status >= 400:
@@ -92,16 +100,45 @@ class ServeClient:
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
 
-    def submit(self, spec) -> dict:
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition of ``/v1/metrics``."""
+        connection = self._connect()
+        try:
+            connection.request("GET", "/v1/metrics?format=prometheus",
+                               headers={"Accept": "text/plain"})
+            response = connection.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                self._raise_envelope(response.status, data)
+            return data.decode()
+        finally:
+            connection.close()
+
+    def submit(self, spec, *, trace: TraceContext | None = None) -> dict:
         """POST a sweep; accepts a :class:`SweepSpec` or a wire doc.
+
+        Every submission carries a trace context — the given one or a
+        fresh root — both as a ``traceparent`` header and embedded in
+        the wire document, and remembers it as :attr:`last_trace` so
+        callers can correlate server logs and the span tree.
 
         :returns: the job resource (``{"id": ..., "status": ...}``).
         """
-        doc = spec.to_wire() if isinstance(spec, SweepSpec) else spec
-        return self._request("POST", "/v1/sweeps", payload=doc)
+        context = trace if trace is not None else TraceContext.new()
+        self.last_trace = context
+        doc = (spec.to_wire(trace=context) if isinstance(spec, SweepSpec)
+               else dict(spec))
+        if not isinstance(spec, SweepSpec) and "trace" not in doc:
+            doc["trace"] = context.to_wire()
+        return self._request("POST", "/v1/sweeps", payload=doc,
+                             headers={"traceparent": context.traceparent()})
 
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/sweeps/{job_id}")
+
+    def trace(self, job_id: str) -> dict:
+        """The job's span tree (Perfetto trace-event JSON)."""
+        return self._request("GET", f"/v1/sweeps/{job_id}/trace")
 
     def events(self, job_id: str):
         """Stream the job's run rows as parsed dicts, live.

@@ -19,9 +19,15 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import re
+import time
+import uuid
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, unquote, urlsplit
+
+from ..obs.context import TraceContext
+from ..obs.log import emit
 
 #: request bodies beyond this are rejected with 413 (a full 8-channel
 #: explicit-input sweep spec is ~1 MB; 64 MB is generous headroom)
@@ -52,13 +58,24 @@ class ApiError(Exception):
 
 @dataclass
 class Request:
-    """One parsed HTTP request."""
+    """One parsed HTTP request.
+
+    :ivar trace: the client's :class:`~repro.obs.context.TraceContext`
+        when a well-formed ``traceparent`` header arrived; ``None``
+        otherwise (the service starts a fresh trace).
+    :ivar route: the route *pattern* that matched (e.g.
+        ``/v1/sweeps/{job_id}``), set by :meth:`Router.dispatch` —
+        bounded-cardinality, unlike :attr:`path`, so it is what metric
+        labels use.
+    """
 
     method: str
     path: str
     query: dict[str, str]
     headers: dict[str, str]            # keys lower-cased
     body: bytes = b""
+    trace: TraceContext | None = None
+    route: str | None = None
 
     def json(self):
         """The body parsed as JSON; 400 ``bad_json`` when it isn't."""
@@ -76,9 +93,11 @@ class Response:
     """One response: a JSON document, raw bytes, or a chunked stream.
 
     :ivar payload: JSON-shaped object (serialized with sorted keys);
-        ignored when ``stream`` is set.
+        ignored when ``stream`` or ``text`` is set.
     :ivar stream: async iterator of ``bytes`` chunks; sent with
         ``Transfer-Encoding: chunked``.
+    :ivar text: raw pre-rendered body (e.g. the Prometheus exposition
+        format); set ``content_type`` to match.
     """
 
     payload: object = None
@@ -86,8 +105,11 @@ class Response:
     headers: dict[str, str] = field(default_factory=dict)
     stream: object = None
     content_type: str = "application/json"
+    text: str | None = None
 
     def body_bytes(self) -> bytes:
+        if self.text is not None:
+            return self.text.encode()
         if self.payload is None:
             return b""
         return (json.dumps(self.payload, sort_keys=True) + "\n").encode()
@@ -102,16 +124,16 @@ class Router:
     """
 
     def __init__(self):
-        self._routes: list[tuple[str, re.Pattern, object]] = []
+        self._routes: list[tuple[str, re.Pattern, str, object]] = []
 
     def add(self, method: str, pattern: str, handler) -> None:
         regex = re.compile(
             "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern) + "$")
-        self._routes.append((method.upper(), regex, handler))
+        self._routes.append((method.upper(), regex, pattern, handler))
 
     async def dispatch(self, request: Request) -> Response:
         allowed: list[str] = []
-        for method, regex, handler in self._routes:
+        for method, regex, pattern, handler in self._routes:
             match = regex.match(request.path)
             if match is None:
                 continue
@@ -120,6 +142,7 @@ class Router:
                 continue
             params = {key: unquote(value)
                       for key, value in match.groupdict().items()}
+            request.route = pattern
             return await handler(request, **params)
         if allowed:
             raise ApiError(405, "method_not_allowed",
@@ -166,7 +189,9 @@ async def read_request(reader: asyncio.StreamReader) -> Request:
             raise ApiError(413, "body_too_large",
                            f"request body exceeds {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(length)
-    return Request(method.upper(), parts.path or "/", query, headers, body)
+    return Request(method.upper(), parts.path or "/", query, headers, body,
+                   trace=TraceContext.from_traceparent(
+                       headers.get("traceparent")))
 
 
 async def write_response(writer: asyncio.StreamWriter,
@@ -201,11 +226,21 @@ def _head(status: int, reason: str, headers: dict[str, str]) -> bytes:
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
 
-def make_handler(router: Router):
-    """The ``asyncio.start_server`` connection callback for a router."""
+def make_handler(router: Router, observer=None):
+    """The ``asyncio.start_server`` connection callback for a router.
+
+    :param observer: optional
+        :class:`~repro.obs.instruments.ServiceInstruments`; when set,
+        every request updates the HTTP counters / latency histogram /
+        in-flight gauge.
+    """
 
     async def handle(reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
+        started = time.perf_counter()
+        request: Request | None = None
+        if observer is not None:
+            observer.http_inflight.inc()
         try:
             try:
                 request = await read_request(reader)
@@ -213,13 +248,42 @@ def make_handler(router: Router):
             except ApiError as exc:
                 response = Response(exc.envelope(), status=exc.status)
             except Exception as exc:   # noqa: BLE001 — never kill the server
-                error = ApiError(500, "internal_error",
-                                 f"{type(exc).__name__}: {exc}")
-                response = Response(error.envelope(), status=500)
+                # An unexpected (non-ApiError) failure: the envelope
+                # carries an error_id the operator can grep the server
+                # log for, where the full traceback lands.
+                error_id = uuid.uuid4().hex[:12]
+                trace_id = (request.trace.trace_id
+                            if request is not None and request.trace else None)
+                emit("http.error", level=logging.ERROR, exc_info=exc,
+                     error_id=error_id, trace_id=trace_id,
+                     method=request.method if request else None,
+                     path=request.path if request else None,
+                     error=f"{type(exc).__name__}: {exc}")
+                envelope = ApiError(500, "internal_error",
+                                    f"{type(exc).__name__}: {exc}").envelope()
+                envelope["error"]["error_id"] = error_id
+                response = Response(envelope, status=500)
+            if request is not None and request.trace is not None:
+                response.headers.setdefault("x-trace-id",
+                                            request.trace.trace_id)
             await write_response(writer, response)
+            elapsed = time.perf_counter() - started
+            method = request.method if request is not None else "?"
+            route = (request.route or request.path) if request else "?"
+            if observer is not None:
+                observer.observe_http(method, route, response.status, elapsed)
+            emit("http.access", method=method,
+                 path=request.path if request else None,
+                 route=request.route if request else None,
+                 status=response.status,
+                 duration_ms=round(elapsed * 1000, 3),
+                 trace_id=(request.trace.trace_id
+                           if request is not None and request.trace else None))
         except (ConnectionError, asyncio.CancelledError):
             pass                       # client went away mid-response
         finally:
+            if observer is not None:
+                observer.http_inflight.dec()
             try:
                 writer.close()
                 await writer.wait_closed()

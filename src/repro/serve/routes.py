@@ -11,9 +11,13 @@ touches the job table.
 method    path                        purpose
 ========  ==========================  ==================================
 GET       ``/v1/healthz``             liveness + build/wire versions
-GET       ``/v1/metrics``             metrics-registry snapshot
+GET       ``/v1/metrics``             metrics snapshot (JSON) or, with
+                                      ``?format=prometheus``, the
+                                      Prometheus text exposition
 POST      ``/v1/sweeps``              submit a ``sweep_spec`` document
 GET       ``/v1/sweeps/{id}``         job status, counts, per-run rows
+GET       ``/v1/sweeps/{id}/trace``   the request's span tree
+                                      (Perfetto trace-event JSON)
 GET       ``/v1/sweeps/{id}/events``  chunked stream of run-row lines
 GET       ``/v1/runs/{digest}``       one cached result, by digest
 PUT       ``/v1/runs/{digest}``       peer write-through into the cache
@@ -25,7 +29,12 @@ from __future__ import annotations
 import asyncio
 import json
 
-from ..exec.wire import WireError, payload_from_wire, spec_from_wire
+from ..exec.wire import (
+    WireError,
+    payload_from_wire,
+    spec_from_wire,
+    trace_from_wire,
+)
 from ..kernels import BENCHMARKS
 from .app import SweepService
 from .http import ApiError, Request, Response, Router
@@ -52,6 +61,15 @@ def build_router(service: SweepService) -> Router:
         return Response(service.health())
 
     async def metrics(request: Request) -> Response:
+        fmt = request.query.get("format", "json")
+        if fmt == "prometheus":
+            return Response(
+                text=service.prometheus_text(),
+                content_type="text/plain; version=0.0.4; charset=utf-8")
+        if fmt != "json":
+            raise ApiError(400, "bad_format",
+                           f"unknown metrics format {fmt!r} "
+                           "(have: json, prometheus)")
         return Response(service.metrics_registry().snapshot())
 
     async def submit_sweep(request: Request) -> Response:
@@ -66,9 +84,13 @@ def build_router(service: SweepService) -> Router:
                     422, "unknown_benchmark",
                     f"requests[{index}]: unknown benchmark "
                     f"{run.benchmark!r} (have {sorted(BENCHMARKS)})")
-        job = service.submit(spec)
+        # header beats wire field (the header is per-hop, the wire
+        # field the fallback for header-stripping transports)
+        trace = request.trace or trace_from_wire(doc)
+        job = service.submit(spec, trace=trace, via="http POST /v1/sweeps")
         return Response(job.to_json(), status=202,
-                        headers={"Location": f"/v1/sweeps/{job.id}"})
+                        headers={"Location": f"/v1/sweeps/{job.id}",
+                                 "x-trace-id": job.trace_id})
 
     def _job(job_id: str):
         job = service.job(job_id)
@@ -78,6 +100,12 @@ def build_router(service: SweepService) -> Router:
 
     async def sweep_status(request: Request, job_id: str) -> Response:
         return Response(_job(job_id).to_json(runs=True))
+
+    async def sweep_trace(request: Request, job_id: str) -> Response:
+        job = _job(job_id)
+        return Response(job.recorder.to_perfetto(
+            meta={"job_id": job.id, "name": job.spec.name,
+                  "status": job.status}))
 
     async def sweep_events(request: Request, job_id: str) -> Response:
         job = _job(job_id)
@@ -130,6 +158,7 @@ def build_router(service: SweepService) -> Router:
     router.add("GET", "/v1/metrics", metrics)
     router.add("POST", "/v1/sweeps", submit_sweep)
     router.add("GET", "/v1/sweeps/{job_id}", sweep_status)
+    router.add("GET", "/v1/sweeps/{job_id}/trace", sweep_trace)
     router.add("GET", "/v1/sweeps/{job_id}/events", sweep_events)
     router.add("GET", "/v1/runs/{digest}", get_run)
     router.add("PUT", "/v1/runs/{digest}", put_run)

@@ -43,7 +43,10 @@ from pathlib import Path
 #: ``mem_fused_blocks``/``mem_fused_ops`` — the block-termination
 #: census ``term_*``, and the barrier fast-path count
 #: ``sync_fused_rmws`` when the payload recorded them)
-MANIFEST_SCHEMA = 5
+#: (6: rows carry the ``cache_tier`` that served a hit; the manifest
+#: may carry a ``trace_id`` (service jobs) and a ``profile`` section
+#: (per-phase wall/CPU timings and top-N run self-time, ``--profile``))
+MANIFEST_SCHEMA = 6
 
 
 def telemetry_summary(payload: dict | None) -> dict | None:
@@ -104,6 +107,7 @@ def outcome_record(outcome) -> dict:
         "n_samples": request.n_samples,
         "digest": outcome.digest,
         "cached": outcome.cached,
+        "cache_tier": getattr(outcome, "cache_tier", None),
         "deduped": getattr(outcome, "deduped", False),
         "coalesced": getattr(outcome, "coalesced", False),
         "error": outcome.error,
@@ -146,11 +150,24 @@ class SweepManifestWriter:
         self._rows += 1
         return row
 
-    def finalize(self, *, metrics=None, cache=None, spec=None) -> Path:
-        """Write ``manifest.json`` atomically; returns its path."""
+    def finalize(self, *, metrics=None, cache=None, spec=None,
+                 profile=None, trace_id=None) -> Path:
+        """Write ``manifest.json`` atomically; returns its path.
+
+        :param profile: optional :class:`~repro.obs.profile.ExecProfile`
+            (or its dict form) folded in as the ``"profile"`` section.
+        :param trace_id: optional request trace id (service jobs), so a
+            manifest on disk can be joined back to its span tree and
+            log lines.
+        """
         self._handle.close()
         rows = _read_jsonl(self.runs_path)
         telemetry = [row["telemetry"] for row in rows if row.get("telemetry")]
+        tiers: dict[str, int] = {}
+        for row in rows:
+            if row.get("cached"):
+                tier = row.get("cache_tier") or "unknown"
+                tiers[tier] = tiers.get(tier, 0) + 1
         manifest = {
             "schema": MANIFEST_SCHEMA,
             "name": self.name,
@@ -159,6 +176,7 @@ class SweepManifestWriter:
             "ok": sum(1 for row in rows if row["error"] is None),
             "failed": sum(1 for row in rows if row["error"] is not None),
             "cached": sum(1 for row in rows if row["cached"]),
+            "cache_tiers": dict(sorted(tiers.items())),
             "deduped": sum(1 for row in rows if row.get("deduped")),
             "coalesced": sum(1 for row in rows if row.get("coalesced")),
             "golden_mismatches": sum(
@@ -168,6 +186,11 @@ class SweepManifestWriter:
             "cache": type(cache).__name__ if cache is not None else None,
             "telemetry_totals": _aggregate_telemetry(telemetry),
         }
+        if profile is not None:
+            manifest["profile"] = (profile if isinstance(profile, dict)
+                                   else profile.as_dict())
+        if trace_id is not None:
+            manifest["trace_id"] = trace_id
         scratch = self.manifest_path.with_suffix(".json.tmp")
         with open(scratch, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True)
@@ -250,12 +273,27 @@ def summarize_manifest(path) -> str:
                 f"  coalescing: {manifest.get('deduped', 0)} deduped "
                 f"in-sweep, {manifest.get('coalesced', 0)} joined "
                 "in-flight runs")
+        tiers = manifest.get("cache_tiers") or {}
+        if tiers and set(tiers) != {"unknown"}:
+            cells = [f"{tier} {count}"
+                     for tier, count in sorted(tiers.items())]
+            lines.append("  cache tiers: " + ", ".join(cells))
         metrics = manifest.get("metrics") or {}
         if metrics:
             lines.append(
                 f"  {metrics.get('wall_seconds', 0.0):.2f}s wall, "
                 f"{metrics.get('runs_per_second', 0.0):.2f} runs/s, "
                 f"cache hit rate {metrics.get('hit_rate', 0.0):.0%}")
+        if manifest.get("trace_id"):
+            lines.append(f"  trace_id: {manifest['trace_id']}")
+        profile = manifest.get("profile") or {}
+        if profile.get("phases"):
+            cells = [f"{name} {timing.get('wall_seconds', 0.0):.3f}s"
+                     for name, timing in profile["phases"].items()]
+            lines.append(
+                f"  profile: {', '.join(cells)} "
+                f"({profile.get('runs_profiled', 0)} runs profiled — "
+                "`repro obs` for the breakdown)")
         totals = manifest.get("telemetry_totals")
         if totals:
             lines.append(

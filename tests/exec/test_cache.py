@@ -226,3 +226,71 @@ class TestRemoteTier:
         tiered.put(DIGESTS[0], PAYLOAD)             # store still succeeds
         assert tiered.get(DIGESTS[0]) == PAYLOAD    # memory serves it
         assert tiered.get(DIGESTS[1]) is None       # miss, no exception
+
+
+class TestTierAccounting:
+    """Per-tier stats and per-pass deltas (the observability surface)."""
+
+    def test_promotions_are_not_stores(self, tmp_path):
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path))
+        tiered.put(DIGESTS[0], PAYLOAD)
+        tiered.memory.clear()                       # simulate a restart
+        assert tiered.get(DIGESTS[0]) == PAYLOAD    # disk hit, promoted
+        memory = tiered.tier_stats()["memory"]
+        assert memory.promotions == 1
+        assert memory.stores == 0                   # write-through excluded
+        assert tiered.stats.promotions == 1
+
+    def test_last_hit_tier_tracks_the_serving_tier(self, tmp_path):
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path))
+        tiered.put(DIGESTS[0], PAYLOAD)
+        assert tiered.get(DIGESTS[0]) == PAYLOAD
+        assert tiered.last_hit_tier == "memory"
+        tiered.memory.clear()
+        assert tiered.get(DIGESTS[0]) == PAYLOAD
+        assert tiered.last_hit_tier == "disk"
+        assert tiered.get(DIGESTS[0]) == PAYLOAD    # promoted back
+        assert tiered.last_hit_tier == "memory"
+        assert tiered.get(DIGESTS[1]) is None
+        assert tiered.last_hit_tier is None
+
+    def test_remote_hit_reports_peer_tier(self, tmp_path):
+        remote = FakeRemote()
+        remote.entries[DIGESTS[0]] = PAYLOAD
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path),
+                             remote=remote)
+        assert tiered.get(DIGESTS[0]) == PAYLOAD
+        assert tiered.last_hit_tier == "peer"
+        assert set(tiered.tier_stats()) == {"memory", "disk", "peer"}
+
+    def test_snapshot_and_since_give_per_pass_rates(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        # cold pass: two misses, two stores
+        for digest in DIGESTS[:2]:
+            assert cache.get(digest) is None
+            cache.put(digest, PAYLOAD)
+        after_cold = cache.stats.snapshot()
+        assert after_cold.hit_rate == 0.0
+        # warm pass: two hits
+        for digest in DIGESTS[:2]:
+            assert cache.get(digest) == PAYLOAD
+        warm = cache.stats.since(after_cold)
+        assert warm.hits == 2 and warm.misses == 0
+        assert warm.hit_rate == 1.0
+        assert warm.stores == 0
+        assert cache.stats.hit_rate == 0.5          # blended, by design
+
+    def test_snapshot_is_detached_from_the_live_counters(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        snapshot = cache.stats.snapshot()
+        assert cache.get(DIGESTS[0]) is None
+        assert snapshot.misses == 0 and cache.stats.misses == 1
+
+    def test_as_dict_and_summary_carry_promotions(self, tmp_path):
+        tiered = TieredCache(MemoryCache(), DiskCache(tmp_path))
+        tiered.put(DIGESTS[0], PAYLOAD)
+        tiered.memory.clear()
+        tiered.get(DIGESTS[0])
+        memory = tiered.tier_stats()["memory"]
+        assert memory.as_dict()["promotions"] == 1
+        assert "1 promoted" in memory.summary()

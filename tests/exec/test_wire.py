@@ -173,3 +173,47 @@ class TestRunPayload:
         stale = dict(PAYLOAD, schema=SCHEMA - 1)
         with pytest.raises(WireError, match="schema"):
             payload_from_wire(payload_to_wire(DIGEST, stale))
+
+
+class TestTraceField:
+    """The optional sweep_spec ``trace`` field (wire schema 2)."""
+
+    def spec(self):
+        return SweepSpec("traced", (make_request(),))
+
+    def test_untraced_specs_carry_no_trace_field(self):
+        doc = spec_to_wire(self.spec())
+        assert "trace" not in doc
+
+    def test_trace_round_trips(self):
+        from repro.exec.wire import trace_from_wire
+        from repro.obs import TraceContext
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        doc = spec_to_wire(self.spec(), trace=ctx)
+        assert doc["trace"] == {"trace_id": "ab" * 16,
+                                "span_id": "cd" * 8}
+        recovered = trace_from_wire(doc)
+        assert recovered.trace_id == ctx.trace_id
+        assert recovered.span_id == ctx.span_id
+
+    def test_trace_does_not_change_the_spec_or_digests(self):
+        from repro.obs import TraceContext
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        plain = spec_from_wire(spec_to_wire(self.spec()))
+        traced = spec_from_wire(spec_to_wire(self.spec(), trace=ctx))
+        assert plain == traced
+        assert [request_digest(r) for r in plain.requests] == \
+            [request_digest(r) for r in traced.requests]
+
+    @pytest.mark.parametrize("trace", [
+        None,
+        "garbage",
+        {"trace_id": "short", "span_id": "cd" * 8},
+        {"trace_id": "ab" * 16},
+    ])
+    def test_malformed_trace_is_ignored_never_fatal(self, trace):
+        from repro.exec.wire import trace_from_wire
+        doc = spec_to_wire(self.spec())
+        doc["trace"] = trace
+        assert trace_from_wire(doc) is None
+        assert spec_from_wire(doc) == self.spec()   # spec still decodes

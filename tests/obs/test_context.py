@@ -1,0 +1,83 @@
+"""TraceContext: traceparent parsing, child derivation, wire form."""
+
+import pytest
+
+from repro.obs import TraceContext
+
+TRACE = "0af7651916cd43dd8448eb211c80319c"
+SPAN = "b7ad6b7169203331"
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        ctx = TraceContext(trace_id=TRACE, span_id=SPAN)
+        assert ctx.traceparent() == f"00-{TRACE}-{SPAN}-01"
+        assert TraceContext.from_traceparent(ctx.traceparent()) == ctx
+
+    def test_unsampled_flag(self):
+        ctx = TraceContext(trace_id=TRACE, span_id=SPAN, sampled=False)
+        assert ctx.traceparent().endswith("-00")
+        parsed = TraceContext.from_traceparent(ctx.traceparent())
+        assert parsed is not None and parsed.sampled is False
+
+    def test_header_case_and_whitespace_normalized(self):
+        header = f"  00-{TRACE.upper()}-{SPAN.upper()}-01  "
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed == TraceContext(trace_id=TRACE, span_id=SPAN)
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "nonsense",
+        "00-zz" + "0" * 30 + f"-{SPAN}-01",       # non-hex trace id
+        f"00-{TRACE}-{SPAN}",                      # missing flags
+        f"ff-{TRACE}-{SPAN}-01",                   # forbidden version
+        "00-" + "0" * 32 + f"-{SPAN}-01",          # all-zero trace id
+        f"00-{TRACE}-" + "0" * 16 + "-01",         # all-zero span id
+        f"00-{TRACE[:-2]}-{SPAN}-01",              # short trace id
+    ])
+    def test_malformed_headers_parse_to_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_new_contexts_are_distinct_and_well_formed(self):
+        first, second = TraceContext.new(), TraceContext.new()
+        assert first.trace_id != second.trace_id
+        assert len(first.trace_id) == 32 and len(first.span_id) == 16
+        assert TraceContext.from_traceparent(
+            first.traceparent()).trace_id == first.trace_id
+
+    def test_child_keeps_trace_and_links_parent(self):
+        ctx = TraceContext(trace_id=TRACE, span_id=SPAN, sampled=False)
+        child = ctx.child()
+        assert child.trace_id == TRACE
+        assert child.parent_id == SPAN
+        assert child.span_id != SPAN
+        assert child.sampled is False
+        grandchild = child.child()
+        assert grandchild.parent_id == child.span_id
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        ctx = TraceContext(trace_id=TRACE, span_id=SPAN)
+        doc = ctx.to_wire()
+        assert doc == {"trace_id": TRACE, "span_id": SPAN}
+        assert TraceContext.from_wire(doc) == ctx
+
+    @pytest.mark.parametrize("doc", [
+        None,
+        "not-a-dict",
+        {},
+        {"trace_id": TRACE},                       # span id missing
+        {"trace_id": "short", "span_id": SPAN},
+        {"trace_id": TRACE, "span_id": "short"},
+        {"trace_id": 7, "span_id": SPAN},
+        {"trace_id": TRACE.upper(), "span_id": SPAN},  # wire form is strict
+    ])
+    def test_malformed_wire_docs_parse_to_none(self, doc):
+        assert TraceContext.from_wire(doc) is None
+
+    def test_context_is_immutable(self):
+        ctx = TraceContext(trace_id=TRACE, span_id=SPAN)
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "0" * 32

@@ -1,0 +1,97 @@
+"""Structured logging: silent default, JSON/text rendering, levels."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import configure_logging, emit, get_logger
+from repro.obs.log import record_fields
+
+
+@pytest.fixture
+def capture():
+    """A configured JSON handler writing into a StringIO; auto-removed."""
+    buffer = io.StringIO()
+    handler = configure_logging(json_output=True, level="debug",
+                                stream=buffer)
+    yield buffer
+    get_logger().removeHandler(handler)
+    get_logger().setLevel(logging.NOTSET)
+
+
+def lines(buffer) -> list:
+    return [json.loads(line) for line in
+            buffer.getvalue().splitlines() if line]
+
+
+class TestSilentDefault:
+    def test_unconfigured_logger_has_only_a_null_handler(self):
+        logger = get_logger()
+        kept = [h for h in logger.handlers
+                if not isinstance(h, logging.NullHandler)]
+        assert kept == []
+        emit("noop.event", detail="nobody sees this")  # must not raise
+
+
+class TestJsonOutput:
+    def test_event_fields_and_level(self, capture):
+        emit("job.submit", job_id="abc123", total=4)
+        (doc,) = lines(capture)
+        assert doc["event"] == "job.submit"
+        assert doc["level"] == "info"
+        assert doc["job_id"] == "abc123" and doc["total"] == 4
+        assert isinstance(doc["ts"], float)
+
+    def test_none_fields_are_dropped(self, capture):
+        emit("run.outcome", digest="ff" * 32, cache_tier=None, error=None)
+        (doc,) = lines(capture)
+        assert "cache_tier" not in doc and "error" not in doc
+
+    def test_exc_info_attaches_traceback(self, capture):
+        try:
+            raise ValueError("kaboom")
+        except ValueError:
+            emit("http.error", level=logging.ERROR, exc_info=True,
+                 error_id="deadbeef")
+        (doc,) = lines(capture)
+        assert doc["level"] == "error" and doc["error_id"] == "deadbeef"
+        assert "ValueError: kaboom" in doc["traceback"]
+
+    def test_level_filtering(self, capture):
+        get_logger().setLevel(logging.WARNING)
+        emit("quiet.event")                      # info: filtered
+        emit("loud.event", level=logging.WARNING)
+        assert [doc["event"] for doc in lines(capture)] == ["loud.event"]
+
+
+class TestTextOutput:
+    def test_key_value_rendering(self):
+        buffer = io.StringIO()
+        handler = configure_logging(json_output=False, stream=buffer)
+        try:
+            emit("job.done", job_id="abc123", runs=2)
+        finally:
+            get_logger().removeHandler(handler)
+        line = buffer.getvalue().strip()
+        assert "job.done" in line
+        assert "job_id=abc123" in line and "runs=2" in line
+
+
+class TestReconfigure:
+    def test_reconfiguring_does_not_double_print(self):
+        first, second = io.StringIO(), io.StringIO()
+        handler = configure_logging(json_output=True, stream=first)
+        handler = configure_logging(json_output=True, stream=second)
+        try:
+            emit("single.event")
+        finally:
+            get_logger().removeHandler(handler)
+        assert first.getvalue() == ""
+        assert len(lines(second)) == 1
+
+    def test_record_fields_of_a_plain_record(self):
+        record = logging.LogRecord("x", logging.INFO, __file__, 1,
+                                   "plain", (), None)
+        assert record_fields(record) == {}

@@ -1,0 +1,149 @@
+"""The Prometheus plane: instruments, rendering, and the CI validator.
+
+Every rendered document in this module is round-tripped through
+``scripts/check_prom.py`` — the library and its validator are tested
+against each other.
+"""
+
+import importlib.util
+import math
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, PromRegistry
+from repro.obs.prom import (
+    CallbackFamily,
+    escape_label_value,
+    format_value,
+    render_snapshot,
+)
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_prom",
+    Path(__file__).resolve().parents[2] / "scripts" / "check_prom.py")
+check_prom = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("check_prom", check_prom)
+_SPEC.loader.exec_module(check_prom)
+
+
+def assert_valid(text: str, require=None):
+    problems = check_prom.check_exposition(text, require=require)
+    assert problems == []
+
+
+class TestCounter:
+    def test_inc_and_labeled_series(self):
+        counter = Counter("demo_total", "a demo counter")
+        counter.inc()
+        counter.inc(3, source="cached")
+        assert counter.value() == 1
+        assert counter.value(source="cached") == 3
+        assert counter.value(source="never") == 0
+
+    def test_counters_only_go_up(self):
+        counter = Counter("demo_total", "d")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("demo_gauge", "d")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+
+    def test_callback_gauge_samples_at_render_time(self):
+        state = {"value": 1}
+        gauge = Gauge("demo_gauge", "d",
+                      callback=lambda: state["value"])
+        assert "demo_gauge 1\n" in "\n".join(gauge.render()) + "\n"
+        state["value"] = 7
+        assert "demo_gauge 7" in "\n".join(gauge.render())
+
+
+class TestHistogram:
+    def test_cumulative_buckets_sum_and_count(self):
+        histogram = Histogram("demo_seconds", "d", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        rendered = "\n".join(histogram.render())
+        assert 'demo_seconds_bucket{le="0.1"} 1' in rendered
+        assert 'demo_seconds_bucket{le="1"} 2' in rendered
+        assert 'demo_seconds_bucket{le="+Inf"} 3' in rendered
+        assert "demo_seconds_count 3" in rendered
+        assert "demo_seconds_sum 5.55" in rendered
+        assert histogram.count() == 3
+
+    def test_labeled_series_are_independent(self):
+        histogram = Histogram("demo_seconds", "d", buckets=(1.0,))
+        histogram.observe(0.5, route="/a")
+        histogram.observe(0.5, route="/b")
+        assert histogram.count(route="/a") == 1
+        assert histogram.count(route="/c") == 0
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("demo_seconds", "d", buckets=())
+
+
+class TestRegistry:
+    def test_duplicate_family_rejected(self):
+        registry = PromRegistry()
+        registry.counter("demo_total", "d")
+        with pytest.raises(ValueError):
+            registry.counter("demo_total", "again")
+
+    def test_render_is_sorted_and_validator_clean(self):
+        registry = PromRegistry()
+        registry.histogram("zz_seconds", "last", buckets=(1.0,))
+        registry.counter("aa_total", "first").inc()
+        registry.gauge("mm_gauge", "middle").set(2)
+        registry.family("zz_seconds").observe(0.5)
+        text = registry.render()
+        assert text.index("aa_total") < text.index("mm_gauge") \
+            < text.index("zz_seconds")
+        assert text.endswith("\n")
+        assert_valid(text, require=["aa_total", "zz_seconds"])
+
+    def test_callback_family_renders_existing_state(self):
+        registry = PromRegistry()
+        stats = {"memory": 3, "disk": 1}
+        registry.register(CallbackFamily(
+            "demo_hits_total", "hits by tier", "counter",
+            lambda: (({"tier": tier}, hits)
+                     for tier, hits in sorted(stats.items()))))
+        text = registry.render()
+        assert 'demo_hits_total{tier="disk"} 1' in text
+        assert 'demo_hits_total{tier="memory"} 3' in text
+        assert_valid(text)
+
+    def test_validator_catches_a_required_family_missing(self):
+        problems = check_prom.check_exposition(
+            "", require=["absent_total"])
+        assert any("absent_total" in p for p in problems)
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(1.0) == "1"
+        assert format_value(0.25) == "0.25"
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(True) == "1"
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\nc\\d') == 'a\\"b\\nc\\\\d'
+
+
+class TestRenderSnapshot:
+    def test_flattens_nested_numeric_leaves(self):
+        text = render_snapshot({"service": {"jobs": {"done": 2},
+                                            "name": "skipped"},
+                                "ok": True})
+        assert 'repro_snapshot{path="service.jobs.done"} 2' in text
+        assert 'repro_snapshot{path="ok"} 1' in text
+        assert "name" not in text
+        assert_valid(text, require=["repro_snapshot"])

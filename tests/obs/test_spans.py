@@ -1,0 +1,122 @@
+"""SpanRecorder: span lifecycle and the Perfetto export contract."""
+
+import threading
+
+from repro.obs import SpanRecorder, TraceContext
+from repro.obs.spans import SERVICE_PID, STAGE_TIDS
+from repro.telemetry import check_trace
+
+TRACE = "0af7651916cd43dd8448eb211c80319c"
+
+
+def x_events(doc):
+    return [e for e in doc["traceEvents"] if e["ph"] == "X"]
+
+
+class TestRecording:
+    def test_begin_finish_lifecycle(self):
+        recorder = SpanRecorder(trace_id=TRACE)
+        span = recorder.begin("job demo", "job", total=4)
+        assert span.open
+        recorder.finish(span, status="done")
+        assert not span.open and span.end >= span.start
+        assert span.args == {"total": 4, "status": "done"}
+
+    def test_finish_is_idempotent(self):
+        recorder = SpanRecorder()
+        span = recorder.begin("x", "job")
+        recorder.finish(span)
+        first_end = span.end
+        recorder.finish(span)
+        assert span.end == first_end
+
+    def test_context_manager_closes_on_exception(self):
+        recorder = SpanRecorder()
+        try:
+            with recorder.span("x", "execute"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        (span,) = recorder.spans()
+        assert not span.open
+
+    def test_child_spans_share_the_trace_and_link_parents(self):
+        recorder = SpanRecorder(trace_id=TRACE)
+        parent = recorder.begin("job demo", "job")
+        child = recorder.begin("execute", "execute",
+                               parent=parent.context)
+        assert child.context.trace_id == TRACE
+        assert child.context.parent_id == parent.context.span_id
+
+    def test_parentless_spans_join_the_recorder_trace(self):
+        recorder = SpanRecorder(trace_id=TRACE)
+        span = recorder.begin("orphan", "http")
+        assert span.context.trace_id == TRACE
+        assert span.context.parent_id is None
+
+    def test_concurrent_recording_is_safe(self):
+        recorder = SpanRecorder()
+
+        def worker():
+            for _ in range(50):
+                with recorder.span("w", "run"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(recorder.spans()) == 200
+
+
+class TestPerfettoExport:
+    def build(self):
+        recorder = SpanRecorder(trace_id=TRACE)
+        http = recorder.begin("http POST /v1/sweeps", "http")
+        job = recorder.begin("job demo", "job", parent=http.context)
+        recorder.record("coalesce wait ab12", "coalesce", job.context,
+                        http.start, http.start + 0.01,
+                        links=[{"trace_id": "ff" * 16,
+                                "span_id": "ee" * 8}])
+        recorder.finish(job)
+        recorder.finish(http)
+        return recorder
+
+    def test_export_passes_the_shared_schema_checker(self):
+        doc = self.build().to_perfetto(meta={"job_id": "abc123"})
+        check_trace(doc)
+        assert doc["otherData"]["trace_id"] == TRACE
+        assert doc["otherData"]["spans"] == 3
+        assert doc["otherData"]["job_id"] == "abc123"
+
+    def test_stage_tracks_and_span_identity(self):
+        doc = self.build().to_perfetto()
+        spans = {e["name"]: e for e in x_events(doc)}
+        assert spans["job demo"]["tid"] == STAGE_TIDS["job"]
+        assert spans["job demo"]["pid"] == SERVICE_PID
+        assert spans["job demo"]["cat"] == "job"
+        args = spans["job demo"]["args"]
+        assert args["trace_id"] == TRACE
+        assert args["parent_span_id"] == \
+            spans["http POST /v1/sweeps"]["args"]["span_id"]
+        assert spans["coalesce wait ab12"]["args"]["links"][0][
+            "trace_id"] == "ff" * 16
+
+    def test_open_spans_are_clamped_and_flagged(self):
+        recorder = SpanRecorder(trace_id=TRACE)
+        recorder.begin("live job", "job")
+        doc = recorder.to_perfetto()
+        check_trace(doc)                      # valid while still running
+        (event,) = x_events(doc)
+        assert event["args"]["open"] is True
+        assert event["dur"] > 0
+
+    def test_service_pid_does_not_collide_with_the_platform_tracer(self):
+        # pid 1 belongs to the simulated platform's barrier spans
+        assert SERVICE_PID != 1
+
+    def test_empty_recorder_exports_a_valid_document(self):
+        doc = SpanRecorder(trace_id=TRACE).to_perfetto()
+        check_trace(doc)
+        assert x_events(doc) == []

@@ -1,0 +1,122 @@
+"""InflightCoalescer: claims, crash-handoff, exactly-once inheritance."""
+
+import threading
+
+from repro.obs import TraceContext
+from repro.serve.coalescer import InflightCoalescer
+
+DIGEST = "ab" * 32
+
+
+class TestClaims:
+    def test_first_claimant_owns_followers_share(self):
+        coalescer = InflightCoalescer()
+        first, owned_first = coalescer.claim(DIGEST)
+        second, owned_second = coalescer.claim(DIGEST)
+        assert owned_first and not owned_second
+        assert first is second
+        assert coalescer.as_dict() == {"owned": 1, "coalesced": 1,
+                                       "inflight": 1, "handoffs": 0}
+
+    def test_resolve_wakes_followers_and_retires_the_slot(self):
+        coalescer = InflightCoalescer()
+        claim, _ = coalescer.claim(DIGEST)
+        coalescer.resolve(DIGEST, {"run": 1}, None)
+        assert claim.wait(0.1) == ({"run": 1}, None)
+        assert coalescer.inflight == 0
+        # a new claim starts a fresh cycle
+        _, owned = coalescer.claim(DIGEST)
+        assert owned
+
+    def test_wait_timeout_reports_an_error_not_a_hang(self):
+        coalescer = InflightCoalescer()
+        claim, _ = coalescer.claim(DIGEST)
+        payload, error = claim.wait(0.01)
+        assert payload is None and "timed out" in error
+
+    def test_owner_trace_is_kept_for_span_links(self):
+        coalescer = InflightCoalescer()
+        ctx = TraceContext.new()
+        claim, _ = coalescer.claim(DIGEST, trace=ctx)
+        assert claim.owner_trace is ctx
+
+
+class TestCrashHandoff:
+    def crashed_claim(self, coalescer):
+        claim, _ = coalescer.claim(DIGEST)
+        coalescer.resolve(DIGEST, None, "owner died", crashed=True)
+        return claim
+
+    def test_first_inheritor_wins_the_takeover(self):
+        coalescer = InflightCoalescer()
+        claim = self.crashed_claim(coalescer)
+        assert claim.crashed
+        ctx = TraceContext.new()
+        successor, inherited = coalescer.inherit(claim, trace=ctx)
+        assert inherited
+        assert successor.owner_trace is ctx
+        assert coalescer.as_dict()["handoffs"] == 1
+
+    def test_later_followers_share_the_successor(self):
+        coalescer = InflightCoalescer()
+        claim = self.crashed_claim(coalescer)
+        successor, inherited = coalescer.inherit(claim)
+        late, late_inherited = coalescer.inherit(claim)
+        assert inherited and not late_inherited
+        assert late is successor
+        assert coalescer.as_dict()["handoffs"] == 1
+
+    def test_follower_arriving_after_the_successor_resolved(self):
+        # regression: a slow follower waking up after the inheritor
+        # already finished must NOT start a second handoff cycle
+        coalescer = InflightCoalescer()
+        claim = self.crashed_claim(coalescer)
+        successor, _ = coalescer.inherit(claim)
+        coalescer.resolve(DIGEST, {"run": 2}, None)     # inheritor done
+        late, late_inherited = coalescer.inherit(claim)
+        assert not late_inherited
+        assert late is successor
+        assert late.wait(0.1) == ({"run": 2}, None)
+        assert coalescer.as_dict()["handoffs"] == 1
+
+    def test_fresh_claimant_between_crash_and_inherit_is_followed(self):
+        coalescer = InflightCoalescer()
+        claim = self.crashed_claim(coalescer)
+        fresh, fresh_owned = coalescer.claim(DIGEST)    # new submission
+        assert fresh_owned
+        successor, inherited = coalescer.inherit(claim)
+        assert not inherited                 # the fresh owner executes
+        assert successor is fresh
+        assert coalescer.as_dict()["handoffs"] == 0
+
+    def test_concurrent_inheritors_race_to_exactly_one_winner(self):
+        coalescer = InflightCoalescer()
+        claim = self.crashed_claim(coalescer)
+        results = []
+        barrier = threading.Barrier(8)
+
+        def contender():
+            barrier.wait()
+            results.append(coalescer.inherit(claim))
+
+        threads = [threading.Thread(target=contender) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        winners = [claim for claim, inherited in results if inherited]
+        assert len(winners) == 1
+        assert {id(claim) for claim, _ in results} == {id(winners[0])}
+        assert coalescer.as_dict()["handoffs"] == 1
+
+    def test_inheritor_crash_cascades_to_the_next_follower(self):
+        coalescer = InflightCoalescer()
+        claim = self.crashed_claim(coalescer)
+        successor, inherited = coalescer.inherit(claim)
+        assert inherited
+        coalescer.resolve(DIGEST, None, "inheritor died too",
+                          crashed=True)
+        assert successor.crashed
+        _, second_inherited = coalescer.inherit(successor)
+        assert second_inherited
+        assert coalescer.as_dict()["handoffs"] == 2

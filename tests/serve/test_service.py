@@ -225,7 +225,7 @@ class TestObservability:
         assert set(runs) == {"total", "executed", "cached", "deduped",
                              "coalesced", "failed"}
         assert set(snapshot["coalescer"]) == {"owned", "coalesced",
-                                              "inflight"}
+                                              "inflight", "handoffs"}
         assert snapshot["cache"]["backend"] == "TieredCache"
         jobs = snapshot["service"]["jobs"]
         assert jobs["submitted"] == jobs["queued"] + jobs["running"] + \
