@@ -16,10 +16,16 @@ committed ``BENCH_engine.json``.
 
 A second section times batched throughput: a same-image family of runs
 dispatched as one array-of-machines batch (``repro.cpu.vec``) versus
-individually through the fast engine, every batched run cross-checked
-bit-for-bit against its serial twin.  The process fails if any batched
-run diverges, the reference anchor fails, or the batch runs slower than
-serial dispatch (3x is required at full size).  Run from the repo root:
+individually through the fast engine — once on the without-sync design
+and once on with-sync, which batches end-to-end now that barrier bursts
+replay in vectorized lockstep.  Every batched run is cross-checked
+bit-for-bit against its serial twin, and each row carries a
+block-termination census (``term_sync`` / ``term_diverge`` /
+``term_guard``) plus predication counters.  The process fails if any
+batched run diverges, the reference anchor fails, either design's batch
+runs slower than serial dispatch (3x is required at full size),
+predication never engages on MRPFLTR, or the census is missing.  Run
+from the repo root:
 
     PYTHONPATH=src python benchmarks/perf/bench_engine.py
     PYTHONPATH=src python benchmarks/perf/bench_engine.py --quick
@@ -76,16 +82,18 @@ def main(argv=None) -> int:
         streaming_samples=args.streaming_samples,
         repeats=args.repeats,
         log=print)
-    payload["batched"] = batched_benchmark(
-        runs=args.batch_runs,
-        samples=args.batch_samples,
-        log=print)
+    payload["batched"] = [
+        batched_benchmark(
+            runs=args.batch_runs,
+            samples=args.batch_samples,
+            design_name=design_name,
+            log=print)
+        for design_name in ("without-sync", "with-sync")]
     payload["generated"] = datetime.now(timezone.utc).isoformat(
         timespec="seconds")
     payload["python"] = platform.python_version()
 
     summary = payload["summary"]
-    batched = payload["batched"]
     print(f"\ngeomean speedup (with-sync kernels): "
           f"{summary['geomean_with_sync']}x")
     print(f"geomean speedup (all kernels):       "
@@ -95,11 +103,12 @@ def main(argv=None) -> int:
     print(f"slowest workload:                    "
           f"{summary['min_speedup']}x")
     print(f"all pairs bit-exact:                 {summary['all_exact']}")
-    print(f"batched throughput:                  "
-          f"{batched['batched_runs_per_second']} runs/s vs "
-          f"{batched['serial_runs_per_second']} serial "
-          f"({batched['speedup']}x, {batched['runs']} runs, "
-          f"exact={batched['all_exact']})")
+    for batched in payload["batched"]:
+        print(f"batched throughput ({batched['design']:12s}):   "
+              f"{batched['batched_runs_per_second']} runs/s vs "
+              f"{batched['serial_runs_per_second']} serial "
+              f"({batched['speedup']}x, {batched['runs']} runs, "
+              f"exact={batched['all_exact']})")
 
     # snapshot the committed baseline before overwriting it, so the
     # deopt-regression gate compares against what was checked in
@@ -154,17 +163,35 @@ def main(argv=None) -> int:
                     f"{row['name']} {row['design']} deopt_count "
                     f"regressed: {row['deopt_count']} > committed "
                     f"{previous['deopt_count']}")
-    if not batched["all_exact"]:
-        failures.append("a batched run diverged from its serial twin")
-    if not batched["reference_exact"]:
-        failures.append("a batched run diverged from the reference engine")
-    # a small smoke batch only has to not lose; the full-size batch
-    # (>= 64 runs) must deliver the 3x the layered design promises
+    for row in payload["workloads"]:
+        if row["name"] == "MRPFLTR" and not row["pred_blocks"]:
+            failures.append(
+                f"predication never engaged on MRPFLTR {row['design']}")
+    # a small smoke batch only has to not lose; full-size batches
+    # (>= 64 runs) must deliver the 3x the layered design promises —
+    # for the with-sync design too, now that barriers replay in lockstep
     batch_floor = 1.0 if args.quick or args.batch_runs < 64 else 3.0
-    if batched["speedup"] < batch_floor:
-        failures.append(
-            f"batched throughput below {batch_floor}x serial dispatch "
-            f"({batched['speedup']}x)")
+    for batched in payload["batched"]:
+        label = f"batched {batched['bench']} {batched['design']}"
+        if not batched["all_exact"]:
+            failures.append(
+                f"{label}: a run diverged from its serial twin")
+        if not batched["reference_exact"]:
+            failures.append(
+                f"{label}: a run diverged from the reference engine")
+        if batched["speedup"] < batch_floor:
+            failures.append(
+                f"{label}: throughput below {batch_floor}x serial "
+                f"dispatch ({batched['speedup']}x)")
+        census = batched.get("census")
+        if not census or "term_sync" not in census:
+            failures.append(
+                f"{label}: block-termination census missing from the "
+                f"JSON payload")
+        elif batched["design"] == "with-sync" and not census["term_sync"]:
+            failures.append(
+                f"{label}: no blocks retired through the sync "
+                f"terminator (term_sync == 0)")
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0

@@ -102,6 +102,12 @@ class WorkloadResult:
     sleep_cycles: int = 0
     mem_fused_blocks: int = 0
     mem_fused_ops: int = 0
+    pred_blocks: int = 0
+    pred_cycles: int = 0
+    pred_aborts: int = 0
+    term_sync: int = 0
+    term_diverge: int = 0
+    term_guard: int = 0
 
     @property
     def speedup(self) -> float:
@@ -137,6 +143,12 @@ class WorkloadResult:
             "sleep_cycles": self.sleep_cycles,
             "mem_fused_blocks": self.mem_fused_blocks,
             "mem_fused_ops": self.mem_fused_ops,
+            "pred_blocks": self.pred_blocks,
+            "pred_cycles": self.pred_cycles,
+            "pred_aborts": self.pred_aborts,
+            "term_sync": self.term_sync,
+            "term_diverge": self.term_diverge,
+            "term_guard": self.term_guard,
             "block_coverage": round(self.block_coverage, 4),
         }
 
@@ -178,7 +190,13 @@ def _kernel_result(bench: str, design_name: str, channels,
                           deopt_count=stats.deopt_count,
                           sleep_cycles=stats.sleep_cycles,
                           mem_fused_blocks=stats.mem_fused_blocks,
-                          mem_fused_ops=stats.mem_fused_ops)
+                          mem_fused_ops=stats.mem_fused_ops,
+                          pred_blocks=stats.pred_blocks,
+                          pred_cycles=stats.pred_cycles,
+                          pred_aborts=stats.pred_aborts,
+                          term_sync=stats.term_sync,
+                          term_diverge=stats.term_diverge,
+                          term_guard=stats.term_guard)
 
 
 def run_streaming(n_samples: int, *, period: int = STREAMING_PERIOD,
@@ -213,7 +231,13 @@ def _streaming_result(n_samples: int, period: int,
                           deopt_count=stats.deopt_count,
                           sleep_cycles=stats.sleep_cycles,
                           mem_fused_blocks=stats.mem_fused_blocks,
-                          mem_fused_ops=stats.mem_fused_ops)
+                          mem_fused_ops=stats.mem_fused_ops,
+                          pred_blocks=stats.pred_blocks,
+                          pred_cycles=stats.pred_cycles,
+                          pred_aborts=stats.pred_aborts,
+                          term_sync=stats.term_sync,
+                          term_diverge=stats.term_diverge,
+                          term_guard=stats.term_guard)
 
 
 def engine_benchmark(*, samples: int = 64, streaming_samples: int = 256,
@@ -310,6 +334,17 @@ def batched_benchmark(*, runs: int = 64, samples: int = 32,
                for machine, n_samples in prepared]
     batched_seconds = time.perf_counter() - t0
 
+    # block-termination + predication census, summed over the batch
+    # (vec writeback credits fused/predicated work into each machine's
+    # scalar EngineStats, so this covers the batched phase too)
+    census = {"term_sync": 0, "term_diverge": 0, "term_guard": 0,
+              "pred_blocks": 0, "pred_cycles": 0, "pred_aborts": 0,
+              "deopt_count": 0}
+    for machine, _ in prepared:
+        engine = machine.engine_stats
+        for key in census:
+            census[key] += getattr(engine, key)
+
     all_exact = all(
         s.outputs == b.outputs and s.trace.as_dict() == b.trace.as_dict()
         for s, b in zip(serial, batched))
@@ -323,7 +358,8 @@ def batched_benchmark(*, runs: int = 64, samples: int = 32,
             f"{samples} samples  serial {serial_seconds:6.2f}s  "
             f"batched {batched_seconds:6.2f}s  {speedup:5.2f}x  "
             f"exact={all_exact} ref={reference_exact}  "
-            f"width={stats.max_width} peels={stats.early_peels}")
+            f"width={stats.max_width} peels={stats.early_peels}  "
+            f"sync={census['term_sync']} preds={census['pred_blocks']}")
     return {
         "bench": bench,
         "design": design_name,
@@ -339,5 +375,6 @@ def batched_benchmark(*, runs: int = 64, samples: int = 32,
         "all_exact": all_exact,
         "reference_checked": min(reference_checks, runs),
         "reference_exact": reference_exact,
+        "census": census,
         "batch": stats.as_dict(),
     }

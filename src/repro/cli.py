@@ -397,10 +397,14 @@ def cmd_sweep(args) -> int:
 
         manifest = SweepManifestWriter(args.manifest, name=spec.name)
 
+    from .obs.context import TraceContext
+
+    trace = TraceContext.new()
     with SweepExecutor(jobs=args.jobs, cache=cache, timeout=args.timeout,
                        refresh=args.refresh, batch=args.batch,
                        log=print, profile=args.profile) as executor:
-        outcomes = executor.run(spec, manifest=manifest)
+        outcomes = executor.run(spec, manifest=manifest,
+                                trace_id=trace.trace_id)
     metrics = executor.last_metrics
     if manifest is not None:
         print(f"manifest: {manifest.manifest_path} "

@@ -68,6 +68,9 @@ SCRATCH = "R7"
 _STACK_TAG = f"  ;@mem=A{STACK_BANK_WORDS}"
 #: marker for accesses at a core-invariant (broadcastable) address
 _UNIFORM_TAG = "  ;@mem=U"
+#: marks a branch generated for an ``if`` statement; the assembler's
+#: hammock analysis grants hinted branches a larger if-conversion budget
+_IFCONV_TAG = "  ;@ifconv"
 
 
 def _mem_tag(stride) -> str:
@@ -288,7 +291,7 @@ class FunctionCodegen:
         else_label = self.new_label("else")
         end_label = self.new_label("endif")
         self.gen_branch(stmt.cond, else_label if stmt.else_body is not None
-                        else end_label, when=False)
+                        else end_label, when=False, tag=_IFCONV_TAG)
         self.gen_stmt(stmt.then_body)
         if stmt.else_body is not None:
             self.emit(f"BR {end_label}")
@@ -374,21 +377,27 @@ class FunctionCodegen:
     # Conditions
     # ------------------------------------------------------------------
 
-    def gen_branch(self, cond: Expr, label: str, *, when: bool) -> None:
-        """Branch to ``label`` when ``cond`` evaluates to ``when``."""
+    def gen_branch(self, cond: Expr, label: str, *, when: bool,
+                   tag: str = "") -> None:
+        """Branch to ``label`` when ``cond`` evaluates to ``when``.
+
+        ``tag`` is appended to the conditional branch line itself — the
+        ``;@ifconv`` marker rides along so the hammock analysis knows the
+        branch guards an ``if`` statement's arm.
+        """
         if isinstance(cond, UnaryExpr) and cond.op == "!":
-            self.gen_branch(cond.operand, label, when=not when)
+            self.gen_branch(cond.operand, label, when=not when, tag=tag)
             return
         if isinstance(cond, BinaryExpr) and cond.op in ("&&", "||"):
             short_and = cond.op == "&&"
             if when != short_and:
                 # branch taken if either operand decides it
-                self.gen_branch(cond.left, label, when=when)
-                self.gen_branch(cond.right, label, when=when)
+                self.gen_branch(cond.left, label, when=when, tag=tag)
+                self.gen_branch(cond.right, label, when=when, tag=tag)
             else:
                 skip = self.new_label("sc")
                 self.gen_branch(cond.left, skip, when=not when)
-                self.gen_branch(cond.right, label, when=when)
+                self.gen_branch(cond.right, label, when=when, tag=tag)
                 self.emit(f"{skip}:", label=True)
             return
         if isinstance(cond, BinaryExpr) and cond.op in _CMP_BRANCH:
@@ -399,7 +408,7 @@ class FunctionCodegen:
             cc = _CMP_BRANCH[cond.op]
             if not when:
                 cc = _CMP_INVERSE[cc]
-            self.emit(f"LB{cc} {label}")
+            self.emit(f"LB{cc} {label}{tag}")
             return
         if isinstance(cond, NumberExpr):
             if bool(cond.value) == when:
@@ -408,7 +417,7 @@ class FunctionCodegen:
         self.gen_expr(cond)
         reg = self.vpop()
         self.emit(f"CMPI {reg}, #0")
-        self.emit(f"LB{'NE' if when else 'EQ'} {label}")
+        self.emit(f"LB{'NE' if when else 'EQ'} {label}{tag}")
 
     # ------------------------------------------------------------------
     # Expressions

@@ -1,0 +1,156 @@
+"""If-conversion analysis: find short, side-effect-bounded hammocks.
+
+A *hammock* is a single-entry single-exit diamond hanging off one
+conditional branch: the branch either skips a short straight-line arm or
+jumps over it, and both paths re-join immediately after.  The two shapes
+the ``ulp16`` toolchain produces are recognized at the binary level:
+
+Pattern A — branch skips the arm (arm executes when *not* taken)::
+
+    P    BCC  cond, #k      ; taken -> P+1+k (join)
+    P+1  <arm: k instructions, no control flow>
+    P+k+1                   ; join
+
+Pattern B — inverted branch over a JMP (``LBcc`` expansion; arm executes
+when the BCC *is* taken)::
+
+    P    BCC  cond, #1      ; taken -> P+2 (arm)
+    P+1  JMP  join
+    P+2  <arm: join-P-2 instructions, no control flow>
+    join
+
+An arm qualifies only when every instruction is *predicable*: plain ALU /
+move / flag ops, ``MFSR`` of a valid special register, ``NOP``, or an
+``LD``/``ST`` (the superblock builders additionally require a proven
+address-shape fact before fusing a memory arm).  Anything that writes
+core control state (``MTSR``, ``EI``/``DI``), branches, syncs, or halts
+disqualifies the hammock — those effects cannot be rolled back when the
+predicate is false.
+
+The analysis is purely structural: an arm has no incoming control-flow
+edges *as a fused region* because the superblock builders only ever enter
+a hammock at its head; a jump into the middle of an arm simply executes
+the unmodified instruction stream via the normal per-instruction paths.
+
+The resulting :class:`Hammock` facts are stamped onto
+:attr:`repro.isa.program.Program.hammocks` by the assembler and versioned
+into the program digest, so superblock caches invalidate correctly.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from ..isa.spec import Opcode, SpecialReg, SysOp
+
+#: maximum arm length discovered without a hint
+ARM_CAP = 6
+#: maximum arm length when the branch carries an ``;@ifconv`` hint
+#: (the compiler marks the branches it generated for ``if`` statements)
+ARM_CAP_HINTED = 16
+
+#: opcodes always safe to execute speculatively under a predicate: they
+#: touch only the register file and flags, both of which the predicated
+#: block writers mask / roll back
+_PRED_OPS = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.ADC, Opcode.SBC, Opcode.MUL, Opcode.MULH,
+    Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.CMP, Opcode.MOV,
+    Opcode.ADDI, Opcode.LDI, Opcode.LUI, Opcode.ORI, Opcode.CMPI,
+    Opcode.SHI,
+})
+
+
+class Hammock(NamedTuple):
+    """One if-converted region, keyed by the branch at :attr:`head`.
+
+    :param head: IM address of the conditional branch.
+    :param arm_start: IM address of the first arm instruction.
+    :param arm_len: number of instructions in the arm (>= 1).
+    :param arm_on_taken: ``True`` when the arm executes on the *taken*
+        path (Pattern B); ``False`` when the branch skips it (Pattern A).
+    :param join: IM address both paths re-join at (first pc after the
+        region; the region spans ``[head, join)``).
+    :param cost_taken: cycles the taken path costs (branch included).
+    :param cost_not_taken: cycles the not-taken path costs.
+    """
+
+    head: int
+    arm_start: int
+    arm_len: int
+    arm_on_taken: bool
+    join: int
+    cost_taken: int
+    cost_not_taken: int
+
+    @property
+    def span(self) -> int:
+        """IM words the region occupies (pc advance from head to join)."""
+        return self.join - self.head
+
+
+def _predicable(ins) -> bool:
+    """Whether ``ins`` may execute speculatively inside an arm."""
+    op = ins.op
+    if op in _PRED_OPS:
+        return True
+    if op in (Opcode.LD, Opcode.ST):
+        # memory arms are structurally fine; the superblock builders
+        # decide fusability from the per-site address-shape fact
+        return True
+    if op is Opcode.MFSR:
+        try:
+            SpecialReg(ins.imm)
+        except ValueError:
+            return False
+        return True
+    if op is Opcode.SYS:
+        return ins.sub == SysOp.NOP
+    return False
+
+
+def find_hammocks(program, hints=None) -> dict[int, Hammock]:
+    """Discover predicable hammocks in ``program``'s instruction stream.
+
+    :param program: a :class:`repro.isa.program.Program` (or anything
+        with an ``instructions`` list).
+    :param hints: IM addresses of branches the compiler marked with
+        ``;@ifconv`` — these get the larger :data:`ARM_CAP_HINTED` arm
+        budget; unmarked branches use :data:`ARM_CAP`.
+    :returns: mapping of branch address -> :class:`Hammock`.
+    """
+    hints = hints or ()
+    instructions = program.instructions
+    n = len(instructions)
+    hammocks: dict[int, Hammock] = {}
+    for pc, ins in enumerate(instructions):
+        if ins.op is not Opcode.BCC or ins.imm < 1:
+            continue
+        cap = ARM_CAP_HINTED if pc in hints else ARM_CAP
+        # Pattern B: BCC cond,#1 over a forward JMP (LBcc expansion);
+        # the arm runs on the taken path and the JMP is the else-exit.
+        if ins.imm == 1 and pc + 1 < n:
+            nxt = instructions[pc + 1]
+            if nxt.op is Opcode.JMP:
+                join = nxt.imm
+                arm_start = pc + 2
+                arm_len = join - arm_start
+                if (1 <= arm_len <= cap and join <= n
+                        and all(_predicable(instructions[a])
+                                for a in range(arm_start, join))):
+                    hammocks[pc] = Hammock(
+                        head=pc, arm_start=arm_start, arm_len=arm_len,
+                        arm_on_taken=True, join=join,
+                        cost_taken=1 + arm_len, cost_not_taken=2)
+                    continue
+        # Pattern A: BCC cond,#k skipping a short arm; the arm runs on
+        # the fall-through (not-taken) path.
+        k = ins.imm
+        if k <= cap and pc + 1 + k <= n and all(
+                _predicable(instructions[a])
+                for a in range(pc + 1, pc + 1 + k)):
+            hammocks[pc] = Hammock(
+                head=pc, arm_start=pc + 1, arm_len=k,
+                arm_on_taken=False, join=pc + 1 + k,
+                cost_taken=1, cost_not_taken=1 + k)
+    return hammocks

@@ -84,6 +84,9 @@ SIGN = 0x8000
 MIN_BLOCK = 2
 #: longest fused run (bounds generated-source size and compile latency).
 MAX_BLOCK = 64
+#: most if-converted hammocks inlined into one block (the arm-taken
+#: bitmask ``_hp`` the engine compares across cores stays a small int).
+MAX_PREDS = 8
 
 
 class FusedBlock(NamedTuple):
@@ -115,6 +118,17 @@ class FusedBlock(NamedTuple):
         cycle order) before calling ``commit``.
     :param commit: ``commit(core, out)`` — applies registers, flags and
         the PC from the out tuple (memory-fused blocks only).
+    :param preds: number of if-converted hammocks inlined into the block
+        (see :mod:`repro.compiler.ifconv`).  Predicated blocks are always
+        two-phase: the engine must verify every core took the same arms
+        (out ``pred_at`` positions equal) before committing anything.
+    :param gates: per fused memory op ``j``: ``0`` if unconditional, else
+        the ``_hp`` bit of the hammock whose arm contains it — the engine
+        skips guard/store/crediting for ops whose arm did not execute.
+    :param pred_at: out-tuple index of ``_hp``, the arm-taken bitmask.
+    :param cost_at: out-tuple index of ``_cost``, the cycles this
+        execution actually costs (taken-path cost per hammock; ``length``
+        stays the IM span for the PC advance and the horizon bound).
     """
 
     run: object
@@ -125,6 +139,10 @@ class FusedBlock(NamedTuple):
     mem: tuple = ()
     stores: tuple = ()
     commit: object = None
+    preds: int = 0
+    gates: tuple = ()
+    pred_at: int = -1
+    cost_at: int = -1
 
 
 class MemEnv(NamedTuple):
@@ -210,9 +228,11 @@ class _Writer:
         #: lines a memory-fused block must defer to ``commit`` (core
         #: state the terminator writes, e.g. RETI's interrupt re-enable)
         self.commit_extra: list[str] = []
+        #: extra indentation for statements inside a predicated arm
+        self.indent = ""
 
     def emit(self, line: str) -> None:
-        self.body.append("    " + line)
+        self.body.append("    " + self.indent + line)
 
     def reg(self, index: int, *, write: bool = False) -> str:
         self.regs.add(index)
@@ -447,6 +467,48 @@ def _emit_terminator(w: _Writer, ins, pc: int,
             w.commit_extra.append("core.status = core.status | 1")
 
 
+def _hammock_plan(h, decoded: list, env: MemEnv | None,
+                  has_store: bool, core_writes: bool):
+    """Validate a hammock arm for inlining; a step list, or ``None``.
+
+    Every arm instruction must be fusable under the *current* block
+    state: plain ``KIND_SEQ`` ops that touch only registers/flags (no
+    core-state writes — those would escape the predicated rollback), or
+    ``KIND_MEM`` ops carrying a servable address-shape fact, subject to
+    the same ordering rules as unconditional fused memory (no load after
+    a deferred store, no memory after a core-state write).
+    """
+    plan = []
+    store_seen = has_store
+    for apc in range(h.arm_start, h.arm_start + h.arm_len):
+        rec = decoded[apc]
+        kind = rec[0]
+        ins = rec[2]
+        if kind == KIND_SEQ:
+            if _writes_core_state(ins):
+                return None
+            if not _emit_seq(_Writer(), ins):
+                return None
+            plan.append(("seq", ins))
+        elif kind == KIND_MEM:
+            if env is None or core_writes:
+                return None
+            fact = env.facts.get(apc)
+            if fact is None:
+                return None
+            is_write = rec[1][0]
+            if store_seen and not is_write:
+                return None
+            if not _servable(fact, is_write, env):
+                return None
+            plan.append(("mem", rec[1], fact))
+            if is_write:
+                store_seen = True
+        else:
+            return None
+    return plan
+
+
 def _render(w: _Writer, start: int, length: int, end_kind: int) -> str:
     lines = ["def run(core):"]
     touched = sorted(w.regs)
@@ -467,13 +529,14 @@ def _render(w: _Writer, start: int, length: int, end_kind: int) -> str:
 
 
 def _render_mem(w: _Writer, start: int, length: int, end_kind: int,
-                n_mem: int, store_js: list) -> str:
+                n_mem: int, store_js: list, preds: bool = False) -> str:
     """Render the two-phase ``run``/``commit`` pair of a memory block.
 
     Out-tuple layout (positions are compile-time constants): the
     ``n_mem`` effective addresses in op order (the engine's guard reads
     these), the deferred store values in op order, ``_pc`` for
-    terminator-ended blocks, then written registers and flags.
+    terminator-ended blocks, ``_hp``/``_cost`` for predicated blocks,
+    then written registers and flags.
     """
     lines = ["def run(core, words):"]
     touched = sorted(w.regs)
@@ -490,6 +553,8 @@ def _render_mem(w: _Writer, start: int, length: int, end_kind: int,
     out += [f"_s{j}" for j in store_js]
     if end_kind != KIND_SEQ:
         out.append("_pc")
+    if preds:
+        out += ["_hp", "_cost"]
     out += [f"r{index}" for index in written]
     out += [f"f{flag}" for flag in flags]
     tail = "," if len(out) == 1 else ""
@@ -500,6 +565,8 @@ def _render_mem(w: _Writer, start: int, length: int, end_kind: int,
     if end_kind != KIND_SEQ:
         pc_pos = pos
         pos += 1
+    if preds:
+        pos += 2
     if written:
         lines.append("    regs = core.regs")
     for index in written:
@@ -517,16 +584,21 @@ def _render_mem(w: _Writer, start: int, length: int, end_kind: int,
     return "\n".join(lines) + "\n"
 
 
-def compile_block(decoded: list, start: int,
-                  env: MemEnv | None = None) -> FusedBlock | None:
+def compile_block(decoded: list, start: int, env: MemEnv | None = None,
+                  hammocks: dict | None = None) -> FusedBlock | None:
     """Compile the superblock beginning at IM address ``start``.
 
     ``decoded`` is the program's predecoded record list (index ==
     address).  ``env`` supplies the static address-shape facts and the
     memory geometry; without it (or without a fact for an address) a
-    ``KIND_MEM`` instruction ends the block exactly as before.  Returns
-    ``None`` when no fusable run of at least :data:`MIN_BLOCK`
-    instructions begins there.
+    ``KIND_MEM`` instruction ends the block exactly as before.
+    ``hammocks`` supplies the image's if-conversion facts
+    (:attr:`Program.hammocks`): a conditional branch heading a fusable
+    hammock is inlined as a predicated ``if``/``else`` instead of ending
+    the block, with per-path cycle costs accumulated into ``_cost`` and
+    the taken-arm bitmask ``_hp`` exposed for the engine's cross-core
+    agreement check.  Returns ``None`` when no fusable run of at least
+    :data:`MIN_BLOCK` instructions begins there.
     """
     im_len = len(decoded)
     if start >= im_len:
@@ -534,10 +606,13 @@ def compile_block(decoded: list, start: int,
     facts = env.facts if env is not None else None
     w = _Writer()
     length = 0
+    plain = 0                     # unconditional cycles (cost baseline)
     end_kind = KIND_SEQ
     term = "stop"
     mem_specs: list[tuple[bool, bool]] = []
     store_js: list[int] = []
+    gate_of: dict[int, int] = {}  # mem op index -> _hp bit
+    preds_n = 0
     core_writes = False
     pc = start
     while pc < im_len:
@@ -558,6 +633,7 @@ def compile_block(decoded: list, start: int,
             if writes_core:
                 core_writes = True
             length += 1
+            plain += 1
             pc += 1
             continue
         if kind == KIND_MEM:
@@ -588,12 +664,73 @@ def compile_block(decoded: list, start: int,
             mem_specs.append((fact == 0, is_write))
             term = "stop"
             length += 1
+            plain += 1
             pc += 1
             continue
+        if kind == KIND_DIVERGE and hammocks is not None:
+            h = hammocks.get(pc)
+            if (h is not None and preds_n < MAX_PREDS
+                    and length + h.span <= MAX_BLOCK):
+                plan = _hammock_plan(h, decoded, env,
+                                     bool(store_js), core_writes)
+                if plan is not None:
+                    if preds_n == 0:
+                        w.emit("_hp = 0")
+                        w.emit("_c = 0")
+                    bit = 1 << preds_n
+                    w.flags.update(_BCC_FLAGS[ins.cond])
+                    taken = _BCC_EXPR[ins.cond]
+                    guard = taken if h.arm_on_taken else f"not ({taken})"
+                    w.emit(f"if {guard}:")
+                    w.indent = "    "
+                    w.emit(f"_hp |= {bit}")
+                    arm_js: list[tuple[int, bool]] = []
+                    for step in plan:
+                        if step[0] == "seq":
+                            _emit_seq(w, step[1])
+                            continue
+                        _, info, fact = step
+                        is_write, rs, imm, rd = info
+                        j = len(mem_specs)
+                        w.emit(f"_a{j} = ({w.reg(rs)} + {imm & MASK})"
+                               f" & 65535")
+                        if is_write:
+                            w.emit(f"if _a{j} >= {env.dm_words}: "
+                                   f"raise IndexError")
+                            w.emit(f"_s{j} = {w.reg(rd)} & 65535")
+                            store_js.append(j)
+                        else:
+                            w.emit(f"{w.reg(rd, write=True)} = "
+                                   f"words[_a{j}]")
+                        mem_specs.append((fact == 0, is_write))
+                        gate_of[j] = bit
+                        arm_js.append((j, is_write))
+                    cost_arm = (h.cost_taken if h.arm_on_taken
+                                else h.cost_not_taken)
+                    cost_skip = (h.cost_not_taken if h.arm_on_taken
+                                 else h.cost_taken)
+                    w.emit(f"_c += {cost_arm}")
+                    w.indent = ""
+                    w.emit("else:")
+                    w.indent = "    "
+                    # Sentinels keep the out tuple's layout static: a
+                    # skipped arm's memory ops report address -1 and
+                    # value 0, and the engine's gate bits skip them.
+                    for j, is_write in arm_js:
+                        w.emit(f"_a{j} = -1")
+                        if is_write:
+                            w.emit(f"_s{j} = 0")
+                    w.emit(f"_c += {cost_skip}")
+                    w.indent = ""
+                    preds_n += 1
+                    length += h.span
+                    pc = h.join
+                    continue
         if kind in (KIND_JUMP, KIND_DIVERGE) and length >= 1:
             _emit_terminator(w, ins, pc,
-                             "_pc" if mem_specs else "core.pc")
+                             "_pc" if mem_specs or preds_n else "core.pc")
             length += 1
+            plain += 1
             end_kind = kind
             term = "diverge"
         elif kind == KIND_SYNC:
@@ -603,20 +740,31 @@ def compile_block(decoded: list, start: int,
         break
     if length < MIN_BLOCK:
         return None
-    if mem_specs:
+    if preds_n:
+        w.emit(f"_cost = {plain} + _c")
+    if mem_specs or preds_n:
         source = _render_mem(w, start, length, end_kind,
-                             len(mem_specs), store_js)
+                             len(mem_specs), store_js, bool(preds_n))
     else:
         source = _render(w, start, length, end_kind)
     namespace: dict = {}
     exec(compile(source, f"<fused@{start}+{length}>", "exec"), namespace)
-    if not mem_specs:
+    if not (mem_specs or preds_n):
         return FusedBlock(namespace["run"], length, end_kind, source,
                           term)
     stores = tuple((j, len(mem_specs) + position)
                    for position, j in enumerate(store_js))
+    pred_at = -1
+    cost_at = -1
+    gates: tuple = ()
+    if preds_n:
+        pred_at = (len(mem_specs) + len(store_js)
+                   + (0 if end_kind == KIND_SEQ else 1))
+        cost_at = pred_at + 1
+        gates = tuple(gate_of.get(j, 0) for j in range(len(mem_specs)))
     return FusedBlock(namespace["run"], length, end_kind, source, term,
-                      tuple(mem_specs), stores, namespace["commit"])
+                      tuple(mem_specs), stores, namespace["commit"],
+                      preds_n, gates, pred_at, cost_at)
 
 
 # ---------------------------------------------------------------------------
@@ -633,13 +781,15 @@ class BlockTable:
     a single lookup either way.
     """
 
-    __slots__ = ("digest", "blocks", "_decoded", "_env")
+    __slots__ = ("digest", "blocks", "_decoded", "_env", "_hammocks")
 
     def __init__(self, decoded: list, digest: str | None = None,
-                 env: MemEnv | None = None):
+                 env: MemEnv | None = None,
+                 hammocks: dict | None = None):
         self.digest = digest
         self._decoded = decoded
         self._env = env
+        self._hammocks = hammocks
         #: start address -> FusedBlock | None, filled lazily
         self.blocks: dict[int, FusedBlock | None] = {}
 
@@ -648,7 +798,8 @@ class BlockTable:
         try:
             return self.blocks[start]
         except KeyError:
-            block = compile_block(self._decoded, start, self._env)
+            block = compile_block(self._decoded, start, self._env,
+                                  self._hammocks)
             self.blocks[start] = block
             return block
 
@@ -685,17 +836,18 @@ def table_for(program, config=None) -> BlockTable:
     facts = getattr(program, "mem_facts", None)
     if config is not None and facts:
         env = MemEnv.from_config(facts, config)
+    hammocks = getattr(program, "hammocks", None)
     try:
         digest = program.digest()
     except Exception:
-        return BlockTable(program.predecoded(), None, env)
+        return BlockTable(program.predecoded(), None, env, hammocks)
     key = (digest,) if env is None else (digest,) + tuple(env[1:])
     table = _tables.get(key)
     if table is None:
         if len(_tables) >= _TABLE_LIMIT:
             _tables.popitem(last=False)
         table = _tables[key] = BlockTable(program.predecoded(), digest,
-                                          env)
+                                          env, hammocks)
     else:
         _tables.move_to_end(key)
     return table

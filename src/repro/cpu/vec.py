@@ -26,15 +26,22 @@ affected runs out of the batch, bit-exactly, back to their reference
 
 - machines with pending work (IRQ schedules, timers, outstanding memory
   or synchronizer state, non-running cores) are refused at entry and
-  never touched;
-- a ``HALT``/``SLEEP``, a ``SINC``/``SDEC``, an unfusable instruction,
-  an off-image PC or an out-of-range address peels the whole group at
-  that PC (the scalar engine then raises or arbitrates exactly as it
-  would have);
-- a data-dependent branch that diverges *within* a run peels that run
-  (its cores now need per-core PCs); one that diverges *across* runs
-  splits the group — each subset keeps executing vectorized at its own
-  PC, and subsets that land on the same PC re-merge;
+  never touched (:class:`BatchStats` counts each refusal by reason);
+- a ``HALT``/``SLEEP``, an unfusable instruction, an off-image PC or an
+  out-of-range address peels the whole group at that PC (the scalar
+  engine then raises or arbitrates exactly as it would have);
+- a ``SINC``/``SDEC`` every core of every run executes together is
+  replayed vectorized — the merged two-cycle checkpoint RMW applied to
+  the whole ``(runs,)`` plane of checkpoint words — and only the runs
+  the replay guard rejects (split addresses, locked or would-raise
+  words) peel;
+- a data-dependent branch heading an if-convertible hammock
+  (``Program.hammocks``) executes predicated: each run's arm commits
+  under a lane mask, charged its own taken-path cost; other branches
+  that diverge *within* a run peel that run (its cores now need
+  per-core PCs); one that diverges *across* runs splits the group —
+  each subset keeps executing vectorized at its own PC, and subsets
+  that land on the same PC re-merge;
 - an LD/ST whose addresses differ across runs splits the group by
   address pattern; a pattern that could lose D-Xbar arbitration peels.
 
@@ -64,6 +71,13 @@ except ImportError:                      # pragma: no cover - numpy is a
     np = None                            # declared dependency; belt+braces
 
 from ..isa.spec import Cond, Opcode, ShiftOp, SpecialReg, SysOp
+from ..platform.synchronizer import (
+    COUNT_MASK,
+    COUNT_SHIFT,
+    FLAGS_MASK,
+    CheckpointStats,
+    SyncCompletion,
+)
 from .blocks import MemEnv, _servable, _writes_core_state
 from .predecode import (
     KIND_DIVERGE,
@@ -114,6 +128,17 @@ class VecBlock(NamedTuple):
     :param mem: ``()`` for memory-free blocks, else the per-run
         ``(dm_reads, dm_writes, dm_served)`` D-Xbar counter deltas one
         execution credits (group-uniform, like the group's cycle count).
+    :param preds: 1 for an if-converted hammock block (see
+        :mod:`repro.compiler.ifconv`).  Its ``run`` follows a different
+        protocol: when every run of the group is *internally* uniform
+        (all cores of a run agree on the branch) it commits both the
+        taken and skipped rows under a row mask — crediting each run's
+        taken-path cycle cost, block count and D-Xbar counters directly
+        to the ``d_*`` planes — and returns None with ``target`` = the
+        join PC.  When any run's cores split internally it mutates
+        *nothing* and returns the per-lane PC matrix of the branch
+        alone (one cycle, the runner diverges exactly like a vanilla
+        BCC block).
     """
 
     run: object
@@ -122,6 +147,7 @@ class VecBlock(NamedTuple):
     target: int | None
     source: str
     mem: tuple = ()
+    preds: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -398,7 +424,7 @@ def _emit_terminator(w: _VecWriter, ins, pc: int,
 
 
 def _emit_mem(w: _VecWriter, j: int, info: tuple, fact: int,
-              env: MemEnv) -> tuple[int, int, int]:
+              env: MemEnv, masked: bool = False) -> tuple[int, int, int]:
     """Inline fused memory op ``j``; returns its per-run D-Xbar counter
     deltas ``(dm_reads, dm_writes, dm_served)``.
 
@@ -408,6 +434,13 @@ def _emit_mem(w: _VecWriter, j: int, info: tuple, fact: int,
     gathers loads; scatters and priority rotations are deferred past
     every guard.  Mirrors the arbitration outcomes of the scalar
     engine's ``_mem_cycle`` exactly.
+
+    ``masked`` emits the predicated-hammock form: deferred scatters and
+    priority rotations touch only the rows in ``_hrows`` (the runs whose
+    arm executes).  The guards stay unmasked — a masked-off row whose
+    address pattern would fail only forces a (bit-exact) peel, and the
+    load gathers are harmless because the register restore masks them
+    out.
     """
     is_write, rs, imm, rd = info
     cores = env.num_cores
@@ -430,7 +463,12 @@ def _emit_mem(w: _VecWriter, j: int, info: tuple, fact: int,
         else:
             w.emit(f"_b{j} = _u{j} // {env.dm_bank_words}")
         w.emit(f"{w.reg(rd, write=True)} = S.dm[idx, _u{j}][:, None]")
-        w.defer(f"S.prio[idx, _b{j}] = (S.prio[idx, _b{j}] + 1) % {cores}")
+        if masked:
+            w.defer(f"S.prio[idx[_hrows], _b{j}[_hrows]] = "
+                    f"(S.prio[idx[_hrows], _b{j}[_hrows]] + 1) % {cores}")
+        else:
+            w.defer(f"S.prio[idx, _b{j}] = "
+                    f"(S.prio[idx, _b{j}] + 1) % {cores}")
         return 1, 0, cores
     # Private-bank pattern: every core must win its own bank.
     if env.dm_interleaved:
@@ -441,12 +479,25 @@ def _emit_mem(w: _VecWriter, j: int, info: tuple, fact: int,
         w.emit(f"if not (np.diff(np.sort(_b{j}, axis=1), axis=1) != 0)"
                f".all(): raise MemGuard")
     if is_write:
-        w.emit(f"_s{j} = {w.reg(rd)} & 65535")
-        w.defer(f"S.dm[idx[:, None], _a{j}] = _s{j}")
+        if masked:
+            # the masked scatter row-indexes the value, so a
+            # constant-folded operand must be broadcast to the full
+            # (runs, cores) matrix first
+            w.emit(f"_s{j} = np.broadcast_to(np.asarray("
+                   f"{w.reg(rd)} & 65535), (len(idx), {cores}))")
+            w.defer(f"S.dm[idx[_hrows][:, None], _a{j}[_hrows]] = "
+                    f"_s{j}[_hrows]")
+        else:
+            w.emit(f"_s{j} = {w.reg(rd)} & 65535")
+            w.defer(f"S.dm[idx[:, None], _a{j}] = _s{j}")
     else:
         w.emit(f"{w.reg(rd, write=True)} = S.dm[idx[:, None], _a{j}]")
-    w.defer(f"S.prio[idx[:, None], _b{j}] = "
-            f"((S.coreid_row + 1) % {cores})[None, :]")
+    if masked:
+        w.defer(f"S.prio[idx[_hrows][:, None], _b{j}[_hrows]] = "
+                f"((S.coreid_row + 1) % {cores})[None, :]")
+    else:
+        w.defer(f"S.prio[idx[:, None], _b{j}] = "
+                f"((S.coreid_row + 1) % {cores})[None, :]")
     if is_write:
         return 0, cores, cores
     return cores, 0, cores
@@ -472,8 +523,131 @@ def _render(w: _VecWriter, end_kind: int) -> str:
     return "\n".join(lines + body) + "\n"
 
 
+def _vec_hammock_plan(h, decoded: list,
+                      env: MemEnv | None) -> list | None:
+    """Whether hammock ``h`` vectorizes predicated; None when it can't.
+
+    Mirrors the scalar planner in :mod:`repro.cpu.blocks`: every arm
+    instruction must transcribe to mutation-free NumPy (special-register
+    and interrupt-state writes hit the ``S`` planes directly, so they
+    cannot be masked), memory ops need a servable fact, and a load may
+    not follow a store (its scatter is deferred past the load's gather).
+    """
+    plan: list = []
+    has_store = False
+    for pc in range(h.arm_start, h.arm_start + h.arm_len):
+        rec = decoded[pc]
+        kind = rec[0]
+        ins = rec[2]
+        if kind == KIND_SEQ:
+            if _writes_core_state(ins):
+                return None
+            if not _emit_seq(_VecWriter(), ins):
+                return None
+            plan.append(("seq", ins))
+            continue
+        if kind == KIND_MEM and env is not None:
+            fact = env.facts.get(pc)
+            is_write = rec[1][0]
+            if (fact is None
+                    or (has_store and not is_write)
+                    or not _servable(fact, is_write, env)):
+                return None
+            if is_write:
+                has_store = True
+            plan.append(("mem", rec[1], fact))
+            continue
+        return None
+    return plan
+
+
+def _compile_hammock(h, decoded: list, env: MemEnv | None,
+                     plan: list) -> VecBlock:
+    """Compile hammock ``h`` into a predicated :class:`VecBlock`.
+
+    The generated ``run`` evaluates the branch predicate over the flag
+    planes.  When any run's cores split internally it returns the
+    per-lane PC matrix of the bare branch, mutating nothing.  Otherwise
+    every run is internally uniform and the arm executes under a
+    per-run row mask: arm-written registers and flags are snapshotted
+    before the body and restored on the masked-off rows after it, arm
+    memory scatters touch only the masked-in rows, and each run is
+    credited its own taken-path cycle cost — exactly what the reference
+    cores would have spent on the path they took.
+    """
+    head_ins = decoded[h.head][2]
+    cond = head_ins.cond
+    taken_pc = h.head + head_ins.imm + 1
+    fall_pc = h.head + 1
+    aw = _VecWriter()
+    n_mem = 0
+    mem_reads = mem_writes = mem_served = 0
+    for step in plan:
+        if step[0] == "seq":
+            _emit_seq(aw, step[1])
+        else:
+            reads, writes, served = _emit_mem(
+                aw, n_mem, step[1], step[2], env, masked=True)
+            mem_reads += reads
+            mem_writes += writes
+            mem_served += served
+            n_mem += 1
+    aw.flags.update(_BCC_FLAGS[cond])
+    cost_arm = h.cost_taken if h.arm_on_taken else h.cost_not_taken
+    cost_skip = h.cost_not_taken if h.arm_on_taken else h.cost_taken
+    # The predicate/mask locals are spelled ``_h*`` — a namespace the
+    # seq/mem emitters never touch (they use ``_a``/``_b``/``_t``/...).
+    lines = ["def run(S, idx):"]
+    for index in sorted(aw.regs):
+        lines.append(f"    r{index} = S.regs[idx, :, {index}]")
+    for flag in sorted(aw.flags):
+        lines.append(f"    f{flag} = S.f{flag}[idx]")
+    lines.append(f"    _ht = {_BCC_EXPR[cond]}")
+    lines.append("    if not (_ht == _ht[:, :1]).all():")
+    lines.append(f"        return np.where(_ht, {taken_pc}, {fall_pc})")
+    lines.append(f"    _hp = {'' if h.arm_on_taken else '~'}_ht[:, 0]")
+    lines.append("    _hm = _hp[:, None]")
+    lines.append("    _hrows = np.flatnonzero(_hp)")
+    for index in sorted(aw.written):
+        lines.append(f"    _o_r{index} = r{index}")
+    for flag in sorted(aw.flags):
+        lines.append(f"    _o_f{flag} = f{flag}")
+    lines.extend(aw.body)
+    lines.extend(aw.deferred)
+    for index in sorted(aw.written):
+        lines.append(f"    r{index} = np.where(_hm, r{index}, _o_r{index})")
+    for flag in sorted(aw.flags):
+        lines.append(f"    f{flag} = np.where(_hm, f{flag}, _o_f{flag})")
+    for index in sorted(aw.written):
+        lines.append(f"    S.regs[idx, :, {index}] = r{index}")
+    for flag in sorted(aw.flags):
+        lines.append(f"    S.f{flag}[idx] = f{flag}")
+    lines.append(f"    _hc = np.where(_hp, {cost_arm}, {cost_skip})")
+    lines.append("    S.d_cycles[idx] += _hc")
+    lines.append("    S.d_pred_cycles[idx] += _hc")
+    lines.append("    S.d_blocks[idx] += 1")
+    lines.append("    S.d_preds[idx] += 1")
+    if mem_reads:
+        lines.append(f"    S.d_dm_reads[idx] += "
+                     f"np.where(_hp, {mem_reads}, 0)")
+    if mem_writes:
+        lines.append(f"    S.d_dm_writes[idx] += "
+                     f"np.where(_hp, {mem_writes}, 0)")
+    if mem_served:
+        lines.append(f"    S.d_dm_served[idx] += "
+                     f"np.where(_hp, {mem_served}, 0)")
+    lines.append("    return None")
+    source = "\n".join(lines) + "\n"
+    namespace: dict = {"np": np, "MemGuard": MemGuardError}
+    exec(compile(source, f"<vec-pred@{h.head}>", "exec"), namespace)
+    length = max(h.cost_taken, h.cost_not_taken)
+    return VecBlock(namespace["run"], length, KIND_JUMP, h.join, source,
+                    (), 1)
+
+
 def compile_block(decoded: list, start: int,
-                  env: MemEnv | None = None) -> VecBlock | None:
+                  env: MemEnv | None = None,
+                  hammocks: dict | None = None) -> VecBlock | None:
     """Compile the vectorized block beginning at IM address ``start``.
 
     Same discovery rules as :func:`repro.cpu.blocks.compile_block` —
@@ -483,10 +657,23 @@ def compile_block(decoded: list, start: int,
     Returns ``None`` when the instruction at ``start`` cannot be
     vectorized (unfusable memory/sync/stop boundary, invalid
     encodings).
+
+    When ``hammocks`` carries the image's if-conversion facts
+    (:func:`repro.compiler.ifconv.find_hammocks`), a block starting at a
+    vectorizable hammock head compiles into a standalone predicated
+    block spanning exactly ``[head, join)``, and vanilla discovery stops
+    *before* such a head (leaving the branch unconsumed) so the runner
+    falls through to the predicated block instead of diverging.
     """
     im_len = len(decoded)
     if start >= im_len or np is None:
         return None
+    if hammocks:
+        h = hammocks.get(start)
+        if h is not None:
+            plan = _vec_hammock_plan(h, decoded, env)
+            if plan is not None:
+                return _compile_hammock(h, decoded, env, plan)
     w = _VecWriter()
     length = 0
     end_kind = KIND_SEQ
@@ -533,6 +720,11 @@ def compile_block(decoded: list, start: int,
             pc += 1
             continue
         if kind in (KIND_JUMP, KIND_DIVERGE):
+            if (kind == KIND_DIVERGE and hammocks and length
+                    and pc in hammocks
+                    and _vec_hammock_plan(hammocks[pc], decoded, env)
+                    is not None):
+                break   # stop before the head: it compiles predicated
             target = _emit_terminator(w, ins, pc, defer_state=bool(n_mem))
             length += 1
             end_kind = kind
@@ -550,13 +742,15 @@ def compile_block(decoded: list, start: int,
 class VecTable:
     """Lazily-compiled vectorized blocks for one program image."""
 
-    __slots__ = ("digest", "blocks", "_decoded", "_env")
+    __slots__ = ("digest", "blocks", "_decoded", "_env", "_hammocks")
 
     def __init__(self, decoded: list, digest: str | None = None,
-                 env: MemEnv | None = None):
+                 env: MemEnv | None = None,
+                 hammocks: dict | None = None):
         self.digest = digest
         self._decoded = decoded
         self._env = env
+        self._hammocks = hammocks
         #: start address -> VecBlock | None, filled lazily
         self.blocks: dict[int, VecBlock | None] = {}
 
@@ -564,7 +758,8 @@ class VecTable:
         try:
             return self.blocks[start]
         except KeyError:
-            block = compile_block(self._decoded, start, self._env)
+            block = compile_block(self._decoded, start, self._env,
+                                  self._hammocks)
             self.blocks[start] = block
             return block
 
@@ -586,16 +781,19 @@ def table_for(program, config=None) -> VecTable:
     facts = getattr(program, "mem_facts", None)
     if config is not None and facts:
         env = MemEnv.from_config(facts, config)
+    hammocks = getattr(program, "hammocks", None)
     try:
         digest = program.digest()
     except Exception:
-        return VecTable(program.predecoded(), None, env)
+        return VecTable(program.predecoded(), None, env, hammocks)
+    # the digest covers the hammock facts, so the key needs no extension
     key = (digest,) if env is None else (digest,) + tuple(env[1:])
     table = _tables.get(key)
     if table is None:
         if len(_tables) >= _TABLE_LIMIT:
             _tables.popitem(last=False)
-        table = _tables[key] = VecTable(program.predecoded(), digest, env)
+        table = _tables[key] = VecTable(program.predecoded(), digest, env,
+                                        hammocks)
     else:
         _tables.move_to_end(key)
     return table
@@ -620,7 +818,9 @@ class VecState:
         "rsync", "ivec", "epc", "status",
         "dm", "prio",
         "start_cycles", "d_cycles", "d_blocks",
-        "d_dm_reads", "d_dm_writes", "d_dm_served", "width",
+        "d_dm_reads", "d_dm_writes", "d_dm_served",
+        "d_syncs", "d_checkins", "d_checkouts", "d_wakeups", "d_diverges",
+        "d_preds", "d_pred_cycles", "width",
     )
 
 
@@ -657,6 +857,13 @@ def _build_state(machines: list) -> VecState:
     S.d_dm_reads = np.zeros(N, dtype=np.int64)
     S.d_dm_writes = np.zeros(N, dtype=np.int64)
     S.d_dm_served = np.zeros(N, dtype=np.int64)
+    S.d_syncs = np.zeros(N, dtype=np.int64)
+    S.d_checkins = np.zeros(N, dtype=np.int64)
+    S.d_checkouts = np.zeros(N, dtype=np.int64)
+    S.d_wakeups = np.zeros(N, dtype=np.int64)
+    S.d_preds = np.zeros(N, dtype=np.int64)
+    S.d_pred_cycles = np.zeros(N, dtype=np.int64)
+    S.d_diverges = np.zeros(N, dtype=np.int64)
     S.width = np.zeros(N, dtype=np.int64)
     return S
 
@@ -669,6 +876,9 @@ class BatchStats:
     :ivar batched: machines that entered the vector phase.
     :ivar rejected: machines refused by an entry guard (pending IRQs,
         non-running cores, busy synchronizer, ...), left untouched.
+    :ivar refusals: rejected machines by entry-guard reason (the
+        :func:`batch_entry_guard` return value) — the silent scalar
+        fallbacks, made visible for the log/metrics plane.
     :ivar families: distinct (image, config, entry PC) groups executed.
     :ivar vector_cycles: per-run cycles advanced vectorized, summed.
     :ivar vector_blocks: per-run vectorized block executions, summed.
@@ -680,6 +890,7 @@ class BatchStats:
     requested: int = 0
     batched: int = 0
     rejected: int = 0
+    refusals: dict[str, int] = field(default_factory=dict)
     families: int = 0
     vector_cycles: int = 0
     vector_blocks: int = 0
@@ -696,6 +907,7 @@ class BatchStats:
             "requested": self.requested,
             "batched": self.batched,
             "rejected": self.rejected,
+            "refusals": dict(sorted(self.refusals.items())),
             "families": self.families,
             "vector_cycles": self.vector_cycles,
             "vector_blocks": self.vector_blocks,
@@ -755,7 +967,8 @@ class _Group:
     flushed to the per-run planes whenever membership changes."""
 
     __slots__ = ("idx", "pc", "executed", "blocks",
-                 "dm_reads", "dm_writes", "dm_served")
+                 "dm_reads", "dm_writes", "dm_served",
+                 "syncs", "checkins", "checkouts", "wakeups")
 
     def __init__(self, idx, pc: int):
         self.idx = idx
@@ -765,6 +978,10 @@ class _Group:
         self.dm_reads = 0
         self.dm_writes = 0
         self.dm_served = 0
+        self.syncs = 0
+        self.checkins = 0
+        self.checkouts = 0
+        self.wakeups = 0
 
 
 class _FamilyRunner:
@@ -812,6 +1029,27 @@ class _FamilyRunner:
             if blk is not None:
                 if base + g.executed + blk.length > limit:
                     self._peel(g, None, "horizon")
+                    return
+                if blk.preds:
+                    # If-converted hammock.  None means the block
+                    # committed both paths masked and credited each
+                    # run's own cycle cost to the d_* planes itself;
+                    # a PC matrix means some run's cores split
+                    # internally, nothing was mutated, and the block
+                    # degenerates to the bare one-cycle branch.
+                    try:
+                        pcs = blk.run(S, idx)
+                    except MemGuardError:
+                        self._peel(g, None, "mem")
+                        return
+                    if pcs is None:
+                        base = int((S.start_cycles[idx]
+                                    + S.d_cycles[idx]).max())
+                        g.pc = blk.target
+                        continue
+                    g.executed += 1
+                    g.blocks += 1
+                    self._diverge(g, np.asarray(pcs))
                     return
                 try:
                     pcs = blk.run(S, idx)
@@ -861,7 +1099,10 @@ class _FamilyRunner:
             if kind == KIND_STOP:
                 self._peel(g, None, "stop")
             elif kind == KIND_SYNC:
-                self._peel(g, None, "sync")
+                if self._sync(g, rec[2], base):
+                    g.pc = pc + 1
+                    continue
+                return          # peeled, split, or re-enqueued
             else:
                 self._peel(g, None, "deopt")    # unfusable encoding
             return
@@ -875,6 +1116,7 @@ class _FamilyRunner:
         """
         self._flush(g)
         idx = g.idx
+        self.S.d_diverges[idx] += 1
         first = pcs[:, 0]
         uniform = (pcs == first[:, None]).all(axis=1)
         if not uniform.all():
@@ -964,6 +1206,122 @@ class _FamilyRunner:
         g.executed += 1
         return True
 
+    def _sync(self, g: _Group, ins, base: int) -> bool:
+        """One vectorized lockstep SINC/SDEC checkpoint read-modify-write.
+
+        All lanes of every run in the group are in lockstep (the batch
+        invariant), so each run's barrier exchange is the same merged
+        two-cycle RMW the scalar engine replays in
+        ``FastEngine._lockstep_sync`` — with every core *running*.  The
+        only states compatible with that are the two uniform ones: a
+        ``SINC`` finds the checkpoint counter at 0 and raises it to
+        ``C`` with all flags set, and an ``SDEC`` finds it at ``C`` and
+        releases the barrier (word cleared, nobody asleep to wake).
+        Both advance the whole ``(runs, cores)`` plane in one update —
+        flag packing, counter arithmetic, per-checkpoint statistics and
+        listener completions replayed per run at the run's own logical
+        cycle.
+
+        Anything else peels that run, untouched, at the checkpoint PC:
+        a split (per-core) checkpoint address, an out-of-range word
+        (``"fault"`` — the reference raises), or a counter mid-state
+        that would put cores to sleep or raise a protocol violation
+        (``"sync"`` — the scalar engine arbitrates it exactly).  Locked
+        words cannot occur mid-batch: the entry guard refuses a busy
+        synchronizer and the batch's own RMWs complete atomically.
+
+        :returns: True when the *whole* group consumed the two cycles
+            (the caller advances the PC); False when the group peeled,
+            split, or was re-enqueued.
+        """
+        S = self.S
+        idx = g.idx
+        C = S.C
+        if self.machines[0].synchronizer is None:
+            self._peel(g, None, "sync")     # step() raises ExecutionError
+            return False
+        if base + g.executed + 2 > self.limit:
+            self._peel(g, None, "horizon")
+            return False
+        addrs = (S.rsync[idx] + ins.imm) & MASK       # (runs, cores)
+        addr0 = addrs[:, 0]
+        uniform = (addrs == addr0[:, None]).all(axis=1)
+        in_range = addr0 < S.W
+        words = S.dm[idx, np.where(in_range, addr0, 0)]
+        count = (words >> COUNT_SHIFT) & COUNT_MASK
+        is_checkout = ins.op is Opcode.SDEC
+        cont = uniform & in_range & (count == (C if is_checkout else 0))
+        enqueue = False
+        if not bool(cont.all()):
+            self._flush(g)
+            bad = ~cont
+            faults = np.flatnonzero(bad & uniform & ~in_range)
+            if faults.size:
+                self._writeback(idx[faults], g.pc, "fault")
+            stuck = np.flatnonzero(bad & (~uniform | in_range))
+            if stuck.size:
+                self._writeback(idx[stuck], g.pc, "sync")
+            good = np.flatnonzero(cont)
+            if not good.size:
+                return False
+            addr0 = addr0[good]
+            words = words[good]
+            idx = idx[good]
+            g = _Group(idx, g.pc)
+            enqueue = True
+        # -- the merged two-cycle RMW, every remaining run at once -----
+        flags = words & FLAGS_MASK
+        if is_checkout:
+            S.dm[idx, addr0] = 0                      # barrier release
+            g.checkouts += C
+            g.wakeups += 1
+        else:
+            S.dm[idx, addr0] = ((C & COUNT_MASK) << COUNT_SHIFT) \
+                | (flags | ((1 << C) - 1)) & FLAGS_MASK
+            g.checkins += C
+        g.executed += 2
+        g.syncs += 1
+        g.dm_reads += 1
+        g.dm_writes += 1
+        # Per-checkpoint statistics and listener completions are scalar
+        # per-run state; replay them now, at each run's logical cycle
+        # (its trace clock after the RMW's two cycles).
+        cycle_after = S.start_cycles[idx] + S.d_cycles[idx] + g.executed
+        count_after = 0 if is_checkout else C
+        coreids = tuple(range(C))
+        machines = S.machines
+        for row in range(len(idx)):
+            sync = machines[int(idx[row])].synchronizer
+            address = int(addr0[row])
+            checkpoint = sync.stats.get(address)
+            if checkpoint is None:
+                checkpoint = sync.stats[address] = CheckpointStats()
+            checkpoint.rmws += 1
+            if is_checkout:
+                checkpoint.checkouts += C
+                checkpoint.wakeups += 1
+            else:
+                checkpoint.checkins += C
+                if C > checkpoint.max_counter:
+                    checkpoint.max_counter = C
+            if sync.listeners:
+                if is_checkout:
+                    woken = tuple(cid for cid in range(C)
+                                  if int(flags[row]) & (1 << cid))
+                    completion = SyncCompletion(address, (), coreids,
+                                                woken, True, 0)
+                else:
+                    completion = SyncCompletion(address, coreids, (),
+                                                (), False, count_after)
+                cycle = int(cycle_after[row])
+                for listener in sync.listeners:
+                    listener(cycle, completion)
+        if enqueue:
+            self._flush(g)
+            self._enqueue(idx, g.pc + 1)
+            return False
+        return True
+
     # -- commit and peel -------------------------------------------------
 
     def _flush(self, g: _Group) -> None:
@@ -980,6 +1338,15 @@ class _FamilyRunner:
             S.d_dm_writes[idx] += g.dm_writes
         if g.dm_served:
             S.d_dm_served[idx] += g.dm_served
+        if g.syncs:
+            S.d_syncs[idx] += g.syncs
+            S.d_checkins[idx] += g.checkins
+            S.d_checkouts[idx] += g.checkouts
+            S.d_wakeups[idx] += g.wakeups
+            g.syncs = 0
+            g.checkins = 0
+            g.checkouts = 0
+            g.wakeups = 0
         S.width[idx] = np.maximum(S.width[idx], len(idx) * S.C)
         g.executed = 0
         g.blocks = 0
@@ -1032,6 +1399,10 @@ class _FamilyRunner:
             stats.max_width = max(stats.max_width, width)
             if reason != "stop":
                 engine_stats.peel_count += 1
+                if reason == "mem":
+                    # a fused memory block's address re-check failed —
+                    # same runtime abort the scalar engine tallies
+                    engine_stats.term_guard += 1
             cycles = int(S.d_cycles[i])
             if not cycles:
                 continue
@@ -1040,17 +1411,37 @@ class _FamilyRunner:
             engine_stats.vector_cycles += cycles
             stats.vector_cycles += cycles
             stats.vector_blocks += vec_blocks
+            preds = int(S.d_preds[i])
+            if preds:
+                engine_stats.pred_blocks += preds
+                engine_stats.pred_cycles += int(S.d_pred_cycles[i])
+            diverges = int(S.d_diverges[i])
+            if diverges:
+                engine_stats.term_diverge += diverges
+            # each checkpoint RMW took two of `cycles` but fetched,
+            # retired and hit the IM/histogram counters only once
+            pairs = int(S.d_syncs[i])
+            fetched = cycles - pairs
             trace = machine.trace
             trace.cycles += cycles
             trace.core_active_cycles += cycles * C
-            trace.retired_ops += cycles * C
+            trace.retired_ops += fetched * C
             retired = trace.retired_per_core
             for c in range(C):
-                retired[c] += cycles
-            trace.im_bank_accesses += cycles
-            trace.im_fetches_served += cycles * C
+                retired[c] += fetched
+            trace.im_bank_accesses += fetched
+            trace.im_fetches_served += fetched * C
             histogram = trace.lockstep_histogram
-            histogram[C] = histogram.get(C, 0) + cycles
+            histogram[C] = histogram.get(C, 0) + fetched
+            if pairs:
+                trace.sync_rmw_ops += pairs
+                trace.sync_checkins += int(S.d_checkins[i])
+                trace.sync_checkouts += int(S.d_checkouts[i])
+                trace.sync_wakeups += int(S.d_wakeups[i])
+                engine_stats.sync_fused_rmws += pairs
+                # each merged RMW ended a lockstep region at the
+                # synchronizer, the vec analog of a term_sync block
+                engine_stats.term_sync += pairs
             reads = int(S.d_dm_reads[i])
             writes = int(S.d_dm_writes[i])
             served = int(S.d_dm_served[i])
@@ -1087,8 +1478,10 @@ def run_batch(machines, *, limit: int | None = None) -> BatchStats:
         limit = min(machine.config.max_cycles for machine in machines)
     families: dict[tuple, list] = {}
     for machine in machines:
-        if batch_entry_guard(machine, limit) is not None:
+        reason = batch_entry_guard(machine, limit)
+        if reason is not None:
             stats.rejected += 1
+            stats.refusals[reason] = stats.refusals.get(reason, 0) + 1
             continue
         try:
             image = machine.program.digest()

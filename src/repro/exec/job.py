@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import signal
 import threading
@@ -43,7 +44,11 @@ from ..platform import PlatformConfig
 #: payloads carry ``batch_size``)
 #: (4: ``engine`` gained the memory-fusion counters — ``mem_fused_blocks``
 #: / ``mem_fused_ops`` — and the block-termination census ``term_*``)
-SCHEMA = 4
+#: (5: ``engine`` gained the predication counters — ``pred_blocks`` /
+#: ``pred_cycles`` / ``pred_aborts`` — and batched payloads carry
+#: ``batch_refused``: the entry-guard reason when a run silently fell
+#: back to scalar dispatch inside its batch)
+SCHEMA = 5
 
 DEFAULT_SAMPLES = 64
 DEFAULT_SEED = 2013
@@ -395,7 +400,8 @@ def _isolated(request: RunRequest,
         return None, f"{type(exc).__name__}: {exc}"
 
 
-def execute_batch(requests, *, timeout: float | None = None
+def execute_batch(requests, *, timeout: float | None = None,
+                  trace_id: str | None = None
                   ) -> list[tuple[dict | None, str | None]]:
     """Run a family of same-:func:`batch_key` requests as one batch.
 
@@ -407,17 +413,28 @@ def execute_batch(requests, *, timeout: float | None = None
     additionally carry ``batch_size`` and split the shared vector-phase
     wall time evenly across ``elapsed`` fields.
 
+    A run the batch entry guard refuses still completes — it just falls
+    back to scalar dispatch inside the batch.  That fallback is never
+    silent: the payload carries the guard's reason as ``batch_refused``
+    and a ``batch.refused`` record (tagged with ``trace_id``) goes to
+    the structured log, so the metrics plane can count
+    ``batch_refused{reason=...}``.
+
     The vector phase runs under a pooled deadline of ``timeout x N``; if
     it raises *anything*, the partially-advanced machines are discarded
     and every request re-executes individually from scratch — the batch
-    layer can fail, the results cannot.
+    layer can fail, the results cannot (a ``batch.fallback`` record is
+    logged).
 
     :returns: one ``(payload, error)`` pair per request, in order.
     """
+    from ..obs.log import emit
+
     batch = list(requests)
     if len(batch) == 1:
         return [_isolated(batch[0], timeout)]
     start = time.perf_counter()
+    limit = min(r.max_cycles for r in batch)
     try:
         prepared = []
         with _deadline(timeout * len(batch) if timeout else None):
@@ -428,17 +445,26 @@ def execute_batch(requests, *, timeout: float | None = None
                     request.benchmark, request.design, channels,
                     fast_engine=request.fast_engine,
                     config=request.platform_config(), program=program)
+                # same pure check run_batch applies; recorded here so
+                # the refusal reason can ride each refused payload
+                refused = vec.batch_entry_guard(machine, limit)
                 prepared.append((request, channels, machine, n_samples,
-                                 sync_points))
-            vec.run_batch([entry[2] for entry in prepared],
-                          limit=min(r.max_cycles for r in batch))
-    except Exception:
+                                 sync_points, refused))
+            vec.run_batch([entry[2] for entry in prepared], limit=limit)
+    except Exception as exc:
         # mid-batch state is not trustworthy after an arbitrary failure
         # (e.g. a timeout signal between two vector ops) — rerun scalar.
+        emit("batch.fallback", level=logging.WARNING, trace_id=trace_id,
+             runs=len(batch), error=f"{type(exc).__name__}: {exc}")
         return [_isolated(request, timeout) for request in batch]
+    for request, _, _, _, _, refused in prepared:
+        if refused is not None:
+            emit("batch.refused", level=logging.WARNING, trace_id=trace_id,
+                 label=request.label, reason=refused)
     share = (time.perf_counter() - start) / len(batch)
     results: list[tuple[dict | None, str | None]] = []
-    for request, channels, machine, n_samples, sync_points in prepared:
+    for request, channels, machine, n_samples, sync_points, refused \
+            in prepared:
         own = time.perf_counter()
         try:
             with _deadline(timeout):
@@ -453,7 +479,7 @@ def execute_batch(requests, *, timeout: float | None = None
         except Exception as exc:
             results.append((None, f"{type(exc).__name__}: {exc}"))
             continue
-        results.append(({
+        payload = {
             "schema": SCHEMA,
             "version": __version__,
             "run": run.to_json(),
@@ -463,5 +489,8 @@ def execute_batch(requests, *, timeout: float | None = None
             "batch_size": len(batch),
             "elapsed": round(share + time.perf_counter() - own, 6),
             "worker": os.getpid(),
-        }, None))
+        }
+        if refused is not None:
+            payload["batch_refused"] = refused
+        results.append((payload, None))
     return results

@@ -101,11 +101,12 @@ def _pool_task(request: RunRequest,
         return None, f"{type(exc).__name__}: {exc}"
 
 
-def _pool_batch(requests: list, timeout: float | None
+def _pool_batch(requests: list, timeout: float | None,
+                trace_id: str | None = None
                 ) -> list[tuple[dict | None, str | None]]:
     """Worker entry point for one coalesced batch (aligned results)."""
     try:
-        return execute_batch(requests, timeout=timeout)
+        return execute_batch(requests, timeout=timeout, trace_id=trace_id)
     except BaseException as exc:                  # noqa: BLE001 — isolate
         error = f"{type(exc).__name__}: {exc}"
         return [(None, error)] * len(requests)
@@ -177,10 +178,13 @@ class SweepExecutor:
             tier = getattr(self.cache, "tier", None)
         return tier
 
-    def run(self, requests, manifest=None, observer=None
-            ) -> list[RunOutcome]:
+    def run(self, requests, manifest=None, observer=None,
+            trace_id: str | None = None) -> list[RunOutcome]:
         """Execute a :class:`SweepSpec` or request sequence.
 
+        :param trace_id: optional trace identifier stamped on the
+            structured log records the batch layer emits (refusals,
+            scalar fallbacks), tying them to the submitting request.
         :param manifest: optional
             :class:`~repro.telemetry.manifest.SweepManifestWriter`; each
             outcome is appended to its run log as it lands (cache hits
@@ -245,7 +249,7 @@ class SweepExecutor:
                   for digest, indices in pending.items()]
         phase_started = time.time()
         with profile.phase("execute") if profile else nullcontext():
-            for digest, payload, error in self._execute(unique):
+            for digest, payload, error in self._execute(unique, trace_id):
                 for position, index in enumerate(pending[digest]):
                     outcomes[index] = RunOutcome(index, requests[index],
                                                  digest, payload=payload,
@@ -315,7 +319,7 @@ class SweepExecutor:
                 singles.append(group[0])
         return singles, batches
 
-    def _execute(self, unique):
+    def _execute(self, unique, trace_id=None):
         """Yield ``(digest, payload, error)`` for each unique pending run."""
         singles, batches = self._coalesce(unique)
         if self.log:
@@ -325,18 +329,18 @@ class SweepExecutor:
                          f"({head.benchmark} {head.design.name} "
                          f"c{head.platform_config().num_cores})")
         if self.jobs > 1 and len(unique) > 1:
-            yield from self._execute_pool(singles, batches)
+            yield from self._execute_pool(singles, batches, trace_id)
             return
         for digest, request in singles:
             payload, error = _pool_task(request, self.timeout)
             yield digest, payload, error
         for group in batches:
             results = _pool_batch([request for _, request in group],
-                                  self.timeout)
+                                  self.timeout, trace_id)
             for (digest, _), (payload, error) in zip(group, results):
                 yield digest, payload, error
 
-    def _execute_pool(self, singles, batches):
+    def _execute_pool(self, singles, batches, trace_id=None):
         pool = self._pool_instance()
         futures = []
         try:
@@ -347,7 +351,7 @@ class SweepExecutor:
             for group in batches:
                 futures.append((pool.submit(
                     _pool_batch, [request for _, request in group],
-                    self.timeout), group, True))
+                    self.timeout, trace_id), group, True))
         except BaseException:
             self.close()
             raise
@@ -371,7 +375,7 @@ class SweepExecutor:
         for group, is_batch in broken:
             if is_batch:
                 results = _pool_batch([request for _, request in group],
-                                      self.timeout)
+                                      self.timeout, trace_id)
             else:
                 results = [_pool_task(group[0][1], self.timeout)]
             for (digest, _), (payload, error) in zip(group, results):

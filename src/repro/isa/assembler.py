@@ -60,6 +60,9 @@ _LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
 #: hand-written assembly): ``;@mem=U`` claims a core-uniform effective
 #: address, ``;@mem=A<k>`` a coreid-affine address with stride ``k``
 _MEM_MARKER_RE = re.compile(r";@mem=(?:(U)\b|A(\d+))")
+#: marker the compiler appends to branches it generated for ``if``
+#: statements — a hint (not a requirement) for the hammock analysis
+_IFCONV_MARKER = ";@ifconv"
 _TOKEN_RE = re.compile(
     r"\s*(?:(?P<num>0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)"
     r"|(?P<sym>[A-Za-z_.$][\w.$]*)"
@@ -100,6 +103,10 @@ class _Item:
     size: int = 1
     #: ``;@mem=`` access-shape fact for LD/ST (0 = uniform, k = stride)
     mem_stride: int | None = None
+    #: ``;@ifconv`` hint on a conditional branch: the compiler asserts
+    #: this is an ``if`` statement's branch, so the hammock analysis may
+    #: use its larger arm budget here
+    ifconv: bool = False
 
 
 @dataclass
@@ -191,6 +198,8 @@ class Assembler:
             item.address = code_addr
             if mem_stride is not None and head_up in ("LD", "ST"):
                 item.mem_stride = mem_stride
+            if _IFCONV_MARKER in raw:
+                item.ifconv = True
             code_addr += item.size
             items.append(item)
 
@@ -224,6 +233,13 @@ class Assembler:
             if entry_symbol not in program.symbols:
                 raise AssemblyError(f"unknown entry symbol {entry_symbol!r}")
             program.entry = program.symbols[entry_symbol]
+
+        # Stamp if-conversion facts onto the image (deferred import: the
+        # compiler package imports this module at load time).
+        from ..compiler.ifconv import find_hammocks
+
+        hints = {item.address for item in items if item.ifconv}
+        program.hammocks = find_hammocks(program, hints=hints)
         return program
 
     # ------------------------------------------------------------------

@@ -56,6 +56,12 @@ class Program:
     #: superblock builder to fuse across memory instructions.  Part of
     #: :meth:`digest` (versioned) so block caches invalidate correctly.
     mem_facts: dict[int, int] = field(default_factory=dict)
+    #: IM address of a conditional branch -> :class:`Hammock` fact
+    #: (see :mod:`repro.compiler.ifconv`): a short, side-effect-bounded
+    #: if/else diamond the superblock builders may if-convert into a
+    #: branch-free predicated block.  Stamped by the assembler; part of
+    #: :meth:`digest` (versioned) so block caches invalidate correctly.
+    hammocks: dict[int, tuple] = field(default_factory=dict)
     #: lazily-built predecoded dispatch records (see
     #: :func:`repro.cpu.predecode.predecode`); cached here so every
     #: machine running this image shares one compilation.
@@ -119,6 +125,12 @@ class Program:
                 h.update(b"memfacts/v1;")
                 for address, stride in sorted(self.mem_facts.items()):
                     h.update(f"{address}={stride};".encode())
+            if self.hammocks:
+                h.update(b"hammocks/v1;")
+                for head, hm in sorted(self.hammocks.items()):
+                    h.update(f"{head}:{hm.arm_start}+{hm.arm_len}"
+                             f":{int(hm.arm_on_taken)}:{hm.join};"
+                             .encode())
             self._digest_cache = h.hexdigest()
         return self._digest_cache
 

@@ -93,6 +93,11 @@ class ServiceInstruments:
             "crashed-owner claims inherited by a follower",
             "counter", self._coalescer_handoffs))
         reg.register(CallbackFamily(
+            "repro_batch_refused_total",
+            "batched runs that fell back to scalar dispatch, "
+            "by entry-guard reason",
+            "counter", self._batch_refused))
+        reg.register(CallbackFamily(
             "repro_cache_requests_total",
             "cache lookups by tier and result",
             "counter", self._cache_requests))
@@ -158,6 +163,11 @@ class ServiceInstruments:
 
     def _coalescer_handoffs(self):
         yield {}, getattr(self._service.coalescer, "handoffs", 0)
+
+    def _batch_refused(self):
+        refused = getattr(self._service, "_batch_refused", {})
+        for reason, count in sorted(refused.items()):
+            yield {"reason": reason}, count
 
     def _tier_stats(self) -> dict:
         cache = self._service.cache

@@ -139,6 +139,14 @@ class EngineStats:
     term_diverge: int = 0
     term_cap: int = 0
     term_guard: int = 0
+    #: if-converted (predicated) fused-block executions: the block
+    #: computed both hammock arms branch-free and charged the taken
+    #: path's cycle cost, and the cycles those executions consumed
+    pred_blocks: int = 0
+    pred_cycles: int = 0
+    #: predicated executions rolled back because the cores disagreed on
+    #: which arms they took (replayed per-instruction — a deopt)
+    pred_aborts: int = 0
     #: merged lockstep SINC/SDEC read-modify-writes replayed by the
     #: fast path (two cycles each) instead of the reference ``step()``
     sync_fused_rmws: int = 0
@@ -188,6 +196,9 @@ class EngineStats:
             "term_diverge": self.term_diverge,
             "term_cap": self.term_cap,
             "term_guard": self.term_guard,
+            "pred_blocks": self.pred_blocks,
+            "pred_cycles": self.pred_cycles,
+            "pred_aborts": self.pred_aborts,
             "sync_fused_rmws": self.sync_fused_rmws,
             "batched_runs": self.batched_runs,
             "vector_width": self.vector_width,
@@ -391,8 +402,11 @@ class FastEngine:
         mem_ops = 0
         terms: dict = {}
         executed = 0
+        n_syncs = 0
         fused_blocks = 0
         fused_cycles = 0
+        pred_blocks_l = 0
+        pred_cycles_l = 0
         deopt = False
         n = len(running)
         single = running[0] if n == 1 else None
@@ -413,15 +427,18 @@ class FastEngine:
             if blk is False:
                 blk = block_at(pc)
             if (blk is not None and cycles + blk[1] <= horizon
-                    and (mem_ok or not blk[5])):
+                    and (mem_ok or not blk[5])
+                    and (banks is None or not blk[8])):
                 run = blk[0]
                 length = blk[1]
                 end_kind = blk[2]
                 memspec = blk[5]
-                if memspec:
-                    # Memory-fused block: pure phase per core, re-check
-                    # the actual cross-core address pattern (the static
-                    # facts are hints, not trusted proofs), then commit.
+                preds = blk[8]
+                if memspec or preds:
+                    # Memory-fused / predicated block: pure phase per
+                    # core, re-check the actual cross-core address
+                    # pattern (the static facts are hints, not trusted
+                    # proofs) and cross-core arm agreement, then commit.
                     # Any failure aborts with *nothing* committed, so
                     # the reference step() replays from the block start
                     # bit-exactly.
@@ -434,7 +451,26 @@ class FastEngine:
                         self.stats.term_guard += 1
                         deopt = True      # out-of-range: step() faults
                         break
-                    if n > 1 and not self._mem_guard(memspec, outs, n):
+                    hp = 0
+                    gates = blk[9]
+                    if preds:
+                        # Lockstep cores must take the same arms, or
+                        # the block-granular cycle accounting (and the
+                        # op-major store order) no longer matches the
+                        # reference; disagreement replays per-core.
+                        hp = outs[0][blk[10]]
+                        if n > 1:
+                            for out in outs:
+                                if out[blk[10]] != hp:
+                                    hp = -1
+                                    break
+                            if hp < 0:
+                                self.stats.pred_aborts += 1
+                                deopt = True
+                                break
+                        length = outs[0][blk[11]]
+                    if n > 1 and memspec and not self._mem_guard(
+                            memspec, outs, n, gates, hp):
                         self.stats.term_guard += 1
                         deopt = True      # fact wrong: step() arbitrates
                         break
@@ -442,6 +478,8 @@ class FastEngine:
                     # reference's cycle order (all cores serve op j
                     # before any core reaches op j+1).
                     for j, value_at in blk[6]:
+                        if gates and gates[j] and not hp & gates[j]:
+                            continue      # arm not taken: no store
                         for out in outs:
                             words[out[j]] = out[value_at]
                     commit = blk[7]
@@ -449,7 +487,11 @@ class FastEngine:
                         commit(core, out)
                     # Replay DataCrossbar priority rotation and bulk-
                     # credit its counters, op by op in program order.
+                    served_ops = 0
                     for j, (uniform, is_write) in enumerate(memspec):
+                        if gates and gates[j] and not hp & gates[j]:
+                            continue      # arm not taken: no access
+                        served_ops += 1
                         if uniform and n > 1:
                             addr = outs[0][j]
                             bank = (addr % nb if interleaved
@@ -476,8 +518,12 @@ class FastEngine:
                             else:
                                 dm_reads += n
                         dm_served += n
-                    mem_blocks += 1
-                    mem_ops += len(memspec)
+                    if memspec:
+                        mem_blocks += 1
+                        mem_ops += served_ops
+                    if preds:
+                        pred_blocks_l += 1
+                        pred_cycles_l += length
                 elif single is not None:
                     run(single)
                 else:
@@ -493,7 +539,7 @@ class FastEngine:
                     banks.add(pc // bank_words)
                     banks.add((pc + length - 1) // bank_words)
                 if end_kind == KIND_SEQ:
-                    pc += length
+                    pc += blk[1]
                     continue
                 pc = running[0].pc
                 if end_kind == KIND_JUMP or single is not None:
@@ -540,33 +586,128 @@ class FastEngine:
                 if banks is not None:
                     banks.add(pc // bank_words)
                 pc += 1
+            elif kind == KIND_SYNC:
+                # A lockstep SINC/SDEC merges into one two-cycle
+                # checkpoint RMW (see :meth:`_lockstep_sync`).  The
+                # *continuing* cases — a checkin, or a release that
+                # wakes no sleeping core — are replayed inline so the
+                # burst survives the barrier instead of tearing down
+                # and re-probing.  Anything else (a checkout that puts
+                # cores to sleep, a wake-latching release, a split or
+                # locked or would-raise word, an event in the two-cycle
+                # window) ends the burst cleanly; the next `_advance`
+                # iteration routes it through `_lockstep_sync` /
+                # ``step()`` untouched.
+                sync = machine.synchronizer
+                ins = rec[2]
+                if sync is None or cycles + 2 > horizon:
+                    break
+                address = checkpoint_address(running[0], ins)
+                ok = True
+                if n > 1:
+                    for core in running:
+                        if checkpoint_address(core, ins) != address:
+                            ok = False
+                            break
+                if (not ok or address >= len(words)
+                        or address in dxbar.locked_addresses):
+                    break
+                is_checkout = ins.op is Opcode.SDEC
+                flags, count = unpack_checkpoint(words[address])
+                count_after = count + (-n if is_checkout else n)
+                if count_after < 0 or count_after > ncores:
+                    break         # protocol violation: step() raises
+                released = is_checkout and count_after == 0
+                if is_checkout and not released:
+                    break         # the cores sleep: burst must end
+                woken: tuple = ()
+                if released:
+                    woken = tuple(cid for cid in range(ncores)
+                                  if flags & (1 << cid))
+                    sleeper = False
+                    cores_all = machine.cores
+                    for cid in woken:
+                        if cores_all[cid].mode is CoreMode.SLEEPING:
+                            sleeper = True
+                            break
+                    if sleeper:
+                        break     # wake latching: burst must end
+                # -- cycle T: read phase -------------------------------
+                checkpoint = sync.stats.get(address)
+                if checkpoint is None:
+                    checkpoint = sync.stats[address] = CheckpointStats()
+                trace.dm_bank_reads += 1
+                trace.sync_rmw_ops += 1
+                checkpoint.rmws += 1
+                # -- cycle T+1: write phase, retire --------------------
+                trace.dm_bank_writes += 1
+                coreids = tuple(core.coreid for core in running)
+                if is_checkout:
+                    checkins: tuple = ()
+                    checkouts = coreids
+                    trace.sync_checkouts += n
+                    checkpoint.checkouts += n
+                else:
+                    for cid in coreids:
+                        flags |= 1 << cid
+                    checkins = coreids
+                    checkouts = ()
+                    trace.sync_checkins += n
+                    checkpoint.checkins += n
+                if count_after > checkpoint.max_counter:
+                    checkpoint.max_counter = count_after
+                if released:
+                    words[address] = 0
+                    trace.sync_wakeups += 1
+                    checkpoint.wakeups += 1
+                else:
+                    words[address] = pack_checkpoint(flags, count_after)
+                cycles += 2
+                n_syncs += 1
+                if banks is not None:
+                    banks.add(pc // bank_words)
+                for core in running:
+                    core.pc = pc + 1
+                if sync.listeners:
+                    trace.cycles = cycles  # listeners see the real clock
+                    completion = SyncCompletion(address, checkins,
+                                                checkouts, woken,
+                                                released, count_after)
+                    for listener in sync.listeners:
+                        listener(cycles, completion)
+                pc += 1
             else:
-                deopt = True          # synchronizer / mode change
+                deopt = True          # mode change / unclassified
                 break
         if deopt:
             self.stats.deopt_count += 1
-        if not executed:
+        if not executed and not n_syncs:
             return False
 
         # Batched accounting — the per-cycle counters of `executed`
-        # identical lockstep cycles, applied in one update.
+        # identical lockstep cycles plus `n_syncs` two-cycle checkpoint
+        # RMWs, applied in one update.  Inline syncs change no core
+        # mode (those cases end the burst), so one census covers the
+        # whole burst.
+        busy = executed + 2 * n_syncs
+        fetched = executed + n_syncs
         halted, sleeping, waiting = self._idle_census()
         trace.cycles = cycles
-        trace.core_active_cycles += executed * n
-        trace.retired_ops += executed * n
+        trace.core_active_cycles += busy * n
+        trace.retired_ops += fetched * n
         retired = trace.retired_per_core
         for core in running:
-            retired[core.coreid] += executed
-        trace.im_bank_accesses += executed
-        trace.im_fetches_served += executed * n
+            retired[core.coreid] += fetched
+        trace.im_bank_accesses += fetched
+        trace.im_fetches_served += fetched * n
         histogram = trace.lockstep_histogram
-        histogram[n] = histogram.get(n, 0) + executed
+        histogram[n] = histogram.get(n, 0) + fetched
         if halted:
-            trace.core_halted_cycles += executed * halted
+            trace.core_halted_cycles += busy * halted
         if sleeping:
-            trace.core_sleep_cycles += executed * sleeping
+            trace.core_sleep_cycles += busy * sleeping
         if waiting:
-            trace.sync_wait_cycles += executed * waiting
+            trace.sync_wait_cycles += busy * waiting
         if banks is not None:
             rotated = (single.coreid + 1) % machine.config.num_cores
             priority = machine.ixbar._priority
@@ -578,18 +719,22 @@ class FastEngine:
             trace.dm_served += dm_served
         stats = self.stats
         stats.lockstep_bursts += 1
-        stats.lockstep_cycles += executed
+        stats.lockstep_cycles += busy
         stats.fused_blocks += fused_blocks
         stats.fused_cycles += fused_cycles
         stats.mem_fused_blocks += mem_blocks
         stats.mem_fused_ops += mem_ops
+        stats.pred_blocks += pred_blocks_l
+        stats.pred_cycles += pred_cycles_l
+        stats.sync_fused_rmws += n_syncs
         for reason, count in terms.items():
             attr = "term_" + reason
             setattr(stats, attr, getattr(stats, attr) + count)
         machine._quiet = False
         return True
 
-    def _mem_guard(self, memspec, outs, n: int) -> bool:
+    def _mem_guard(self, memspec, outs, n: int, gates: tuple = (),
+                   hp: int = 0) -> bool:
         """Verify the actual cross-core address pattern of a memory block.
 
         ``outs[c][j]`` is core ``c``'s effective address for fused op
@@ -597,13 +742,17 @@ class FastEngine:
         read the block was compiled for); an affine op must see pairwise
         distinct banks (every core wins its private bank).  Anything
         else could lose D-Xbar arbitration, so the block is abandoned —
-        the compile-time facts were hints, this is the proof.
+        the compile-time facts were hints, this is the proof.  Gated
+        ops (inside a predicated arm, see ``FusedBlock.gates``) whose
+        arm did not execute report sentinel addresses and are skipped.
         """
         config = self._machine.config
         interleaved = config.dm_interleaved
         nb = config.dm_banks
         bw = config.dm_bank_words
         for j, (uniform, _is_write) in enumerate(memspec):
+            if gates and gates[j] and not hp & gates[j]:
+                continue
             if uniform:
                 addr = outs[0][j]
                 for out in outs:

@@ -244,6 +244,9 @@ class SweepService:
         self._runs_total: dict[str, int] = {
             "total": 0, "executed": 0, "cached": 0, "deduped": 0,
             "coalesced": 0, "failed": 0}
+        #: executed runs a batch's entry guard refused (silent scalar
+        #: fallbacks), by reason — feeds ``repro_batch_refused_total``
+        self._batch_refused: dict[str, int] = {}
         self.instruments = ServiceInstruments(
             self, version=__version__, wire_schema=WIRE_SCHEMA)
 
@@ -385,7 +388,8 @@ class SweepService:
                 with self._exec_lock:
                     for outcome in self.executor.run(
                             [requests[first_index[d]] for d in owned],
-                            manifest=proxy, observer=observer):
+                            manifest=proxy, observer=observer,
+                            trace_id=job.trace_id):
                         executed[outcome.digest] = outcome
         finally:
             # resolve every owned claim, crash or not — followers must
@@ -465,6 +469,13 @@ class SweepService:
             totals["deduped"] += metrics.dedup_hits
             totals["coalesced"] += metrics.coalesced_hits
             totals["failed"] += metrics.failures
+            refused = self._batch_refused
+            for outcome in outcomes:
+                if outcome.cached or outcome.deduped or outcome.coalesced:
+                    continue
+                reason = (outcome.payload or {}).get("batch_refused")
+                if reason:
+                    refused[reason] = refused.get(reason, 0) + 1
 
     def _follow(self, job: Job, claim, digest: str, request, index: int,
                 writer: SweepManifestWriter, observer,
@@ -511,7 +522,8 @@ class SweepService:
             proxy = _ManifestProxy(job, writer, [index])
             with self._exec_lock:
                 for outcome in self.executor.run([request], manifest=proxy,
-                                                 observer=observer):
+                                                 observer=observer,
+                                                 trace_id=job.trace_id):
                     executed[digest] = outcome
         finally:
             outcome = executed.get(digest)

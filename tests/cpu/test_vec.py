@@ -130,13 +130,64 @@ class TestKernelDifferential:
         assert stats.peels.get("diverge", 0) == 4
         assert all(b.machine.engine_stats.peel_count == 1 for b in batched)
 
-    def test_sync_boundary_peels(self):
+    def test_sync_barriers_stay_batched(self):
+        # SINC/SDEC checkpoints used to peel every run; the vectorized
+        # barrier RMW now carries with-sync runs to their natural end
         inputs = [channels(N_SAMPLES, salt=salt) for salt in range(3)]
         serial, batched, stats = run_family("MRPFLTR", "with-sync", inputs)
         for s, b in zip(serial, batched):
             assert s.outputs == b.outputs
             assert_equivalent(b.machine, s.machine)
-        assert stats.peels.get("sync", 0) == 3
+        assert stats.peels.get("sync", 0) == 0
+        assert stats.peels.get("stop", 0) == 3
+        assert all(b.machine.engine_stats.sync_fused_rmws > 0
+                   for b in batched)
+        # the scalar finish starts at HALT, so the barrier work was done
+        # vectorized, not by the scalar engine after a peel
+        assert all(b.machine.engine_stats.peel_count == 0 for b in batched)
+
+    def test_mixed_arrival_trip_counts_split_through_barriers(self):
+        # with-sync runs with different loop trip counts reach each
+        # barrier at different logical cycles: the family splits at the
+        # loop-bound branch, every subgroup replays its own merged
+        # barrier RMWs, and equal-PC subgroups re-merge on the worklist
+        inputs = [channels(8), channels(16), channels(8, salt=3),
+                  channels(16, salt=9)]
+        serial, batched, stats = run_family("MRPDLN", "with-sync", inputs)
+        for s, b in zip(serial, batched):
+            assert s.outputs == b.outputs
+            assert_equivalent(b.machine, s.machine)
+        assert stats.peels == {"stop": 4}
+        assert all(b.machine.engine_stats.term_sync > 0 for b in batched)
+        assert all(b.machine.engine_stats.peel_count == 0 for b in batched)
+
+    def test_mixed_families_some_runs_peel_and_some_finish(self):
+        # one batch, two same-design families: the MRPFLTR runs carry
+        # their barriers to HALT vectorized while the SQRT32 runs
+        # diverge per-core and peel — the peeled runs' scalar finish
+        # must re-merge with the batch results bit-exactly
+        design = DESIGNS["with-sync"]
+        mrp_inputs = [channels(N_SAMPLES, salt=s) for s in range(3)]
+        sqrt_inputs = [channels(N_SAMPLES, salt=s * 11) for s in range(2)]
+        serial = ([run_benchmark("MRPFLTR", design, c) for c in mrp_inputs]
+                  + [run_benchmark("SQRT32", design, c)
+                     for c in sqrt_inputs])
+        prepared = ([prepare_benchmark("MRPFLTR", design, c)
+                     for c in mrp_inputs]
+                    + [prepare_benchmark("SQRT32", design, c)
+                       for c in sqrt_inputs])
+        stats = vec.run_batch([m for m, _ in prepared],
+                              limit=MAX_CYCLES)
+        for machine, _ in prepared:
+            machine.run(max_cycles=MAX_CYCLES)
+        assert stats.families == 2
+        assert stats.peels.get("stop") == 3
+        assert stats.peels.get("diverge") == 2
+        benches = ["MRPFLTR"] * 3 + ["SQRT32"] * 2
+        for (machine, n), s, bench in zip(prepared, serial, benches):
+            b = collect_benchmark(machine, bench, design, n)
+            assert b.outputs == s.outputs
+            assert_equivalent(b.machine, s.machine)
 
     def test_cycle_limit_horizon_is_bit_exact(self):
         design = DESIGNS["without-sync"]
@@ -255,6 +306,7 @@ class TestEntryGuards:
         stats = vec.run_batch([timed] + plain)
         assert stats.rejected == 1
         assert stats.batched == 2
+        assert stats.refusals == {"irq": 1}
         assert timed.trace.cycles == 0
         assert timed.engine_stats.batched_runs == 0
         assert all(m.trace.cycles > 0 for m in plain)
@@ -263,6 +315,8 @@ class TestEntryGuards:
         machine = self._kernel_machine(fast_engine=False)
         stats = vec.run_batch([machine, self._kernel_machine(salt=4)])
         assert stats.rejected == 1
+        assert stats.refusals == {"engine": 1}
+        assert "refusals" in stats.as_dict()
         assert machine.trace.cycles == 0
 
     def test_non_uniform_pcs_are_refused(self):

@@ -91,6 +91,30 @@ class TestExecuteBatch:
         assert error is None
         assert "batch_size" not in payload
 
+    def test_refused_run_reports_its_reason(self, caplog):
+        import logging
+
+        from repro.obs.log import LOGGER_NAME, record_fields
+
+        requests = family(3)
+        requests[1] = RunRequest(requests[1].benchmark,
+                                 requests[1].design,
+                                 channels=requests[1].channels,
+                                 fast_engine=False, **SMALL)
+        with caplog.at_level(logging.WARNING, logger=LOGGER_NAME):
+            results = execute_batch(requests, trace_id="t-batch-1")
+        assert all(error is None for _, error in results)
+        # the refused run fell back to scalar dispatch with a reason;
+        # its batch-mates batched normally and carry no marker
+        assert results[1][0]["batch_refused"] == "engine"
+        assert "batch_refused" not in results[0][0]
+        assert "batch_refused" not in results[2][0]
+        refused = [record_fields(r) for r in caplog.records
+                   if r.getMessage() == "batch.refused"]
+        assert refused == [{"trace_id": "t-batch-1",
+                            "label": requests[1].label,
+                            "reason": "engine"}]
+
 
 class TestSchedulerCoalescing:
     def test_family_is_coalesced_and_bit_exact(self):

@@ -247,6 +247,7 @@ class TestPrometheusEndpoint:
             "repro_runs_total",
             "repro_coalescer_claims_total",
             "repro_coalescer_handoffs_total",
+            "repro_batch_refused_total",
             "repro_cache_requests_total",
             "repro_cache_promotions_total",
             "repro_worker_utilization",
@@ -270,6 +271,34 @@ class TestPrometheusEndpoint:
         assert set(tiers) >= {"memory", "disk"}
         assert set(tiers["memory"]) >= {"hits", "misses", "promotions"}
         assert "handoffs" in snapshot["coalescer"]
+
+
+class TestBatchRefusedCounter:
+    def test_refused_runs_surface_in_the_prometheus_plane(self, tmp_path):
+        # an executed outcome whose payload carries the entry guard's
+        # batch_refused reason must be counted into the metrics plane
+        service = SweepService(cache=MemoryCache(),
+                               state_dir=tmp_path / "state",
+                               concurrency=4)
+        real_run = service.executor.run
+
+        def marking_run(requests, manifest=None, observer=None,
+                        trace_id=None):
+            outcomes = real_run(requests, manifest=manifest,
+                                observer=observer, trace_id=trace_id)
+            executed = [o for o in outcomes
+                        if not (o.cached or o.deduped or o.coalesced)]
+            executed[0].payload["batch_refused"] = "irq"
+            return outcomes
+
+        service.executor.run = marking_run
+        with service:
+            job = service.submit(spec_for(9601))
+            wait_for(lambda: job.status == "done",
+                     message="job completion")
+            assert service._batch_refused == {"irq": 1}
+            text = service.instruments.registry.render()
+        assert 'repro_batch_refused_total{reason="irq"} 1' in text
 
 
 class TestErrorId:
@@ -333,7 +362,8 @@ class TestCrashHandoff:
         state = SimpleNamespace(crashes_left=1,
                                 follower_claimed=threading.Event())
 
-        def flaky_run(requests, manifest=None, observer=None):
+        def flaky_run(requests, manifest=None, observer=None,
+                      trace_id=None):
             if state.crashes_left > 0:
                 state.crashes_left -= 1
                 # die only once a follower is waiting on the claim, so
@@ -341,7 +371,7 @@ class TestCrashHandoff:
                 assert state.follower_claimed.wait(30.0)
                 raise RuntimeError("owner died mid-run")
             return real_run(requests, manifest=manifest,
-                            observer=observer)
+                            observer=observer, trace_id=trace_id)
 
         service.executor.run = flaky_run
         with service:
